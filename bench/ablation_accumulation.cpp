@@ -1,0 +1,42 @@
+// Ablation A2: does the accumulation scheme change SDLC's relative gains?
+// The paper fixes row-ripple accumulation for fairness; this bench rebuilds
+// accurate and SDLC multipliers under Wallace and Dadda trees as well.
+#include <iostream>
+
+#include "baselines/accurate.h"
+#include "bench_util.h"
+#include "core/generator.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+    using namespace sdlc;
+    const auto args = bench::BenchArgs::parse(argc, argv);
+    bench::print_header(
+        "Ablation A2 — SDLC gains under row-ripple / Wallace / Dadda accumulation",
+        "SDLC reduces the accumulation tree itself, so savings persist under "
+        "fast tree reduction, though delay gains shrink vs the ripple array.");
+
+    std::vector<int> widths = {8, 16};
+    if (!args.quick) widths.push_back(32);
+
+    TextTable t({"Bit-Width", "Scheme", "Area red(%)", "Delay red(%)", "DynPower red(%)",
+                 "Energy red(%)"});
+    for (const int w : widths) {
+        for (const AccumulationScheme scheme :
+             {AccumulationScheme::kRowRipple, AccumulationScheme::kWallace,
+              AccumulationScheme::kDadda}) {
+            const SynthesisReport acc =
+                bench::synth_default(build_accurate_multiplier(w, scheme));
+            SdlcOptions opts;
+            opts.scheme = scheme;
+            const SynthesisReport apx = bench::synth_default(build_sdlc_multiplier(w, opts));
+            t.add_row({std::to_string(w) + "-bit", accumulation_scheme_name(scheme),
+                       bench::red_pct(acc.area_um2, apx.area_um2),
+                       bench::red_pct(acc.delay_ps, apx.delay_ps),
+                       bench::red_pct(acc.dynamic_power_uw, apx.dynamic_power_uw),
+                       bench::red_pct(acc.energy_fj, apx.energy_fj)});
+        }
+    }
+    t.print(std::cout);
+    return 0;
+}

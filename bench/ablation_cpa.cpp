@@ -1,0 +1,64 @@
+// Ablation A5: carry-propagate adder architecture and the Figure 6 delay
+// shape.
+//
+// With plain ripple adders (the paper's stated setup), the final carry chain
+// dominates both the accurate and the SDLC design, so honest STA shows the
+// delay saving saturating near 20 % instead of the paper's growth to 65.6 %
+// at 128 bits. When each row adder is delay-optimized (Kogge-Stone parallel
+// prefix — what Design Compiler effectively does to ripple RTL under a
+// timing constraint), the stage count dominates and halving the row count
+// shows up directly: the delay saving grows with width toward ~50 %,
+// reproducing the paper's trend. This bench prints both flavors side by side.
+#include <iostream>
+
+#include "baselines/accurate.h"
+#include "bench_util.h"
+#include "core/generator.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+    using namespace sdlc;
+    const auto args = bench::BenchArgs::parse(argc, argv);
+    bench::print_header(
+        "Ablation A5 — CPA architecture vs the Figure 6 delay-reduction shape",
+        "Delay saving grows with width once row adders are delay-optimized "
+        "(paper: 38.5 % -> 65.6 % from 4- to 128-bit).");
+
+    std::vector<int> widths = {4, 8, 16, 32, 64};
+    if (!args.quick) widths.push_back(128);
+
+    TextTable t({"Bit-Width", "Delay red(%) ripple", "Delay red(%) fast-CPA",
+                 "Energy red(%) ripple", "Energy red(%) fast-CPA"});
+    std::vector<std::vector<std::string>> csv_rows;
+    for (const int w : widths) {
+        const SynthesisReport acc_r = bench::synth_default(build_accurate_multiplier(w));
+        const SynthesisReport apx_r = bench::synth_default(build_sdlc_multiplier(w, {}));
+
+        const SynthesisReport acc_f = bench::synth_default(
+            build_accurate_multiplier(w, AccumulationScheme::kRowFastCpa));
+        SdlcOptions fast;
+        fast.scheme = AccumulationScheme::kRowFastCpa;
+        const SynthesisReport apx_f = bench::synth_default(build_sdlc_multiplier(w, fast));
+
+        t.add_row({std::to_string(w) + "-bit",
+                   bench::red_pct(acc_r.delay_ps, apx_r.delay_ps),
+                   bench::red_pct(acc_f.delay_ps, apx_f.delay_ps),
+                   bench::red_pct(acc_r.energy_fj, apx_r.energy_fj),
+                   bench::red_pct(acc_f.energy_fj, apx_f.energy_fj)});
+        csv_rows.push_back({std::to_string(w), bench::red_pct(acc_r.delay_ps, apx_r.delay_ps),
+                            bench::red_pct(acc_f.delay_ps, apx_f.delay_ps),
+                            bench::red_pct(acc_r.energy_fj, apx_r.energy_fj),
+                            bench::red_pct(acc_f.energy_fj, apx_f.energy_fj)});
+    }
+    t.print(std::cout);
+
+    if (args.csv_path) {
+        CsvWriter csv(*args.csv_path);
+        csv.write_row({"width", "delay_red_ripple", "delay_red_fastcpa", "energy_red_ripple",
+                       "energy_red_fastcpa"});
+        for (const auto& r : csv_rows) csv.write_row(r);
+        std::cout << "CSV written to " << *args.csv_path << "\n";
+    }
+    return 0;
+}

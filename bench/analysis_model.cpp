@@ -1,0 +1,80 @@
+// Extension bench: closed-form error model vs simulation.
+//
+// The paper reports only simulated error metrics (and could not evaluate
+// 16-bit exhaustively). The analytic model gives the exact MED for every
+// depth and the exact ER for depth 2 in microseconds, at any width — this
+// bench validates it against simulation where simulation is feasible and
+// then extends Table II to 32/64/128 bits.
+#include <iostream>
+
+#include "analysis/expected_error.h"
+#include "bench_util.h"
+#include "core/functional.h"
+#include "error/evaluate.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+    using namespace sdlc;
+    const auto args = bench::BenchArgs::parse(argc, argv);
+    bench::print_header(
+        "Extension — closed-form SDLC error model (exact MED & depth-2 ER)",
+        "Analytic predictions coincide with exhaustive simulation and extend "
+        "Table II beyond simulation reach.");
+
+    std::cout << "Part 1: validation against simulation (depth 2)\n";
+    TextTable v({"Width", "NMED analytic", "NMED simulated", "ER(%) analytic",
+                 "ER(%) simulated", "sim mode"});
+    for (const int width : {4, 6, 8, 10, 12}) {
+        const ClusterPlan plan = ClusterPlan::make(width, 2);
+        const AnalyticError ana = analyze_expected_error(plan);
+        const bool exhaustive = width <= 10 || !args.quick;
+        const ErrorMetrics sim =
+            exhaustive
+                ? exhaustive_metrics(width,
+                                     [&](uint64_t a, uint64_t b) {
+                                         return sdlc_multiply_fast2(width, a, b);
+                                     })
+                : sampled_metrics(width, 1u << 22, args.seed,
+                                  [&](uint64_t a, uint64_t b) {
+                                      return sdlc_multiply_fast2(width, a, b);
+                                  });
+        v.add_row({std::to_string(width), fmt_fixed(ana.nmed, 8), fmt_fixed(sim.nmed, 8),
+                   fmt_fixed(*ana.error_rate * 100.0, 4),
+                   fmt_fixed(sim.error_rate * 100.0, 4),
+                   exhaustive ? "exhaustive" : "sampled"});
+    }
+    v.print(std::cout);
+
+    std::cout << "\nPart 2: depth sweep at 8-bit (analytic MED is exact at any depth)\n";
+    TextTable d({"Depth", "MED analytic", "MED simulated", "NMED analytic", "NMED simulated"});
+    for (const int depth : {2, 3, 4}) {
+        const ClusterPlan plan = ClusterPlan::make(8, depth);
+        const AnalyticError ana = analyze_expected_error(plan);
+        const ErrorMetrics sim = exhaustive_metrics(
+            8, [&](uint64_t a, uint64_t b) { return sdlc_multiply(plan, a, b); });
+        d.add_row({std::to_string(depth), fmt_fixed(ana.med, 4), fmt_fixed(sim.med, 4),
+                   fmt_fixed(ana.nmed, 6), fmt_fixed(sim.nmed, 6)});
+    }
+    d.print(std::cout);
+
+    std::cout << "\nPart 3: extending Table II beyond simulation reach (depth 2)\n";
+    TextTable e({"Width", "NMED analytic", "ER(%) analytic"});
+    std::vector<std::vector<std::string>> csv_rows;
+    for (const int width : {16, 24, 32, 48, 64, 96, 128}) {
+        const AnalyticError ana = analyze_expected_error(ClusterPlan::make(width, 2));
+        e.add_row({std::to_string(width), fmt_fixed(ana.nmed, 10),
+                   fmt_fixed(*ana.error_rate * 100.0, 3)});
+        csv_rows.push_back({std::to_string(width), fmt_fixed(ana.nmed, 12),
+                            fmt_fixed(*ana.error_rate * 100.0, 4)});
+    }
+    e.print(std::cout);
+
+    if (args.csv_path) {
+        CsvWriter csv(*args.csv_path);
+        csv.write_row({"width", "nmed_analytic", "er_pct_analytic"});
+        for (const auto& r : csv_rows) csv.write_row(r);
+        std::cout << "CSV written to " << *args.csv_path << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,47 @@
+#include "bench_util.h"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "util/table.h"
+
+namespace sdlc::bench {
+
+BenchArgs BenchArgs::parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--exhaustive") {
+            args.exhaustive = true;
+        } else if (a == "--quick") {
+            args.quick = true;
+        } else if (a == "--csv" && i + 1 < argc) {
+            args.csv_path = argv[++i];
+        } else if (a == "--seed" && i + 1 < argc) {
+            args.seed = std::strtoull(argv[++i], nullptr, 0);
+        } else if (a == "--help" || a == "-h") {
+            std::cout << "options: [--exhaustive] [--quick] [--csv <path>] [--seed <n>]\n";
+            std::exit(0);
+        }
+    }
+    return args;
+}
+
+void print_header(const std::string& experiment, const std::string& paper_claim) {
+    std::cout << "==================================================================\n"
+              << experiment << "\n"
+              << "Paper: Qiqieh et al., \"Energy-Efficient Approximate Multiplier\n"
+              << "Design using Bit Significance-Driven Logic Compression\", DATE'17\n"
+              << "Claim: " << paper_claim << "\n"
+              << "==================================================================\n";
+}
+
+SynthesisReport synth_default(const MultiplierNetlist& m) {
+    return synthesize(m.net, CellLibrary::generic_90nm());
+}
+
+std::string red_pct(double exact, double approx) {
+    return fmt_fixed(100.0 * SynthesisReport::reduction(exact, approx), 1);
+}
+
+}  // namespace sdlc::bench

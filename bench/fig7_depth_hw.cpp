@@ -1,0 +1,50 @@
+// Reproduces paper Figure 7: dynamic/leakage power, delay, area and energy
+// savings of the 8-bit SDLC multiplier for 2-, 3- and 4-row logic clusters.
+#include <iostream>
+
+#include "baselines/accurate.h"
+#include "bench_util.h"
+#include "core/generator.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+    using namespace sdlc;
+    const auto args = bench::BenchArgs::parse(argc, argv);
+    bench::print_header(
+        "Figure 7 — hardware savings vs compression depth (8-bit SDLC)",
+        "Deeper logic clusters increase every saving (fewer accumulation rows).");
+
+    const SynthesisReport acc = bench::synth_default(build_accurate_multiplier(8));
+
+    TextTable t({"Config", "DynPower red(%)", "Leakage red(%)", "Delay red(%)",
+                 "Area red(%)", "Energy red(%)"});
+    std::vector<std::vector<std::string>> csv_rows;
+    for (const int depth : {2, 3, 4}) {
+        SdlcOptions opts;
+        opts.depth = depth;
+        const SynthesisReport apx = bench::synth_default(build_sdlc_multiplier(8, opts));
+        const std::string name = "8-bit (" + std::to_string(depth) + "-Row Clusters)";
+        t.add_row({name, bench::red_pct(acc.dynamic_power_uw, apx.dynamic_power_uw),
+                   bench::red_pct(acc.leakage_nw, apx.leakage_nw),
+                   bench::red_pct(acc.delay_ps, apx.delay_ps),
+                   bench::red_pct(acc.area_um2, apx.area_um2),
+                   bench::red_pct(acc.energy_fj, apx.energy_fj)});
+        csv_rows.push_back({std::to_string(depth),
+                            bench::red_pct(acc.dynamic_power_uw, apx.dynamic_power_uw),
+                            bench::red_pct(acc.leakage_nw, apx.leakage_nw),
+                            bench::red_pct(acc.delay_ps, apx.delay_ps),
+                            bench::red_pct(acc.area_um2, apx.area_um2),
+                            bench::red_pct(acc.energy_fj, apx.energy_fj)});
+    }
+    t.print(std::cout);
+
+    if (args.csv_path) {
+        CsvWriter csv(*args.csv_path);
+        csv.write_row({"depth", "dyn_power_red_pct", "leakage_red_pct", "delay_red_pct",
+                       "area_red_pct", "energy_red_pct"});
+        for (const auto& r : csv_rows) csv.write_row(r);
+        std::cout << "CSV written to " << *args.csv_path << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,112 @@
+// Reproduces paper Figure 8: Gaussian-blur case study. A 3x3 sigma=1.5
+// kernel in 8-bit fixed point is applied to 200x200 grayscale scenes with
+// the exact multiplier and SDLC multipliers of depth 2/3/4. Reported per
+// configuration: PSNR vs the exact-multiplier blur and the dynamic-energy
+// saving of the 8x8 multiplier hardware.
+//
+// Paper numbers: PSNR 50.2 / 39 / 30 dB and energy saving 59.5 / 68.3 /
+// 78.5 % for depths 2 / 3 / 4. The paper's input image is not distributed;
+// several synthetic scenes are evaluated instead (substitution documented
+// in DESIGN.md) and blurred outputs are written as PGM for inspection.
+#include <cmath>
+#include <iostream>
+
+#include "baselines/accurate.h"
+#include "bench_util.h"
+#include "core/functional.h"
+#include "core/generator.h"
+#include "image/convolve.h"
+#include "image/gaussian.h"
+#include "image/synthetic.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+    using namespace sdlc;
+    const auto args = bench::BenchArgs::parse(argc, argv);
+    bench::print_header(
+        "Figure 8 — Gaussian blur case study (3x3, sigma=1.5, 8-bit fixed point)",
+        "PSNR 50.2/39/30 dB and dynamic-energy saving 59.5/68.3/78.5 % for "
+        "2/3/4-bit depth clustering.");
+
+    const FixedKernel kernel = make_gaussian_kernel(3, 1.5);
+    const SynthesisReport acc = bench::synth_default(build_accurate_multiplier(8));
+
+    struct Scene {
+        const char* name;
+        Image img;
+    };
+    std::vector<Scene> scenes;
+    scenes.push_back({"scene", make_scene(200, 200, 7)});
+    if (!args.quick) {
+        scenes.push_back({"blobs", make_blobs(200, 200, 6, 11)});
+        scenes.push_back({"gradient", make_gradient(200, 200)});
+        scenes.push_back({"checker", make_checkerboard(200, 200, 8)});
+    }
+
+    const double paper_psnr[] = {50.2, 39.0, 30.0};
+    const double paper_saving[] = {59.5, 68.3, 78.5};
+
+    // The paper's input image is not distributed, so absolute PSNR values
+    // cannot be matched; the pixel-first operand order reproduces the d2/d4
+    // endpoints (high-30s to mid-40s / high-20s dB), while the d3 row is
+    // depressed by a kernel-quantization artifact (the Q0.8 edge weight
+    // 30 = 0b11110 straddles a depth-3 cluster boundary); the weight-first
+    // column is monotone. Full analysis in EXPERIMENTS.md.
+    TextTable t({"Config", "Energy sav(%) paper", "Energy sav(%) meas", "PSNR(dB) paper",
+                 "PSNR px-first [scene]", "PSNR weight-first", "PSNR other scenes (px-first)"});
+    std::vector<std::vector<std::string>> csv_rows;
+
+    int idx = 0;
+    for (const int depth : {2, 3, 4}) {
+        SdlcOptions opts;
+        opts.depth = depth;
+        const SynthesisReport apx = bench::synth_default(build_sdlc_multiplier(8, opts));
+        const std::string saving =
+            bench::red_pct(acc.dynamic_energy_fj, apx.dynamic_energy_fj);
+
+        const ClusterPlan plan = ClusterPlan::make(8, depth);
+        const Mul8Fn px_first = [&plan](uint8_t px, uint8_t w) {
+            return static_cast<uint32_t>(sdlc_multiply(plan, px, w));
+        };
+        const Mul8Fn w_first = [&plan](uint8_t px, uint8_t w) {
+            return static_cast<uint32_t>(sdlc_multiply(plan, w, px));
+        };
+
+        auto fmt_psnr = [](double p) {
+            return std::isinf(p) ? std::string("inf") : fmt_fixed(p, 1);
+        };
+
+        std::string main_psnr;
+        std::string wfirst_psnr;
+        std::string other_psnr;
+        for (size_t s = 0; s < scenes.size(); ++s) {
+            const Image reference = convolve(scenes[s].img, kernel, exact_mul8);
+            const Image approx = convolve(scenes[s].img, kernel, px_first);
+            const std::string val = fmt_psnr(psnr(reference, approx));
+            if (s == 0) {
+                main_psnr = val;
+                wfirst_psnr = fmt_psnr(psnr(reference, convolve(scenes[s].img, kernel, w_first)));
+                save_pgm(approx, "blur_d" + std::to_string(depth) + "_" + scenes[s].name +
+                                     ".pgm");
+                if (depth == 2) save_pgm(reference, "blur_exact_scene.pgm");
+            } else {
+                other_psnr += std::string(scenes[s].name) + "=" + val + " ";
+            }
+        }
+        t.add_row({std::to_string(depth) + "-bit Clustering", fmt_fixed(paper_saving[idx], 1),
+                   saving, fmt_fixed(paper_psnr[idx], 1), main_psnr, wfirst_psnr, other_psnr});
+        csv_rows.push_back({std::to_string(depth), saving, main_psnr});
+        ++idx;
+    }
+    t.print(std::cout);
+    std::cout << "\nBlurred outputs written as blur_d{2,3,4}_scene.pgm / blur_exact_scene.pgm\n";
+
+    if (args.csv_path) {
+        CsvWriter csv(*args.csv_path);
+        csv.write_row({"depth", "energy_saving_pct", "psnr_db_scene"});
+        for (const auto& r : csv_rows) csv.write_row(r);
+        std::cout << "CSV written to " << *args.csv_path << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,56 @@
+// Reproduces paper Figure 9: area and power savings (vs the accurate
+// multiplier) of ETM [20], Kulkarni [8] and the proposed SDLC multiplier at
+// 4, 8 and 16 bits. The paper's reading: the proposed design wins at 16 bit.
+#include <iostream>
+
+#include "baselines/accurate.h"
+#include "baselines/etm.h"
+#include "baselines/kulkarni.h"
+#include "bench_util.h"
+#include "core/generator.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+    using namespace sdlc;
+    const auto args = bench::BenchArgs::parse(argc, argv);
+    bench::print_header(
+        "Figure 9 — area & power savings of scalable approximate multipliers",
+        "Proposed SDLC overtakes ETM and Kulkarni as bit-width grows (wins at 16-bit).");
+
+    TextTable t({"Bit-Width", "Area red(%) ETM", "Area red(%) Kulkarni", "Area red(%) SDLC",
+                 "Power red(%) ETM", "Power red(%) Kulkarni", "Power red(%) SDLC"});
+    std::vector<std::vector<std::string>> csv_rows;
+
+    for (const int w : {4, 8, 16}) {
+        const SynthesisReport acc = bench::synth_default(build_accurate_multiplier(w));
+        const SynthesisReport etm = bench::synth_default(build_etm_multiplier(w));
+        const SynthesisReport kul = bench::synth_default(build_kulkarni_multiplier(w));
+        const SynthesisReport sdl = bench::synth_default(build_sdlc_multiplier(w, {}));
+
+        t.add_row({std::to_string(w) + "-bit",
+                   bench::red_pct(acc.area_um2, etm.area_um2),
+                   bench::red_pct(acc.area_um2, kul.area_um2),
+                   bench::red_pct(acc.area_um2, sdl.area_um2),
+                   bench::red_pct(acc.dynamic_power_uw, etm.dynamic_power_uw),
+                   bench::red_pct(acc.dynamic_power_uw, kul.dynamic_power_uw),
+                   bench::red_pct(acc.dynamic_power_uw, sdl.dynamic_power_uw)});
+        csv_rows.push_back({std::to_string(w),
+                            bench::red_pct(acc.area_um2, etm.area_um2),
+                            bench::red_pct(acc.area_um2, kul.area_um2),
+                            bench::red_pct(acc.area_um2, sdl.area_um2),
+                            bench::red_pct(acc.dynamic_power_uw, etm.dynamic_power_uw),
+                            bench::red_pct(acc.dynamic_power_uw, kul.dynamic_power_uw),
+                            bench::red_pct(acc.dynamic_power_uw, sdl.dynamic_power_uw)});
+    }
+    t.print(std::cout);
+
+    if (args.csv_path) {
+        CsvWriter csv(*args.csv_path);
+        csv.write_row({"width", "area_red_etm", "area_red_kulkarni", "area_red_sdlc",
+                       "power_red_etm", "power_red_kulkarni", "power_red_sdlc"});
+        for (const auto& r : csv_rows) csv.write_row(r);
+        std::cout << "CSV written to " << *args.csv_path << "\n";
+    }
+    return 0;
+}

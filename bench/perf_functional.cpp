@@ -1,0 +1,88 @@
+// Ablation A4 (google-benchmark): throughput of the error-analysis engines.
+// Justifies the dedicated depth-2 bit-trick path used by the exhaustive
+// sweeps and measures the netlist simulator's lane-parallel speed.
+#include <benchmark/benchmark.h>
+
+#include "baselines/accurate.h"
+#include "core/functional.h"
+#include "core/generator.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace sdlc;
+
+void BM_GenericModel8(benchmark::State& state) {
+    const ClusterPlan plan = ClusterPlan::make(8, 2);
+    Xoshiro256 rng(1);
+    for (auto _ : state) {
+        const uint64_t a = rng.next() & 0xff, b = rng.next() & 0xff;
+        benchmark::DoNotOptimize(sdlc_multiply(plan, a, b));
+    }
+}
+BENCHMARK(BM_GenericModel8);
+
+void BM_GenericModel16(benchmark::State& state) {
+    const ClusterPlan plan = ClusterPlan::make(16, 2);
+    Xoshiro256 rng(1);
+    for (auto _ : state) {
+        const uint64_t a = rng.next() & 0xffff, b = rng.next() & 0xffff;
+        benchmark::DoNotOptimize(sdlc_multiply(plan, a, b));
+    }
+}
+BENCHMARK(BM_GenericModel16);
+
+void BM_FastPath16(benchmark::State& state) {
+    Xoshiro256 rng(1);
+    for (auto _ : state) {
+        const uint64_t a = rng.next() & 0xffff, b = rng.next() & 0xffff;
+        benchmark::DoNotOptimize(sdlc_multiply_fast2(16, a, b));
+    }
+}
+BENCHMARK(BM_FastPath16);
+
+void BM_FastPath32(benchmark::State& state) {
+    Xoshiro256 rng(1);
+    for (auto _ : state) {
+        const uint64_t a = rng.next() & 0xffffffff, b = rng.next() & 0xffffffff;
+        benchmark::DoNotOptimize(sdlc_multiply_fast2(32, a, b));
+    }
+}
+BENCHMARK(BM_FastPath32);
+
+void BM_GenericModelDepth(benchmark::State& state) {
+    const ClusterPlan plan = ClusterPlan::make(16, static_cast<int>(state.range(0)));
+    Xoshiro256 rng(1);
+    for (auto _ : state) {
+        const uint64_t a = rng.next() & 0xffff, b = rng.next() & 0xffff;
+        benchmark::DoNotOptimize(sdlc_multiply(plan, a, b));
+    }
+}
+BENCHMARK(BM_GenericModelDepth)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_NetlistSim64Lanes(benchmark::State& state) {
+    const int width = static_cast<int>(state.range(0));
+    const MultiplierNetlist m = build_sdlc_multiplier(width, {});
+    Xoshiro256 rng(2);
+    std::vector<uint64_t> as(64), bs(64);
+    const uint64_t mask = (uint64_t{1} << width) - 1;
+    for (auto _ : state) {
+        for (int i = 0; i < 64; ++i) {
+            as[i] = rng.next() & mask;
+            bs[i] = rng.next() & mask;
+        }
+        benchmark::DoNotOptimize(simulate_batch(m, as, bs));
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_NetlistSim64Lanes)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_BuildMultiplier(benchmark::State& state) {
+    const int width = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(build_sdlc_multiplier(width, {}));
+    }
+}
+BENCHMARK(BM_BuildMultiplier)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace

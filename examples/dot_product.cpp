@@ -1,0 +1,57 @@
+// Dot-product accumulation demo: why one-sided error matters.
+//
+// SDLC's error is strictly negative (carries are only ever lost), so in a
+// long accumulation — dot products, convolutions, FIR filters — the error
+// grows linearly with the number of terms instead of averaging out. The
+// compensated variant centres the per-product error and the accumulated
+// result stays close to exact. This demo quantifies both effects.
+//
+//   $ ./example_dot_product [terms]
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "api/approx_multiplier.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+    using namespace sdlc;
+    const int terms = argc > 1 ? std::atoi(argv[1]) : 4096;
+
+    Xoshiro256 rng(20240612);
+    std::vector<uint8_t> x(static_cast<size_t>(terms)), y(x.size());
+    for (auto& v : x) v = static_cast<uint8_t>(rng.next());
+    for (auto& v : y) v = static_cast<uint8_t>(rng.next());
+
+    std::cout << "Dot product of two random uint8 vectors, " << terms << " terms\n\n";
+
+    MultiplierConfig accurate_cfg;
+    accurate_cfg.variant = MultiplierVariant::kAccurate;
+    const ApproxMultiplier accurate(accurate_cfg);
+
+    uint64_t exact = 0;
+    for (int i = 0; i < terms; ++i) exact += accurate.multiply(x[i], y[i]);
+    std::cout << "exact result: " << exact << "\n\n";
+
+    TextTable t({"Multiplier", "result", "abs error", "rel error(%)"});
+    for (const MultiplierVariant variant :
+         {MultiplierVariant::kSdlc, MultiplierVariant::kCompensated}) {
+        for (const int depth : {2, 3, 4}) {
+            MultiplierConfig cfg;
+            cfg.depth = depth;
+            cfg.variant = variant;
+            const ApproxMultiplier mul(cfg);
+            uint64_t acc = 0;
+            for (int i = 0; i < terms; ++i) acc += mul.multiply(x[i], y[i]);
+            const double err = std::abs(static_cast<double>(acc) - static_cast<double>(exact));
+            t.add_row({mul.describe(), std::to_string(acc), fmt_fixed(err, 0),
+                       fmt_fixed(100.0 * err / static_cast<double>(exact), 3)});
+        }
+    }
+    t.print(std::cout);
+
+    std::cout << "\nReading: the plain SDLC error accumulates linearly (one-sided),\n"
+                 "while the compensated variant's centred error largely cancels.\n";
+    return 0;
+}

@@ -1,0 +1,92 @@
+// Edge detection with signed approximate multiplication.
+//
+// Gradient operators contain negative weights, so this example exercises
+// the library's signed (two's-complement) SDLC extension in a second
+// realistic image workload: gradient = |Gx| + |Gy|, with every pixel x
+// weight product routed through sdlc_multiply_signed.
+//
+// Two operators are compared:
+//  * Sobel (weights 0/±1/±2): every weight magnitude is a single set bit,
+//    so SDLC is provably exact — a free lunch for small-constant kernels.
+//  * Scharr (weights 0/±3/±10): 3 = 0b11 has adjacent bits and 10 = 0b1010
+//    activates row pairs, so the approximation is genuinely exercised.
+//
+//   $ ./example_edge_detect [input.pgm]
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/signed_mul.h"
+#include "image/image.h"
+#include "image/synthetic.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace sdlc;
+
+constexpr int kSobelX[9] = {-1, 0, 1, -2, 0, 2, -1, 0, 1};
+constexpr int kSobelY[9] = {-1, -2, -1, 0, 0, 0, 1, 2, 1};
+constexpr int kScharrX[9] = {-3, 0, 3, -10, 0, 10, -3, 0, 3};
+constexpr int kScharrY[9] = {-3, -10, -3, 0, 0, 0, 3, 10, 3};
+
+/// Computes a gradient-magnitude image with the given signed multiplier.
+template <typename MulFn>
+Image gradient(const Image& in, const int* gx_k, const int* gy_k, int divisor, MulFn mul) {
+    Image out(in.width(), in.height());
+    for (int y = 0; y < in.height(); ++y) {
+        for (int x = 0; x < in.width(); ++x) {
+            int64_t gx = 0, gy = 0;
+            for (int ky = -1; ky <= 1; ++ky) {
+                for (int kx = -1; kx <= 1; ++kx) {
+                    const int64_t px = in.at_clamped(x + kx, y + ky);
+                    const int idx = (ky + 1) * 3 + (kx + 1);
+                    gx += mul(px, gx_k[idx]);
+                    gy += mul(px, gy_k[idx]);
+                }
+            }
+            const int64_t mag = (std::abs(gx) + std::abs(gy)) / divisor;
+            out.set(x, y, static_cast<uint8_t>(std::clamp<int64_t>(mag, 0, 255)));
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    Image input = argc > 1 ? load_pgm(argv[1]) : make_scene(200, 200, 77);
+    std::cout << "Edge detection, " << input.width() << "x" << input.height()
+              << " input (signed SDLC multipliers, 10-bit plans)\n\n";
+    save_pgm(input, "edge_input.pgm");
+
+    auto exact = [](int64_t px, int w) { return px * static_cast<int64_t>(w); };
+    const Image sobel_ref = gradient(input, kSobelX, kSobelY, 8, exact);
+    const Image scharr_ref = gradient(input, kScharrX, kScharrY, 32, exact);
+    save_pgm(sobel_ref, "edge_sobel_exact.pgm");
+    save_pgm(scharr_ref, "edge_scharr_exact.pgm");
+
+    TextTable t({"Operator", "Multiplier", "PSNR vs exact edges (dB)", "output"});
+    for (const int depth : {2, 3, 4}) {
+        const ClusterPlan plan = ClusterPlan::make(10, depth);
+        auto approx = [&plan](int64_t px, int w) {
+            return sdlc_multiply_signed(plan, px, w);
+        };
+        const Image sobel_out = gradient(input, kSobelX, kSobelY, 8, approx);
+        const Image scharr_out = gradient(input, kScharrX, kScharrY, 32, approx);
+        const std::string file = "edge_scharr_sdlc_d" + std::to_string(depth) + ".pgm";
+        save_pgm(scharr_out, file);
+        const double p_sobel = psnr(sobel_ref, sobel_out);
+        const double p_scharr = psnr(scharr_ref, scharr_out);
+        t.add_row({"Sobel", "signed SDLC d" + std::to_string(depth),
+                   std::isinf(p_sobel) ? "inf (exact)" : fmt_fixed(p_sobel, 1), "-"});
+        t.add_row({"Scharr", "signed SDLC d" + std::to_string(depth),
+                   std::isinf(p_scharr) ? "inf (exact)" : fmt_fixed(p_scharr, 1), file});
+    }
+    t.print(std::cout);
+    std::cout << "\nReading: Sobel's single-bit weight magnitudes make SDLC exact at any\n"
+                 "depth; Scharr's multi-bit weights (3 = 0b11, 10 = 0b1010) exercise the\n"
+                 "compression and show the usual quality-vs-depth trade-off.\n";
+    return 0;
+}

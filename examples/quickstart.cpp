@@ -1,0 +1,54 @@
+// Quickstart: build an 8x8 SDLC approximate multiplier, multiply a few
+// numbers, inspect its error statistics and synthesize it against the
+// bundled 90nm-style cell library.
+//
+//   $ ./example_quickstart
+#include <iostream>
+
+#include "baselines/accurate.h"
+#include "core/functional.h"
+#include "core/generator.h"
+#include "error/evaluate.h"
+#include "tech/synthesis.h"
+#include "util/table.h"
+
+int main() {
+    using namespace sdlc;
+
+    // 1. A compression plan: 8-bit operands, 2-row logic clusters.
+    const ClusterPlan plan = ClusterPlan::make(8, 2);
+    std::cout << "Plan: " << plan.describe() << "\n\n";
+
+    // 2. The functional model: instant approximate products.
+    std::cout << "Some products (approx vs exact):\n";
+    for (const auto& [a, b] :
+         {std::pair<int, int>{3, 3}, {13, 17}, {100, 200}, {255, 255}}) {
+        const uint64_t approx = sdlc_multiply(plan, a, b);
+        std::cout << "  " << a << " * " << b << " = " << approx << " (exact " << a * b
+                  << ", ED " << a * b - static_cast<long>(approx) << ")\n";
+    }
+
+    // 3. Exhaustive error metrics over all 65,536 operand pairs.
+    const ErrorMetrics m = exhaustive_metrics(
+        8, [&](uint64_t a, uint64_t b) { return sdlc_multiply(plan, a, b); });
+    std::cout << "\nExhaustive error metrics (8-bit, depth 2):\n"
+              << "  MRED     = " << fmt_percent(m.mred, 3) << " %\n"
+              << "  NMED     = " << fmt_fixed(m.nmed, 6) << "\n"
+              << "  ER       = " << fmt_percent(m.error_rate, 2) << " %\n"
+              << "  MAX(RED) = " << fmt_percent(m.max_red, 2) << " %\n";
+
+    // 4. Generate gate-level hardware and compare against the accurate design.
+    const MultiplierNetlist approx_hw = build_sdlc_multiplier(8, {});
+    const MultiplierNetlist exact_hw = build_accurate_multiplier(8);
+    const CellLibrary lib = CellLibrary::generic_90nm();
+    const SynthesisReport ra = synthesize(approx_hw.net, lib);
+    const SynthesisReport re = synthesize(exact_hw.net, lib);
+
+    std::cout << "\nVirtual synthesis (" << lib.name() << "):\n"
+              << "  accurate: " << summarize(re) << "\n"
+              << "  sdlc d=2: " << summarize(ra) << "\n"
+              << "  area  reduction: " << fmt_percent(SynthesisReport::reduction(re.area_um2, ra.area_um2), 1) << " %\n"
+              << "  delay reduction: " << fmt_percent(SynthesisReport::reduction(re.delay_ps, ra.delay_ps), 1) << " %\n"
+              << "  energy reduction: " << fmt_percent(SynthesisReport::reduction(re.energy_fj, ra.energy_fj), 1) << " %\n";
+    return 0;
+}

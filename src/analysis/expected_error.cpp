@@ -1,0 +1,83 @@
+#include "analysis/expected_error.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace sdlc {
+
+namespace {
+
+/// E[max(0, X-1)] for X ~ Binomial(m, 1/4), m small.
+double expected_excess(int m) {
+    if (m < 2) return 0.0;
+    // E[max(0,X-1)] = E[X] - P(X >= 1) = m/4 - (1 - (3/4)^m).
+    return 0.25 * m - (1.0 - std::pow(0.75, m));
+}
+
+}  // namespace
+
+double no_adjacent_ones_probability(int width, int top) {
+    if (top < 0) return 1.0;
+    if (top >= width) throw std::invalid_argument("no_adjacent_ones_probability: top >= width");
+    // DP over bits 0..top: state = previous bit value; each bit is 0/1 with
+    // probability 1/2; forbid two consecutive ones. Bits above `top` are
+    // unconstrained and contribute probability 1.
+    double p_prev0 = 0.5, p_prev1 = 0.5;  // after bit 0
+    for (int i = 1; i <= top; ++i) {
+        const double next0 = 0.5 * (p_prev0 + p_prev1);
+        const double next1 = 0.5 * p_prev0;  // a one may only follow a zero
+        p_prev0 = next0;
+        p_prev1 = next1;
+    }
+    return p_prev0 + p_prev1;
+}
+
+double analytic_med(const ClusterPlan& plan) {
+    const int n = plan.width();
+    double med = 0.0;
+    for (const ClusterGroup& grp : plan.groups()) {
+        for (int j = 1; j <= grp.extent; ++j) {
+            int m = 0;
+            for (int k = 0; k < grp.rows; ++k) {
+                const int c = j - k;
+                if (c >= 0 && c < n) ++m;
+            }
+            if (m >= 2) {
+                med += expected_excess(m) * std::ldexp(1.0, grp.base_row + j);
+            }
+        }
+    }
+    return med;
+}
+
+double analytic_error_rate_depth2(int width) {
+    const ClusterPlan plan = ClusterPlan::make(width, 2);
+    // P(no collision) = sum over the smallest active group g of
+    //   P(groups < g inactive) * P(g active) * P_A(no adjacent ones in extent(g))
+    // plus the all-inactive term. Group activity (both B row bits set) has
+    // probability 1/4 independently per group; extents are nested so only
+    // the smallest active group's mask matters.
+    double p_ok = 1.0;  // running P(all groups so far inactive)
+    double p_no_collision = 0.0;
+    for (const ClusterGroup& grp : plan.groups()) {
+        const double p_a = no_adjacent_ones_probability(width, grp.extent);
+        p_no_collision += p_ok * 0.25 * p_a;
+        p_ok *= 0.75;
+    }
+    p_no_collision += p_ok;  // no group active
+    return 1.0 - p_no_collision;
+}
+
+AnalyticError analyze_expected_error(const ClusterPlan& plan) {
+    AnalyticError r;
+    r.med = analytic_med(plan);
+    const double top = std::ldexp(1.0, plan.width()) - 1.0;
+    r.nmed = r.med / (top * top);
+    if (plan.depth() == 2) {
+        r.error_rate = analytic_error_rate_depth2(plan.width());
+    }
+    return r;
+}
+
+}  // namespace sdlc

@@ -1,0 +1,80 @@
+#include "api/approx_multiplier.h"
+
+#include <stdexcept>
+
+#include "baselines/accurate.h"
+#include "core/compensation.h"
+#include "core/functional.h"
+#include "core/generator.h"
+#include "core/signed_mul.h"
+
+namespace sdlc {
+
+ApproxMultiplier::ApproxMultiplier(const MultiplierConfig& config)
+    : config_(config),
+      plan_(ClusterPlan::make(config.width,
+                              config.variant == MultiplierVariant::kAccurate ? 1
+                                                                             : config.depth)) {}
+
+uint64_t ApproxMultiplier::multiply(uint64_t a, uint64_t b) const {
+    switch (config_.variant) {
+        case MultiplierVariant::kAccurate:
+            if (config_.width > 32) {
+                throw std::invalid_argument("ApproxMultiplier: software model needs width <= 32");
+            }
+            return a * b;
+        case MultiplierVariant::kSdlc:
+            return sdlc_multiply(plan_, a, b);
+        case MultiplierVariant::kCompensated:
+            return sdlc_multiply_compensated(plan_, a, b);
+    }
+    throw std::logic_error("ApproxMultiplier: unknown variant");
+}
+
+int64_t ApproxMultiplier::multiply_signed(int64_t a, int64_t b) const {
+    if (config_.variant == MultiplierVariant::kCompensated) {
+        throw std::invalid_argument(
+            "ApproxMultiplier: signed mode is not defined for the compensated variant");
+    }
+    if (config_.variant == MultiplierVariant::kAccurate) return a * b;
+    return sdlc_multiply_signed(plan_, a, b);
+}
+
+uint64_t ApproxMultiplier::error_distance(uint64_t a, uint64_t b) const {
+    const uint64_t exact = a * b;
+    const uint64_t approx = multiply(a, b);
+    return exact > approx ? exact - approx : approx - exact;
+}
+
+MultiplierNetlist ApproxMultiplier::build_netlist() const {
+    SdlcOptions opts;
+    opts.depth = config_.depth;
+    opts.scheme = config_.scheme;
+    switch (config_.variant) {
+        case MultiplierVariant::kAccurate:
+            return build_accurate_multiplier(config_.width, config_.scheme);
+        case MultiplierVariant::kSdlc:
+            return build_sdlc_multiplier(config_.width, opts);
+        case MultiplierVariant::kCompensated:
+            return build_sdlc_compensated_multiplier(config_.width, opts);
+    }
+    throw std::logic_error("ApproxMultiplier: unknown variant");
+}
+
+std::string ApproxMultiplier::describe() const {
+    std::string s;
+    switch (config_.variant) {
+        case MultiplierVariant::kAccurate: s = "accurate"; break;
+        case MultiplierVariant::kSdlc: s = "sdlc"; break;
+        case MultiplierVariant::kCompensated: s = "sdlc+comp"; break;
+    }
+    s += " " + std::to_string(config_.width) + "x" + std::to_string(config_.width);
+    if (config_.variant != MultiplierVariant::kAccurate) {
+        s += " d" + std::to_string(config_.depth);
+    }
+    s += " / ";
+    s += accumulation_scheme_name(config_.scheme);
+    return s;
+}
+
+}  // namespace sdlc

@@ -1,0 +1,66 @@
+// High-level facade tying the library together.
+//
+// ApproxMultiplier is the one-stop entry point a downstream user needs:
+// configure width / cluster depth / accumulation scheme / variant once, then
+// multiply (software model), query error metrics, generate hardware and
+// cost it — without touching the individual modules.
+#ifndef SDLC_API_APPROX_MULTIPLIER_H
+#define SDLC_API_APPROX_MULTIPLIER_H
+
+#include <cstdint>
+#include <string>
+
+#include "arith/accumulate.h"
+#include "arith/mul_netlist.h"
+#include "core/cluster_plan.h"
+
+namespace sdlc {
+
+/// Which arithmetic variant the facade builds.
+enum class MultiplierVariant {
+    kAccurate,     ///< exact reference
+    kSdlc,         ///< plain SDLC (paper)
+    kCompensated,  ///< SDLC + runtime error compensation (extension)
+};
+
+/// Complete configuration of one multiplier instance.
+struct MultiplierConfig {
+    int width = 8;
+    int depth = 2;  ///< cluster depth (ignored for kAccurate)
+    MultiplierVariant variant = MultiplierVariant::kSdlc;
+    AccumulationScheme scheme = AccumulationScheme::kRowRipple;
+};
+
+/// Configured approximate multiplier with software and hardware views.
+class ApproxMultiplier {
+public:
+    /// Validates and captures the configuration.
+    /// Throws std::invalid_argument for unbuildable configurations.
+    explicit ApproxMultiplier(const MultiplierConfig& config);
+
+    /// Software model product (width <= 32 for non-accurate variants).
+    [[nodiscard]] uint64_t multiply(uint64_t a, uint64_t b) const;
+
+    /// Signed product via sign-magnitude wrapping (width <= 31).
+    [[nodiscard]] int64_t multiply_signed(int64_t a, int64_t b) const;
+
+    /// Error distance |exact - approximate| for these operands.
+    [[nodiscard]] uint64_t error_distance(uint64_t a, uint64_t b) const;
+
+    /// Generates the gate-level netlist for this configuration.
+    [[nodiscard]] MultiplierNetlist build_netlist() const;
+
+    [[nodiscard]] const MultiplierConfig& config() const noexcept { return config_; }
+    [[nodiscard]] const ClusterPlan& plan() const noexcept { return plan_; }
+
+    /// Human-readable description of the configuration.
+    [[nodiscard]] std::string describe() const;
+
+private:
+    MultiplierConfig config_;
+    ClusterPlan plan_;
+};
+
+}  // namespace sdlc
+
+#endif  // SDLC_API_APPROX_MULTIPLIER_H

@@ -1,0 +1,146 @@
+#include "arith/accumulate.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "arith/adders.h"
+
+namespace sdlc {
+
+namespace {
+
+/// Row-by-row carry-propagate accumulation (paper default), with a choice
+/// of per-stage adder.
+std::vector<NetId> accumulate_rows(Netlist& nl, const BitMatrix& matrix, bool fast_cpa) {
+    const std::vector<std::vector<NetId>> rows = matrix.to_rows();
+    if (rows.empty()) return {};
+    std::vector<NetId> acc = rows[0];
+    for (size_t r = 1; r < rows.size(); ++r) {
+        acc = fast_cpa ? sparse_fast_add(nl, acc, rows[r]) : sparse_row_add(nl, acc, rows[r]);
+    }
+    return acc;
+}
+
+/// One Wallace stage: every column group of 3 goes through a full adder,
+/// a remaining pair through a half adder, a single bit passes through.
+BitMatrix wallace_stage(Netlist& nl, const BitMatrix& in) {
+    BitMatrix out(in.columns() + 1);
+    for (int c = 0; c < in.columns(); ++c) {
+        const std::vector<NetId>& col = in.column(c);
+        size_t i = 0;
+        for (; i + 3 <= col.size(); i += 3) {
+            const SumCarry fc = full_adder(nl, col[i], col[i + 1], col[i + 2]);
+            out.add(c, fc.sum);
+            out.add(c + 1, fc.carry);
+        }
+        if (col.size() - i == 2) {
+            const SumCarry hc = half_adder(nl, col[i], col[i + 1]);
+            out.add(c, hc.sum);
+            out.add(c + 1, hc.carry);
+        } else if (col.size() - i == 1) {
+            out.add(c, col[i]);
+        }
+    }
+    return out;
+}
+
+/// Dadda height sequence: 2, 3, 4, 6, 9, 13, 19, ...
+int dadda_target_below(int h) {
+    int d = 2;
+    while (true) {
+        const int next = (3 * d) / 2;
+        if (next >= h) return d;
+        d = next;
+    }
+}
+
+/// One Dadda stage reducing all columns to height <= target.
+BitMatrix dadda_stage(Netlist& nl, const BitMatrix& in, int target) {
+    BitMatrix out(in.columns() + 1);
+    // carries[c] = nets carried into column c by adders placed in column c-1.
+    std::vector<std::vector<NetId>> carries(static_cast<size_t>(in.columns()) + 1);
+    for (int c = 0; c < in.columns(); ++c) {
+        std::vector<NetId> col = in.column(c);
+        col.insert(col.end(), carries[c].begin(), carries[c].end());
+        // Reduce lazily: only place adders while the column is too tall.
+        size_t i = 0;
+        while (col.size() - i > static_cast<size_t>(target)) {
+            const size_t excess = col.size() - i - static_cast<size_t>(target);
+            if (excess >= 2 && col.size() - i >= 3) {
+                const SumCarry fc = full_adder(nl, col[i], col[i + 1], col[i + 2]);
+                i += 3;
+                col.push_back(fc.sum);
+                carries[c + 1].push_back(fc.carry);
+            } else {
+                const SumCarry hc = half_adder(nl, col[i], col[i + 1]);
+                i += 2;
+                col.push_back(hc.sum);
+                carries[c + 1].push_back(hc.carry);
+            }
+        }
+        for (; i < col.size(); ++i) out.add(c, col[i]);
+    }
+    for (const NetId n : carries[static_cast<size_t>(in.columns())]) {
+        out.add(in.columns(), n);
+    }
+    return out;
+}
+
+/// Final carry-propagate add of a height-<=2 matrix.
+std::vector<NetId> final_cpa(Netlist& nl, const BitMatrix& matrix) {
+    std::vector<NetId> row_a(static_cast<size_t>(matrix.columns()), kNoNet);
+    std::vector<NetId> row_b(static_cast<size_t>(matrix.columns()), kNoNet);
+    for (int c = 0; c < matrix.columns(); ++c) {
+        const auto& col = matrix.column(c);
+        if (col.size() > 2) throw std::logic_error("final_cpa: matrix not reduced");
+        if (!col.empty()) row_a[c] = col[0];
+        if (col.size() == 2) row_b[c] = col[1];
+    }
+    return sparse_row_add(nl, row_a, row_b);
+}
+
+}  // namespace
+
+const char* accumulation_scheme_name(AccumulationScheme s) noexcept {
+    switch (s) {
+        case AccumulationScheme::kRowRipple: return "row-ripple";
+        case AccumulationScheme::kWallace: return "wallace";
+        case AccumulationScheme::kDadda: return "dadda";
+        case AccumulationScheme::kRowFastCpa: return "row-fastcpa";
+    }
+    return "?";
+}
+
+std::vector<NetId> accumulate(Netlist& nl, const BitMatrix& matrix,
+                              AccumulationScheme scheme, int out_bits) {
+    std::vector<NetId> bits;
+    switch (scheme) {
+        case AccumulationScheme::kRowRipple:
+            bits = accumulate_rows(nl, matrix, /*fast_cpa=*/false);
+            break;
+        case AccumulationScheme::kRowFastCpa:
+            bits = accumulate_rows(nl, matrix, /*fast_cpa=*/true);
+            break;
+        case AccumulationScheme::kWallace: {
+            BitMatrix m = matrix;
+            while (m.max_height() > 2) m = wallace_stage(nl, m);
+            bits = final_cpa(nl, m);
+            break;
+        }
+        case AccumulationScheme::kDadda: {
+            BitMatrix m = matrix;
+            while (m.max_height() > 2) {
+                m = dadda_stage(nl, m, dadda_target_below(m.max_height()));
+            }
+            bits = final_cpa(nl, m);
+            break;
+        }
+    }
+    bits.resize(static_cast<size_t>(out_bits), kNoNet);
+    for (auto& b : bits) {
+        if (b == kNoNet) b = nl.constant(false);
+    }
+    return bits;
+}
+
+}  // namespace sdlc

@@ -1,0 +1,40 @@
+// Partial-product accumulation schemes.
+//
+// Converts a BitMatrix into final product bits using one of:
+//  * kRowRipple — the paper's setup: rows are accumulated one after another
+//    with accurate ripple adders (carry-propagate array).
+//  * kWallace  — 3:2 column compression as fast as possible, then a final CPA.
+//  * kDadda    — Dadda's staged reduction to heights 2,3,4,6,9,13,..., then CPA.
+#ifndef SDLC_ARITH_ACCUMULATE_H
+#define SDLC_ARITH_ACCUMULATE_H
+
+#include <string>
+#include <vector>
+
+#include "arith/bit_matrix.h"
+#include "netlist/netlist.h"
+
+namespace sdlc {
+
+/// Accumulation-tree construction scheme.
+enum class AccumulationScheme {
+    kRowRipple,
+    kWallace,
+    kDadda,
+    /// Row-by-row accumulation like kRowRipple but with Kogge-Stone
+    /// parallel-prefix adders per stage: models a synthesis tool replacing
+    /// ripple carry chains under a timing constraint (ablation A5).
+    kRowFastCpa,
+};
+
+/// Short lowercase name ("row-ripple", "wallace", "dadda").
+[[nodiscard]] const char* accumulation_scheme_name(AccumulationScheme s) noexcept;
+
+/// Reduces `matrix` to `out_bits` little-endian product bits (kNoNet-free;
+/// absent positions are tied to constant 0). `out_bits` is usually 2N.
+[[nodiscard]] std::vector<NetId> accumulate(Netlist& nl, const BitMatrix& matrix,
+                                            AccumulationScheme scheme, int out_bits);
+
+}  // namespace sdlc
+
+#endif  // SDLC_ARITH_ACCUMULATE_H

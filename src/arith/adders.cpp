@@ -1,0 +1,125 @@
+#include "arith/adders.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sdlc {
+
+SumCarry half_adder(Netlist& nl, NetId a, NetId b) {
+    return {nl.xor_gate(a, b), nl.and_gate(a, b)};
+}
+
+SumCarry full_adder(Netlist& nl, NetId a, NetId b, NetId cin) {
+    const NetId axb = nl.xor_gate(a, b);
+    const NetId sum = nl.xor_gate(axb, cin);
+    const NetId c1 = nl.and_gate(a, b);
+    const NetId c2 = nl.and_gate(axb, cin);
+    const NetId carry = nl.or_gate(c1, c2);
+    return {sum, carry};
+}
+
+std::vector<NetId> ripple_add(Netlist& nl, const std::vector<NetId>& a,
+                              const std::vector<NetId>& b) {
+    if (a.size() != b.size()) throw std::invalid_argument("ripple_add: width mismatch");
+    std::vector<NetId> out;
+    out.reserve(a.size() + 1);
+    NetId carry = kNoNet;
+    for (size_t i = 0; i < a.size(); ++i) {
+        if (carry == kNoNet) {
+            const SumCarry hc = half_adder(nl, a[i], b[i]);
+            out.push_back(hc.sum);
+            carry = hc.carry;
+        } else {
+            const SumCarry fc = full_adder(nl, a[i], b[i], carry);
+            out.push_back(fc.sum);
+            carry = fc.carry;
+        }
+    }
+    out.push_back(carry == kNoNet ? nl.constant(false) : carry);
+    return out;
+}
+
+std::vector<NetId> sparse_row_add(Netlist& nl, const std::vector<NetId>& a,
+                                  const std::vector<NetId>& b) {
+    const size_t width = std::max(a.size(), b.size());
+    std::vector<NetId> out(width + 1, kNoNet);
+    NetId carry = kNoNet;
+    for (size_t i = 0; i < width; ++i) {
+        const NetId av = i < a.size() ? a[i] : kNoNet;
+        const NetId bv = i < b.size() ? b[i] : kNoNet;
+        NetId bits[3];
+        int n = 0;
+        if (av != kNoNet) bits[n++] = av;
+        if (bv != kNoNet) bits[n++] = bv;
+        if (carry != kNoNet) bits[n++] = carry;
+        switch (n) {
+            case 0:
+                carry = kNoNet;
+                break;
+            case 1:
+                out[i] = bits[0];
+                carry = kNoNet;
+                break;
+            case 2: {
+                const SumCarry hc = half_adder(nl, bits[0], bits[1]);
+                out[i] = hc.sum;
+                carry = hc.carry;
+                break;
+            }
+            default: {
+                const SumCarry fc = full_adder(nl, bits[0], bits[1], bits[2]);
+                out[i] = fc.sum;
+                carry = fc.carry;
+                break;
+            }
+        }
+    }
+    out[width] = carry;
+    if (out.back() == kNoNet) out.pop_back();
+    return out;
+}
+
+std::vector<NetId> kogge_stone_add(Netlist& nl, const std::vector<NetId>& a,
+                                   const std::vector<NetId>& b) {
+    if (a.size() != b.size()) throw std::invalid_argument("kogge_stone_add: width mismatch");
+    const size_t n = a.size();
+    if (n == 0) return {nl.constant(false)};
+
+    // Generate/propagate seeds.
+    std::vector<NetId> g(n), p(n);
+    for (size_t i = 0; i < n; ++i) {
+        g[i] = nl.and_gate(a[i], b[i]);
+        p[i] = nl.xor_gate(a[i], b[i]);
+    }
+    // Prefix network: (g,p) o (g',p') = (g | p&g', p&p').
+    std::vector<NetId> gg = g, pp = p;
+    for (size_t dist = 1; dist < n; dist *= 2) {
+        std::vector<NetId> ng = gg, np = pp;
+        for (size_t i = dist; i < n; ++i) {
+            ng[i] = nl.or_gate(gg[i], nl.and_gate(pp[i], gg[i - dist]));
+            np[i] = nl.and_gate(pp[i], pp[i - dist]);
+        }
+        gg = std::move(ng);
+        pp = std::move(np);
+    }
+    // carry into bit i is gg[i-1]; sum_i = p_i XOR carry_in_i.
+    std::vector<NetId> out(n + 1, kNoNet);
+    out[0] = p[0];
+    for (size_t i = 1; i < n; ++i) out[i] = nl.xor_gate(p[i], gg[i - 1]);
+    out[n] = gg[n - 1];
+    return out;
+}
+
+std::vector<NetId> sparse_fast_add(Netlist& nl, const std::vector<NetId>& a,
+                                   const std::vector<NetId>& b) {
+    const size_t width = std::max(a.size(), b.size());
+    std::vector<NetId> da(width), db(width);
+    const NetId zero = nl.constant(false);
+    for (size_t i = 0; i < width; ++i) {
+        da[i] = i < a.size() && a[i] != kNoNet ? a[i] : zero;
+        db[i] = i < b.size() && b[i] != kNoNet ? b[i] : zero;
+    }
+    return kogge_stone_add(nl, da, db);
+}
+
+}  // namespace sdlc

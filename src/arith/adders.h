@@ -1,0 +1,56 @@
+// Adder cells and vector adders built from primitive gates.
+//
+// The paper accumulates partial-product rows with "accurate ripple adders";
+// these generators are shared by the accurate reference multipliers, the
+// SDLC multiplier and the baselines so area/delay comparisons are apples to
+// apples.
+#ifndef SDLC_ARITH_ADDERS_H
+#define SDLC_ARITH_ADDERS_H
+
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace sdlc {
+
+/// {sum, carry} pair produced by adder cells.
+struct SumCarry {
+    NetId sum = kNoNet;
+    NetId carry = kNoNet;
+};
+
+/// Half adder: sum = a XOR b, carry = a AND b (2 cells).
+[[nodiscard]] SumCarry half_adder(Netlist& nl, NetId a, NetId b);
+
+/// Full adder: standard 2-XOR/2-AND/1-OR decomposition (5 cells).
+[[nodiscard]] SumCarry full_adder(Netlist& nl, NetId a, NetId b, NetId cin);
+
+/// Ripple-carry addition of two equal-length little-endian bit vectors.
+/// Returns width+1 bits (the top bit is the carry out).
+[[nodiscard]] std::vector<NetId> ripple_add(Netlist& nl, const std::vector<NetId>& a,
+                                            const std::vector<NetId>& b);
+
+/// Sparse row addition: `a` and `b` are little-endian rows over the same
+/// weight range where kNoNet marks an absent (zero) bit. Adders are only
+/// instantiated where bits are actually present, which reproduces the
+/// hardware cost of an array multiplier row-accumulation stage without
+/// relying on downstream constant propagation. The result may be one bit
+/// longer than the inputs.
+[[nodiscard]] std::vector<NetId> sparse_row_add(Netlist& nl, const std::vector<NetId>& a,
+                                                const std::vector<NetId>& b);
+
+/// Kogge-Stone parallel-prefix adder: O(log N) depth instead of the ripple
+/// adder's O(N). Used by the kRowFastCpa accumulation variant, which models
+/// what a synthesis tool does to ripple RTL under a timing constraint.
+/// Returns width+1 bits.
+[[nodiscard]] std::vector<NetId> kogge_stone_add(Netlist& nl, const std::vector<NetId>& a,
+                                                 const std::vector<NetId>& b);
+
+/// Sparse wrapper over kogge_stone_add: kNoNet holes are tied to constant 0
+/// before the prefix network (the structural optimizer folds them away).
+[[nodiscard]] std::vector<NetId> sparse_fast_add(Netlist& nl, const std::vector<NetId>& a,
+                                                 const std::vector<NetId>& b);
+
+}  // namespace sdlc
+
+#endif  // SDLC_ARITH_ADDERS_H

@@ -1,0 +1,39 @@
+#include "arith/bit_matrix.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sdlc {
+
+BitMatrix::BitMatrix(int columns) {
+    if (columns <= 0) throw std::invalid_argument("BitMatrix: columns must be positive");
+    cols_.resize(static_cast<size_t>(columns));
+}
+
+void BitMatrix::add(int col, NetId net) {
+    cols_.at(col).push_back(net);
+}
+
+int BitMatrix::max_height() const noexcept {
+    size_t h = 0;
+    for (const auto& c : cols_) h = std::max(h, c.size());
+    return static_cast<int>(h);
+}
+
+size_t BitMatrix::bit_count() const noexcept {
+    size_t n = 0;
+    for (const auto& c : cols_) n += c.size();
+    return n;
+}
+
+std::vector<std::vector<NetId>> BitMatrix::to_rows() const {
+    const int rows = max_height();
+    std::vector<std::vector<NetId>> out(static_cast<size_t>(rows));
+    for (auto& row : out) row.assign(cols_.size(), kNoNet);
+    for (size_t c = 0; c < cols_.size(); ++c) {
+        for (size_t r = 0; r < cols_[c].size(); ++r) out[r][c] = cols_[c][r];
+    }
+    return out;
+}
+
+}  // namespace sdlc

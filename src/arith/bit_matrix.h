@@ -1,0 +1,48 @@
+// Partial-product bit matrix ("dot diagram").
+//
+// Column c holds the nets whose arithmetic weight is 2^c. This is the
+// central data structure between partial-product generation, SDLC logic
+// compression, commutative remapping and accumulation: the paper's Figure 3
+// dot diagrams are literally instances of this class.
+#ifndef SDLC_ARITH_BIT_MATRIX_H
+#define SDLC_ARITH_BIT_MATRIX_H
+
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace sdlc {
+
+/// A weighted multiset of nets: sum(matrix) = sum over columns c of
+/// (sum of bits in column c) * 2^c.
+class BitMatrix {
+public:
+    /// Creates a matrix with `columns` weight positions (2N for an N x N multiplier).
+    explicit BitMatrix(int columns);
+
+    /// Adds one bit of weight 2^col.
+    void add(int col, NetId net);
+
+    [[nodiscard]] int columns() const noexcept { return static_cast<int>(cols_.size()); }
+    [[nodiscard]] int height(int col) const { return static_cast<int>(cols_.at(col).size()); }
+    [[nodiscard]] int max_height() const noexcept;
+
+    [[nodiscard]] const std::vector<NetId>& column(int col) const { return cols_.at(col); }
+    [[nodiscard]] std::vector<NetId>& column(int col) { return cols_.at(col); }
+
+    /// Total number of bits in the matrix.
+    [[nodiscard]] size_t bit_count() const noexcept;
+
+    /// Commutative remapping (paper Section II-2): packs the columns into
+    /// max_height() rows. Row r contains, at position c, the r-th bit of
+    /// column c (kNoNet where the column is shorter). Because bits of equal
+    /// weight are interchangeable, this re-packing is exact.
+    [[nodiscard]] std::vector<std::vector<NetId>> to_rows() const;
+
+private:
+    std::vector<std::vector<NetId>> cols_;
+};
+
+}  // namespace sdlc
+
+#endif  // SDLC_ARITH_BIT_MATRIX_H

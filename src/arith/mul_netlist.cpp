@@ -1,0 +1,95 @@
+#include "arith/mul_netlist.h"
+
+#include <stdexcept>
+
+#include "netlist/sim.h"
+
+namespace sdlc {
+
+OperandPorts make_operand_ports(Netlist& nl, int width) {
+    if (width <= 0 || width > 128) {
+        throw std::invalid_argument("make_operand_ports: width must be in [1,128]");
+    }
+    OperandPorts p;
+    p.a.reserve(static_cast<size_t>(width));
+    p.b.reserve(static_cast<size_t>(width));
+    for (int i = 0; i < width; ++i) p.a.push_back(nl.input("a" + std::to_string(i)));
+    for (int i = 0; i < width; ++i) p.b.push_back(nl.input("b" + std::to_string(i)));
+    return p;
+}
+
+void finish_multiplier(MultiplierNetlist& m, std::vector<NetId> product_bits) {
+    m.p_bits = std::move(product_bits);
+    for (size_t i = 0; i < m.p_bits.size(); ++i) {
+        m.net.mark_output(m.p_bits[i], "p" + std::to_string(i));
+    }
+}
+
+namespace {
+
+/// Packs lane-major operand values into per-input-bit words.
+/// words[i] bit l = bit i of value in lane l.
+void pack_operand(std::span<const uint64_t> lo, std::span<const uint64_t> hi, int width,
+                  std::vector<uint64_t>& words, size_t offset) {
+    for (int bitpos = 0; bitpos < width; ++bitpos) {
+        uint64_t w = 0;
+        for (size_t lane = 0; lane < lo.size(); ++lane) {
+            const uint64_t v =
+                bitpos < 64 ? (lo[lane] >> bitpos) : (hi.empty() ? 0 : hi[lane] >> (bitpos - 64));
+            w |= (v & 1u) << lane;
+        }
+        words[offset + static_cast<size_t>(bitpos)] = w;
+    }
+}
+
+}  // namespace
+
+std::vector<U256> simulate_batch_wide(const MultiplierNetlist& m,
+                                      std::span<const uint64_t> a_lo,
+                                      std::span<const uint64_t> a_hi,
+                                      std::span<const uint64_t> b_lo,
+                                      std::span<const uint64_t> b_hi) {
+    const size_t lanes = a_lo.size();
+    if (lanes == 0 || lanes > 64 || b_lo.size() != lanes) {
+        throw std::invalid_argument("simulate_batch_wide: bad lane count");
+    }
+    std::vector<uint64_t> words(m.net.inputs().size(), 0);
+    pack_operand(a_lo, a_hi, m.width, words, 0);
+    pack_operand(b_lo, b_hi, m.width, words, static_cast<size_t>(m.width));
+
+    Simulator sim(m.net);
+    sim.run(words);
+
+    std::vector<U256> out(lanes);
+    for (size_t bitpos = 0; bitpos < m.p_bits.size(); ++bitpos) {
+        const uint64_t w = sim.value(m.p_bits[bitpos]);
+        for (size_t lane = 0; lane < lanes; ++lane) {
+            if ((w >> lane) & 1u) out[lane].set_bit(static_cast<unsigned>(bitpos));
+        }
+    }
+    return out;
+}
+
+std::vector<uint64_t> simulate_batch(const MultiplierNetlist& m,
+                                     std::span<const uint64_t> as,
+                                     std::span<const uint64_t> bs) {
+    if (m.width > 32) throw std::invalid_argument("simulate_batch: width > 32, use wide API");
+    const std::vector<U256> wide = simulate_batch_wide(m, as, {}, bs, {});
+    std::vector<uint64_t> out(wide.size());
+    for (size_t i = 0; i < wide.size(); ++i) out[i] = wide[i].w[0];
+    return out;
+}
+
+uint64_t simulate_one(const MultiplierNetlist& m, uint64_t a, uint64_t b) {
+    const uint64_t as[1] = {a};
+    const uint64_t bs[1] = {b};
+    return simulate_batch(m, as, bs)[0];
+}
+
+U256 simulate_one_wide(const MultiplierNetlist& m, uint64_t a_lo, uint64_t a_hi,
+                       uint64_t b_lo, uint64_t b_hi) {
+    const uint64_t alo[1] = {a_lo}, ahi[1] = {a_hi}, blo[1] = {b_lo}, bhi[1] = {b_hi};
+    return simulate_batch_wide(m, alo, ahi, blo, bhi)[0];
+}
+
+}  // namespace sdlc

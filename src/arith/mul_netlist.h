@@ -1,0 +1,63 @@
+// Common wrapper for generated multiplier netlists plus simulation helpers.
+//
+// Every generator in the library (accurate, SDLC, Kulkarni, ETM, truncated)
+// returns a MultiplierNetlist: an N x N combinational multiplier with
+// little-endian operand ports a[0..N-1], b[0..N-1] and product p[0..2N-1].
+#ifndef SDLC_ARITH_MUL_NETLIST_H
+#define SDLC_ARITH_MUL_NETLIST_H
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "util/u256.h"
+
+namespace sdlc {
+
+/// A generated N x N multiplier.
+struct MultiplierNetlist {
+    Netlist net;
+    std::vector<NetId> a_bits;  ///< operand A inputs, LSB first
+    std::vector<NetId> b_bits;  ///< operand B inputs, LSB first
+    std::vector<NetId> p_bits;  ///< product outputs, LSB first (2N bits)
+    int width = 0;              ///< N
+    std::string label;          ///< human-readable description
+};
+
+/// Creates the operand input ports for an N x N multiplier.
+/// Returns {a_bits, b_bits} and registers names "a<i>", "b<i>".
+struct OperandPorts {
+    std::vector<NetId> a;
+    std::vector<NetId> b;
+};
+[[nodiscard]] OperandPorts make_operand_ports(Netlist& nl, int width);
+
+/// Registers product bits as outputs named "p<i>" and fills the struct.
+void finish_multiplier(MultiplierNetlist& m, std::vector<NetId> product_bits);
+
+/// Simulates 64 multiplications per call. `as`/`bs` are up to 64 operand
+/// values; returns one product per lane as U256 (valid for any width<=128).
+[[nodiscard]] std::vector<U256> simulate_batch_wide(const MultiplierNetlist& m,
+                                                    std::span<const uint64_t> a_lo,
+                                                    std::span<const uint64_t> a_hi,
+                                                    std::span<const uint64_t> b_lo,
+                                                    std::span<const uint64_t> b_hi);
+
+/// Convenience for width <= 32: simulates one batch of up to 64 lane pairs
+/// and returns 64-bit products.
+[[nodiscard]] std::vector<uint64_t> simulate_batch(const MultiplierNetlist& m,
+                                                   std::span<const uint64_t> as,
+                                                   std::span<const uint64_t> bs);
+
+/// Simulates a single multiplication (width <= 32).
+[[nodiscard]] uint64_t simulate_one(const MultiplierNetlist& m, uint64_t a, uint64_t b);
+
+/// Simulates a single wide multiplication (width <= 128).
+[[nodiscard]] U256 simulate_one_wide(const MultiplierNetlist& m, uint64_t a_lo, uint64_t a_hi,
+                                     uint64_t b_lo, uint64_t b_hi);
+
+}  // namespace sdlc
+
+#endif  // SDLC_ARITH_MUL_NETLIST_H

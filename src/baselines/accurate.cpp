@@ -1,0 +1,35 @@
+#include "baselines/accurate.h"
+
+#include <stdexcept>
+
+namespace sdlc {
+
+void fill_partial_products(Netlist& nl, const std::vector<NetId>& a_bits,
+                           const std::vector<NetId>& b_bits, BitMatrix& matrix) {
+    const int n = static_cast<int>(a_bits.size());
+    if (b_bits.size() != a_bits.size()) {
+        throw std::invalid_argument("fill_partial_products: operand width mismatch");
+    }
+    for (int r = 0; r < n; ++r) {
+        for (int c = 0; c < n; ++c) {
+            matrix.add(r + c, nl.and_gate(a_bits[c], b_bits[r]));
+        }
+    }
+}
+
+MultiplierNetlist build_accurate_multiplier(int width, AccumulationScheme scheme) {
+    MultiplierNetlist m;
+    m.width = width;
+    m.label = "accurate N=" + std::to_string(width) + " / " + accumulation_scheme_name(scheme);
+
+    const OperandPorts ports = make_operand_ports(m.net, width);
+    m.a_bits = ports.a;
+    m.b_bits = ports.b;
+
+    BitMatrix matrix(2 * width);
+    fill_partial_products(m.net, m.a_bits, m.b_bits, matrix);
+    finish_multiplier(m, accumulate(m.net, matrix, scheme, 2 * width));
+    return m;
+}
+
+}  // namespace sdlc

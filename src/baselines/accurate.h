@@ -1,0 +1,24 @@
+// Accurate reference multiplier generator.
+//
+// The conventional design of the paper's Figure 1(a): N^2 AND partial
+// products accumulated exactly. The accumulation scheme is selectable so the
+// accurate baseline always matches the approximate design under test.
+#ifndef SDLC_BASELINES_ACCURATE_H
+#define SDLC_BASELINES_ACCURATE_H
+
+#include "arith/accumulate.h"
+#include "arith/mul_netlist.h"
+
+namespace sdlc {
+
+/// Builds an exact N x N multiplier.
+[[nodiscard]] MultiplierNetlist build_accurate_multiplier(
+    int width, AccumulationScheme scheme = AccumulationScheme::kRowRipple);
+
+/// Fills `matrix` with the full N x N AND array for the given operands.
+void fill_partial_products(Netlist& nl, const std::vector<NetId>& a_bits,
+                           const std::vector<NetId>& b_bits, BitMatrix& matrix);
+
+}  // namespace sdlc
+
+#endif  // SDLC_BASELINES_ACCURATE_H

@@ -1,0 +1,83 @@
+#include "baselines/booth.h"
+
+#include <stdexcept>
+
+#include "util/bitops.h"
+
+namespace sdlc {
+
+namespace {
+
+void check_width(int width) {
+    if (width < 4 || width > 32 || width % 2 != 0) {
+        throw std::invalid_argument("booth: width must be even and in [4,32]");
+    }
+}
+
+}  // namespace
+
+int booth_digit(uint64_t b, int width, int i) {
+    check_width(width);
+    if (i < 0 || i >= width / 2) throw std::invalid_argument("booth_digit: bad index");
+    const int hi = static_cast<int>(bit(b, static_cast<unsigned>(2 * i + 1)));
+    const int mid = static_cast<int>(bit(b, static_cast<unsigned>(2 * i)));
+    const int lo = 2 * i - 1 >= 0 ? static_cast<int>(bit(b, static_cast<unsigned>(2 * i - 1))) : 0;
+    return -2 * hi + mid + lo;
+}
+
+MultiplierNetlist build_booth_multiplier(int width, AccumulationScheme scheme) {
+    check_width(width);
+    const int n = width;
+
+    MultiplierNetlist m;
+    m.width = n;
+    m.label = "booth-r4 N=" + std::to_string(n) + " / " + accumulation_scheme_name(scheme);
+
+    const OperandPorts ports = make_operand_ports(m.net, n);
+    m.a_bits = ports.a;
+    m.b_bits = ports.b;
+    Netlist& nl = m.net;
+
+    const NetId zero = nl.constant(false);
+    const NetId sign_a = m.a_bits.back();
+
+    BitMatrix matrix(2 * n);
+    for (int i = 0; i < n / 2; ++i) {
+        // Recode digit i from bits (b[2i+1], b[2i], b[2i-1]).
+        const NetId b_hi = m.b_bits[static_cast<size_t>(2 * i + 1)];
+        const NetId b_mid = m.b_bits[static_cast<size_t>(2 * i)];
+        const NetId b_lo = 2 * i - 1 >= 0 ? m.b_bits[static_cast<size_t>(2 * i - 1)] : zero;
+
+        const NetId one = nl.xor_gate(b_mid, b_lo);                       // |digit| == 1
+        const NetId two = nl.and_gate(nl.xnor_gate(b_mid, b_lo),
+                                      nl.xor_gate(b_hi, b_mid));          // |digit| == 2
+        // digit < 0 (the (1,1,1) pattern encodes 0, so mask it out).
+        const NetId neg = nl.and_gate(b_hi, nl.not_gate(nl.and_gate(b_mid, b_lo)));
+
+        // Raw magnitude row: bits j = 0..n of one*A + two*(A << 1),
+        // evaluated in two's complement of A (bit n uses A's sign).
+        std::vector<NetId> raw(static_cast<size_t>(n) + 1);
+        for (int j = 0; j <= n; ++j) {
+            const NetId a_j = j < n ? m.a_bits[static_cast<size_t>(j)] : sign_a;
+            const NetId a_jm1 = j >= 1 ? m.a_bits[static_cast<size_t>(j - 1)] : zero;
+            raw[static_cast<size_t>(j)] =
+                nl.or_gate(nl.and_gate(one, a_j), nl.and_gate(two, a_jm1));
+        }
+
+        // Conditional negation: XOR with neg, +neg correction at the row
+        // offset; sign-extend the (possibly inverted) top bit to 2n.
+        for (int j = 0; j <= n; ++j) {
+            const int w = 2 * i + j;
+            if (w >= 2 * n) break;
+            matrix.add(w, nl.xor_gate(raw[static_cast<size_t>(j)], neg));
+        }
+        const NetId ext = nl.xor_gate(raw[static_cast<size_t>(n)], neg);
+        for (int w = 2 * i + n + 1; w < 2 * n; ++w) matrix.add(w, ext);
+        if (2 * i < 2 * n) matrix.add(2 * i, neg);  // +1 completes -x = ~x + 1
+    }
+
+    finish_multiplier(m, accumulate(m.net, matrix, scheme, 2 * n));
+    return m;
+}
+
+}  // namespace sdlc

@@ -1,0 +1,112 @@
+#include "baselines/etm.h"
+
+#include <stdexcept>
+
+#include "baselines/accurate.h"
+#include "util/bitops.h"
+
+namespace sdlc {
+
+namespace {
+
+void check_width(int width) {
+    if (width < 2 || width > 64 || width % 2 != 0) {
+        throw std::invalid_argument("etm: width must be even and in [2,64]");
+    }
+}
+
+/// Exact h x h sub-multiplier returning 2h bits.
+std::vector<NetId> exact_submul(Netlist& nl, AccumulationScheme scheme,
+                                const std::vector<NetId>& a, const std::vector<NetId>& b) {
+    const int h = static_cast<int>(a.size());
+    BitMatrix matrix(2 * h);
+    fill_partial_products(nl, a, b, matrix);
+    return accumulate(nl, matrix, scheme, 2 * h);
+}
+
+}  // namespace
+
+MultiplierNetlist build_etm_multiplier(int width, AccumulationScheme scheme) {
+    check_width(width);
+    const int h = width / 2;
+
+    MultiplierNetlist m;
+    m.width = width;
+    m.label = "etm N=" + std::to_string(width) + " / " + accumulation_scheme_name(scheme);
+
+    const OperandPorts ports = make_operand_ports(m.net, width);
+    m.a_bits = ports.a;
+    m.b_bits = ports.b;
+    Netlist& nl = m.net;
+
+    const std::vector<NetId> al(m.a_bits.begin(), m.a_bits.begin() + h);
+    const std::vector<NetId> ah(m.a_bits.begin() + h, m.a_bits.end());
+    const std::vector<NetId> bl(m.b_bits.begin(), m.b_bits.begin() + h);
+    const std::vector<NetId> bh(m.b_bits.begin() + h, m.b_bits.end());
+
+    // Control: low_mode = (ah == 0) AND (bh == 0).
+    std::vector<NetId> high_bits = ah;
+    high_bits.insert(high_bits.end(), bh.begin(), bh.end());
+    const NetId any_high = nl.or_tree(high_bits);
+    const NetId low_mode = nl.not_gate(any_high);
+
+    // Exact paths: low-halves product (low mode) and high-halves product.
+    const std::vector<NetId> low_prod = exact_submul(nl, scheme, al, bl);    // 2h = width bits
+    const std::vector<NetId> high_prod = exact_submul(nl, scheme, ah, bh);   // top half
+
+    // Non-multiplication section over the low halves (approx mode):
+    // prefix_i = OR_{j >= i} (al_j AND bl_j); out_i = al_i | bl_i | prefix_i.
+    std::vector<NetId> nm(static_cast<size_t>(h));
+    NetId prefix = kNoNet;
+    for (int i = h - 1; i >= 0; --i) {
+        const NetId both = nl.and_gate(al[i], bl[i]);
+        prefix = prefix == kNoNet ? both : nl.or_gate(prefix, both);
+        nm[static_cast<size_t>(i)] = nl.or_gate(nl.or_gate(al[i], bl[i]), prefix);
+    }
+
+    // Product mux: low mode selects the exact low product (top half zero);
+    // approx mode selects {high_prod << width, nm in [h-1:0], zeros in [width-1:h]}.
+    std::vector<NetId> product(static_cast<size_t>(2 * width), kNoNet);
+    for (int i = 0; i < 2 * width; ++i) {
+        NetId exact_bit = kNoNet;   // low-mode value
+        NetId approx_bit = kNoNet;  // approx-mode value
+        if (i < width) exact_bit = low_prod[static_cast<size_t>(i)];
+        if (i < h) approx_bit = nm[static_cast<size_t>(i)];
+        else if (i >= width) approx_bit = high_prod[static_cast<size_t>(i - width)];
+
+        if (exact_bit == kNoNet && approx_bit == kNoNet) {
+            product[static_cast<size_t>(i)] = nl.constant(false);
+        } else if (exact_bit == kNoNet) {
+            product[static_cast<size_t>(i)] = nl.and_gate(approx_bit, any_high);
+        } else if (approx_bit == kNoNet) {
+            product[static_cast<size_t>(i)] = nl.and_gate(exact_bit, low_mode);
+        } else {
+            product[static_cast<size_t>(i)] = nl.or_gate(nl.and_gate(exact_bit, low_mode),
+                                                         nl.and_gate(approx_bit, any_high));
+        }
+    }
+    finish_multiplier(m, std::move(product));
+    return m;
+}
+
+uint64_t etm_multiply(int width, uint64_t a, uint64_t b) {
+    check_width(width);
+    const int h = width / 2;
+    const uint64_t mask = mask_low(static_cast<unsigned>(h));
+    const uint64_t al = a & mask, ah = a >> h;
+    const uint64_t bl = b & mask, bh = b >> h;
+    if (ah == 0 && bh == 0) return al * bl;
+
+    uint64_t lo = 0;
+    for (int i = h - 1; i >= 0; --i) {
+        if (bit(al, static_cast<unsigned>(i)) & bit(bl, static_cast<unsigned>(i))) {
+            lo |= (uint64_t{2} << i) - 1;  // this bit and everything below -> 1
+            break;
+        }
+        lo |= (bit(al, static_cast<unsigned>(i)) | bit(bl, static_cast<unsigned>(i)))
+              << i;
+    }
+    return ((ah * bh) << width) + lo;
+}
+
+}  // namespace sdlc

@@ -1,0 +1,83 @@
+#include "baselines/kulkarni.h"
+
+#include <stdexcept>
+
+#include "util/bitops.h"
+
+namespace sdlc {
+
+namespace {
+
+void check_width(int width) {
+    if (width < 2 || width > 64 || !is_pow2(static_cast<uint64_t>(width))) {
+        throw std::invalid_argument("kulkarni: width must be a power of two in [2,64]");
+    }
+}
+
+/// Recursive netlist builder; returns 2n product bits for n-bit slices.
+std::vector<NetId> build_rec(Netlist& nl, AccumulationScheme scheme,
+                             const std::vector<NetId>& a, const std::vector<NetId>& b) {
+    const int n = static_cast<int>(a.size());
+    if (n == 2) {
+        // Under-designed 2x2 block: p3 dropped, p2 = a1b1, p1 = a1b0 | a0b1.
+        std::vector<NetId> p(4);
+        p[0] = nl.and_gate(a[0], b[0]);
+        p[1] = nl.or_gate(nl.and_gate(a[1], b[0]), nl.and_gate(a[0], b[1]));
+        p[2] = nl.and_gate(a[1], b[1]);
+        p[3] = nl.constant(false);
+        return p;
+    }
+    const int h = n / 2;
+    const std::vector<NetId> al(a.begin(), a.begin() + h), ah(a.begin() + h, a.end());
+    const std::vector<NetId> bl(b.begin(), b.begin() + h), bh(b.begin() + h, b.end());
+
+    const std::vector<NetId> ll = build_rec(nl, scheme, al, bl);
+    const std::vector<NetId> lh = build_rec(nl, scheme, al, bh);
+    const std::vector<NetId> hl = build_rec(nl, scheme, ah, bl);
+    const std::vector<NetId> hh = build_rec(nl, scheme, ah, bh);
+
+    // Exact combination: sum the four sub-products at their offsets.
+    BitMatrix matrix(2 * n);
+    auto place = [&](const std::vector<NetId>& bits, int offset) {
+        for (size_t i = 0; i < bits.size(); ++i) {
+            // Skip structural zeros (the dropped p3 of 2x2 blocks).
+            const Gate& g = nl.gate(bits[i]);
+            if (g.kind == GateKind::kConst0) continue;
+            matrix.add(offset + static_cast<int>(i), bits[i]);
+        }
+    };
+    place(ll, 0);
+    place(lh, h);
+    place(hl, h);
+    place(hh, n);
+    return accumulate(nl, matrix, scheme, 2 * n);
+}
+
+}  // namespace
+
+MultiplierNetlist build_kulkarni_multiplier(int width, AccumulationScheme scheme) {
+    check_width(width);
+    MultiplierNetlist m;
+    m.width = width;
+    m.label = "kulkarni N=" + std::to_string(width) + " / " + accumulation_scheme_name(scheme);
+
+    const OperandPorts ports = make_operand_ports(m.net, width);
+    m.a_bits = ports.a;
+    m.b_bits = ports.b;
+    finish_multiplier(m, build_rec(m.net, scheme, m.a_bits, m.b_bits));
+    return m;
+}
+
+uint64_t kulkarni_multiply(int width, uint64_t a, uint64_t b) {
+    check_width(width);
+    if (width == 2) return (a == 3 && b == 3) ? 7 : a * b;
+    const int h = width / 2;
+    const uint64_t mask = mask_low(static_cast<unsigned>(h));
+    const uint64_t al = a & mask, ah = a >> h;
+    const uint64_t bl = b & mask, bh = b >> h;
+    return (kulkarni_multiply(h, ah, bh) << width) +
+           ((kulkarni_multiply(h, ah, bl) + kulkarni_multiply(h, al, bh)) << h) +
+           kulkarni_multiply(h, al, bl);
+}
+
+}  // namespace sdlc

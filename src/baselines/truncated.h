@@ -1,0 +1,25 @@
+// Truncated multiplier baseline (paper Table I, refs [6][7]).
+//
+// Eliminates all partial products in the `cut` least-significant weight
+// columns; the remaining matrix is accumulated exactly. Simple, effective,
+// but the error grows directly with the number of removed columns.
+#ifndef SDLC_BASELINES_TRUNCATED_H
+#define SDLC_BASELINES_TRUNCATED_H
+
+#include <cstdint>
+
+#include "arith/accumulate.h"
+#include "arith/mul_netlist.h"
+
+namespace sdlc {
+
+/// Builds an N x N multiplier that drops PP bits of weight < 2^cut.
+[[nodiscard]] MultiplierNetlist build_truncated_multiplier(
+    int width, int cut, AccumulationScheme scheme = AccumulationScheme::kRowRipple);
+
+/// Functional model (width <= 32): exact product minus the dropped PP bits.
+[[nodiscard]] uint64_t truncated_multiply(int width, int cut, uint64_t a, uint64_t b);
+
+}  // namespace sdlc
+
+#endif  // SDLC_BASELINES_TRUNCATED_H

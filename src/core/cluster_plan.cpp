@@ -1,0 +1,64 @@
+#include "core/cluster_plan.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sdlc {
+
+ClusterPlan ClusterPlan::make(int width, int depth) {
+    if (width < 1 || width > 128) {
+        throw std::invalid_argument("ClusterPlan: width must be in [1,128]");
+    }
+    if (depth < 1 || depth > width) {
+        throw std::invalid_argument("ClusterPlan: depth must be in [1,width]");
+    }
+    ClusterPlan plan;
+    plan.width_ = width;
+    plan.depth_ = depth;
+    if (depth == 1) return plan;  // accurate: nothing to compress
+
+    for (int g = 0; g * depth < width; ++g) {
+        ClusterGroup grp;
+        grp.base_row = g * depth;
+        grp.rows = std::min(depth, width - grp.base_row);
+        if (grp.rows < 2) continue;  // a lone row cannot be compressed
+        // Significance-driven progressive extent (see header).
+        int extent = (width - 1) + 2 * (depth - 2) - (depth - 1) * g;
+        // Clamp to the last position where >= 2 cluster bits can exist:
+        // row base_row+k contributes at j in [k, k+width-1], so the
+        // second-highest row tops out at j = width + rows - 3.
+        extent = std::min(extent, width + grp.rows - 3);
+        if (extent < 1) continue;  // fully precise group
+        grp.extent = extent;
+        plan.groups_.push_back(grp);
+    }
+    return plan;
+}
+
+const ClusterGroup* ClusterPlan::group_of_row(int r) const noexcept {
+    for (const ClusterGroup& g : groups_) {
+        if (r >= g.base_row && r < g.base_row + g.rows) return &g;
+    }
+    return nullptr;
+}
+
+int ClusterPlan::compression_sites() const noexcept {
+    int sites = 0;
+    for (const ClusterGroup& g : groups_) sites += g.extent;
+    return sites;
+}
+
+std::string ClusterPlan::describe() const {
+    std::string s = "SDLC N=" + std::to_string(width_) + " d=" + std::to_string(depth_);
+    if (groups_.empty()) {
+        s += " (accurate)";
+        return s;
+    }
+    s += " clusters";
+    for (const ClusterGroup& g : groups_) {
+        s += " " + std::to_string(g.rows) + "x" + std::to_string(g.extent);
+    }
+    return s;
+}
+
+}  // namespace sdlc

@@ -1,0 +1,81 @@
+#include "core/compensation.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/functional.h"
+#include "util/bitops.h"
+
+namespace sdlc {
+
+std::vector<CompensationTerm> compensation_terms(const ClusterPlan& plan) {
+    const int n = plan.width();
+    std::vector<CompensationTerm> terms;
+    for (const ClusterGroup& grp : plan.groups()) {
+        for (int k1 = 0; k1 < grp.rows; ++k1) {
+            for (int k2 = k1 + 1; k2 < grp.rows; ++k2) {
+                // Expected loss from this row pair: every compressed site j
+                // where both rows contribute loses 2^w with probability 1/4.
+                double expected = 0.0;
+                for (int j = 1; j <= grp.extent; ++j) {
+                    const int c1 = j - k1;
+                    const int c2 = j - k2;
+                    if (c1 < 0 || c1 >= n || c2 < 0 || c2 >= n) continue;
+                    expected += 0.25 * std::ldexp(1.0, grp.base_row + j);
+                }
+                if (expected < 0.5) continue;
+                // Round to the nearest power of two: the gated constant then
+                // costs a single extra bit in the accumulation matrix.
+                const int exponent = static_cast<int>(std::lround(std::log2(expected)));
+                const uint64_t value = uint64_t{1} << exponent;
+                terms.push_back({grp.base_row + k1, grp.base_row + k2, value});
+            }
+        }
+    }
+    return terms;
+}
+
+uint64_t sdlc_multiply_compensated(const ClusterPlan& plan, uint64_t a, uint64_t b) {
+    uint64_t p = sdlc_multiply(plan, a, b);
+    for (const CompensationTerm& t : compensation_terms(plan)) {
+        if (bit(b, static_cast<unsigned>(t.row_a)) & bit(b, static_cast<unsigned>(t.row_b))) {
+            p += t.value;
+        }
+    }
+    return p;
+}
+
+int64_t sdlc_compensated_signed_error(const ClusterPlan& plan, uint64_t a, uint64_t b) {
+    return static_cast<int64_t>(sdlc_multiply_compensated(plan, a, b)) -
+           static_cast<int64_t>(a * b);
+}
+
+MultiplierNetlist build_sdlc_compensated_multiplier(int width, const SdlcOptions& opts) {
+    const ClusterPlan plan = ClusterPlan::make(width, opts.depth);
+
+    MultiplierNetlist m;
+    m.width = width;
+    m.label = plan.describe() + " + compensation / " + accumulation_scheme_name(opts.scheme);
+
+    const OperandPorts ports = make_operand_ports(m.net, width);
+    m.a_bits = ports.a;
+    m.b_bits = ports.b;
+
+    BitMatrix matrix = build_sdlc_matrix(m.net, m.a_bits, m.b_bits, plan);
+
+    // Inject the gated compensation constants: one AND per row pair; the
+    // same activity net is dropped into the matrix at each set bit of the
+    // constant, and the accumulation tree absorbs the extra bits.
+    for (const CompensationTerm& t : compensation_terms(plan)) {
+        const NetId act = m.net.and_gate(m.b_bits[static_cast<size_t>(t.row_a)],
+                                         m.b_bits[static_cast<size_t>(t.row_b)]);
+        for (int w = 0; w < 2 * width; ++w) {
+            if (bit(t.value, static_cast<unsigned>(w))) matrix.add(w, act);
+        }
+    }
+
+    finish_multiplier(m, accumulate(m.net, matrix, opts.scheme, 2 * width));
+    return m;
+}
+
+}  // namespace sdlc

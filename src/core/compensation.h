@@ -1,0 +1,61 @@
+// Error compensation for the SDLC multiplier (library extension).
+//
+// SDLC's error is strictly one-sided: every OR collision loses value, so
+// the approximate product systematically underestimates. Because a cluster
+// can only collide when operand B has two (or more) active rows in the same
+// group, the *expected* loss is known at runtime from B alone:
+//
+//   E[loss | rows r1,r2 active] = sum over sites j covering both rows of
+//                                 2^w / 4          (P(both A bits) = 1/4)
+//
+// The compensated multiplier adds, for every in-group row pair, a constant
+// C(g,r1,r2) gated by act = B(r1) AND B(r2). In hardware this costs one
+// AND per pair plus a few extra matrix bits (the gated constant's set
+// bits); the accumulation tree absorbs them. Pairwise compensation is exact
+// in expectation at depth 2 and slightly overestimates for popcounts >= 3
+// at deeper clusters (documented in the ablation bench).
+//
+// Effect: the error becomes two-sided and nearly zero-mean; NMED drops by
+// roughly 2x at depth 2 while ER rises (outputs are perturbed whenever a
+// pair is active). This mirrors the variable-correction idea of truncated
+// multipliers (paper ref [6]) applied to logic compression.
+#ifndef SDLC_CORE_COMPENSATION_H
+#define SDLC_CORE_COMPENSATION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "arith/mul_netlist.h"
+#include "core/cluster_plan.h"
+#include "core/generator.h"
+
+namespace sdlc {
+
+/// One gated compensation constant: value added when both rows are active.
+struct CompensationTerm {
+    int row_a = 0;        ///< first PP row (B bit index)
+    int row_b = 0;        ///< second PP row
+    uint64_t value = 0;   ///< constant added when B(row_a) AND B(row_b)
+};
+
+/// Derives the pairwise compensation table for a plan (width <= 32).
+[[nodiscard]] std::vector<CompensationTerm> compensation_terms(const ClusterPlan& plan);
+
+/// Functional model: SDLC product plus runtime compensation (width <= 32).
+[[nodiscard]] uint64_t sdlc_multiply_compensated(const ClusterPlan& plan, uint64_t a,
+                                                 uint64_t b);
+
+/// Signed error of the compensated multiplier: P' + comp - P (may be
+/// negative; the plain multiplier's error is always <= 0 in this sign
+/// convention).
+[[nodiscard]] int64_t sdlc_compensated_signed_error(const ClusterPlan& plan, uint64_t a,
+                                                    uint64_t b);
+
+/// Builds the compensated multiplier netlist: the standard SDLC pipeline
+/// with the gated compensation bits injected into the accumulation matrix.
+[[nodiscard]] MultiplierNetlist build_sdlc_compensated_multiplier(int width,
+                                                                  const SdlcOptions& opts = {});
+
+}  // namespace sdlc
+
+#endif  // SDLC_CORE_COMPENSATION_H

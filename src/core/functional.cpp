@@ -1,0 +1,76 @@
+#include "core/functional.h"
+
+#include <stdexcept>
+
+#include "util/bitops.h"
+
+namespace sdlc {
+
+namespace {
+
+void check_width32(int width) {
+    if (width > 32) {
+        throw std::invalid_argument("sdlc functional model: width > 32 needs the netlist path");
+    }
+}
+
+}  // namespace
+
+uint64_t sdlc_error_distance(const ClusterPlan& plan, uint64_t a, uint64_t b) {
+    check_width32(plan.width());
+    const int n = plan.width();
+    uint64_t err = 0;
+    for (const ClusterGroup& grp : plan.groups()) {
+        for (int j = 1; j <= grp.extent; ++j) {
+            const int w = grp.base_row + j;
+            int pc = 0;
+            for (int k = 0; k < grp.rows; ++k) {
+                const int c = j - k;  // column of row base_row+k at weight w
+                if (c < 0 || c >= n) continue;
+                pc += static_cast<int>(bit(a, static_cast<unsigned>(c)) &
+                                       bit(b, static_cast<unsigned>(grp.base_row + k)));
+            }
+            if (pc > 1) err += static_cast<uint64_t>(pc - 1) << w;
+        }
+    }
+    return err;
+}
+
+uint64_t sdlc_multiply(const ClusterPlan& plan, uint64_t a, uint64_t b) {
+    return a * b - sdlc_error_distance(plan, a, b);
+}
+
+uint64_t sdlc_multiply(int width, int depth, uint64_t a, uint64_t b) {
+    return sdlc_multiply(ClusterPlan::make(width, depth), a, b);
+}
+
+uint64_t sdlc_error_distance_fast2(int width, uint64_t a, uint64_t b) {
+    // Depth-2 cluster g pairs rows (2g, 2g+1). A collision at relative
+    // position j needs A(j) & A(j-1) (same column pair) and both B bits of
+    // the pair. A & (A << 1) has bit j set exactly when A(j) & A(j-1), so the
+    // collision mask is (a & (a << 1)) restricted to j = 1..extent(g).
+    // At depth 2 at most two bits meet per weight, so popcount-1 == 1.
+    uint64_t err = 0;
+    const uint64_t adj = a & (a << 1);
+    const int half = width / 2;
+    for (int g = 0; g < half; ++g) {
+        const uint64_t pair = (b >> (2 * g)) & 3u;
+        if (pair != 3u) continue;  // need B(2g) and B(2g+1)
+        const int extent = width - 1 - g;
+        if (extent < 1) continue;
+        const uint64_t m = mask_low(static_cast<unsigned>(extent + 1)) & ~uint64_t{1};
+        err += (adj & m) << (2 * g);
+    }
+    return err;
+}
+
+uint64_t sdlc_multiply_fast2(int width, uint64_t a, uint64_t b) {
+    check_width32(width);
+    return a * b - sdlc_error_distance_fast2(width, a, b);
+}
+
+bool sdlc_is_exact(const ClusterPlan& plan, uint64_t a, uint64_t b) {
+    return sdlc_error_distance(plan, a, b) == 0;
+}
+
+}  // namespace sdlc

@@ -1,0 +1,131 @@
+#include "core/generator.h"
+
+#include <stdexcept>
+
+#include "arith/adders.h"
+
+namespace sdlc {
+
+namespace {
+
+/// Shared steps 1-2: AND array + cluster OR compression.
+/// Produces per-source-row rows (2N wide, kNoNet holes): the OR output of a
+/// compressed weight lands in the *first* row of its cluster, other cluster
+/// rows lose their consumed bits; uncompressed bits stay in place. This is
+/// the pre-remapping layout of the paper's Figure 3(b).
+std::vector<std::vector<NetId>> build_clustered_rows(Netlist& nl,
+                                                     const std::vector<NetId>& a_bits,
+                                                     const std::vector<NetId>& b_bits,
+                                                     const ClusterPlan& plan) {
+    const int n = plan.width();
+    if (a_bits.size() != static_cast<size_t>(n) || b_bits.size() != static_cast<size_t>(n)) {
+        throw std::invalid_argument("build_sdlc: operand width mismatch");
+    }
+
+    // Step 1: full AND array, exactly as in the accurate multiplier.
+    std::vector<std::vector<NetId>> pp(static_cast<size_t>(n));
+    for (int r = 0; r < n; ++r) {
+        pp[r].resize(static_cast<size_t>(n));
+        for (int c = 0; c < n; ++c) pp[r][c] = nl.and_gate(a_bits[c], b_bits[r]);
+    }
+
+    std::vector<std::vector<NetId>> rows(static_cast<size_t>(n));
+    for (auto& row : rows) row.assign(static_cast<size_t>(2 * n), kNoNet);
+
+    std::vector<bool> consumed(static_cast<size_t>(n) * static_cast<size_t>(n), false);
+
+    // Step 2: one OR tree per compressed weight position in each cluster.
+    for (const ClusterGroup& grp : plan.groups()) {
+        for (int j = 1; j <= grp.extent; ++j) {
+            const int w = grp.base_row + j;
+            std::vector<NetId> bits;
+            for (int k = 0; k < grp.rows; ++k) {
+                const int c = j - k;
+                if (c < 0 || c >= n) continue;
+                bits.push_back(pp[grp.base_row + k][c]);
+                consumed[static_cast<size_t>(grp.base_row + k) * n + c] = true;
+            }
+            if (bits.empty()) continue;
+            // A single present bit passes through exactly; >= 2 are OR-ed.
+            rows[grp.base_row][w] = bits.size() == 1 ? bits[0] : nl.or_tree(bits);
+        }
+    }
+
+    // Uncompressed partial products keep their exact row and weight:
+    // group-base LSBs, high-significance tails and rows outside any cluster.
+    for (int r = 0; r < n; ++r) {
+        for (int c = 0; c < n; ++c) {
+            if (!consumed[static_cast<size_t>(r) * n + c]) rows[r][r + c] = pp[r][c];
+        }
+    }
+    return rows;
+}
+
+}  // namespace
+
+BitMatrix build_sdlc_matrix(Netlist& nl, const std::vector<NetId>& a_bits,
+                            const std::vector<NetId>& b_bits, const ClusterPlan& plan) {
+    const auto rows = build_clustered_rows(nl, a_bits, b_bits, plan);
+    BitMatrix matrix(2 * plan.width());
+    for (const auto& row : rows) {
+        for (size_t w = 0; w < row.size(); ++w) {
+            if (row[w] != kNoNet) matrix.add(static_cast<int>(w), row[w]);
+        }
+    }
+    return matrix;
+}
+
+MultiplierNetlist build_sdlc_multiplier(int width, const SdlcOptions& opts) {
+    const ClusterPlan plan = ClusterPlan::make(width, opts.depth);
+
+    MultiplierNetlist m;
+    m.width = width;
+    m.label = plan.describe() + " / " + accumulation_scheme_name(opts.scheme);
+
+    const OperandPorts ports = make_operand_ports(m.net, width);
+    m.a_bits = ports.a;
+    m.b_bits = ports.b;
+
+    std::vector<NetId> product;
+    if (opts.commutative_remapping || opts.scheme != AccumulationScheme::kRowRipple) {
+        // Steps 3+4: BitMatrix::to_rows() inside accumulate() performs the
+        // commutative remapping; the row count equals the critical column
+        // height (halved at depth 2 versus the accurate tree). Column-based
+        // Wallace/Dadda reduction is remapping-agnostic by construction.
+        const BitMatrix matrix = build_sdlc_matrix(m.net, m.a_bits, m.b_bits, plan);
+        product = accumulate(m.net, matrix, opts.scheme, 2 * width);
+    } else {
+        // Remapping ablation: accumulate the per-source-row layout directly
+        // (same bits and weights, but up to N sparse rows instead of the
+        // remapped max-column-height rows).
+        const auto rows = build_clustered_rows(m.net, m.a_bits, m.b_bits, plan);
+        std::vector<NetId> acc;
+        bool first = true;
+        for (const auto& row : rows) {
+            bool empty = true;
+            for (const NetId bitnet : row) {
+                if (bitnet != kNoNet) {
+                    empty = false;
+                    break;
+                }
+            }
+            if (empty) continue;
+            if (first) {
+                acc = row;
+                first = false;
+            } else {
+                acc = sparse_row_add(m.net, acc, row);
+            }
+        }
+        acc.resize(static_cast<size_t>(2 * width), kNoNet);
+        for (auto& bitnet : acc) {
+            if (bitnet == kNoNet) bitnet = m.net.constant(false);
+        }
+        product = std::move(acc);
+        m.label += " / no-remap";
+    }
+    finish_multiplier(m, std::move(product));
+    return m;
+}
+
+}  // namespace sdlc

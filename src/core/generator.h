@@ -1,0 +1,40 @@
+// Gate-level generator for the SDLC approximate multiplier.
+//
+// Pipeline (paper Figure 1b):
+//   1. partial-product formation: N^2 AND gates (same as accurate design);
+//   2. significance-driven logic compression: one OR tree per compressed
+//      weight position inside each cluster (ClusterPlan);
+//   3. commutative remapping: compressed + passthrough bits are re-packed
+//      by weight into the minimal number of rows (BitMatrix::to_rows);
+//   4. accumulation: row-ripple (paper default), Wallace or Dadda.
+#ifndef SDLC_CORE_GENERATOR_H
+#define SDLC_CORE_GENERATOR_H
+
+#include "arith/accumulate.h"
+#include "arith/mul_netlist.h"
+#include "core/cluster_plan.h"
+
+namespace sdlc {
+
+/// Construction options for build_sdlc_multiplier().
+struct SdlcOptions {
+    int depth = 2;  ///< cluster depth (rows per cluster); 1 = accurate
+    AccumulationScheme scheme = AccumulationScheme::kRowRipple;
+    /// When false, skip step 3: compressed bits stay in their original rows
+    /// (used by the remapping ablation; functionally identical).
+    bool commutative_remapping = true;
+};
+
+/// Builds an N x N SDLC multiplier netlist.
+[[nodiscard]] MultiplierNetlist build_sdlc_multiplier(int width, const SdlcOptions& opts = {});
+
+/// Builds the partial-product matrix after SDLC compression (steps 1-2),
+/// exposed separately for tests and ablations. `pp_gate_count` (optional
+/// out) receives the number of AND gates formed.
+[[nodiscard]] BitMatrix build_sdlc_matrix(Netlist& nl, const std::vector<NetId>& a_bits,
+                                          const std::vector<NetId>& b_bits,
+                                          const ClusterPlan& plan);
+
+}  // namespace sdlc
+
+#endif  // SDLC_CORE_GENERATOR_H

@@ -1,0 +1,86 @@
+#include "core/signed_mul.h"
+
+#include <stdexcept>
+
+#include "core/functional.h"
+
+namespace sdlc {
+
+namespace {
+
+void check_signed_width(int width) {
+    if (width < 2 || width > 31) {
+        throw std::invalid_argument("sdlc signed: width must be in [2,31]");
+    }
+}
+
+void check_operand(int64_t v, int width) {
+    const int64_t lo = -(int64_t{1} << (width - 1));
+    const int64_t hi = (int64_t{1} << (width - 1)) - 1;
+    if (v < lo || v > hi) throw std::invalid_argument("sdlc signed: operand out of range");
+}
+
+/// Conditional two's-complement negation of a bit vector when `sign` is 1:
+/// out = (in XOR sign) + sign, built as an increment ripple chain.
+std::vector<NetId> conditional_negate(Netlist& nl, const std::vector<NetId>& in, NetId sign) {
+    std::vector<NetId> out(in.size());
+    NetId carry = sign;
+    for (size_t i = 0; i < in.size(); ++i) {
+        const NetId t = nl.xor_gate(in[i], sign);
+        if (carry == kNoNet) {
+            out[i] = t;
+            continue;
+        }
+        out[i] = nl.xor_gate(t, carry);
+        carry = i + 1 < in.size() ? nl.and_gate(t, carry) : kNoNet;
+    }
+    return out;
+}
+
+}  // namespace
+
+int64_t sdlc_multiply_signed(const ClusterPlan& plan, int64_t a, int64_t b) {
+    check_signed_width(plan.width());
+    check_operand(a, plan.width());
+    check_operand(b, plan.width());
+    const bool negative = (a < 0) != (b < 0);
+    const uint64_t ma = static_cast<uint64_t>(a < 0 ? -a : a);
+    const uint64_t mb = static_cast<uint64_t>(b < 0 ? -b : b);
+    const int64_t p = static_cast<int64_t>(sdlc_multiply(plan, ma, mb));
+    return negative ? -p : p;
+}
+
+uint64_t sdlc_signed_error_distance(const ClusterPlan& plan, int64_t a, int64_t b) {
+    const int64_t exact = a * b;
+    const int64_t approx = sdlc_multiply_signed(plan, a, b);
+    return static_cast<uint64_t>(exact > approx ? exact - approx : approx - exact);
+}
+
+MultiplierNetlist build_sdlc_signed_multiplier(int width, const SdlcOptions& opts) {
+    check_signed_width(width);
+    const ClusterPlan plan = ClusterPlan::make(width, opts.depth);
+
+    MultiplierNetlist m;
+    m.width = width;
+    m.label = plan.describe() + " signed / " + accumulation_scheme_name(opts.scheme);
+
+    const OperandPorts ports = make_operand_ports(m.net, width);
+    m.a_bits = ports.a;
+    m.b_bits = ports.b;
+    Netlist& nl = m.net;
+
+    const NetId sign_a = m.a_bits.back();
+    const NetId sign_b = m.b_bits.back();
+
+    const std::vector<NetId> mag_a = conditional_negate(nl, m.a_bits, sign_a);
+    const std::vector<NetId> mag_b = conditional_negate(nl, m.b_bits, sign_b);
+
+    const BitMatrix matrix = build_sdlc_matrix(nl, mag_a, mag_b, plan);
+    const std::vector<NetId> mag_p = accumulate(nl, matrix, opts.scheme, 2 * width);
+
+    const NetId sign_p = nl.xor_gate(sign_a, sign_b);
+    finish_multiplier(m, conditional_negate(nl, mag_p, sign_p));
+    return m;
+}
+
+}  // namespace sdlc

@@ -1,0 +1,63 @@
+// Exhaustive and Monte-Carlo error evaluation engines.
+//
+// Both take the approximate multiplier as an inlineable callable
+// `uint64_t f(uint64_t a, uint64_t b)` so that exhaustive sweeps (2^32
+// operand pairs at 16-bit) run at bit-trick speed. The exhaustive engine
+// shards the operand space across hardware threads and merges per-thread
+// accumulators; results are independent of the thread count.
+#ifndef SDLC_ERROR_EVALUATE_H
+#define SDLC_ERROR_EVALUATE_H
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "error/metrics.h"
+#include "util/rng.h"
+
+namespace sdlc {
+
+/// Evaluates `approx(a,b)` for every operand pair of the given width
+/// (width <= 16 recommended: 2^(2*width) pairs) and returns the metrics.
+template <typename ApproxFn>
+[[nodiscard]] ErrorMetrics exhaustive_metrics(int width, ApproxFn approx,
+                                              unsigned max_threads = 0) {
+    const uint64_t side = uint64_t{1} << width;
+    unsigned threads = max_threads ? max_threads : std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+    threads = static_cast<unsigned>(std::min<uint64_t>(threads, side));
+
+    std::vector<ErrorAccumulator> accs(threads, ErrorAccumulator(width));
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+        pool.emplace_back([&, t] {
+            ErrorAccumulator& acc = accs[t];
+            for (uint64_t a = t; a < side; a += threads) {
+                for (uint64_t b = 0; b < side; ++b) acc.add(a * b, approx(a, b));
+            }
+        });
+    }
+    for (auto& th : pool) th.join();
+    for (unsigned t = 1; t < threads; ++t) accs[0].merge(accs[t]);
+    return accs[0].finalize();
+}
+
+/// Evaluates `approx` on `samples` uniformly random operand pairs.
+template <typename ApproxFn>
+[[nodiscard]] ErrorMetrics sampled_metrics(int width, uint64_t samples, uint64_t seed,
+                                           ApproxFn approx) {
+    ErrorAccumulator acc(width);
+    Xoshiro256 rng(seed);
+    const uint64_t mask = (uint64_t{1} << width) - 1;
+    for (uint64_t i = 0; i < samples; ++i) {
+        const uint64_t a = rng.next() & mask;
+        const uint64_t b = rng.next() & mask;
+        acc.add(a * b, approx(a, b));
+    }
+    return acc.finalize();
+}
+
+}  // namespace sdlc
+
+#endif  // SDLC_ERROR_EVALUATE_H

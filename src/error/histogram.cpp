@@ -1,0 +1,43 @@
+#include "error/histogram.h"
+
+#include <stdexcept>
+
+namespace sdlc {
+
+RedHistogram::RedHistogram(int bins) {
+    if (bins < 1) throw std::invalid_argument("RedHistogram: bins must be positive");
+    counts_.assign(static_cast<size_t>(bins) + 1, 0);
+}
+
+void RedHistogram::add(uint64_t exact, uint64_t approx) noexcept {
+    ++total_;
+    const uint64_t ed = exact > approx ? exact - approx : approx - exact;
+    double red_pct;
+    if (exact == 0) {
+        red_pct = ed == 0 ? 0.0 : 100.0;
+    } else {
+        red_pct = 100.0 * static_cast<double>(ed) / static_cast<double>(exact);
+    }
+    const int nbins = bins();
+    const int bin = red_pct >= static_cast<double>(nbins) ? nbins : static_cast<int>(red_pct);
+    ++counts_[static_cast<size_t>(bin)];
+}
+
+void RedHistogram::merge(const RedHistogram& other) {
+    if (other.counts_.size() != counts_.size()) {
+        throw std::invalid_argument("RedHistogram: bin count mismatch");
+    }
+    for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+    total_ += other.total_;
+}
+
+std::vector<double> RedHistogram::probabilities() const {
+    std::vector<double> p(counts_.size(), 0.0);
+    if (total_ == 0) return p;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        p[i] = static_cast<double>(counts_[i]) / static_cast<double>(total_);
+    }
+    return p;
+}
+
+}  // namespace sdlc

@@ -1,0 +1,43 @@
+// Relative-error distribution histogram (paper Figure 5).
+//
+// Bins are 1-percentage-point wide: bin k counts outputs whose RED falls in
+// [k %, (k+1) %). Exact outputs land in bin 0, matching the paper's reading
+// that "the vast majority of outputs are either exact or close to exact".
+#ifndef SDLC_ERROR_HISTOGRAM_H
+#define SDLC_ERROR_HISTOGRAM_H
+
+#include <cstdint>
+#include <vector>
+
+namespace sdlc {
+
+/// Histogram of RED percentages with fixed 1 % bins plus an overflow bin.
+class RedHistogram {
+public:
+    /// `bins` 1 %-wide bins (the paper's Figure 5 uses 34); REDs at or above
+    /// `bins` % fall into the overflow bin.
+    explicit RedHistogram(int bins = 34);
+
+    /// Adds one (exact, approximate) pair. RED at P == 0 follows the library
+    /// convention (0 if exact, else 100 %).
+    void add(uint64_t exact, uint64_t approx) noexcept;
+
+    /// Merges another histogram with the same bin count.
+    void merge(const RedHistogram& other);
+
+    [[nodiscard]] int bins() const noexcept { return static_cast<int>(counts_.size()) - 1; }
+    [[nodiscard]] uint64_t count(int bin) const { return counts_.at(bin); }
+    [[nodiscard]] uint64_t overflow() const noexcept { return counts_.back(); }
+    [[nodiscard]] uint64_t total() const noexcept { return total_; }
+
+    /// P(RED in bin k) over all added pairs; index bins() = overflow bin.
+    [[nodiscard]] std::vector<double> probabilities() const;
+
+private:
+    std::vector<uint64_t> counts_;  // bins + 1 (overflow)
+    uint64_t total_ = 0;
+};
+
+}  // namespace sdlc
+
+#endif  // SDLC_ERROR_HISTOGRAM_H

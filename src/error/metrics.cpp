@@ -1,0 +1,59 @@
+#include "error/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sdlc {
+
+ErrorAccumulator::ErrorAccumulator(int width) : width_(width) {
+    if (width < 1 || width > 32) {
+        throw std::invalid_argument("ErrorAccumulator: width must be in [1,32]");
+    }
+    const double top = static_cast<double>((uint64_t{1} << width) - 1);
+    pmax_ = top * top;
+}
+
+void ErrorAccumulator::add(uint64_t exact, uint64_t approx) noexcept {
+    ++samples_;
+    const uint64_t ed = exact > approx ? exact - approx : approx - exact;
+    if (ed == 0) return;
+    ++errors_;
+    sum_ed_ += static_cast<double>(ed);
+    sum_signed_ += approx > exact ? static_cast<double>(ed) : -static_cast<double>(ed);
+    sum_sq_ += static_cast<double>(ed) * static_cast<double>(ed);
+    max_ed_ = std::max(max_ed_, ed);
+    const double red =
+        exact == 0 ? 1.0 : static_cast<double>(ed) / static_cast<double>(exact);
+    sum_red_ += red;
+    max_red_ = std::max(max_red_, red);
+}
+
+void ErrorAccumulator::merge(const ErrorAccumulator& other) noexcept {
+    sum_red_ += other.sum_red_;
+    sum_ed_ += other.sum_ed_;
+    sum_signed_ += other.sum_signed_;
+    sum_sq_ += other.sum_sq_;
+    max_red_ = std::max(max_red_, other.max_red_);
+    max_ed_ = std::max(max_ed_, other.max_ed_);
+    errors_ += other.errors_;
+    samples_ += other.samples_;
+}
+
+ErrorMetrics ErrorAccumulator::finalize() const noexcept {
+    ErrorMetrics m;
+    m.samples = samples_;
+    if (samples_ == 0) return m;
+    const double n = static_cast<double>(samples_);
+    m.mred = sum_red_ / n;
+    m.med = sum_ed_ / n;
+    m.nmed = m.med / pmax_;
+    m.error_rate = static_cast<double>(errors_) / n;
+    m.max_red = max_red_;
+    m.max_ed = max_ed_;
+    m.bias = sum_signed_ / n;
+    m.rmse = std::sqrt(sum_sq_ / n);
+    return m;
+}
+
+}  // namespace sdlc

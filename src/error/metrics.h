@@ -1,0 +1,65 @@
+// Error metrics for approximate arithmetic (paper Section III).
+//
+//   ED   = |P - P'|                       error distance
+//   RED  = ED / P                         relative error distance
+//   MRED = mean RED over all inputs
+//   MED  = mean ED
+//   NMED = MED / Pmax,  Pmax = (2^N - 1)^2
+//   ER   = fraction of inputs with P' != P
+//
+// Convention for P = 0 (needed by baselines such as ETM that can err at
+// zero): RED = 0 when P' == 0, RED = 1 otherwise. SDLC itself is always
+// exact at P = 0. This convention reproduces the paper's quoted numbers.
+#ifndef SDLC_ERROR_METRICS_H
+#define SDLC_ERROR_METRICS_H
+
+#include <cstdint>
+
+namespace sdlc {
+
+/// Final error statistics over a set of (exact, approximate) pairs.
+struct ErrorMetrics {
+    double mred = 0.0;       ///< mean relative error distance (ratio, not %)
+    double med = 0.0;        ///< mean error distance
+    double nmed = 0.0;       ///< MED normalized by Pmax
+    double error_rate = 0.0; ///< fraction of erroneous outputs
+    double max_red = 0.0;    ///< maximum RED (ratio)
+    uint64_t max_ed = 0;     ///< maximum ED
+    uint64_t samples = 0;    ///< number of evaluated pairs
+    double bias = 0.0;       ///< mean signed error (approx - exact); <= 0 for plain SDLC
+    double rmse = 0.0;       ///< root-mean-square error distance
+};
+
+/// Streaming accumulator for ErrorMetrics; mergeable for parallel sweeps.
+class ErrorAccumulator {
+public:
+    /// `width` is the operand bit-width N; sets Pmax = (2^N - 1)^2.
+    explicit ErrorAccumulator(int width);
+
+    /// Adds one (exact, approximate) product pair.
+    void add(uint64_t exact, uint64_t approx) noexcept;
+
+    /// Adds the statistics gathered by another accumulator of equal width.
+    void merge(const ErrorAccumulator& other) noexcept;
+
+    /// Finalizes the metrics gathered so far.
+    [[nodiscard]] ErrorMetrics finalize() const noexcept;
+
+    [[nodiscard]] int width() const noexcept { return width_; }
+
+private:
+    int width_;
+    double pmax_;
+    double sum_red_ = 0.0;
+    double sum_ed_ = 0.0;
+    double sum_signed_ = 0.0;
+    double sum_sq_ = 0.0;
+    double max_red_ = 0.0;
+    uint64_t max_ed_ = 0;
+    uint64_t errors_ = 0;
+    uint64_t samples_ = 0;
+};
+
+}  // namespace sdlc
+
+#endif  // SDLC_ERROR_METRICS_H

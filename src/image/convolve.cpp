@@ -1,0 +1,38 @@
+#include "image/convolve.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sdlc {
+
+Image convolve(const Image& input, const FixedKernel& kernel, const Mul8Fn& mul,
+               ConvolveStats* stats) {
+    if (!mul) throw std::invalid_argument("convolve: null multiplier");
+    const int r = kernel.size / 2;
+    const int wsum = kernel.weight_sum();
+    if (wsum <= 0) throw std::invalid_argument("convolve: kernel weights sum to zero");
+
+    Image out(input.width(), input.height());
+    uint64_t ops = 0;
+    for (int y = 0; y < input.height(); ++y) {
+        for (int x = 0; x < input.width(); ++x) {
+            uint32_t acc = 0;
+            for (int ky = -r; ky <= r; ++ky) {
+                for (int kx = -r; kx <= r; ++kx) {
+                    const uint8_t px = input.at_clamped(x + kx, y + ky);
+                    const uint8_t w = kernel.at(kx + r, ky + r);
+                    acc += mul(px, w);
+                    ++ops;
+                }
+            }
+            // Rescale from Q0.8 by the kernel's actual weight sum (rounded).
+            const uint32_t v = (acc + static_cast<uint32_t>(wsum) / 2) /
+                               static_cast<uint32_t>(wsum);
+            out.set(x, y, static_cast<uint8_t>(std::min<uint32_t>(v, 255)));
+        }
+    }
+    if (stats) stats->multiplications = ops;
+    return out;
+}
+
+}  // namespace sdlc

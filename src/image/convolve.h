@@ -1,0 +1,41 @@
+// Image convolution with a pluggable 8x8-bit multiplier.
+//
+// This is the paper's case-study pipeline: every pixel x kernel-weight
+// product goes through an (8x8) multiplier — exact or approximate — the
+// 16-bit products are accumulated exactly, and the Q0.8 sum is rescaled
+// back to 8 bits. Swapping the multiplier is the only difference between
+// the reference and approximate outputs.
+#ifndef SDLC_IMAGE_CONVOLVE_H
+#define SDLC_IMAGE_CONVOLVE_H
+
+#include <cstdint>
+#include <functional>
+
+#include "image/gaussian.h"
+#include "image/image.h"
+
+namespace sdlc {
+
+/// An 8x8 -> 16-bit multiplier function.
+using Mul8Fn = std::function<uint32_t(uint8_t, uint8_t)>;
+
+/// The exact 8x8 multiplier.
+[[nodiscard]] inline uint32_t exact_mul8(uint8_t a, uint8_t b) {
+    return static_cast<uint32_t>(a) * static_cast<uint32_t>(b);
+}
+
+/// Statistics of one convolution run.
+struct ConvolveStats {
+    uint64_t multiplications = 0;  ///< number of 8x8 multiplier invocations
+};
+
+/// Convolves `input` with `kernel` using `mul` for every pixel*weight
+/// product (replicated borders). The accumulated Q0.8 sum is divided by the
+/// kernel's actual weight sum so quantization does not shift brightness.
+/// `stats` (optional) receives operation counts for energy accounting.
+[[nodiscard]] Image convolve(const Image& input, const FixedKernel& kernel, const Mul8Fn& mul,
+                             ConvolveStats* stats = nullptr);
+
+}  // namespace sdlc
+
+#endif  // SDLC_IMAGE_CONVOLVE_H

@@ -1,0 +1,41 @@
+#include "image/gaussian.h"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace sdlc {
+
+int FixedKernel::weight_sum() const {
+    return std::accumulate(weights.begin(), weights.end(), 0);
+}
+
+FixedKernel make_gaussian_kernel(int size, double sigma) {
+    if (size < 1 || size % 2 == 0) {
+        throw std::invalid_argument("make_gaussian_kernel: size must be odd and positive");
+    }
+    if (sigma <= 0.0) throw std::invalid_argument("make_gaussian_kernel: sigma must be positive");
+
+    const int r = size / 2;
+    std::vector<double> raw(static_cast<size_t>(size) * static_cast<size_t>(size));
+    double sum = 0.0;
+    for (int ky = -r; ky <= r; ++ky) {
+        for (int kx = -r; kx <= r; ++kx) {
+            const double v = std::exp(-(kx * kx + ky * ky) / (2.0 * sigma * sigma));
+            raw[static_cast<size_t>(ky + r) * size + static_cast<size_t>(kx + r)] = v;
+            sum += v;
+        }
+    }
+
+    FixedKernel k;
+    k.size = size;
+    k.weights.resize(raw.size());
+    for (size_t i = 0; i < raw.size(); ++i) {
+        const double q = 256.0 * raw[i] / sum;
+        const long rounded = std::lround(q);
+        k.weights[i] = static_cast<uint8_t>(rounded > 255 ? 255 : rounded);
+    }
+    return k;
+}
+
+}  // namespace sdlc

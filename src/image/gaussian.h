@@ -1,0 +1,33 @@
+// Gaussian kernel in 8-bit fixed point (paper Section IV case study:
+// 3x3 kernel, sigma = 1.5, 8-bit fixed-point arithmetic).
+#ifndef SDLC_IMAGE_GAUSSIAN_H
+#define SDLC_IMAGE_GAUSSIAN_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sdlc {
+
+/// A square convolution kernel with unsigned Q0.8 fixed-point weights:
+/// weight w represents w / 256. Weights sum to <= 256 and are normalized so
+/// blurring preserves brightness up to quantization.
+struct FixedKernel {
+    int size = 0;                   ///< side length (odd)
+    std::vector<uint8_t> weights;   ///< row-major, size*size entries
+
+    [[nodiscard]] uint8_t at(int kx, int ky) const {
+        return weights.at(static_cast<size_t>(ky) * static_cast<size_t>(size) +
+                          static_cast<size_t>(kx));
+    }
+    /// Sum of all weights (the fixed-point divisor numerator).
+    [[nodiscard]] int weight_sum() const;
+};
+
+/// Builds a size x size Gaussian kernel with standard deviation `sigma`,
+/// quantized to Q0.8. `size` must be odd.
+[[nodiscard]] FixedKernel make_gaussian_kernel(int size, double sigma);
+
+}  // namespace sdlc
+
+#endif  // SDLC_IMAGE_GAUSSIAN_H

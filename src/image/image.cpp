@@ -1,0 +1,109 @@
+#include "image/image.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace sdlc {
+
+Image::Image(int width, int height, uint8_t fill)
+    : width_(width), height_(height) {
+    if (width <= 0 || height <= 0) {
+        throw std::invalid_argument("Image: dimensions must be positive");
+    }
+    pixels_.assign(static_cast<size_t>(width) * static_cast<size_t>(height), fill);
+}
+
+size_t Image::index(int x, int y) const {
+    if (x < 0 || x >= width_ || y < 0 || y >= height_) {
+        throw std::out_of_range("Image: pixel out of range");
+    }
+    return static_cast<size_t>(y) * static_cast<size_t>(width_) + static_cast<size_t>(x);
+}
+
+uint8_t Image::at_clamped(int x, int y) const noexcept {
+    x = std::clamp(x, 0, width_ - 1);
+    y = std::clamp(y, 0, height_ - 1);
+    return pixels_[static_cast<size_t>(y) * static_cast<size_t>(width_) +
+                   static_cast<size_t>(x)];
+}
+
+void save_pgm(const Image& img, const std::string& path) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw std::runtime_error("save_pgm: cannot open " + path);
+    out << "P5\n" << img.width() << ' ' << img.height() << "\n255\n";
+    out.write(reinterpret_cast<const char*>(img.pixels().data()),
+              static_cast<std::streamsize>(img.pixel_count()));
+    if (!out) throw std::runtime_error("save_pgm: write failed for " + path);
+}
+
+Image load_pgm(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("load_pgm: cannot open " + path);
+
+    auto next_token = [&in, &path]() -> std::string {
+        std::string tok;
+        while (in >> tok) {
+            if (tok[0] == '#') {
+                std::string rest;
+                std::getline(in, rest);
+                continue;
+            }
+            return tok;
+        }
+        throw std::runtime_error("load_pgm: truncated header in " + path);
+    };
+
+    const std::string magic = next_token();
+    if (magic != "P5" && magic != "P2") {
+        throw std::runtime_error("load_pgm: unsupported format " + magic);
+    }
+    const int w = std::stoi(next_token());
+    const int h = std::stoi(next_token());
+    const int maxval = std::stoi(next_token());
+    if (w <= 0 || h <= 0 || maxval <= 0 || maxval > 255) {
+        throw std::runtime_error("load_pgm: bad dimensions/maxval in " + path);
+    }
+
+    Image img(w, h);
+    if (magic == "P2") {
+        for (auto& px : img.pixels()) {
+            int v;
+            if (!(in >> v)) throw std::runtime_error("load_pgm: truncated P2 data");
+            px = static_cast<uint8_t>(std::clamp(v, 0, 255));
+        }
+    } else {
+        in.get();  // single whitespace after maxval
+        in.read(reinterpret_cast<char*>(img.pixels().data()),
+                static_cast<std::streamsize>(img.pixel_count()));
+        if (in.gcount() != static_cast<std::streamsize>(img.pixel_count())) {
+            throw std::runtime_error("load_pgm: truncated P5 data");
+        }
+    }
+    return img;
+}
+
+double mse(const Image& a, const Image& b) {
+    if (a.width() != b.width() || a.height() != b.height()) {
+        throw std::invalid_argument("mse: image size mismatch");
+    }
+    double acc = 0.0;
+    const auto& pa = a.pixels();
+    const auto& pb = b.pixels();
+    for (size_t i = 0; i < pa.size(); ++i) {
+        const double d = static_cast<double>(pa[i]) - static_cast<double>(pb[i]);
+        acc += d * d;
+    }
+    return acc / static_cast<double>(pa.size());
+}
+
+double psnr(const Image& reference, const Image& test) {
+    const double m = mse(reference, test);
+    if (m == 0.0) return std::numeric_limits<double>::infinity();
+    return 10.0 * std::log10(255.0 * 255.0 / m);
+}
+
+}  // namespace sdlc

@@ -1,0 +1,62 @@
+// 8-bit grayscale image with PGM (P2/P5) I/O.
+//
+// The paper's case study applies a Gaussian blur to a 200x200 8-bit
+// grayscale image; this class is that substrate. PGM was chosen because it
+// is trivially inspectable and needs no external dependencies.
+#ifndef SDLC_IMAGE_IMAGE_H
+#define SDLC_IMAGE_IMAGE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sdlc {
+
+/// Row-major 8-bit grayscale image.
+class Image {
+public:
+    Image() = default;
+
+    /// Creates a width x height image filled with `fill`.
+    Image(int width, int height, uint8_t fill = 0);
+
+    [[nodiscard]] int width() const noexcept { return width_; }
+    [[nodiscard]] int height() const noexcept { return height_; }
+    [[nodiscard]] size_t pixel_count() const noexcept { return pixels_.size(); }
+
+    [[nodiscard]] uint8_t at(int x, int y) const { return pixels_.at(index(x, y)); }
+    void set(int x, int y, uint8_t v) { pixels_.at(index(x, y)) = v; }
+
+    /// Border-replicating accessor: coordinates are clamped into the image.
+    [[nodiscard]] uint8_t at_clamped(int x, int y) const noexcept;
+
+    [[nodiscard]] const std::vector<uint8_t>& pixels() const noexcept { return pixels_; }
+    [[nodiscard]] std::vector<uint8_t>& pixels() noexcept { return pixels_; }
+
+    friend bool operator==(const Image&, const Image&) = default;
+
+private:
+    [[nodiscard]] size_t index(int x, int y) const;
+
+    int width_ = 0;
+    int height_ = 0;
+    std::vector<uint8_t> pixels_;
+};
+
+/// Writes `img` as binary PGM (P5). Throws std::runtime_error on I/O failure.
+void save_pgm(const Image& img, const std::string& path);
+
+/// Reads a PGM file (P2 or P5, maxval <= 255).
+/// Throws std::runtime_error on parse or I/O failure.
+[[nodiscard]] Image load_pgm(const std::string& path);
+
+/// Mean squared error between two equal-sized images.
+[[nodiscard]] double mse(const Image& a, const Image& b);
+
+/// Peak signal-to-noise ratio in dB (10*log10(255^2/MSE)).
+/// Returns +infinity when the images are identical.
+[[nodiscard]] double psnr(const Image& reference, const Image& test);
+
+}  // namespace sdlc
+
+#endif  // SDLC_IMAGE_IMAGE_H

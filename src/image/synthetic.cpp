@@ -1,0 +1,92 @@
+#include "image/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace sdlc {
+
+namespace {
+
+uint8_t clamp_px(double v) {
+    return static_cast<uint8_t>(std::clamp(v, 0.0, 255.0));
+}
+
+}  // namespace
+
+Image make_gradient(int width, int height) {
+    Image img(width, height);
+    for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+            const double t = static_cast<double>(x + y) / static_cast<double>(width + height - 2);
+            img.set(x, y, clamp_px(255.0 * t));
+        }
+    }
+    return img;
+}
+
+Image make_checkerboard(int width, int height, int cell) {
+    Image img(width, height);
+    for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+            const bool on = ((x / cell) + (y / cell)) % 2 == 0;
+            img.set(x, y, on ? 220 : 35);
+        }
+    }
+    return img;
+}
+
+Image make_noise(int width, int height, uint64_t seed) {
+    Image img(width, height);
+    Xoshiro256 rng(seed);
+    for (auto& px : img.pixels()) px = static_cast<uint8_t>(rng.next() & 0xff);
+    return img;
+}
+
+Image make_blobs(int width, int height, int blobs, uint64_t seed) {
+    Image img(width, height, 16);
+    Xoshiro256 rng(seed);
+    std::vector<double> cx(static_cast<size_t>(blobs)), cy(cx.size()), amp(cx.size()),
+        sig(cx.size());
+    for (int i = 0; i < blobs; ++i) {
+        cx[i] = rng.uniform() * width;
+        cy[i] = rng.uniform() * height;
+        amp[i] = 90.0 + rng.uniform() * 150.0;
+        sig[i] = 6.0 + rng.uniform() * 0.12 * std::min(width, height);
+    }
+    for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+            double v = 16.0;
+            for (int i = 0; i < blobs; ++i) {
+                const double dx = x - cx[i], dy = y - cy[i];
+                v += amp[i] * std::exp(-(dx * dx + dy * dy) / (2.0 * sig[i] * sig[i]));
+            }
+            img.set(x, y, clamp_px(v));
+        }
+    }
+    return img;
+}
+
+Image make_scene(int width, int height, uint64_t seed) {
+    Image img = make_blobs(width, height, 6, seed);
+    Xoshiro256 rng(seed ^ 0xabcdef1234567ull);
+    for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+            double v = img.at(x, y);
+            // Gradient background lighting.
+            v += 70.0 * static_cast<double>(x) / width + 30.0 * static_cast<double>(y) / height;
+            // A few hard vertical/horizontal structures (building-like edges).
+            if ((x > width / 3 && x < width / 3 + width / 20 && y > height / 2) ||
+                (y > 3 * height / 4 && y < 3 * height / 4 + height / 30)) {
+                v = 0.35 * v;
+            }
+            // Low-amplitude texture noise.
+            v += (static_cast<double>(rng.next() & 0xf) - 7.5);
+            img.set(x, y, clamp_px(v));
+        }
+    }
+    return img;
+}
+
+}  // namespace sdlc

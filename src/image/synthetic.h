@@ -1,0 +1,36 @@
+// Synthetic grayscale test scenes.
+//
+// The paper's input image is not distributed; these generators stand in
+// (substitution documented in DESIGN.md). PSNR in the case study is measured
+// against the exact-multiplier blur of the *same* scene, exactly as in the
+// paper, so scene content affects PSNR only through its intensity statistics.
+// synthetic_scene() mixes smooth regions, edges, blobs and texture to mimic
+// a natural photograph's mix of frequencies.
+#ifndef SDLC_IMAGE_SYNTHETIC_H
+#define SDLC_IMAGE_SYNTHETIC_H
+
+#include <cstdint>
+
+#include "image/image.h"
+
+namespace sdlc {
+
+/// Diagonal intensity ramp (smooth, low frequency).
+[[nodiscard]] Image make_gradient(int width, int height);
+
+/// Checkerboard with `cell`-pixel squares (hard edges).
+[[nodiscard]] Image make_checkerboard(int width, int height, int cell);
+
+/// Uniform random noise (worst case for approximation artifacts).
+[[nodiscard]] Image make_noise(int width, int height, uint64_t seed);
+
+/// Soft Gaussian blobs on a dark background.
+[[nodiscard]] Image make_blobs(int width, int height, int blobs, uint64_t seed);
+
+/// Photograph-like composite: gradient background, blobs, edges and
+/// low-amplitude texture noise.
+[[nodiscard]] Image make_scene(int width, int height, uint64_t seed);
+
+}  // namespace sdlc
+
+#endif  // SDLC_IMAGE_SYNTHETIC_H

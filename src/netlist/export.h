@@ -1,0 +1,29 @@
+// Netlist exporters: structural Verilog and Graphviz DOT.
+//
+// The Verilog writer emits the same kind of gate-level structural module the
+// paper's generic SystemVerilog generator produced, so generated multipliers
+// can be inspected or pushed through an external flow.
+#ifndef SDLC_NETLIST_EXPORT_H
+#define SDLC_NETLIST_EXPORT_H
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace sdlc {
+
+/// Writes `net` as a synthesizable structural Verilog module named
+/// `module_name` using assign statements over ~ & | ^ operators.
+void write_verilog(std::ostream& os, const Netlist& net, const std::string& module_name);
+
+/// Convenience overload returning the Verilog text.
+[[nodiscard]] std::string to_verilog(const Netlist& net, const std::string& module_name);
+
+/// Writes `net` as a Graphviz digraph (one node per gate, edges = fan-ins).
+/// Intended for small teaching-sized netlists.
+void write_dot(std::ostream& os, const Netlist& net, const std::string& graph_name);
+
+}  // namespace sdlc
+
+#endif  // SDLC_NETLIST_EXPORT_H

@@ -1,0 +1,48 @@
+#include "netlist/fault.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace sdlc {
+
+Netlist inject_faults(const Netlist& in, const std::vector<StuckAtFault>& faults) {
+    std::unordered_map<NetId, bool> fault_at;
+    for (const StuckAtFault& f : faults) {
+        if (f.net >= in.net_count()) {
+            throw std::invalid_argument("inject_faults: fault site out of range");
+        }
+        fault_at[f.net] = f.stuck_value;
+    }
+
+    Netlist out;
+    std::vector<NetId> map(in.net_count(), kNoNet);
+    size_t input_idx = 0;
+    for (NetId id = 0; id < in.net_count(); ++id) {
+        const Gate& g = in.gate(id);
+        NetId rewritten;
+        switch (g.kind) {
+            case GateKind::kConst0: rewritten = out.constant(false); break;
+            case GateKind::kConst1: rewritten = out.constant(true); break;
+            case GateKind::kInput: rewritten = out.input(in.input_name(input_idx++)); break;
+            default:
+                rewritten = out.add_gate(g.kind, map[g.in0],
+                                         g.in1 == kNoNet ? kNoNet : map[g.in1]);
+                break;
+        }
+        // Sinks of a faulty net see the stuck constant instead.
+        const auto it = fault_at.find(id);
+        map[id] = it == fault_at.end() ? rewritten : out.constant(it->second);
+    }
+    for (const OutputPort& p : in.outputs()) out.mark_output(map[p.net], p.name);
+    return out;
+}
+
+std::vector<NetId> logic_nets(const Netlist& in) {
+    std::vector<NetId> nets;
+    for (NetId id = 0; id < in.net_count(); ++id) {
+        if (gate_arity(in.gate(id).kind) > 0) nets.push_back(id);
+    }
+    return nets;
+}
+
+}  // namespace sdlc

@@ -1,0 +1,36 @@
+// Stuck-at fault injection.
+//
+// Rewrites a netlist so that a chosen net is forced to constant 0 or 1
+// (classic stuck-at fault model). Used by the robustness tests and the
+// fault-sensitivity bench to ask: which gates of the SDLC multiplier
+// matter most, and does logic compression change the failure profile
+// compared to the accurate design?
+#ifndef SDLC_NETLIST_FAULT_H
+#define SDLC_NETLIST_FAULT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace sdlc {
+
+/// A single stuck-at fault site.
+struct StuckAtFault {
+    NetId net = kNoNet;
+    bool stuck_value = false;
+};
+
+/// Returns a copy of `in` where each fault's net drives its stuck value
+/// into all of its sinks (the faulty gate itself is left in place but
+/// disconnected, as a real defect would leave the cell). Primary outputs
+/// reading a faulty net observe the stuck value.
+/// Throws std::invalid_argument when a fault names a missing net.
+[[nodiscard]] Netlist inject_faults(const Netlist& in, const std::vector<StuckAtFault>& faults);
+
+/// All logic nets of `in` (candidate fault sites; sources excluded).
+[[nodiscard]] std::vector<NetId> logic_nets(const Netlist& in);
+
+}  // namespace sdlc
+
+#endif  // SDLC_NETLIST_FAULT_H

@@ -1,0 +1,121 @@
+#include "netlist/netlist.h"
+
+#include <stdexcept>
+
+namespace sdlc {
+
+const char* gate_kind_name(GateKind k) noexcept {
+    switch (k) {
+        case GateKind::kConst0: return "CONST0";
+        case GateKind::kConst1: return "CONST1";
+        case GateKind::kInput: return "INPUT";
+        case GateKind::kBuf: return "BUF";
+        case GateKind::kNot: return "NOT";
+        case GateKind::kAnd: return "AND2";
+        case GateKind::kOr: return "OR2";
+        case GateKind::kNand: return "NAND2";
+        case GateKind::kNor: return "NOR2";
+        case GateKind::kXor: return "XOR2";
+        case GateKind::kXnor: return "XNOR2";
+    }
+    return "?";
+}
+
+NetId Netlist::check_net(NetId id) const {
+    if (id >= gates_.size()) {
+        throw std::invalid_argument("Netlist: fan-in references a net that does not exist yet");
+    }
+    return id;
+}
+
+NetId Netlist::constant(bool value) {
+    NetId& cached = value ? const1_ : const0_;
+    if (cached == kNoNet) {
+        cached = static_cast<NetId>(gates_.size());
+        gates_.push_back({value ? GateKind::kConst1 : GateKind::kConst0, kNoNet, kNoNet});
+    }
+    return cached;
+}
+
+NetId Netlist::input(std::string name) {
+    const NetId id = static_cast<NetId>(gates_.size());
+    gates_.push_back({GateKind::kInput, kNoNet, kNoNet});
+    inputs_.push_back(id);
+    input_names_.push_back(std::move(name));
+    return id;
+}
+
+NetId Netlist::add_gate(GateKind kind, NetId a, NetId b) {
+    const int arity = gate_arity(kind);
+    if (arity == 0) {
+        throw std::invalid_argument("Netlist: use constant()/input() for source kinds");
+    }
+    Gate g{kind, kNoNet, kNoNet};
+    g.in0 = check_net(a);
+    if (arity == 2) {
+        g.in1 = check_net(b);
+    } else if (b != kNoNet) {
+        throw std::invalid_argument("Netlist: unary gate given two fan-ins");
+    }
+    const NetId id = static_cast<NetId>(gates_.size());
+    gates_.push_back(g);
+    return id;
+}
+
+NetId Netlist::or_tree(const std::vector<NetId>& nets) {
+    if (nets.empty()) return constant(false);
+    std::vector<NetId> level = nets;
+    while (level.size() > 1) {
+        std::vector<NetId> next;
+        next.reserve((level.size() + 1) / 2);
+        for (size_t i = 0; i + 1 < level.size(); i += 2) {
+            next.push_back(or_gate(level[i], level[i + 1]));
+        }
+        if (level.size() % 2 == 1) next.push_back(level.back());
+        level = std::move(next);
+    }
+    return level[0];
+}
+
+void Netlist::mark_output(NetId net, std::string name) {
+    check_net(net);
+    outputs_.push_back({net, std::move(name)});
+}
+
+size_t Netlist::logic_gate_count() const noexcept {
+    size_t n = 0;
+    for (const Gate& g : gates_) {
+        if (gate_arity(g.kind) > 0) ++n;
+    }
+    return n;
+}
+
+std::array<size_t, kGateKindCount> Netlist::kind_histogram() const noexcept {
+    std::array<size_t, kGateKindCount> h{};
+    for (const Gate& g : gates_) ++h[static_cast<size_t>(g.kind)];
+    return h;
+}
+
+std::vector<uint32_t> Netlist::fanout_counts() const {
+    std::vector<uint32_t> fo(gates_.size(), 0);
+    for (const Gate& g : gates_) {
+        if (g.in0 != kNoNet) ++fo[g.in0];
+        if (g.in1 != kNoNet) ++fo[g.in1];
+    }
+    return fo;
+}
+
+std::vector<bool> Netlist::live_mask() const {
+    std::vector<bool> live(gates_.size(), false);
+    // Reverse pass suffices: fan-ins always precede the driven net.
+    for (const OutputPort& out : outputs_) live[out.net] = true;
+    for (size_t i = gates_.size(); i-- > 0;) {
+        if (!live[i]) continue;
+        const Gate& g = gates_[i];
+        if (g.in0 != kNoNet) live[g.in0] = true;
+        if (g.in1 != kNoNet) live[g.in1] = true;
+    }
+    return live;
+}
+
+}  // namespace sdlc

@@ -1,0 +1,146 @@
+// Gate-level combinational netlist intermediate representation.
+//
+// This is the structural substrate on which every multiplier in the library
+// is generated (the paper's SystemVerilog RTL stands in the same place).
+// Nets are created in topological order by construction: a gate may only
+// reference nets that already exist, so the netlist is a DAG and a single
+// forward pass evaluates, times, or costs it.
+#ifndef SDLC_NETLIST_NETLIST_H
+#define SDLC_NETLIST_NETLIST_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sdlc {
+
+/// Primitive cell kinds. Const0/Const1/Input are sources; the rest are logic.
+enum class GateKind : uint8_t {
+    kConst0,
+    kConst1,
+    kInput,
+    kBuf,
+    kNot,
+    kAnd,
+    kOr,
+    kNand,
+    kNor,
+    kXor,
+    kXnor,
+};
+
+/// Number of distinct GateKind values.
+inline constexpr size_t kGateKindCount = 11;
+
+/// Human-readable name of a gate kind ("AND2", "NOT", ...).
+[[nodiscard]] const char* gate_kind_name(GateKind k) noexcept;
+
+/// Fan-in arity of a gate kind (0, 1 or 2).
+[[nodiscard]] constexpr int gate_arity(GateKind k) noexcept {
+    switch (k) {
+        case GateKind::kConst0:
+        case GateKind::kConst1:
+        case GateKind::kInput:
+            return 0;
+        case GateKind::kBuf:
+        case GateKind::kNot:
+            return 1;
+        default:
+            return 2;
+    }
+}
+
+/// True for the two-input commutative logic kinds.
+[[nodiscard]] constexpr bool gate_commutative(GateKind k) noexcept {
+    return gate_arity(k) == 2;
+}
+
+/// Index of a net within a Netlist.
+using NetId = uint32_t;
+
+/// Sentinel for "no net" (unused fan-in slots).
+inline constexpr NetId kNoNet = 0xFFFFFFFFu;
+
+/// One gate; the driven net's id is the gate's position in the netlist.
+struct Gate {
+    GateKind kind = GateKind::kConst0;
+    NetId in0 = kNoNet;
+    NetId in1 = kNoNet;
+};
+
+/// A named output port.
+struct OutputPort {
+    NetId net = kNoNet;
+    std::string name;
+};
+
+/// Combinational netlist. See file comment for the construction invariant.
+class Netlist {
+public:
+    Netlist() = default;
+
+    /// Returns the (deduplicated) constant-0 or constant-1 net.
+    NetId constant(bool value);
+
+    /// Creates a new primary input with the given port name.
+    NetId input(std::string name);
+
+    /// Creates a gate of the given kind. Unary kinds ignore `b`.
+    /// Throws std::invalid_argument on arity/net-id violations.
+    NetId add_gate(GateKind kind, NetId a, NetId b = kNoNet);
+
+    // Convenience builders.
+    NetId buf_gate(NetId a) { return add_gate(GateKind::kBuf, a); }
+    NetId not_gate(NetId a) { return add_gate(GateKind::kNot, a); }
+    NetId and_gate(NetId a, NetId b) { return add_gate(GateKind::kAnd, a, b); }
+    NetId or_gate(NetId a, NetId b) { return add_gate(GateKind::kOr, a, b); }
+    NetId nand_gate(NetId a, NetId b) { return add_gate(GateKind::kNand, a, b); }
+    NetId nor_gate(NetId a, NetId b) { return add_gate(GateKind::kNor, a, b); }
+    NetId xor_gate(NetId a, NetId b) { return add_gate(GateKind::kXor, a, b); }
+    NetId xnor_gate(NetId a, NetId b) { return add_gate(GateKind::kXnor, a, b); }
+
+    /// OR of any number of nets (balanced tree); 0 nets -> constant 0.
+    NetId or_tree(const std::vector<NetId>& nets);
+
+    /// Declares `net` as a named primary output.
+    void mark_output(NetId net, std::string name);
+
+    // --- Introspection -----------------------------------------------------
+
+    [[nodiscard]] size_t net_count() const noexcept { return gates_.size(); }
+    [[nodiscard]] const Gate& gate(NetId id) const { return gates_.at(id); }
+
+    /// Primary inputs in creation order.
+    [[nodiscard]] const std::vector<NetId>& inputs() const noexcept { return inputs_; }
+    [[nodiscard]] const std::string& input_name(size_t idx) const { return input_names_.at(idx); }
+
+    /// Primary outputs in declaration order.
+    [[nodiscard]] const std::vector<OutputPort>& outputs() const noexcept { return outputs_; }
+
+    /// Number of logic cells (everything except Const*/Input).
+    [[nodiscard]] size_t logic_gate_count() const noexcept;
+
+    /// Per-kind gate histogram.
+    [[nodiscard]] std::array<size_t, kGateKindCount> kind_histogram() const noexcept;
+
+    /// Number of sink gates reading each net (output ports not counted).
+    [[nodiscard]] std::vector<uint32_t> fanout_counts() const;
+
+    /// Nets reachable backwards from the outputs (true = live).
+    [[nodiscard]] std::vector<bool> live_mask() const;
+
+private:
+    NetId check_net(NetId id) const;
+
+    std::vector<Gate> gates_;
+    std::vector<NetId> inputs_;
+    std::vector<std::string> input_names_;
+    std::vector<OutputPort> outputs_;
+    NetId const0_ = kNoNet;
+    NetId const1_ = kNoNet;
+};
+
+}  // namespace sdlc
+
+#endif  // SDLC_NETLIST_NETLIST_H

@@ -1,0 +1,230 @@
+#include "netlist/opt.h"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+
+namespace sdlc {
+
+namespace {
+
+/// Key for structural hashing of logic gates.
+struct GateKey {
+    GateKind kind;
+    NetId a;
+    NetId b;
+    bool operator==(const GateKey&) const = default;
+};
+
+struct GateKeyHash {
+    size_t operator()(const GateKey& k) const noexcept {
+        uint64_t h = static_cast<uint64_t>(k.kind);
+        h = h * 0x9e3779b97f4a7c15ull + k.a;
+        h = h * 0x9e3779b97f4a7c15ull + k.b;
+        return static_cast<size_t>(h ^ (h >> 32));
+    }
+};
+
+/// Tracks whether a rewritten net is a known constant.
+enum class ConstState : uint8_t { kUnknown, kZero, kOne };
+
+class Rewriter {
+public:
+    Rewriter(const Netlist& in, const OptOptions& opts) : in_(in), opts_(opts) {}
+
+    OptResult run() {
+        OptResult res;
+        res.stats.gates_before = in_.logic_gate_count();
+        const std::vector<bool> live =
+            opts_.remove_dead ? in_.live_mask() : std::vector<bool>(in_.net_count(), true);
+
+        map_.assign(in_.net_count(), kNoNet);
+        size_t input_idx = 0;
+        for (NetId id = 0; id < in_.net_count(); ++id) {
+            const Gate& g = in_.gate(id);
+            if (g.kind == GateKind::kInput) {
+                // Inputs are always kept so the interface is stable.
+                map_[id] = out_.input(in_.input_name(input_idx++));
+                note_state(map_[id], ConstState::kUnknown);
+                continue;
+            }
+            if (!live[id]) {
+                if (gate_arity(g.kind) > 0) ++res.stats.dead;
+                continue;
+            }
+            map_[id] = rewrite(g, res.stats);
+        }
+        for (const OutputPort& p : in_.outputs()) {
+            out_.mark_output(map_[p.net], p.name);
+        }
+        res.stats.gates_after = out_.logic_gate_count();
+        res.netlist = std::move(out_);
+        return res;
+    }
+
+private:
+    void note_state(NetId id, ConstState s) {
+        if (states_.size() <= id) states_.resize(id + 1, ConstState::kUnknown);
+        states_[id] = s;
+    }
+    ConstState state(NetId id) const {
+        return id < states_.size() ? states_[id] : ConstState::kUnknown;
+    }
+
+    NetId make_const(bool v) {
+        const NetId id = out_.constant(v);
+        note_state(id, v ? ConstState::kOne : ConstState::kZero);
+        return id;
+    }
+
+    /// Emits (or reuses) a logic gate in the output netlist.
+    NetId emit(GateKind kind, NetId a, NetId b, OptStats& stats) {
+        if (gate_commutative(kind) && a > b) std::swap(a, b);
+        if (opts_.cse) {
+            const GateKey key{kind, a, b};
+            if (const auto it = cse_.find(key); it != cse_.end()) {
+                ++stats.merged;
+                return it->second;
+            }
+            const NetId id = out_.add_gate(kind, a, b);
+            note_state(id, ConstState::kUnknown);
+            cse_.emplace(key, id);
+            return id;
+        }
+        const NetId id = out_.add_gate(kind, a, b);
+        note_state(id, ConstState::kUnknown);
+        return id;
+    }
+
+    /// NOT with double-negation elimination.
+    NetId emit_not(NetId a, OptStats& stats) {
+        if (opts_.simplify_identities) {
+            if (const auto it = not_of_.find(a); it != not_of_.end()) {
+                ++stats.folded;
+                return it->second;
+            }
+        }
+        const NetId id = emit(GateKind::kNot, a, kNoNet, stats);
+        not_of_.emplace(id, a);  // NOT(id) == a
+        return id;
+    }
+
+    NetId rewrite(const Gate& g, OptStats& stats) {
+        switch (g.kind) {
+            case GateKind::kConst0: return make_const(false);
+            case GateKind::kConst1: return make_const(true);
+            default: break;
+        }
+        const NetId a = map_[g.in0];
+        const NetId b = gate_arity(g.kind) == 2 ? map_[g.in1] : kNoNet;
+        const ConstState sa = state(a);
+        const ConstState sb = b == kNoNet ? ConstState::kUnknown : state(b);
+
+        if (opts_.fold_constants || opts_.simplify_identities) {
+            if (auto r = try_simplify(g.kind, a, b, sa, sb, stats)) return *r;
+        }
+        if (g.kind == GateKind::kNot) return emit_not(a, stats);
+        if (g.kind == GateKind::kBuf) {
+            // A buffer is pure fanout repair; functionally it is its input.
+            if (opts_.simplify_identities) {
+                ++stats.folded;
+                return a;
+            }
+            return emit(GateKind::kBuf, a, kNoNet, stats);
+        }
+        return emit(g.kind, a, b, stats);
+    }
+
+    /// Constant folding and identity rules; nullopt when no rule applies.
+    std::optional<NetId> try_simplify(GateKind k, NetId a, NetId b, ConstState sa,
+                                      ConstState sb, OptStats& stats) {
+        const bool a0 = sa == ConstState::kZero, a1 = sa == ConstState::kOne;
+        const bool b0 = sb == ConstState::kZero, b1 = sb == ConstState::kOne;
+        auto fold_const = [&](bool v) -> std::optional<NetId> {
+            ++stats.folded;
+            return make_const(v);
+        };
+        auto fold_net = [&](NetId n) -> std::optional<NetId> {
+            ++stats.folded;
+            return n;
+        };
+        auto fold_not = [&](NetId n) -> std::optional<NetId> {
+            ++stats.folded;
+            return emit_not(n, stats);
+        };
+
+        switch (k) {
+            case GateKind::kBuf:
+                if (a0) return fold_const(false);
+                if (a1) return fold_const(true);
+                return std::nullopt;
+            case GateKind::kNot:
+                if (a0) return fold_const(true);
+                if (a1) return fold_const(false);
+                if (opts_.simplify_identities) {
+                    if (const auto it = not_of_.find(a); it != not_of_.end()) {
+                        ++stats.folded;
+                        return it->second;
+                    }
+                }
+                return std::nullopt;
+            case GateKind::kAnd:
+                if (a0 || b0) return fold_const(false);
+                if (a1) return fold_net(b);
+                if (b1) return fold_net(a);
+                if (a == b && opts_.simplify_identities) return fold_net(a);
+                return std::nullopt;
+            case GateKind::kOr:
+                if (a1 || b1) return fold_const(true);
+                if (a0) return fold_net(b);
+                if (b0) return fold_net(a);
+                if (a == b && opts_.simplify_identities) return fold_net(a);
+                return std::nullopt;
+            case GateKind::kNand:
+                if (a0 || b0) return fold_const(true);
+                if (a1) return fold_not(b);
+                if (b1) return fold_not(a);
+                if (a == b && opts_.simplify_identities) return fold_not(a);
+                return std::nullopt;
+            case GateKind::kNor:
+                if (a1 || b1) return fold_const(false);
+                if (a0) return fold_not(b);
+                if (b0) return fold_not(a);
+                if (a == b && opts_.simplify_identities) return fold_not(a);
+                return std::nullopt;
+            case GateKind::kXor:
+                if (a0) return fold_net(b);
+                if (b0) return fold_net(a);
+                if (a1) return fold_not(b);
+                if (b1) return fold_not(a);
+                if (a == b && opts_.simplify_identities) return fold_const(false);
+                return std::nullopt;
+            case GateKind::kXnor:
+                if (a0) return fold_not(b);
+                if (b0) return fold_not(a);
+                if (a1) return fold_net(b);
+                if (b1) return fold_net(a);
+                if (a == b && opts_.simplify_identities) return fold_const(true);
+                return std::nullopt;
+            default:
+                return std::nullopt;
+        }
+    }
+
+    const Netlist& in_;
+    const OptOptions& opts_;
+    Netlist out_;
+    std::vector<NetId> map_;
+    std::vector<ConstState> states_;
+    std::unordered_map<GateKey, NetId, GateKeyHash> cse_;
+    // not_of_[x] == y means gate x is NOT(y); used for NOT(NOT(y)) -> y.
+    std::unordered_map<NetId, NetId> not_of_;
+};
+
+}  // namespace
+
+OptResult optimize(const Netlist& in, const OptOptions& opts) {
+    return Rewriter(in, opts).run();
+}
+
+}  // namespace sdlc

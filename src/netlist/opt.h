@@ -1,0 +1,48 @@
+// Structural logic optimizer.
+//
+// Stands in for the technology-independent optimization a commercial
+// synthesis tool (the paper used Synopsys Design Compiler) performs before
+// mapping: constant folding, identity simplification, double-inverter
+// removal, common-subexpression elimination and dead-gate removal.
+// The optimizer is purely structural and provably function-preserving;
+// tests random-equivalence-check every multiplier before/after.
+#ifndef SDLC_NETLIST_OPT_H
+#define SDLC_NETLIST_OPT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace sdlc {
+
+/// Knobs for optimize(); all passes default to on.
+struct OptOptions {
+    bool fold_constants = true;
+    bool simplify_identities = true;  // a AND a = a, a XOR a = 0, NOT NOT a = a, ...
+    bool cse = true;                  // structural hashing of (kind, in0, in1)
+    bool remove_dead = true;          // gates not reachable from any output
+};
+
+/// Statistics from one optimize() run.
+struct OptStats {
+    size_t gates_before = 0;
+    size_t gates_after = 0;
+    size_t folded = 0;    // gates replaced by a constant or an existing net
+    size_t merged = 0;    // gates merged by CSE
+    size_t dead = 0;      // unreachable gates dropped
+};
+
+/// Result of optimize(): the rewritten netlist plus statistics.
+/// Primary inputs and output ports (names and order) are preserved.
+struct OptResult {
+    Netlist netlist;
+    OptStats stats;
+};
+
+/// Optimizes `in` according to `opts`. The input netlist is not modified.
+[[nodiscard]] OptResult optimize(const Netlist& in, const OptOptions& opts = {});
+
+}  // namespace sdlc
+
+#endif  // SDLC_NETLIST_OPT_H

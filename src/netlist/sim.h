@@ -1,0 +1,69 @@
+// 64-lane bit-parallel netlist simulator.
+//
+// Each net carries a 64-bit word: bit `l` of the word is the net's logic
+// value in test-vector lane `l`, so one pass evaluates 64 input vectors.
+// The simulator also counts per-net toggles between consecutive passes,
+// which feeds the switching-activity power model in src/tech.
+#ifndef SDLC_NETLIST_SIM_H
+#define SDLC_NETLIST_SIM_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace sdlc {
+
+/// Evaluates a Netlist on batches of 64 parallel test vectors.
+class Simulator {
+public:
+    using Word = uint64_t;
+
+    /// Binds to `net` (which must outlive the simulator).
+    explicit Simulator(const Netlist& net);
+
+    /// Evaluates one 64-lane pass. `input_words[i]` supplies the lanes of
+    /// primary input `i` (in Netlist::inputs() order).
+    /// Throws std::invalid_argument if the span size mismatches.
+    void run(std::span<const Word> input_words);
+
+    /// Value word of any net after the last run().
+    [[nodiscard]] Word value(NetId id) const { return values_.at(id); }
+
+    /// Output value words (in Netlist::outputs() order) after the last run().
+    [[nodiscard]] std::vector<Word> output_words() const;
+
+    /// Like run(), but also accumulates per-net toggle counts against the
+    /// previous pass's values (lane-wise XOR popcount). The first counted
+    /// pass after reset_toggles() establishes the baseline contributing
+    /// toggles against zero-initialized values.
+    void run_counting_toggles(std::span<const Word> input_words);
+
+    /// Per-net accumulated toggle counts.
+    [[nodiscard]] const std::vector<uint64_t>& toggle_counts() const noexcept {
+        return toggles_;
+    }
+
+    /// Number of lanes accumulated into toggle_counts().
+    [[nodiscard]] uint64_t toggled_lanes() const noexcept { return toggled_lanes_; }
+
+    /// Clears toggle statistics and value history.
+    void reset_toggles();
+
+private:
+    void eval(std::span<const Word> input_words);
+
+    const Netlist* net_;
+    std::vector<Word> values_;
+    std::vector<uint64_t> toggles_;
+    uint64_t toggled_lanes_ = 0;
+};
+
+/// Single-vector convenience wrapper: evaluates `net` on one boolean input
+/// assignment (in Netlist::inputs() order) and returns the output bits.
+[[nodiscard]] std::vector<bool> eval_single(const Netlist& net, const std::vector<bool>& inputs);
+
+}  // namespace sdlc
+
+#endif  // SDLC_NETLIST_SIM_H

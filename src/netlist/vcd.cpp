@@ -1,0 +1,63 @@
+#include "netlist/vcd.h"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "netlist/sim.h"
+
+namespace sdlc {
+
+std::string VcdWriter::id_code(size_t index) {
+    // Printable identifier code: base-94 over '!'..'~'.
+    std::string s;
+    do {
+        s.push_back(static_cast<char>('!' + index % 94));
+        index /= 94;
+    } while (index != 0);
+    return s;
+}
+
+VcdWriter::VcdWriter(std::ostream& os, const Netlist& net, const std::string& top_name)
+    : os_(&os), net_(&net) {
+    codes_.reserve(net.net_count());
+    for (size_t i = 0; i < net.net_count(); ++i) codes_.push_back(id_code(i));
+    last_.assign(net.net_count(), false);
+
+    *os_ << "$timescale 1ns $end\n$scope module " << top_name << " $end\n";
+    size_t input_idx = 0;
+    for (NetId id = 0; id < net.net_count(); ++id) {
+        const Gate& g = net.gate(id);
+        std::string name = "n" + std::to_string(id);
+        if (g.kind == GateKind::kInput) name = net.input_name(input_idx++);
+        *os_ << "$var wire 1 " << codes_[id] << ' ' << name << " $end\n";
+    }
+    for (const OutputPort& p : net.outputs()) {
+        // Outputs are aliases of internal nets; VCD allows multiple vars
+        // with the same id code, so reuse the driving net's code.
+        *os_ << "$var wire 1 " << codes_[p.net] << ' ' << p.name << " $end\n";
+    }
+    *os_ << "$upscope $end\n$enddefinitions $end\n";
+}
+
+void VcdWriter::step(const std::vector<bool>& inputs) {
+    if (inputs.size() != net_->inputs().size()) {
+        throw std::invalid_argument("VcdWriter::step: wrong number of inputs");
+    }
+    std::vector<Simulator::Word> words(inputs.size());
+    for (size_t i = 0; i < inputs.size(); ++i) words[i] = inputs[i] ? ~uint64_t{0} : 0;
+    Simulator sim(*net_);
+    sim.run(words);
+
+    *os_ << '#' << time_ << '\n';
+    for (NetId id = 0; id < net_->net_count(); ++id) {
+        const bool v = (sim.value(id) & 1u) != 0;
+        if (first_ || v != last_[id]) {
+            *os_ << (v ? '1' : '0') << codes_[id] << '\n';
+            last_[id] = v;
+        }
+    }
+    first_ = false;
+    ++time_;
+}
+
+}  // namespace sdlc

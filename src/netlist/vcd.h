@@ -1,0 +1,48 @@
+// VCD (Value Change Dump) waveform writer.
+//
+// Records the value of every net over a sequence of input vectors so a
+// generated multiplier can be inspected in GTKWave & co. Combinational
+// netlists have no clock; each input vector advances simulation time by
+// one step.
+#ifndef SDLC_NETLIST_VCD_H
+#define SDLC_NETLIST_VCD_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace sdlc {
+
+/// Streams a VCD file for one netlist.
+class VcdWriter {
+public:
+    /// Writes the VCD header (module scope `top_name`, 1 ns timescale).
+    /// Primary inputs/outputs keep their port names; internal nets are
+    /// named n<id>. The ostream must outlive the writer.
+    VcdWriter(std::ostream& os, const Netlist& net, const std::string& top_name);
+
+    /// Records one input vector (single-bit values, Netlist::inputs()
+    /// order): simulates the netlist and dumps all value changes at the
+    /// next timestep. Throws std::invalid_argument on size mismatch.
+    void step(const std::vector<bool>& inputs);
+
+    /// Number of steps recorded so far.
+    [[nodiscard]] uint64_t steps() const noexcept { return time_; }
+
+private:
+    static std::string id_code(size_t index);
+
+    std::ostream* os_;
+    const Netlist* net_;
+    std::vector<std::string> codes_;
+    std::vector<bool> last_;
+    bool first_ = true;
+    uint64_t time_ = 0;
+};
+
+}  // namespace sdlc
+
+#endif  // SDLC_NETLIST_VCD_H

@@ -1,0 +1,40 @@
+#include "tech/cell_library.h"
+
+namespace sdlc {
+
+CellLibrary CellLibrary::generic_90nm() {
+    CellLibrary lib;
+    lib.set_name("generic-90nm");
+    // {area um^2, leakage nW, intrinsic ps, ps/fanout, energy fJ, fJ/fanout}
+    // Relative sizing follows typical 90 nm standard-cell data books:
+    // NAND/NOR are the cheapest 2-input cells, AND/OR cost an extra inverter
+    // stage, XOR/XNOR are roughly twice an AND in area, delay and energy.
+    lib.set_cell(GateKind::kBuf, {3.1, 9.0, 38.0, 6.0, 2.2, 1.0});
+    lib.set_cell(GateKind::kNot, {2.1, 7.0, 22.0, 7.0, 1.6, 1.0});
+    lib.set_cell(GateKind::kAnd, {5.6, 15.0, 58.0, 8.0, 4.2, 1.2});
+    lib.set_cell(GateKind::kOr, {5.6, 16.0, 62.0, 8.0, 4.5, 1.2});
+    lib.set_cell(GateKind::kNand, {4.2, 11.0, 36.0, 8.0, 3.0, 1.2});
+    lib.set_cell(GateKind::kNor, {4.2, 12.0, 44.0, 8.0, 3.3, 1.2});
+    lib.set_cell(GateKind::kXor, {9.8, 26.0, 92.0, 9.0, 7.6, 1.4});
+    lib.set_cell(GateKind::kXnor, {9.8, 26.0, 95.0, 9.0, 7.6, 1.4});
+    // Sources cost nothing: inputs and constants are not synthesized cells.
+    return lib;
+}
+
+CellLibrary CellLibrary::scaled(double area_f, double delay_f, double energy_f) const {
+    CellLibrary lib = *this;
+    lib.set_name(name_ + "-scaled");
+    for (size_t i = 0; i < kGateKindCount; ++i) {
+        CellParams p = lib.cells_[i];
+        p.area_um2 *= area_f;
+        p.leakage_nw *= area_f;  // leakage tracks transistor count/area
+        p.intrinsic_delay_ps *= delay_f;
+        p.load_delay_ps *= delay_f;
+        p.energy_fj *= energy_f;
+        p.load_energy_fj *= energy_f;
+        lib.cells_[i] = p;
+    }
+    return lib;
+}
+
+}  // namespace sdlc

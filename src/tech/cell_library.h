@@ -1,0 +1,59 @@
+// Standard-cell technology library model.
+//
+// Substitutes for the Faraday 90 nm library + Synopsys Design Compiler used
+// in the paper. Each primitive cell carries area, leakage, a linear delay
+// model (intrinsic + per-fanout load) and a switching energy (intrinsic +
+// per-fanout load). Absolute values are representative of published 90 nm
+// standard-cell data; all experiments report *relative* reductions, which
+// depend on gate counts and path structure rather than on the exact values.
+#ifndef SDLC_TECH_CELL_LIBRARY_H
+#define SDLC_TECH_CELL_LIBRARY_H
+
+#include <array>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace sdlc {
+
+/// Physical parameters of one cell type.
+struct CellParams {
+    double area_um2 = 0.0;           ///< placed cell area
+    double leakage_nw = 0.0;         ///< static leakage power
+    double intrinsic_delay_ps = 0.0; ///< unloaded propagation delay
+    double load_delay_ps = 0.0;      ///< additional delay per fanout sink
+    double energy_fj = 0.0;          ///< internal energy per output toggle
+    double load_energy_fj = 0.0;     ///< additional energy per fanout per toggle
+};
+
+/// A complete cell library: parameters for every GateKind.
+class CellLibrary {
+public:
+    /// Library with all-zero cells (useful for tests).
+    CellLibrary() = default;
+
+    /// Representative generic 90 nm library (see file comment).
+    [[nodiscard]] static CellLibrary generic_90nm();
+
+    /// A scaled variant: all areas/energies/delays multiplied by the given
+    /// factors. Models e.g. a different node for sensitivity studies.
+    [[nodiscard]] CellLibrary scaled(double area_f, double delay_f, double energy_f) const;
+
+    [[nodiscard]] const CellParams& cell(GateKind k) const noexcept {
+        return cells_[static_cast<size_t>(k)];
+    }
+    void set_cell(GateKind k, const CellParams& p) noexcept {
+        cells_[static_cast<size_t>(k)] = p;
+    }
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    void set_name(std::string n) { name_ = std::move(n); }
+
+private:
+    std::array<CellParams, kGateKindCount> cells_{};
+    std::string name_ = "null";
+};
+
+}  // namespace sdlc
+
+#endif  // SDLC_TECH_CELL_LIBRARY_H

@@ -1,0 +1,47 @@
+#include "tech/power.h"
+
+#include "netlist/sim.h"
+#include "util/rng.h"
+
+namespace sdlc {
+
+PowerReport estimate_power(const Netlist& net, const CellLibrary& lib,
+                           const PowerOptions& opts) {
+    PowerReport rep;
+    const std::vector<uint32_t> fanout = net.fanout_counts();
+
+    for (NetId id = 0; id < net.net_count(); ++id) {
+        const Gate& g = net.gate(id);
+        if (gate_arity(g.kind) > 0) rep.leakage_nw += lib.cell(g.kind).leakage_nw;
+    }
+
+    if (net.inputs().empty() || opts.passes <= 0) return rep;
+
+    Simulator sim(net);
+    Xoshiro256 rng(opts.seed);
+    std::vector<Simulator::Word> words(net.inputs().size());
+    for (int p = 0; p < opts.passes; ++p) {
+        for (auto& w : words) w = rng.next();
+        sim.run_counting_toggles(words);
+    }
+
+    const auto& toggles = sim.toggle_counts();
+    const double vectors = static_cast<double>(sim.toggled_lanes());
+    double energy = 0.0;
+    double toggle_sum = 0.0;
+    size_t logic_nets = 0;
+    for (NetId id = 0; id < net.net_count(); ++id) {
+        const Gate& g = net.gate(id);
+        if (gate_arity(g.kind) == 0) continue;
+        const CellParams& cell = lib.cell(g.kind);
+        const double t = static_cast<double>(toggles[id]);
+        energy += t * (cell.energy_fj + cell.load_energy_fj * fanout[id]);
+        toggle_sum += t;
+        ++logic_nets;
+    }
+    rep.dynamic_energy_fj = energy / vectors;
+    rep.mean_toggle_rate = logic_nets ? toggle_sum / vectors / static_cast<double>(logic_nets) : 0.0;
+    return rep;
+}
+
+}  // namespace sdlc

@@ -1,0 +1,58 @@
+#include "tech/sta.h"
+
+#include <algorithm>
+
+namespace sdlc {
+
+TimingReport analyze_timing(const Netlist& net, const CellLibrary& lib) {
+    TimingReport rep;
+    const size_t n = net.net_count();
+    rep.arrival_ps.assign(n, 0.0);
+    const std::vector<uint32_t> fanout = net.fanout_counts();
+    // Remember the critical fan-in of each net to reconstruct the path.
+    std::vector<NetId> crit_fanin(n, kNoNet);
+
+    for (NetId id = 0; id < n; ++id) {
+        const Gate& g = net.gate(id);
+        if (gate_arity(g.kind) == 0) continue;  // sources arrive at 0
+        double in_arr = rep.arrival_ps[g.in0];
+        NetId crit = g.in0;
+        if (g.in1 != kNoNet && rep.arrival_ps[g.in1] > in_arr) {
+            in_arr = rep.arrival_ps[g.in1];
+            crit = g.in1;
+        }
+        const CellParams& cell = lib.cell(g.kind);
+        rep.arrival_ps[id] = in_arr + cell.intrinsic_delay_ps + cell.load_delay_ps * fanout[id];
+        crit_fanin[id] = crit;
+    }
+
+    for (const OutputPort& p : net.outputs()) {
+        if (rep.arrival_ps[p.net] >= rep.critical_path_ps) {
+            rep.critical_path_ps = rep.arrival_ps[p.net];
+            rep.critical_output = p.net;
+        }
+    }
+    if (rep.critical_output != kNoNet) {
+        for (NetId cur = rep.critical_output; cur != kNoNet; cur = crit_fanin[cur]) {
+            rep.critical_path.push_back(cur);
+        }
+        std::reverse(rep.critical_path.begin(), rep.critical_path.end());
+    }
+    return rep;
+}
+
+int logic_depth(const Netlist& net) {
+    std::vector<int> depth(net.net_count(), 0);
+    int best = 0;
+    for (NetId id = 0; id < net.net_count(); ++id) {
+        const Gate& g = net.gate(id);
+        if (gate_arity(g.kind) == 0) continue;
+        int d = depth[g.in0];
+        if (g.in1 != kNoNet) d = std::max(d, depth[g.in1]);
+        depth[id] = d + 1;
+    }
+    for (const OutputPort& p : net.outputs()) best = std::max(best, depth[p.net]);
+    return best;
+}
+
+}  // namespace sdlc

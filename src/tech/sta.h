@@ -1,0 +1,35 @@
+// Static timing analysis over the netlist DAG.
+//
+// Arrival time of a net = max(arrival of fan-ins) + intrinsic delay of the
+// driving cell + load-dependent delay (per fanout sink). Primary inputs and
+// constants arrive at t=0. The critical path is the max arrival over the
+// primary outputs; this models the post-synthesis delay number the paper
+// reads from Design Compiler.
+#ifndef SDLC_TECH_STA_H
+#define SDLC_TECH_STA_H
+
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "tech/cell_library.h"
+
+namespace sdlc {
+
+/// Result of timing analysis.
+struct TimingReport {
+    std::vector<double> arrival_ps;   ///< per-net arrival time
+    double critical_path_ps = 0.0;    ///< max arrival over primary outputs
+    NetId critical_output = kNoNet;   ///< output net achieving the max
+    std::vector<NetId> critical_path; ///< nets from input to critical output
+};
+
+/// Runs STA on `net` with cell timing from `lib`.
+[[nodiscard]] TimingReport analyze_timing(const Netlist& net, const CellLibrary& lib);
+
+/// Logic depth (levels of gates) of the critical output — a technology-free
+/// structural delay proxy used by ablation benches.
+[[nodiscard]] int logic_depth(const Netlist& net);
+
+}  // namespace sdlc
+
+#endif  // SDLC_TECH_STA_H

@@ -1,0 +1,48 @@
+#include "tech/synthesis.h"
+
+#include <sstream>
+
+#include "tech/sta.h"
+
+namespace sdlc {
+
+SynthesisReport synthesize(const Netlist& net, const CellLibrary& lib,
+                           const SynthesisOptions& opts) {
+    Netlist optimized;
+    const Netlist* target = &net;
+    if (opts.optimize) {
+        optimized = optimize(net).netlist;
+        target = &optimized;
+    }
+
+    SynthesisReport rep;
+    rep.cells = target->logic_gate_count();
+    for (NetId id = 0; id < target->net_count(); ++id) {
+        const Gate& g = target->gate(id);
+        if (gate_arity(g.kind) > 0) rep.area_um2 += lib.cell(g.kind).area_um2;
+    }
+
+    const TimingReport timing = analyze_timing(*target, lib);
+    rep.delay_ps = timing.critical_path_ps;
+    rep.depth = logic_depth(*target);
+
+    const PowerReport power = estimate_power(*target, lib, opts.power);
+    rep.dynamic_energy_fj = power.dynamic_energy_fj;
+    rep.leakage_nw = power.leakage_nw;
+    // P_dyn = E_op * f;  1 fJ * 1 MHz = 1e-15 J * 1e6 1/s = 1e-9 W = 1e-3 uW.
+    rep.dynamic_power_uw = rep.dynamic_energy_fj * opts.clock_mhz * 1e-3;
+    // Energy per operation: switching energy plus leakage integrated over one
+    // critical-path delay (1 nW * 1 ps = 1e-9 * 1e-12 J = 1e-21 J = 1e-6 fJ).
+    rep.energy_fj = rep.dynamic_energy_fj + rep.leakage_nw * rep.delay_ps * 1e-6;
+    return rep;
+}
+
+std::string summarize(const SynthesisReport& r) {
+    std::ostringstream oss;
+    oss << r.cells << " cells, " << r.area_um2 << " um^2, " << r.delay_ps << " ps, "
+        << r.dynamic_power_uw << " uW dyn, " << r.leakage_nw << " nW leak, "
+        << r.energy_fj << " fJ/op";
+    return oss.str();
+}
+
+}  // namespace sdlc

@@ -1,0 +1,52 @@
+// One-stop "virtual synthesis" driver.
+//
+// synthesize() = optimize -> STA -> area/leakage roll-up -> activity-based
+// power, returning the same headline numbers the paper reads from Design
+// Compiler: cell count, area, critical-path delay, dynamic power, leakage
+// power and energy per operation.
+#ifndef SDLC_TECH_SYNTHESIS_H
+#define SDLC_TECH_SYNTHESIS_H
+
+#include <string>
+
+#include "netlist/netlist.h"
+#include "netlist/opt.h"
+#include "tech/cell_library.h"
+#include "tech/power.h"
+
+namespace sdlc {
+
+/// Synthesis knobs.
+struct SynthesisOptions {
+    bool optimize = true;        ///< run the structural optimizer first
+    PowerOptions power;          ///< activity estimation settings
+    double clock_mhz = 100.0;    ///< reference frequency for dynamic power
+};
+
+/// Headline post-synthesis metrics for one design.
+struct SynthesisReport {
+    size_t cells = 0;               ///< mapped logic cell count
+    double area_um2 = 0.0;          ///< total cell area
+    double delay_ps = 0.0;          ///< critical-path delay
+    int depth = 0;                  ///< logic depth (levels)
+    double dynamic_energy_fj = 0.0; ///< switching energy per operation
+    double dynamic_power_uw = 0.0;  ///< at SynthesisOptions::clock_mhz
+    double leakage_nw = 0.0;        ///< static power
+    double energy_fj = 0.0;         ///< energy/op incl. leakage over one critical delay
+
+    /// Relative reduction of `metric(approx)` vs `metric(exact)` in [0,1].
+    static double reduction(double exact, double approx) {
+        return exact > 0.0 ? (exact - approx) / exact : 0.0;
+    }
+};
+
+/// Synthesizes `net` against `lib` and reports metrics.
+[[nodiscard]] SynthesisReport synthesize(const Netlist& net, const CellLibrary& lib,
+                                         const SynthesisOptions& opts = {});
+
+/// Renders a short human-readable summary line.
+[[nodiscard]] std::string summarize(const SynthesisReport& r);
+
+}  // namespace sdlc
+
+#endif  // SDLC_TECH_SYNTHESIS_H

@@ -1,0 +1,44 @@
+// Small bit-manipulation helpers shared across the library.
+#ifndef SDLC_UTIL_BITOPS_H
+#define SDLC_UTIL_BITOPS_H
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace sdlc {
+
+/// Returns bit `i` of `x` as 0 or 1.
+[[nodiscard]] constexpr uint64_t bit(uint64_t x, unsigned i) noexcept {
+    return (x >> i) & 1u;
+}
+
+/// Mask with the low `n` bits set. `n` must be <= 64; `mask_low(64)` is all-ones.
+[[nodiscard]] constexpr uint64_t mask_low(unsigned n) noexcept {
+    return n >= 64 ? ~uint64_t{0} : (uint64_t{1} << n) - 1;
+}
+
+/// Number of set bits.
+[[nodiscard]] constexpr int popcount(uint64_t x) noexcept {
+    return std::popcount(x);
+}
+
+/// Ceiling division for non-negative integers.
+[[nodiscard]] constexpr int ceil_div(int a, int b) noexcept {
+    assert(b > 0);
+    return (a + b - 1) / b;
+}
+
+/// True if `x` is a power of two (and nonzero).
+[[nodiscard]] constexpr bool is_pow2(uint64_t x) noexcept {
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// Index of the highest set bit (undefined for 0).
+[[nodiscard]] constexpr int bit_width_minus1(uint64_t x) noexcept {
+    return 63 - std::countl_zero(x);
+}
+
+}  // namespace sdlc
+
+#endif  // SDLC_UTIL_BITOPS_H

@@ -1,0 +1,35 @@
+#include "util/csv.h"
+
+#include <stdexcept>
+
+namespace sdlc {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path), path_(path) {
+    if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+        if (i) out_ << ',';
+        out_ << escape(cells[i]);
+    }
+    out_ << '\n';
+    if (!out_) throw std::runtime_error("CsvWriter: write failed for " + path_);
+}
+
+void CsvWriter::close() {
+    if (out_.is_open()) out_.close();
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string r = "\"";
+    for (char ch : cell) {
+        if (ch == '"') r += "\"\"";
+        else r.push_back(ch);
+    }
+    r += '"';
+    return r;
+}
+
+}  // namespace sdlc

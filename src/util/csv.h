@@ -1,0 +1,33 @@
+// Tiny CSV writer; benches optionally dump machine-readable results so the
+// paper's figures can be re-plotted from files.
+#ifndef SDLC_UTIL_CSV_H
+#define SDLC_UTIL_CSV_H
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace sdlc {
+
+/// Writes rows of cells as RFC-4180-ish CSV (quotes cells containing
+/// commas/quotes/newlines). Throws std::runtime_error on I/O failure.
+class CsvWriter {
+public:
+    /// Opens `path` for writing, truncating any existing file.
+    explicit CsvWriter(const std::string& path);
+
+    /// Writes one row.
+    void write_row(const std::vector<std::string>& cells);
+
+    /// Flushes and closes; called by the destructor as well.
+    void close();
+
+private:
+    static std::string escape(const std::string& cell);
+    std::ofstream out_;
+    std::string path_;
+};
+
+}  // namespace sdlc
+
+#endif  // SDLC_UTIL_CSV_H

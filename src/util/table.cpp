@@ -1,0 +1,60 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sdlc {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+    if (header_.empty()) throw std::invalid_argument("TextTable: empty header");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+    if (row.size() != header_.size()) {
+        throw std::invalid_argument("TextTable: row width mismatch");
+    }
+    rows_.push_back(std::move(row));
+}
+
+void TextTable::print(std::ostream& os) const {
+    std::vector<size_t> width(header_.size());
+    for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+    }
+
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size()) os << std::string(width[c] - row[c].size() + 2, ' ');
+        }
+        os << '\n';
+    };
+
+    emit(header_);
+    size_t total = 0;
+    for (size_t c = 0; c < width.size(); ++c) total += width[c] + (c + 1 < width.size() ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) emit(row);
+}
+
+std::string TextTable::to_string() const {
+    std::ostringstream oss;
+    print(oss);
+    return oss.str();
+}
+
+std::string fmt_fixed(double v, int digits) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+    return buf;
+}
+
+std::string fmt_percent(double ratio, int digits) {
+    return fmt_fixed(ratio * 100.0, digits);
+}
+
+}  // namespace sdlc

@@ -1,0 +1,49 @@
+// Aligned plain-text table printer used by the experiment benches so their
+// stdout mirrors the rows/columns of the paper's tables and figures.
+#ifndef SDLC_UTIL_TABLE_H
+#define SDLC_UTIL_TABLE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sdlc {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+///
+/// Usage:
+///   TextTable t({"Bit-Width", "MRED", "ER (%)"});
+///   t.add_row({"8-bit", "1.98826", "49.11"});
+///   t.print(std::cout);
+class TextTable {
+public:
+    /// Creates a table with the given header row.
+    explicit TextTable(std::vector<std::string> header);
+
+    /// Appends one data row; its size must equal the header's.
+    void add_row(std::vector<std::string> row);
+
+    /// Number of data rows (excluding the header).
+    [[nodiscard]] size_t row_count() const noexcept { return rows_.size(); }
+
+    /// Renders with 2-space column gaps and a dashed rule under the header.
+    void print(std::ostream& os) const;
+
+    /// Renders to a string (same format as print()).
+    [[nodiscard]] std::string to_string() const;
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` fractional digits (fixed notation).
+[[nodiscard]] std::string fmt_fixed(double v, int digits);
+
+/// Formats a ratio as a percentage string with `digits` fractional digits,
+/// e.g. fmt_percent(0.4911, 2) == "49.11".
+[[nodiscard]] std::string fmt_percent(double ratio, int digits);
+
+}  // namespace sdlc
+
+#endif  // SDLC_UTIL_TABLE_H

@@ -1,0 +1,108 @@
+#include "util/u256.h"
+
+#include <cmath>
+
+namespace sdlc {
+
+namespace {
+
+/// 64x64 -> 128 multiply returning (lo, hi).
+struct Mul64 {
+    uint64_t lo;
+    uint64_t hi;
+};
+
+Mul64 mul_64(uint64_t a, uint64_t b) noexcept {
+    const unsigned __int128 p = static_cast<unsigned __int128>(a) * b;
+    return {static_cast<uint64_t>(p), static_cast<uint64_t>(p >> 64)};
+}
+
+}  // namespace
+
+U256 add(const U256& a, const U256& b) noexcept {
+    U256 r;
+    unsigned __int128 carry = 0;
+    for (int i = 0; i < 4; ++i) {
+        const unsigned __int128 s = static_cast<unsigned __int128>(a.w[i]) + b.w[i] + carry;
+        r.w[i] = static_cast<uint64_t>(s);
+        carry = s >> 64;
+    }
+    return r;
+}
+
+U256 sub(const U256& a, const U256& b) noexcept {
+    U256 r;
+    unsigned __int128 borrow = 0;
+    for (int i = 0; i < 4; ++i) {
+        const unsigned __int128 d =
+            static_cast<unsigned __int128>(a.w[i]) - b.w[i] - borrow;
+        r.w[i] = static_cast<uint64_t>(d);
+        borrow = (d >> 64) & 1;
+    }
+    return r;
+}
+
+U256 shl(const U256& a, unsigned k) noexcept {
+    U256 r;
+    if (k >= 256) return r;
+    const unsigned limb = k / 64;
+    const unsigned off = k % 64;
+    for (int i = 3; i >= 0; --i) {
+        uint64_t v = 0;
+        const int src = i - static_cast<int>(limb);
+        if (src >= 0) {
+            v = a.w[src] << off;
+            if (off != 0 && src >= 1) v |= a.w[src - 1] >> (64 - off);
+        }
+        r.w[i] = v;
+    }
+    return r;
+}
+
+U256 mul_128(uint64_t a_lo, uint64_t a_hi, uint64_t b_lo, uint64_t b_hi) noexcept {
+    const uint64_t a[2] = {a_lo, a_hi};
+    const uint64_t b[2] = {b_lo, b_hi};
+    U256 r;
+    for (int i = 0; i < 2; ++i) {
+        uint64_t carry = 0;
+        for (int j = 0; j < 2; ++j) {
+            const Mul64 p = mul_64(a[i], b[j]);
+            unsigned __int128 s = static_cast<unsigned __int128>(r.w[i + j]) + p.lo + carry;
+            r.w[i + j] = static_cast<uint64_t>(s);
+            carry = p.hi + static_cast<uint64_t>(s >> 64);
+        }
+        // Propagate the final carry into the next limb (cannot overflow limb 3).
+        unsigned __int128 s = static_cast<unsigned __int128>(r.w[i + 2]) + carry;
+        r.w[i + 2] = static_cast<uint64_t>(s);
+        if (i + 3 < 4) r.w[i + 3] += static_cast<uint64_t>(s >> 64);
+    }
+    return r;
+}
+
+bool less(const U256& a, const U256& b) noexcept {
+    for (int i = 3; i >= 0; --i) {
+        if (a.w[i] != b.w[i]) return a.w[i] < b.w[i];
+    }
+    return false;
+}
+
+double to_double(const U256& a) noexcept {
+    double r = 0.0;
+    for (int i = 3; i >= 0; --i) r = r * 0x1.0p64 + static_cast<double>(a.w[i]);
+    return r;
+}
+
+std::string to_hex(const U256& a) {
+    static const char* digits = "0123456789abcdef";
+    std::string s;
+    for (int i = 3; i >= 0; --i) {
+        for (int nib = 15; nib >= 0; --nib) {
+            s.push_back(digits[(a.w[i] >> (nib * 4)) & 0xf]);
+        }
+    }
+    const auto pos = s.find_first_not_of('0');
+    if (pos == std::string::npos) return "0";
+    return s.substr(pos);
+}
+
+}  // namespace sdlc

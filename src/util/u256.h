@@ -1,0 +1,62 @@
+// Minimal fixed-width 256-bit unsigned integer.
+//
+// Used as the reference arithmetic type when validating multiplier netlists
+// whose products exceed 128 bits (the paper synthesizes up to 128x128 -> 256).
+// Only the operations the library needs are provided; all are constexpr-free
+// plain functions kept deliberately simple and fully unit-tested.
+#ifndef SDLC_UTIL_U256_H
+#define SDLC_UTIL_U256_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace sdlc {
+
+/// 256-bit unsigned integer, little-endian limbs (w[0] = least significant).
+struct U256 {
+    std::array<uint64_t, 4> w{0, 0, 0, 0};
+
+    U256() = default;
+    /// Constructs from a 64-bit value (zero-extended).
+    explicit U256(uint64_t lo) : w{lo, 0, 0, 0} {}
+
+    [[nodiscard]] bool is_zero() const noexcept {
+        return (w[0] | w[1] | w[2] | w[3]) == 0;
+    }
+
+    /// Returns bit `i` (0 <= i < 256) as 0 or 1.
+    [[nodiscard]] unsigned bit(unsigned i) const noexcept {
+        return static_cast<unsigned>((w[i / 64] >> (i % 64)) & 1u);
+    }
+
+    /// Sets bit `i` to 1.
+    void set_bit(unsigned i) noexcept { w[i / 64] |= uint64_t{1} << (i % 64); }
+
+    friend bool operator==(const U256&, const U256&) = default;
+};
+
+/// a + b (mod 2^256).
+[[nodiscard]] U256 add(const U256& a, const U256& b) noexcept;
+
+/// a - b (mod 2^256).
+[[nodiscard]] U256 sub(const U256& a, const U256& b) noexcept;
+
+/// a << k for 0 <= k < 256.
+[[nodiscard]] U256 shl(const U256& a, unsigned k) noexcept;
+
+/// Full 128x128 -> 256-bit product of two 128-bit values given as (lo, hi) pairs.
+[[nodiscard]] U256 mul_128(uint64_t a_lo, uint64_t a_hi, uint64_t b_lo, uint64_t b_hi) noexcept;
+
+/// True if a < b.
+[[nodiscard]] bool less(const U256& a, const U256& b) noexcept;
+
+/// Lossy conversion to double (exact for values < 2^53).
+[[nodiscard]] double to_double(const U256& a) noexcept;
+
+/// Hexadecimal string, no leading zeros ("0" for zero), no "0x" prefix.
+[[nodiscard]] std::string to_hex(const U256& a);
+
+}  // namespace sdlc
+
+#endif  // SDLC_UTIL_U256_H

@@ -1,0 +1,99 @@
+// Tests for the ApproxMultiplier facade.
+#include <gtest/gtest.h>
+
+#include "api/approx_multiplier.h"
+#include "core/compensation.h"
+#include "core/functional.h"
+
+namespace sdlc {
+namespace {
+
+TEST(Api, AccurateVariantIsExact) {
+    MultiplierConfig cfg;
+    cfg.variant = MultiplierVariant::kAccurate;
+    const ApproxMultiplier mul(cfg);
+    for (uint64_t a = 0; a < 256; a += 13) {
+        for (uint64_t b = 0; b < 256; b += 11) {
+            EXPECT_EQ(mul.multiply(a, b), a * b);
+            EXPECT_EQ(mul.error_distance(a, b), 0u);
+        }
+    }
+    EXPECT_EQ(mul.multiply_signed(-3, 5), -15);
+}
+
+TEST(Api, SdlcVariantMatchesCoreModel) {
+    MultiplierConfig cfg;
+    cfg.width = 8;
+    cfg.depth = 3;
+    const ApproxMultiplier mul(cfg);
+    const ClusterPlan plan = ClusterPlan::make(8, 3);
+    for (uint64_t a = 0; a < 256; a += 3) {
+        for (uint64_t b = 0; b < 256; b += 7) {
+            EXPECT_EQ(mul.multiply(a, b), sdlc_multiply(plan, a, b));
+        }
+    }
+}
+
+TEST(Api, CompensatedVariantMatchesCoreModel) {
+    MultiplierConfig cfg;
+    cfg.variant = MultiplierVariant::kCompensated;
+    const ApproxMultiplier mul(cfg);
+    const ClusterPlan plan = ClusterPlan::make(8, 2);
+    for (uint64_t a = 0; a < 256; a += 5) {
+        for (uint64_t b = 0; b < 256; b += 3) {
+            EXPECT_EQ(mul.multiply(a, b), sdlc_multiply_compensated(plan, a, b));
+        }
+    }
+    EXPECT_THROW((void)mul.multiply_signed(1, 1), std::invalid_argument);
+}
+
+TEST(Api, BuildNetlistHonorsConfiguration) {
+    MultiplierConfig cfg;
+    cfg.width = 8;
+    cfg.depth = 2;
+    cfg.scheme = AccumulationScheme::kWallace;
+    const ApproxMultiplier mul(cfg);
+    const MultiplierNetlist hw = mul.build_netlist();
+    EXPECT_EQ(hw.width, 8);
+    EXPECT_EQ(hw.p_bits.size(), 16u);
+    EXPECT_NE(hw.label.find("wallace"), std::string::npos);
+    // Netlist agrees with the facade's software model.
+    for (uint64_t a = 0; a < 256; a += 17) {
+        for (uint64_t b = 0; b < 256; b += 19) {
+            EXPECT_EQ(simulate_one(hw, a, b), mul.multiply(a, b));
+        }
+    }
+}
+
+TEST(Api, DescribeMentionsEveryKnob) {
+    MultiplierConfig cfg;
+    cfg.width = 16;
+    cfg.depth = 4;
+    cfg.variant = MultiplierVariant::kCompensated;
+    cfg.scheme = AccumulationScheme::kDadda;
+    const std::string d = ApproxMultiplier(cfg).describe();
+    EXPECT_NE(d.find("16x16"), std::string::npos);
+    EXPECT_NE(d.find("d4"), std::string::npos);
+    EXPECT_NE(d.find("comp"), std::string::npos);
+    EXPECT_NE(d.find("dadda"), std::string::npos);
+}
+
+TEST(Api, RejectsInvalidConfigurations) {
+    MultiplierConfig bad_width;
+    bad_width.width = 0;
+    EXPECT_THROW(ApproxMultiplier{bad_width}, std::invalid_argument);
+    MultiplierConfig bad_depth;
+    bad_depth.depth = 99;
+    EXPECT_THROW(ApproxMultiplier{bad_depth}, std::invalid_argument);
+}
+
+TEST(Api, AccurateIgnoresDepth) {
+    MultiplierConfig cfg;
+    cfg.variant = MultiplierVariant::kAccurate;
+    cfg.depth = 4;
+    const ApproxMultiplier mul(cfg);
+    EXPECT_TRUE(mul.plan().groups().empty());
+}
+
+}  // namespace
+}  // namespace sdlc

@@ -1,0 +1,312 @@
+// Tests for adders, the bit matrix and all accumulation schemes, using the
+// accurate multiplier as the system under test (exhaustive at small widths).
+#include <gtest/gtest.h>
+
+#include "arith/accumulate.h"
+#include "arith/adders.h"
+#include "arith/bit_matrix.h"
+#include "arith/mul_netlist.h"
+#include "baselines/accurate.h"
+#include "netlist/sim.h"
+#include "tech/sta.h"
+#include "util/rng.h"
+
+namespace sdlc {
+namespace {
+
+/// gtest parameter names may not contain '-'; map schemes to clean tokens.
+std::string scheme_token(AccumulationScheme s) {
+    switch (s) {
+        case AccumulationScheme::kRowRipple: return "ripple";
+        case AccumulationScheme::kWallace: return "wallace";
+        case AccumulationScheme::kDadda: return "dadda";
+        case AccumulationScheme::kRowFastCpa: return "fastcpa";
+    }
+    return "unknown";
+}
+
+TEST(Adders, HalfAdderTruthTable) {
+    Netlist nl;
+    const NetId a = nl.input("a");
+    const NetId b = nl.input("b");
+    const SumCarry hc = half_adder(nl, a, b);
+    nl.mark_output(hc.sum, "s");
+    nl.mark_output(hc.carry, "c");
+    for (int av = 0; av < 2; ++av) {
+        for (int bv = 0; bv < 2; ++bv) {
+            const auto out = eval_single(nl, {av != 0, bv != 0});
+            EXPECT_EQ(out[0], ((av + bv) & 1) != 0);
+            EXPECT_EQ(out[1], av + bv >= 2);
+        }
+    }
+}
+
+TEST(Adders, FullAdderTruthTable) {
+    Netlist nl;
+    const NetId a = nl.input("a");
+    const NetId b = nl.input("b");
+    const NetId c = nl.input("c");
+    const SumCarry fc = full_adder(nl, a, b, c);
+    nl.mark_output(fc.sum, "s");
+    nl.mark_output(fc.carry, "co");
+    for (int v = 0; v < 8; ++v) {
+        const int av = v & 1, bv = (v >> 1) & 1, cv = (v >> 2) & 1;
+        const auto out = eval_single(nl, {av != 0, bv != 0, cv != 0});
+        EXPECT_EQ(out[0], ((av + bv + cv) & 1) != 0) << v;
+        EXPECT_EQ(out[1], av + bv + cv >= 2) << v;
+    }
+}
+
+TEST(Adders, RippleAddExhaustive4Bit) {
+    Netlist nl;
+    std::vector<NetId> a, b;
+    for (int i = 0; i < 4; ++i) a.push_back(nl.input("a" + std::to_string(i)));
+    for (int i = 0; i < 4; ++i) b.push_back(nl.input("b" + std::to_string(i)));
+    const auto sum = ripple_add(nl, a, b);
+    ASSERT_EQ(sum.size(), 5u);
+    for (const NetId s : sum) nl.mark_output(s, "s");
+
+    for (uint64_t av = 0; av < 16; ++av) {
+        for (uint64_t bv = 0; bv < 16; ++bv) {
+            std::vector<bool> in;
+            for (int i = 0; i < 4; ++i) in.push_back(((av >> i) & 1) != 0);
+            for (int i = 0; i < 4; ++i) in.push_back(((bv >> i) & 1) != 0);
+            const auto out = eval_single(nl, in);
+            uint64_t got = 0;
+            for (size_t i = 0; i < out.size(); ++i) got |= static_cast<uint64_t>(out[i]) << i;
+            EXPECT_EQ(got, av + bv);
+        }
+    }
+}
+
+TEST(Adders, RippleAddRejectsWidthMismatch) {
+    Netlist nl;
+    const std::vector<NetId> a = {nl.input("a")};
+    const std::vector<NetId> b = {nl.input("b0"), nl.input("b1")};
+    EXPECT_THROW(ripple_add(nl, a, b), std::invalid_argument);
+}
+
+TEST(Adders, KoggeStoneExhaustive5Bit) {
+    Netlist nl;
+    std::vector<NetId> a, b;
+    for (int i = 0; i < 5; ++i) a.push_back(nl.input("a" + std::to_string(i)));
+    for (int i = 0; i < 5; ++i) b.push_back(nl.input("b" + std::to_string(i)));
+    const auto sum = kogge_stone_add(nl, a, b);
+    ASSERT_EQ(sum.size(), 6u);
+    for (const NetId s : sum) nl.mark_output(s, "s");
+    for (uint64_t av = 0; av < 32; ++av) {
+        for (uint64_t bv = 0; bv < 32; ++bv) {
+            std::vector<bool> in;
+            for (int i = 0; i < 5; ++i) in.push_back(((av >> i) & 1) != 0);
+            for (int i = 0; i < 5; ++i) in.push_back(((bv >> i) & 1) != 0);
+            const auto out = eval_single(nl, in);
+            uint64_t got = 0;
+            for (size_t i = 0; i < out.size(); ++i) got |= static_cast<uint64_t>(out[i]) << i;
+            ASSERT_EQ(got, av + bv) << av << "+" << bv;
+        }
+    }
+}
+
+TEST(Adders, KoggeStoneLogDepth) {
+    // 32-bit prefix adder must be far shallower than the ripple chain.
+    Netlist nl_ks, nl_rp;
+    std::vector<NetId> a_ks, b_ks, a_rp, b_rp;
+    for (int i = 0; i < 32; ++i) a_ks.push_back(nl_ks.input("a" + std::to_string(i)));
+    for (int i = 0; i < 32; ++i) b_ks.push_back(nl_ks.input("b" + std::to_string(i)));
+    for (int i = 0; i < 32; ++i) a_rp.push_back(nl_rp.input("a" + std::to_string(i)));
+    for (int i = 0; i < 32; ++i) b_rp.push_back(nl_rp.input("b" + std::to_string(i)));
+    for (const NetId s : kogge_stone_add(nl_ks, a_ks, b_ks)) nl_ks.mark_output(s, "s");
+    for (const NetId s : ripple_add(nl_rp, a_rp, b_rp)) nl_rp.mark_output(s, "s");
+    EXPECT_LT(logic_depth(nl_ks), 14);
+    EXPECT_GT(logic_depth(nl_rp), 32);
+}
+
+TEST(Adders, SparseFastAddHandlesHoles) {
+    Netlist nl;
+    const NetId a = nl.input("a");
+    const NetId b = nl.input("b");
+    const std::vector<NetId> ra = {a, kNoNet, kNoNet};
+    const std::vector<NetId> rb = {kNoNet, b, kNoNet};
+    const auto sum = sparse_fast_add(nl, ra, rb);
+    ASSERT_EQ(sum.size(), 4u);
+    for (const NetId s : sum) nl.mark_output(s, "s");
+    for (int av = 0; av < 2; ++av) {
+        for (int bv = 0; bv < 2; ++bv) {
+            const auto out = eval_single(nl, {av != 0, bv != 0});
+            uint64_t got = 0;
+            for (size_t i = 0; i < out.size(); ++i) got |= static_cast<uint64_t>(out[i]) << i;
+            EXPECT_EQ(got, static_cast<uint64_t>(av + 2 * bv));
+        }
+    }
+}
+
+TEST(Adders, SparseRowAddSkipsHoles) {
+    Netlist nl;
+    const NetId a = nl.input("a");
+    const NetId b = nl.input("b");
+    // Row A has a bit only at weight 0, row B only at weight 2: no adders.
+    const std::vector<NetId> ra = {a, kNoNet, kNoNet};
+    const std::vector<NetId> rb = {kNoNet, kNoNet, b};
+    const size_t before = nl.logic_gate_count();
+    const auto sum = sparse_row_add(nl, ra, rb);
+    EXPECT_EQ(nl.logic_gate_count(), before);  // pure pass-through
+    EXPECT_EQ(sum[0], a);
+    EXPECT_EQ(sum[2], b);
+}
+
+TEST(BitMatrix, HeightsAndRemapping) {
+    Netlist nl;
+    BitMatrix m(4);
+    const NetId a = nl.input("a");
+    const NetId b = nl.input("b");
+    const NetId c = nl.input("c");
+    m.add(1, a);
+    m.add(1, b);
+    m.add(3, c);
+    EXPECT_EQ(m.max_height(), 2);
+    EXPECT_EQ(m.bit_count(), 3u);
+    const auto rows = m.to_rows();
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0][1], a);
+    EXPECT_EQ(rows[1][1], b);
+    EXPECT_EQ(rows[0][3], c);
+    EXPECT_EQ(rows[1][3], kNoNet);
+}
+
+TEST(BitMatrix, RejectsNonPositiveColumns) {
+    EXPECT_THROW(BitMatrix(0), std::invalid_argument);
+}
+
+// --- Accurate multipliers under every accumulation scheme -----------------
+
+class AccurateMulExhaustive
+    : public testing::TestWithParam<std::tuple<int, AccumulationScheme>> {};
+
+TEST_P(AccurateMulExhaustive, MatchesNativeProduct) {
+    const auto [width, scheme] = GetParam();
+    const MultiplierNetlist m = build_accurate_multiplier(width, scheme);
+    const uint64_t side = uint64_t{1} << width;
+
+    std::vector<uint64_t> as, bs;
+    as.reserve(64);
+    bs.reserve(64);
+    auto flush = [&] {
+        if (as.empty()) return;
+        const auto prods = simulate_batch(m, as, bs);
+        for (size_t i = 0; i < as.size(); ++i) {
+            ASSERT_EQ(prods[i], as[i] * bs[i])
+                << as[i] << "*" << bs[i] << " scheme "
+                << accumulation_scheme_name(scheme);
+        }
+        as.clear();
+        bs.clear();
+    };
+    for (uint64_t a = 0; a < side; ++a) {
+        for (uint64_t b = 0; b < side; ++b) {
+            as.push_back(a);
+            bs.push_back(b);
+            if (as.size() == 64) flush();
+        }
+    }
+    flush();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WidthsAndSchemes, AccurateMulExhaustive,
+    testing::Combine(testing::Values(2, 3, 4, 5, 6),
+                     testing::Values(AccumulationScheme::kRowRipple,
+                                     AccumulationScheme::kWallace,
+                                     AccumulationScheme::kDadda,
+                                     AccumulationScheme::kRowFastCpa)),
+    [](const auto& pinfo) {
+        return "w" + std::to_string(std::get<0>(pinfo.param)) + "_" +
+               scheme_token(std::get<1>(pinfo.param));
+    });
+
+class AccurateMulRandom
+    : public testing::TestWithParam<std::tuple<int, AccumulationScheme>> {};
+
+TEST_P(AccurateMulRandom, MatchesNativeProductOnRandomOperands) {
+    const auto [width, scheme] = GetParam();
+    const MultiplierNetlist m = build_accurate_multiplier(width, scheme);
+    Xoshiro256 rng(0xabcd + static_cast<uint64_t>(width));
+    const uint64_t mask = (width == 64) ? ~uint64_t{0} : (uint64_t{1} << width) - 1;
+
+    std::vector<uint64_t> as(64), bs(64);
+    for (int pass = 0; pass < 8; ++pass) {
+        for (int i = 0; i < 64; ++i) {
+            as[i] = rng.next() & mask;
+            bs[i] = rng.next() & mask;
+        }
+        const auto prods = simulate_batch_wide(m, as, {}, bs, {});
+        for (int i = 0; i < 64; ++i) {
+            const U256 expect = mul_128(as[i], 0, bs[i], 0);
+            ASSERT_EQ(prods[i], expect) << width << "-bit " << as[i] << "*" << bs[i];
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WiderWidths, AccurateMulRandom,
+    testing::Combine(testing::Values(8, 12, 16, 24, 32),
+                     testing::Values(AccumulationScheme::kRowRipple,
+                                     AccumulationScheme::kWallace,
+                                     AccumulationScheme::kDadda,
+                                     AccumulationScheme::kRowFastCpa)),
+    [](const auto& pinfo) {
+        return "w" + std::to_string(std::get<0>(pinfo.param)) + "_" +
+               scheme_token(std::get<1>(pinfo.param));
+    });
+
+TEST(AccurateMul, WideWidth64RandomSpotChecks) {
+    const MultiplierNetlist m = build_accurate_multiplier(64, AccumulationScheme::kWallace);
+    Xoshiro256 rng(99);
+    std::vector<uint64_t> as(8), bs(8);
+    for (int i = 0; i < 8; ++i) {
+        as[i] = rng.next();
+        bs[i] = rng.next();
+    }
+    const auto prods = simulate_batch_wide(m, as, {}, bs, {});
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(prods[i], mul_128(as[i], 0, bs[i], 0));
+    }
+}
+
+TEST(AccurateMul, ProductBitCountIsTwiceWidth) {
+    for (int w : {2, 4, 8}) {
+        const MultiplierNetlist m = build_accurate_multiplier(w);
+        EXPECT_EQ(m.p_bits.size(), static_cast<size_t>(2 * w));
+        EXPECT_EQ(m.net.outputs().size(), static_cast<size_t>(2 * w));
+        EXPECT_EQ(m.net.inputs().size(), static_cast<size_t>(2 * w));
+    }
+}
+
+TEST(AccurateMul, WallaceShallowerThanRowRipple) {
+    const MultiplierNetlist ripple = build_accurate_multiplier(16, AccumulationScheme::kRowRipple);
+    const MultiplierNetlist wallace = build_accurate_multiplier(16, AccumulationScheme::kWallace);
+    // Tree reduction must shorten the logic depth substantially at 16 bits.
+    EXPECT_LT(logic_depth(wallace.net), logic_depth(ripple.net));
+}
+
+TEST(MulNetlist, SimulateOneMatchesBatch) {
+    const MultiplierNetlist m = build_accurate_multiplier(8);
+    EXPECT_EQ(simulate_one(m, 13, 17), 221u);
+    EXPECT_EQ(simulate_one(m, 255, 255), 65025u);
+}
+
+TEST(MulNetlist, RejectsBadLaneCounts) {
+    const MultiplierNetlist m = build_accurate_multiplier(4);
+    std::vector<uint64_t> a65(65, 1), b65(65, 1);
+    EXPECT_THROW(simulate_batch(m, a65, b65), std::invalid_argument);
+    std::vector<uint64_t> a1(1, 1), b2(2, 1);
+    EXPECT_THROW(simulate_batch(m, a1, b2), std::invalid_argument);
+}
+
+TEST(MulNetlist, MakeOperandPortsValidatesWidth) {
+    Netlist nl;
+    EXPECT_THROW(make_operand_ports(nl, 0), std::invalid_argument);
+    EXPECT_THROW(make_operand_ports(nl, 200), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sdlc

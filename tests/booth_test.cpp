@@ -1,0 +1,132 @@
+// Tests for the radix-4 Booth accurate multiplier.
+#include <gtest/gtest.h>
+
+#include "baselines/accurate.h"
+#include "baselines/booth.h"
+#include "util/bitops.h"
+#include "util/rng.h"
+
+namespace sdlc {
+namespace {
+
+int64_t sign_extend(uint64_t raw, int width) {
+    const uint64_t m = uint64_t{1} << (width - 1);
+    return static_cast<int64_t>((raw ^ m) - m);
+}
+
+TEST(BoothDigit, RecodingTable) {
+    // b = 0b110110 = 54, i.e. -10 as a 6-bit signed value.
+    // Triplets (b_{2i+1}, b_{2i}, b_{2i-1}):
+    //   i=0: (1,0,0) -> -2;  i=1: (0,1,1) -> +2;  i=2: (1,1,0) -> -1.
+    // Recomposition: -2 + 2*4 - 1*16 = -10.
+    const uint64_t b = 0b110110;
+    EXPECT_EQ(booth_digit(b, 6, 0), -2);
+    EXPECT_EQ(booth_digit(b, 6, 1), 2);
+    EXPECT_EQ(booth_digit(b, 6, 2), -1);
+}
+
+TEST(BoothDigit, DigitsRecomposeOperand) {
+    // sum(digit_i * 4^i) must equal the two's-complement value of b.
+    for (int width : {4, 6, 8}) {
+        const uint64_t side = uint64_t{1} << width;
+        for (uint64_t b = 0; b < side; ++b) {
+            int64_t v = 0;
+            for (int i = 0; i < width / 2; ++i) {
+                v += static_cast<int64_t>(booth_digit(b, width, i)) << (2 * i);
+            }
+            EXPECT_EQ(v, sign_extend(b, width)) << b;
+        }
+    }
+}
+
+TEST(BoothDigit, RejectsBadArguments) {
+    EXPECT_THROW((void)booth_digit(0, 5, 0), std::invalid_argument);
+    EXPECT_THROW((void)booth_digit(0, 8, 4), std::invalid_argument);
+    EXPECT_THROW((void)booth_digit(0, 8, -1), std::invalid_argument);
+}
+
+class BoothExhaustive : public testing::TestWithParam<int> {};
+
+TEST_P(BoothExhaustive, MatchesSignedProduct) {
+    const int width = GetParam();
+    const MultiplierNetlist m = build_booth_multiplier(width);
+    const uint64_t side = uint64_t{1} << width;
+    const uint64_t mask2n = mask_low(static_cast<unsigned>(2 * width));
+
+    std::vector<uint64_t> as, bs;
+    auto flush = [&] {
+        if (as.empty()) return;
+        const auto prods = simulate_batch(m, as, bs);
+        for (size_t i = 0; i < as.size(); ++i) {
+            const int64_t expect = sign_extend(as[i], width) * sign_extend(bs[i], width);
+            ASSERT_EQ(prods[i], static_cast<uint64_t>(expect) & mask2n)
+                << sign_extend(as[i], width) << "*" << sign_extend(bs[i], width);
+        }
+        as.clear();
+        bs.clear();
+    };
+    for (uint64_t a = 0; a < side; ++a) {
+        for (uint64_t b = 0; b < side; ++b) {
+            as.push_back(a);
+            bs.push_back(b);
+            if (as.size() == 64) flush();
+        }
+    }
+    flush();
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BoothExhaustive, testing::Values(4, 6),
+                         [](const auto& pinfo) { return "w" + std::to_string(pinfo.param); });
+
+TEST(Booth, RandomWiderWidths) {
+    for (int width : {8, 12, 16}) {
+        const MultiplierNetlist m = build_booth_multiplier(width);
+        const uint64_t mask = mask_low(static_cast<unsigned>(width));
+        const uint64_t mask2n = mask_low(static_cast<unsigned>(2 * width));
+        Xoshiro256 rng(width * 7);
+        std::vector<uint64_t> as(64), bs(64);
+        for (int pass = 0; pass < 8; ++pass) {
+            for (int i = 0; i < 64; ++i) {
+                as[i] = rng.next() & mask;
+                bs[i] = rng.next() & mask;
+            }
+            const auto prods = simulate_batch(m, as, bs);
+            for (int i = 0; i < 64; ++i) {
+                const int64_t expect =
+                    sign_extend(as[i], width) * sign_extend(bs[i], width);
+                ASSERT_EQ(prods[i], static_cast<uint64_t>(expect) & mask2n)
+                    << width << ": " << as[i] << "," << bs[i];
+            }
+        }
+    }
+}
+
+TEST(Booth, AllSchemesSupported) {
+    for (const AccumulationScheme scheme :
+         {AccumulationScheme::kRowRipple, AccumulationScheme::kWallace,
+          AccumulationScheme::kDadda, AccumulationScheme::kRowFastCpa}) {
+        const MultiplierNetlist m = build_booth_multiplier(6, scheme);
+        // -5 * 7 = -35 -> two's complement in 12 bits.
+        const uint64_t a = static_cast<uint64_t>(-5) & 0x3f;
+        EXPECT_EQ(simulate_one(m, a, 7), static_cast<uint64_t>(-35) & 0xfff)
+            << accumulation_scheme_name(scheme);
+    }
+}
+
+TEST(Booth, RejectsBadWidths) {
+    EXPECT_THROW((void)build_booth_multiplier(5), std::invalid_argument);
+    EXPECT_THROW((void)build_booth_multiplier(2), std::invalid_argument);
+    EXPECT_THROW((void)build_booth_multiplier(64), std::invalid_argument);
+}
+
+TEST(Booth, HalvesPartialProductRows) {
+    // Structural sanity: a Booth multiplier accumulates ~N/2 rows, so its
+    // gate count undercuts the unsigned array multiplier's at wider widths.
+    const MultiplierNetlist booth = build_booth_multiplier(16);
+    const MultiplierNetlist array = build_accurate_multiplier(16);
+    EXPECT_LT(booth.net.logic_gate_count(), array.net.logic_gate_count() * 2);
+    EXPECT_GT(booth.net.logic_gate_count(), 0u);
+}
+
+}  // namespace
+}  // namespace sdlc

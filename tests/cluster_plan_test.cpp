@@ -1,0 +1,132 @@
+// Tests for the ClusterPlan (significance-driven cluster sizing).
+#include <gtest/gtest.h>
+
+#include "core/cluster_plan.h"
+
+namespace sdlc {
+namespace {
+
+TEST(ClusterPlan, Depth2Width8MatchesPaperFigure2) {
+    // Paper Figure 2: clusters 2x7, 2x6, 2x5, 2x4 for the 8x8 multiplier.
+    const ClusterPlan plan = ClusterPlan::make(8, 2);
+    ASSERT_EQ(plan.groups().size(), 4u);
+    const int expected_extent[] = {7, 6, 5, 4};
+    for (int g = 0; g < 4; ++g) {
+        EXPECT_EQ(plan.groups()[g].base_row, 2 * g);
+        EXPECT_EQ(plan.groups()[g].rows, 2);
+        EXPECT_EQ(plan.groups()[g].extent, expected_extent[g]);
+    }
+}
+
+TEST(ClusterPlan, Depth1IsAccurate) {
+    const ClusterPlan plan = ClusterPlan::make(8, 1);
+    EXPECT_TRUE(plan.groups().empty());
+    EXPECT_EQ(plan.compression_sites(), 0);
+    EXPECT_NE(plan.describe().find("accurate"), std::string::npos);
+}
+
+TEST(ClusterPlan, Depth3Width8GroupsRows332) {
+    const ClusterPlan plan = ClusterPlan::make(8, 3);
+    ASSERT_EQ(plan.groups().size(), 3u);
+    EXPECT_EQ(plan.groups()[0].rows, 3);
+    EXPECT_EQ(plan.groups()[1].rows, 3);
+    EXPECT_EQ(plan.groups()[2].rows, 2);  // trailing partial cluster
+    EXPECT_EQ(plan.groups()[0].base_row, 0);
+    EXPECT_EQ(plan.groups()[1].base_row, 3);
+    EXPECT_EQ(plan.groups()[2].base_row, 6);
+}
+
+TEST(ClusterPlan, Depth4Width8GroupsRows44) {
+    const ClusterPlan plan = ClusterPlan::make(8, 4);
+    ASSERT_EQ(plan.groups().size(), 2u);
+    EXPECT_EQ(plan.groups()[0].rows, 4);
+    EXPECT_EQ(plan.groups()[1].rows, 4);
+}
+
+TEST(ClusterPlan, ExtentsShrinkWithGroupIndex) {
+    for (int depth : {2, 3, 4}) {
+        const ClusterPlan plan = ClusterPlan::make(16, depth);
+        for (size_t g = 1; g < plan.groups().size(); ++g) {
+            EXPECT_LT(plan.groups()[g].extent, plan.groups()[g - 1].extent)
+                << "depth " << depth << " group " << g;
+        }
+    }
+}
+
+TEST(ClusterPlan, ExtentNeverExceedsOverlapRange) {
+    for (int width : {4, 8, 16, 32}) {
+        for (int depth : {2, 3, 4, 8}) {
+            if (depth > width) continue;
+            const ClusterPlan plan = ClusterPlan::make(width, depth);
+            for (const ClusterGroup& g : plan.groups()) {
+                EXPECT_LE(g.extent, width + g.rows - 3);
+                EXPECT_GE(g.extent, 1);
+                EXPECT_GE(g.rows, 2);
+            }
+        }
+    }
+}
+
+TEST(ClusterPlan, GroupOfRowFindsOwner) {
+    const ClusterPlan plan = ClusterPlan::make(8, 3);
+    EXPECT_EQ(plan.group_of_row(0), &plan.groups()[0]);
+    EXPECT_EQ(plan.group_of_row(2), &plan.groups()[0]);
+    EXPECT_EQ(plan.group_of_row(3), &plan.groups()[1]);
+    EXPECT_EQ(plan.group_of_row(7), &plan.groups()[2]);
+}
+
+TEST(ClusterPlan, LoneTrailingRowIsUncompressed) {
+    // width 9, depth 2: rows 0..7 in four clusters; row 8 has no partner.
+    const ClusterPlan plan = ClusterPlan::make(9, 2);
+    EXPECT_EQ(plan.group_of_row(8), nullptr);
+}
+
+TEST(ClusterPlan, CompressesWeightPredicate) {
+    const ClusterPlan plan = ClusterPlan::make(8, 2);
+    const ClusterGroup& g0 = plan.groups()[0];
+    EXPECT_FALSE(g0.compresses_weight(0));  // base LSB is exact
+    EXPECT_TRUE(g0.compresses_weight(1));
+    EXPECT_TRUE(g0.compresses_weight(7));
+    EXPECT_FALSE(g0.compresses_weight(8));
+}
+
+TEST(ClusterPlan, RejectsBadArguments) {
+    EXPECT_THROW(ClusterPlan::make(0, 2), std::invalid_argument);
+    EXPECT_THROW(ClusterPlan::make(8, 0), std::invalid_argument);
+    EXPECT_THROW(ClusterPlan::make(8, 9), std::invalid_argument);
+    EXPECT_THROW(ClusterPlan::make(500, 2), std::invalid_argument);
+}
+
+TEST(ClusterPlan, DescribeListsClusters) {
+    const std::string d = ClusterPlan::make(8, 2).describe();
+    EXPECT_NE(d.find("N=8"), std::string::npos);
+    EXPECT_NE(d.find("2x7"), std::string::npos);
+    EXPECT_NE(d.find("2x4"), std::string::npos);
+}
+
+TEST(ClusterPlan, CompressionSitesCountsExtents) {
+    const ClusterPlan plan = ClusterPlan::make(8, 2);
+    EXPECT_EQ(plan.compression_sites(), 7 + 6 + 5 + 4);
+}
+
+class ClusterPlanWidths : public testing::TestWithParam<int> {};
+
+TEST_P(ClusterPlanWidths, EveryRowBelongsToAtMostOneGroup) {
+    const int width = GetParam();
+    for (int depth = 2; depth <= 4; ++depth) {
+        const ClusterPlan plan = ClusterPlan::make(width, depth);
+        for (int r = 0; r < width; ++r) {
+            int owners = 0;
+            for (const ClusterGroup& g : plan.groups()) {
+                if (r >= g.base_row && r < g.base_row + g.rows) ++owners;
+            }
+            EXPECT_LE(owners, 1) << "width " << width << " depth " << depth << " row " << r;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ClusterPlanWidths,
+                         testing::Values(4, 6, 8, 12, 16, 32, 64, 128));
+
+}  // namespace
+}  // namespace sdlc

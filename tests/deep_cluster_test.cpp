@@ -1,0 +1,115 @@
+// Generalization tests beyond the paper's depth range: the cluster plan,
+// functional model and netlist generator must stay consistent for depths
+// 5..width (the paper stops at 4).
+#include <gtest/gtest.h>
+
+#include "analysis/expected_error.h"
+#include "core/functional.h"
+#include "core/generator.h"
+#include "error/evaluate.h"
+#include "util/rng.h"
+
+namespace sdlc {
+namespace {
+
+class DeepDepths : public testing::TestWithParam<int> {};
+
+TEST_P(DeepDepths, FunctionalModelStaysUnderestimating) {
+    const int depth = GetParam();
+    const ClusterPlan plan = ClusterPlan::make(8, depth);
+    for (uint64_t a = 0; a < 256; a += 3) {
+        for (uint64_t b = 0; b < 256; b += 5) {
+            EXPECT_LE(sdlc_multiply(plan, a, b), a * b) << depth;
+        }
+    }
+}
+
+TEST_P(DeepDepths, NetlistMatchesModel) {
+    const int depth = GetParam();
+    SdlcOptions opts;
+    opts.depth = depth;
+    const MultiplierNetlist m = build_sdlc_multiplier(8, opts);
+    const ClusterPlan plan = ClusterPlan::make(8, depth);
+    Xoshiro256 rng(90 + static_cast<uint64_t>(depth));
+    std::vector<uint64_t> as(64), bs(64);
+    for (int pass = 0; pass < 8; ++pass) {
+        for (int i = 0; i < 64; ++i) {
+            as[i] = rng.next() & 0xff;
+            bs[i] = rng.next() & 0xff;
+        }
+        const auto prods = simulate_batch(m, as, bs);
+        for (int i = 0; i < 64; ++i) {
+            ASSERT_EQ(prods[i], sdlc_multiply(plan, as[i], bs[i]))
+                << "depth " << depth << ": " << as[i] << "*" << bs[i];
+        }
+    }
+}
+
+TEST_P(DeepDepths, AnalyticMedStaysExact) {
+    const int depth = GetParam();
+    const ClusterPlan plan = ClusterPlan::make(8, depth);
+    const ErrorMetrics sim = exhaustive_metrics(
+        8, [&](uint64_t a, uint64_t b) { return sdlc_multiply(plan, a, b); });
+    EXPECT_NEAR(analytic_med(plan), sim.med, sim.med * 1e-10 + 1e-12) << depth;
+}
+
+INSTANTIATE_TEST_SUITE_P(DepthsBeyondPaper, DeepDepths, testing::Values(5, 6, 7, 8),
+                         [](const auto& pinfo) { return "d" + std::to_string(pinfo.param); });
+
+TEST(DeepClusters, FullDepthCompressesToFewestRows) {
+    // depth == width: one cluster covering all rows.
+    const ClusterPlan plan = ClusterPlan::make(8, 8);
+    ASSERT_EQ(plan.groups().size(), 1u);
+    EXPECT_EQ(plan.groups()[0].rows, 8);
+    Netlist nl;
+    const OperandPorts ports = make_operand_ports(nl, 8);
+    const BitMatrix matrix = build_sdlc_matrix(nl, ports.a, ports.b, plan);
+    // Inside the cluster extent every compressed weight holds exactly one OR
+    // output, so the matrix is dramatically flattened vs the accurate 8.
+    EXPECT_LE(matrix.max_height(), 4);
+}
+
+TEST(DeepClusters, ErrorPeaksNearDepthFiveAt8Bit) {
+    // Finding (beyond the paper): MED grows with depth only up to ~N/2 + 1.
+    // Deeper clusters mean *fewer* groups, and the significance-driven
+    // extent rule then covers fewer compressed sites overall, so the mean
+    // error decreases again even though each site ORs more bits.
+    std::vector<double> med;
+    for (int depth = 2; depth <= 8; ++depth) {
+        med.push_back(analytic_med(ClusterPlan::make(8, depth)));
+    }
+    // Monotone rise through the paper's range and to the depth-5 peak...
+    EXPECT_LT(med[0], med[1]);  // d2 < d3
+    EXPECT_LT(med[1], med[2]);  // d3 < d4
+    EXPECT_LT(med[2], med[3]);  // d4 < d5
+    // ...then decline.
+    EXPECT_GT(med[3], med[4]);  // d5 > d6
+    EXPECT_GT(med[4], med[5]);  // d6 > d7
+}
+
+TEST(DeepClusters, AnalyticErAgreesWithSamplingAt14Bits) {
+    // Closed-form depth-2 ER vs a large random sample at a width where
+    // exhaustive checking is expensive.
+    const double analytic = analytic_error_rate_depth2(14);
+    const ErrorMetrics sim = sampled_metrics(
+        14, 1u << 22, 777, [](uint64_t a, uint64_t b) {
+            return sdlc_multiply_fast2(14, a, b);
+        });
+    EXPECT_NEAR(analytic, sim.error_rate, 2e-3);
+}
+
+TEST(DeepClusters, WideWidthPlansAreWellFormed) {
+    for (int width : {64, 128}) {
+        for (int depth : {2, 3, 4, 8, 16}) {
+            const ClusterPlan plan = ClusterPlan::make(width, depth);
+            EXPECT_FALSE(plan.groups().empty());
+            for (const ClusterGroup& g : plan.groups()) {
+                EXPECT_GE(g.extent, 1);
+                EXPECT_LE(g.base_row + g.rows, width);
+            }
+        }
+    }
+}
+
+}  // namespace
+}  // namespace sdlc

@@ -1,0 +1,193 @@
+// Tests for the image substrate: PGM I/O, synthetic scenes, Gaussian kernel
+// quantization, convolution with pluggable multipliers and PSNR ordering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/functional.h"
+#include "image/convolve.h"
+#include "image/gaussian.h"
+#include "image/image.h"
+#include "image/synthetic.h"
+
+namespace sdlc {
+namespace {
+
+TEST(Image, ConstructionAndAccess) {
+    Image img(4, 3, 9);
+    EXPECT_EQ(img.width(), 4);
+    EXPECT_EQ(img.height(), 3);
+    EXPECT_EQ(img.pixel_count(), 12u);
+    EXPECT_EQ(img.at(0, 0), 9);
+    img.set(2, 1, 77);
+    EXPECT_EQ(img.at(2, 1), 77);
+    EXPECT_THROW((void)img.at(4, 0), std::out_of_range);
+    EXPECT_THROW(Image(0, 5), std::invalid_argument);
+}
+
+TEST(Image, ClampedAccessorReplicatesBorder) {
+    Image img(2, 2);
+    img.set(0, 0, 10);
+    img.set(1, 0, 20);
+    img.set(0, 1, 30);
+    img.set(1, 1, 40);
+    EXPECT_EQ(img.at_clamped(-5, -5), 10);
+    EXPECT_EQ(img.at_clamped(7, 0), 20);
+    EXPECT_EQ(img.at_clamped(0, 9), 30);
+    EXPECT_EQ(img.at_clamped(9, 9), 40);
+}
+
+TEST(Image, PgmRoundTrip) {
+    const Image img = make_scene(37, 23, 5);
+    const std::string path = testing::TempDir() + "/sdlc_img_test.pgm";
+    save_pgm(img, path);
+    const Image back = load_pgm(path);
+    EXPECT_EQ(img, back);
+    std::remove(path.c_str());
+}
+
+TEST(Image, LoadRejectsMissingFile) {
+    EXPECT_THROW(load_pgm("/no/such/file.pgm"), std::runtime_error);
+}
+
+TEST(Image, MseAndPsnr) {
+    Image a(10, 10, 100);
+    Image b(10, 10, 110);
+    EXPECT_DOUBLE_EQ(mse(a, b), 100.0);
+    EXPECT_NEAR(psnr(a, b), 10.0 * std::log10(255.0 * 255.0 / 100.0), 1e-12);
+    EXPECT_TRUE(std::isinf(psnr(a, a)));
+    Image c(5, 5);
+    EXPECT_THROW((void)mse(a, c), std::invalid_argument);
+}
+
+TEST(Synthetic, GeneratorsProduceRequestedSizes) {
+    EXPECT_EQ(make_gradient(20, 10).width(), 20);
+    EXPECT_EQ(make_checkerboard(16, 16, 4).height(), 16);
+    EXPECT_EQ(make_noise(8, 8, 1).pixel_count(), 64u);
+    EXPECT_EQ(make_blobs(32, 32, 3, 2).width(), 32);
+    EXPECT_EQ(make_scene(200, 200, 3).pixel_count(), 40000u);
+}
+
+TEST(Synthetic, DeterministicForSeed) {
+    EXPECT_EQ(make_scene(64, 64, 9), make_scene(64, 64, 9));
+    EXPECT_NE(make_noise(64, 64, 1), make_noise(64, 64, 2));
+}
+
+TEST(Synthetic, SceneHasDynamicRange) {
+    const Image img = make_scene(100, 100, 4);
+    uint8_t lo = 255, hi = 0;
+    for (const uint8_t px : img.pixels()) {
+        lo = std::min(lo, px);
+        hi = std::max(hi, px);
+    }
+    EXPECT_LT(lo, 60);
+    EXPECT_GT(hi, 180);
+}
+
+TEST(Gaussian, KernelMatchesPaperSetup) {
+    // 3x3, sigma 1.5, Q0.8: centre weight largest, 4-fold symmetric.
+    const FixedKernel k = make_gaussian_kernel(3, 1.5);
+    EXPECT_EQ(k.size, 3);
+    EXPECT_EQ(k.weights.size(), 9u);
+    EXPECT_GT(k.at(1, 1), k.at(0, 0));
+    EXPECT_EQ(k.at(0, 0), k.at(2, 2));
+    EXPECT_EQ(k.at(0, 1), k.at(2, 1));
+    EXPECT_EQ(k.at(1, 0), k.at(1, 2));
+    // Quantized weights approximately sum to 256 (Q0.8 unity).
+    EXPECT_NEAR(k.weight_sum(), 256, 8);
+}
+
+TEST(Gaussian, LargerSigmaFlattensKernel) {
+    const FixedKernel narrow = make_gaussian_kernel(3, 0.5);
+    const FixedKernel wide = make_gaussian_kernel(3, 5.0);
+    EXPECT_GT(narrow.at(1, 1), wide.at(1, 1));
+}
+
+TEST(Gaussian, RejectsBadArguments) {
+    EXPECT_THROW(make_gaussian_kernel(2, 1.0), std::invalid_argument);
+    EXPECT_THROW(make_gaussian_kernel(3, 0.0), std::invalid_argument);
+}
+
+TEST(Convolve, IdentityKernelKeepsImage) {
+    FixedKernel ident;
+    ident.size = 1;
+    ident.weights = {255};  // ~unity in Q0.8 after divisor normalization
+    const Image img = make_scene(40, 40, 7);
+    const Image out = convolve(img, ident, exact_mul8);
+    EXPECT_EQ(out, img);
+}
+
+TEST(Convolve, BlurSmoothsNoise) {
+    const Image img = make_noise(64, 64, 3);
+    const Image out = convolve(img, make_gaussian_kernel(3, 1.5), exact_mul8);
+    // Neighbour-difference energy must drop substantially after low-pass.
+    auto roughness = [](const Image& im) {
+        double acc = 0.0;
+        for (int y = 0; y < im.height(); ++y) {
+            for (int x = 1; x < im.width(); ++x) {
+                const double d = static_cast<double>(im.at(x, y)) - im.at(x - 1, y);
+                acc += d * d;
+            }
+        }
+        return acc;
+    };
+    EXPECT_LT(roughness(out), 0.5 * roughness(img));
+}
+
+TEST(Convolve, CountsMultiplications) {
+    const Image img = make_gradient(10, 10);
+    ConvolveStats stats;
+    (void)convolve(img, make_gaussian_kernel(3, 1.5), exact_mul8, &stats);
+    EXPECT_EQ(stats.multiplications, 100u * 9u);
+}
+
+TEST(Convolve, RejectsNullMultiplier) {
+    const Image img = make_gradient(4, 4);
+    EXPECT_THROW(convolve(img, make_gaussian_kernel(3, 1.5), Mul8Fn{}), std::invalid_argument);
+}
+
+TEST(Convolve, ApproximateBlurCloseToExact) {
+    // Approximate multipliers must still produce a recognizable blur: PSNR
+    // vs the exact blur stays high at depth 2. The multiplier is applied
+    // pixel-first (pixel = operand A, weight = operand B), the binding used
+    // throughout the Figure 8 reproduction (see EXPERIMENTS.md).
+    const Image img = make_scene(100, 100, 11);
+    const FixedKernel k = make_gaussian_kernel(3, 1.5);
+    const Image exact = convolve(img, k, exact_mul8);
+
+    const ClusterPlan plan2 = ClusterPlan::make(8, 2);
+    const Image approx2 = convolve(img, k, [&](uint8_t px, uint8_t w) {
+        return static_cast<uint32_t>(sdlc_multiply(plan2, px, w));
+    });
+    EXPECT_GT(psnr(exact, approx2), 30.0);
+}
+
+TEST(Convolve, Depth2QualityDominatesDeeperClusters) {
+    // Paper Figure 8: PSNR 50.2 dB (d2) > 39 dB (d3) > 30 dB (d4) on the
+    // paper's (undistributed) image. Two facts are image-independent and
+    // tested here: depth 2 gives the best quality, and every depth stays
+    // above a usability floor. (With this kernel's Q0.8 weights the d3/d4
+    // order actually inverts — the edge weight 30 = 0b11110 straddles the
+    // depth-3 cluster boundary; analyzed in EXPERIMENTS.md.)
+    const Image img = make_scene(200, 200, 1);
+    const FixedKernel k = make_gaussian_kernel(3, 1.5);
+    const Image exact = convolve(img, k, exact_mul8);
+    std::vector<double> quality;
+    for (int depth : {2, 3, 4}) {
+        const ClusterPlan plan = ClusterPlan::make(8, depth);
+        const Image approx = convolve(img, k, [&](uint8_t px, uint8_t w) {
+            return static_cast<uint32_t>(sdlc_multiply(plan, px, w));
+        });
+        quality.push_back(psnr(exact, approx));
+    }
+    EXPECT_GT(quality[0], quality[1]);  // d2 beats d3
+    EXPECT_GT(quality[0], quality[2]);  // d2 beats d4
+    EXPECT_GT(quality[0], 30.0);
+    EXPECT_GT(quality[1], 15.0);
+    EXPECT_GT(quality[2], 15.0);
+}
+
+}  // namespace
+}  // namespace sdlc

@@ -1,0 +1,163 @@
+// End-to-end integration tests: generated hardware -> virtual synthesis ->
+// the paper's qualitative claims (area/delay/power/energy reductions,
+// Wallace/Dadda interplay, image-pipeline quality/energy trade-off).
+#include <gtest/gtest.h>
+
+#include "baselines/accurate.h"
+#include "baselines/etm.h"
+#include "baselines/kulkarni.h"
+#include "core/functional.h"
+#include "core/generator.h"
+#include "image/convolve.h"
+#include "image/gaussian.h"
+#include "image/synthetic.h"
+#include "netlist/opt.h"
+#include "tech/synthesis.h"
+
+namespace sdlc {
+namespace {
+
+SynthesisReport synth(const MultiplierNetlist& m) {
+    return synthesize(m.net, CellLibrary::generic_90nm());
+}
+
+class SdlcVsAccurate : public testing::TestWithParam<int> {};
+
+TEST_P(SdlcVsAccurate, ReducesAllHeadlineMetrics) {
+    const int width = GetParam();
+    const SynthesisReport acc = synth(build_accurate_multiplier(width));
+    const SynthesisReport apx = synth(build_sdlc_multiplier(width, {}));
+
+    EXPECT_LT(apx.cells, acc.cells) << width;
+    EXPECT_LT(apx.area_um2, acc.area_um2) << width;
+    EXPECT_LT(apx.delay_ps, acc.delay_ps) << width;
+    EXPECT_LT(apx.dynamic_energy_fj, acc.dynamic_energy_fj) << width;
+    EXPECT_LT(apx.leakage_nw, acc.leakage_nw) << width;
+    EXPECT_LT(apx.energy_fj, acc.energy_fj) << width;
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SdlcVsAccurate, testing::Values(4, 8, 16, 32),
+                         [](const auto& pinfo) { return "w" + std::to_string(pinfo.param); });
+
+TEST(Integration, DeeperClustersSaveMoreHardware) {
+    // Paper Figure 7: savings grow with cluster depth.
+    const SynthesisReport acc = synth(build_accurate_multiplier(8));
+    double prev_area = acc.area_um2;
+    for (int depth : {2, 3, 4}) {
+        SdlcOptions opts;
+        opts.depth = depth;
+        const SynthesisReport r = synth(build_sdlc_multiplier(8, opts));
+        EXPECT_LT(r.area_um2, prev_area) << depth;
+        prev_area = r.area_um2;
+    }
+}
+
+TEST(Integration, ReductionsHoldAcrossAllWidths) {
+    // Paper Figure 6: every metric is substantially reduced at every width.
+    // (Our honest gate-level STA keeps the final carry chain in both designs,
+    // so the *growth* of the delay saving the paper reports under Design
+    // Compiler does not reproduce under ripple CPAs — see EXPERIMENTS.md and
+    // the ablation_cpa bench. The reductions themselves must always hold.)
+    for (const int width : {4, 8, 16, 32}) {
+        const SynthesisReport acc = synth(build_accurate_multiplier(width));
+        const SynthesisReport apx = synth(build_sdlc_multiplier(width, {}));
+        EXPECT_GT(SynthesisReport::reduction(acc.energy_fj, apx.energy_fj), 0.25) << width;
+        EXPECT_GT(SynthesisReport::reduction(acc.area_um2, apx.area_um2), 0.30) << width;
+        EXPECT_GT(SynthesisReport::reduction(acc.delay_ps, apx.delay_ps), 0.10) << width;
+        EXPECT_GT(SynthesisReport::reduction(acc.dynamic_power_uw, apx.dynamic_power_uw),
+                  0.25)
+            << width;
+    }
+}
+
+TEST(Integration, SdlcBeatsKulkarniAt16BitAndWinsOnAccuracy) {
+    // Paper Figure 9 + Table IV, combined reading: at 16 bit SDLC clearly
+    // outperforms Kulkarni on area and power, and dominates both baselines
+    // on accuracy at the same time. (Our faithful dual-path ETM is smaller
+    // than the paper's Figure 9 suggests — at a 12x worse MRED; discrepancy
+    // documented in EXPERIMENTS.md.)
+    const SynthesisReport acc = synth(build_accurate_multiplier(16));
+    const SynthesisReport sdl = synth(build_sdlc_multiplier(16, {}));
+    const SynthesisReport kul = synth(build_kulkarni_multiplier(16));
+    const SynthesisReport etm = synth(build_etm_multiplier(16));
+
+    const double sdl_area = SynthesisReport::reduction(acc.area_um2, sdl.area_um2);
+    const double kul_area = SynthesisReport::reduction(acc.area_um2, kul.area_um2);
+    EXPECT_GT(sdl_area, kul_area);
+    EXPECT_GT(SynthesisReport::reduction(acc.area_um2, etm.area_um2), 0.0);
+
+    const double sdl_pwr = SynthesisReport::reduction(acc.dynamic_power_uw, sdl.dynamic_power_uw);
+    const double kul_pwr = SynthesisReport::reduction(acc.dynamic_power_uw, kul.dynamic_power_uw);
+    EXPECT_GT(sdl_pwr, kul_pwr);
+}
+
+TEST(Integration, WallaceAndDaddaAlsoBenefitFromSdlc) {
+    for (const AccumulationScheme scheme :
+         {AccumulationScheme::kWallace, AccumulationScheme::kDadda}) {
+        const SynthesisReport acc = synth(build_accurate_multiplier(16, scheme));
+        SdlcOptions opts;
+        opts.scheme = scheme;
+        const SynthesisReport apx = synth(build_sdlc_multiplier(16, opts));
+        EXPECT_LT(apx.area_um2, acc.area_um2) << accumulation_scheme_name(scheme);
+        EXPECT_LT(apx.dynamic_energy_fj, acc.dynamic_energy_fj)
+            << accumulation_scheme_name(scheme);
+    }
+}
+
+TEST(Integration, ImagePipelineQualityEnergyTradeoff) {
+    // Paper Figure 8, end to end: deeper clusters save more energy per
+    // multiplication but lose PSNR; depth 2 must stay visually lossless-ish.
+    const Image img = make_scene(200, 200, 2024);
+    const FixedKernel kernel = make_gaussian_kernel(3, 1.5);
+    const Image reference = convolve(img, kernel, exact_mul8);
+    const SynthesisReport acc = synth(build_accurate_multiplier(8));
+
+    double d2_psnr = 0.0;
+    double prev_saving = -1.0;
+    for (int depth : {2, 3, 4}) {
+        const ClusterPlan plan = ClusterPlan::make(8, depth);
+        const Image out = convolve(img, kernel, [&](uint8_t px, uint8_t w) {
+            return static_cast<uint32_t>(sdlc_multiply(plan, px, w));
+        });
+        const double quality = psnr(reference, out);
+        SdlcOptions opts;
+        opts.depth = depth;
+        const SynthesisReport r = synth(build_sdlc_multiplier(8, opts));
+        const double saving = SynthesisReport::reduction(acc.dynamic_energy_fj,
+                                                         r.dynamic_energy_fj);
+        EXPECT_GT(saving, prev_saving);  // energy saving grows with depth
+        if (depth == 2) {
+            d2_psnr = quality;
+            EXPECT_GT(quality, 33.0);  // paper: 50.2 dB on its own image
+        } else {
+            EXPECT_LT(quality, d2_psnr);  // depth 2 has the best quality
+            EXPECT_GT(quality, 15.0);
+        }
+        prev_saving = saving;
+    }
+}
+
+TEST(Integration, OptimizerNeverChangesMultiplierFunction) {
+    // Spot integration of optimizer + generator across configs.
+    for (int width : {6, 8}) {
+        for (int depth : {2, 4}) {
+            SdlcOptions opts;
+            opts.depth = depth;
+            MultiplierNetlist m = build_sdlc_multiplier(width, opts);
+            MultiplierNetlist opt_m = m;  // same port interface
+            opt_m.net = optimize(m.net).netlist;
+            // The optimizer preserves output order; rebind the product bits.
+            opt_m.p_bits.clear();
+            for (const OutputPort& p : opt_m.net.outputs()) opt_m.p_bits.push_back(p.net);
+            const ClusterPlan plan = ClusterPlan::make(width, depth);
+            for (uint64_t a = 0; a < (uint64_t{1} << width); a += 3) {
+                for (uint64_t b = 1; b < (uint64_t{1} << width); b += 7) {
+                    ASSERT_EQ(simulate_one(opt_m, a, b), sdlc_multiply(plan, a, b));
+                }
+            }
+        }
+    }
+}
+
+}  // namespace
+}  // namespace sdlc

@@ -1,0 +1,82 @@
+// Tests for the Verilog/DOT exporters.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "netlist/export.h"
+#include "netlist/netlist.h"
+
+namespace sdlc {
+namespace {
+
+Netlist small_design() {
+    Netlist nl;
+    const NetId a = nl.input("a");
+    const NetId b = nl.input("b");
+    nl.mark_output(nl.and_gate(a, b), "y_and");
+    nl.mark_output(nl.xor_gate(a, b), "y_xor");
+    return nl;
+}
+
+TEST(Verilog, ContainsModuleAndPorts) {
+    const std::string v = to_verilog(small_design(), "tiny");
+    EXPECT_NE(v.find("module tiny ("), std::string::npos);
+    EXPECT_NE(v.find("input wire a"), std::string::npos);
+    EXPECT_NE(v.find("input wire b"), std::string::npos);
+    EXPECT_NE(v.find("output wire y_and"), std::string::npos);
+    EXPECT_NE(v.find("endmodule"), std::string::npos);
+}
+
+TEST(Verilog, EmitsGateExpressions) {
+    const std::string v = to_verilog(small_design(), "tiny");
+    EXPECT_NE(v.find(" & "), std::string::npos);
+    EXPECT_NE(v.find(" ^ "), std::string::npos);
+}
+
+TEST(Verilog, EmitsConstants) {
+    Netlist nl;
+    nl.input("a");
+    nl.mark_output(nl.constant(true), "one");
+    nl.mark_output(nl.constant(false), "zero");
+    const std::string v = to_verilog(nl, "consts");
+    EXPECT_NE(v.find("1'b1"), std::string::npos);
+    EXPECT_NE(v.find("1'b0"), std::string::npos);
+}
+
+TEST(Verilog, SanitizesIdentifiers) {
+    Netlist nl;
+    const NetId a = nl.input("a[0]");  // brackets are not valid in our subset
+    nl.mark_output(nl.not_gate(a), "out-1");
+    const std::string v = to_verilog(nl, "8bad name");
+    EXPECT_EQ(v.find("a[0]"), std::string::npos);
+    EXPECT_NE(v.find("a_0_"), std::string::npos);
+    EXPECT_NE(v.find("out_1"), std::string::npos);
+    EXPECT_NE(v.find("module n8bad_name"), std::string::npos);
+}
+
+TEST(Verilog, EveryKindRenders) {
+    Netlist nl;
+    const NetId a = nl.input("a");
+    const NetId b = nl.input("b");
+    nl.mark_output(nl.buf_gate(a), "o_buf");
+    nl.mark_output(nl.not_gate(a), "o_not");
+    nl.mark_output(nl.nand_gate(a, b), "o_nand");
+    nl.mark_output(nl.nor_gate(a, b), "o_nor");
+    nl.mark_output(nl.xnor_gate(a, b), "o_xnor");
+    const std::string v = to_verilog(nl, "kinds");
+    EXPECT_NE(v.find("~(") , std::string::npos);
+    EXPECT_NE(v.find("assign o_buf"), std::string::npos);
+}
+
+TEST(Dot, ContainsNodesAndEdges) {
+    std::ostringstream oss;
+    write_dot(oss, small_design(), "tiny");
+    const std::string d = oss.str();
+    EXPECT_NE(d.find("digraph tiny {"), std::string::npos);
+    EXPECT_NE(d.find("->"), std::string::npos);
+    EXPECT_NE(d.find("AND2"), std::string::npos);
+    EXPECT_NE(d.find("y_xor"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdlc

@@ -1,0 +1,205 @@
+// Unit tests for the structural optimizer: rule coverage plus random
+// equivalence checking (the optimizer must never change functionality).
+#include <gtest/gtest.h>
+
+#include "netlist/netlist.h"
+#include "netlist/opt.h"
+#include "netlist/sim.h"
+#include "util/rng.h"
+
+namespace sdlc {
+namespace {
+
+/// Checks functional equivalence on `passes` x 64 random vectors.
+void expect_equivalent(const Netlist& a, const Netlist& b, int passes = 8,
+                       uint64_t seed = 1234) {
+    ASSERT_EQ(a.inputs().size(), b.inputs().size());
+    ASSERT_EQ(a.outputs().size(), b.outputs().size());
+    Simulator sa(a), sb(b);
+    Xoshiro256 rng(seed);
+    std::vector<Simulator::Word> in(a.inputs().size());
+    for (int p = 0; p < passes; ++p) {
+        for (auto& w : in) w = rng.next();
+        sa.run(in);
+        sb.run(in);
+        const auto oa = sa.output_words();
+        const auto ob = sb.output_words();
+        for (size_t i = 0; i < oa.size(); ++i) {
+            ASSERT_EQ(oa[i], ob[i]) << "output " << a.outputs()[i].name;
+        }
+    }
+}
+
+TEST(Optimizer, FoldsConstantAnd) {
+    Netlist nl;
+    const NetId a = nl.input("a");
+    const NetId c0 = nl.constant(false);
+    nl.mark_output(nl.and_gate(a, c0), "y");
+    const OptResult r = optimize(nl);
+    EXPECT_EQ(r.netlist.logic_gate_count(), 0u);
+    EXPECT_EQ(r.netlist.gate(r.netlist.outputs()[0].net).kind, GateKind::kConst0);
+}
+
+TEST(Optimizer, AndWithOneIsPassthrough) {
+    Netlist nl;
+    const NetId a = nl.input("a");
+    nl.mark_output(nl.and_gate(a, nl.constant(true)), "y");
+    const OptResult r = optimize(nl);
+    EXPECT_EQ(r.netlist.logic_gate_count(), 0u);
+    EXPECT_EQ(r.netlist.outputs()[0].net, r.netlist.inputs()[0]);
+}
+
+TEST(Optimizer, DoubleNotEliminated) {
+    Netlist nl;
+    const NetId a = nl.input("a");
+    nl.mark_output(nl.not_gate(nl.not_gate(a)), "y");
+    const OptResult r = optimize(nl);
+    EXPECT_EQ(r.netlist.outputs()[0].net, r.netlist.inputs()[0]);
+}
+
+TEST(Optimizer, XorSelfIsZero) {
+    Netlist nl;
+    const NetId a = nl.input("a");
+    nl.mark_output(nl.xor_gate(a, a), "y");
+    const OptResult r = optimize(nl);
+    EXPECT_EQ(r.netlist.gate(r.netlist.outputs()[0].net).kind, GateKind::kConst0);
+}
+
+TEST(Optimizer, XnorSelfIsOne) {
+    Netlist nl;
+    const NetId a = nl.input("a");
+    nl.mark_output(nl.xnor_gate(a, a), "y");
+    const OptResult r = optimize(nl);
+    EXPECT_EQ(r.netlist.gate(r.netlist.outputs()[0].net).kind, GateKind::kConst1);
+}
+
+TEST(Optimizer, OrSelfIsPassthrough) {
+    Netlist nl;
+    const NetId a = nl.input("a");
+    nl.mark_output(nl.or_gate(a, a), "y");
+    const OptResult r = optimize(nl);
+    EXPECT_EQ(r.netlist.outputs()[0].net, r.netlist.inputs()[0]);
+}
+
+TEST(Optimizer, NandSelfIsNot) {
+    Netlist nl;
+    const NetId a = nl.input("a");
+    nl.mark_output(nl.nand_gate(a, a), "y");
+    const OptResult r = optimize(nl);
+    EXPECT_EQ(r.netlist.gate(r.netlist.outputs()[0].net).kind, GateKind::kNot);
+}
+
+TEST(Optimizer, CseMergesCommutedDuplicates) {
+    Netlist nl;
+    const NetId a = nl.input("a");
+    const NetId b = nl.input("b");
+    const NetId x = nl.and_gate(a, b);
+    const NetId y = nl.and_gate(b, a);  // same function, operands swapped
+    nl.mark_output(nl.or_gate(x, y), "y");
+    const OptResult r = optimize(nl);
+    // AND(a,b) == AND(b,a) merged; OR(x,x) collapses to x.
+    EXPECT_EQ(r.netlist.logic_gate_count(), 1u);
+    EXPECT_GE(r.stats.merged + r.stats.folded, 1u);
+}
+
+TEST(Optimizer, RemovesDeadGates) {
+    Netlist nl;
+    const NetId a = nl.input("a");
+    const NetId b = nl.input("b");
+    nl.or_gate(a, b);  // dead
+    nl.mark_output(nl.and_gate(a, b), "y");
+    const OptResult r = optimize(nl);
+    EXPECT_EQ(r.netlist.logic_gate_count(), 1u);
+    EXPECT_EQ(r.stats.dead, 1u);
+}
+
+TEST(Optimizer, BufIsTransparent) {
+    Netlist nl;
+    const NetId a = nl.input("a");
+    nl.mark_output(nl.buf_gate(a), "y");
+    const OptResult r = optimize(nl);
+    EXPECT_EQ(r.netlist.logic_gate_count(), 0u);
+}
+
+TEST(Optimizer, PreservesInterface) {
+    Netlist nl;
+    const NetId a = nl.input("first");
+    const NetId b = nl.input("second");
+    nl.mark_output(nl.and_gate(a, b), "out0");
+    nl.mark_output(nl.xor_gate(a, b), "out1");
+    const OptResult r = optimize(nl);
+    ASSERT_EQ(r.netlist.inputs().size(), 2u);
+    EXPECT_EQ(r.netlist.input_name(0), "first");
+    EXPECT_EQ(r.netlist.input_name(1), "second");
+    ASSERT_EQ(r.netlist.outputs().size(), 2u);
+    EXPECT_EQ(r.netlist.outputs()[0].name, "out0");
+    EXPECT_EQ(r.netlist.outputs()[1].name, "out1");
+}
+
+TEST(Optimizer, KeepsUnusedInputs) {
+    Netlist nl;
+    nl.input("unused");
+    const NetId b = nl.input("used");
+    nl.mark_output(nl.not_gate(b), "y");
+    const OptResult r = optimize(nl);
+    EXPECT_EQ(r.netlist.inputs().size(), 2u);
+}
+
+/// Random netlist generator for equivalence fuzzing.
+Netlist random_netlist(uint64_t seed, int n_inputs, int n_gates) {
+    Xoshiro256 rng(seed);
+    Netlist nl;
+    std::vector<NetId> pool;
+    for (int i = 0; i < n_inputs; ++i) pool.push_back(nl.input("i" + std::to_string(i)));
+    pool.push_back(nl.constant(false));
+    pool.push_back(nl.constant(true));
+    const GateKind kinds[] = {GateKind::kBuf,  GateKind::kNot, GateKind::kAnd,
+                              GateKind::kOr,   GateKind::kNand, GateKind::kNor,
+                              GateKind::kXor,  GateKind::kXnor};
+    for (int i = 0; i < n_gates; ++i) {
+        const GateKind k = kinds[rng.below(8)];
+        const NetId a = pool[rng.below(pool.size())];
+        const NetId b = pool[rng.below(pool.size())];
+        pool.push_back(gate_arity(k) == 1 ? nl.add_gate(k, a) : nl.add_gate(k, a, b));
+    }
+    for (int i = 0; i < 4; ++i) {
+        nl.mark_output(pool[pool.size() - 1 - static_cast<size_t>(i)],
+                       "o" + std::to_string(i));
+    }
+    return nl;
+}
+
+class OptimizerFuzz : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(OptimizerFuzz, RandomNetlistsStayEquivalent) {
+    const Netlist nl = random_netlist(GetParam(), 6, 120);
+    const OptResult r = optimize(nl);
+    expect_equivalent(nl, r.netlist, 8, GetParam() ^ 0x1111);
+    EXPECT_LE(r.netlist.logic_gate_count(), nl.logic_gate_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizerFuzz,
+                         testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u, 10u));
+
+TEST(Optimizer, IndividualPassesCanBeDisabled) {
+    Netlist nl;
+    const NetId a = nl.input("a");
+    const NetId x = nl.and_gate(a, nl.constant(true));
+    nl.or_gate(a, a);  // dead gate
+    nl.mark_output(x, "y");
+
+    OptOptions keep_dead;
+    keep_dead.remove_dead = false;
+    const OptResult r = optimize(nl, keep_dead);
+    EXPECT_EQ(r.stats.dead, 0u);
+
+    OptOptions no_fold;
+    no_fold.fold_constants = false;
+    no_fold.simplify_identities = false;
+    const OptResult r2 = optimize(nl, no_fold);
+    // The AND with constant true survives.
+    EXPECT_GE(r2.netlist.logic_gate_count(), 1u);
+}
+
+}  // namespace
+}  // namespace sdlc

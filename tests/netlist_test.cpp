@@ -1,0 +1,212 @@
+// Unit tests for the netlist IR and the 64-lane simulator.
+#include <gtest/gtest.h>
+
+#include "netlist/netlist.h"
+#include "netlist/sim.h"
+
+namespace sdlc {
+namespace {
+
+TEST(Netlist, ConstantsAreDeduplicated) {
+    Netlist nl;
+    EXPECT_EQ(nl.constant(false), nl.constant(false));
+    EXPECT_EQ(nl.constant(true), nl.constant(true));
+    EXPECT_NE(nl.constant(false), nl.constant(true));
+    EXPECT_EQ(nl.net_count(), 2u);
+}
+
+TEST(Netlist, InputsKeepOrderAndNames) {
+    Netlist nl;
+    const NetId a = nl.input("a");
+    const NetId b = nl.input("b");
+    ASSERT_EQ(nl.inputs().size(), 2u);
+    EXPECT_EQ(nl.inputs()[0], a);
+    EXPECT_EQ(nl.inputs()[1], b);
+    EXPECT_EQ(nl.input_name(0), "a");
+    EXPECT_EQ(nl.input_name(1), "b");
+}
+
+TEST(Netlist, RejectsForwardReferences) {
+    Netlist nl;
+    const NetId a = nl.input("a");
+    EXPECT_THROW(nl.and_gate(a, a + 10), std::invalid_argument);
+}
+
+TEST(Netlist, RejectsBinaryFaninOnUnaryGate) {
+    Netlist nl;
+    const NetId a = nl.input("a");
+    const NetId b = nl.input("b");
+    EXPECT_THROW(nl.add_gate(GateKind::kNot, a, b), std::invalid_argument);
+}
+
+TEST(Netlist, RejectsSourceKindsViaAddGate) {
+    Netlist nl;
+    const NetId a = nl.input("a");
+    EXPECT_THROW(nl.add_gate(GateKind::kInput, a), std::invalid_argument);
+    EXPECT_THROW(nl.add_gate(GateKind::kConst1, a), std::invalid_argument);
+}
+
+TEST(Netlist, GateArityTable) {
+    EXPECT_EQ(gate_arity(GateKind::kInput), 0);
+    EXPECT_EQ(gate_arity(GateKind::kNot), 1);
+    EXPECT_EQ(gate_arity(GateKind::kBuf), 1);
+    EXPECT_EQ(gate_arity(GateKind::kAnd), 2);
+    EXPECT_EQ(gate_arity(GateKind::kXnor), 2);
+}
+
+TEST(Netlist, LogicGateCountExcludesSources) {
+    Netlist nl;
+    const NetId a = nl.input("a");
+    const NetId b = nl.input("b");
+    nl.constant(true);
+    const NetId x = nl.and_gate(a, b);
+    nl.or_gate(x, a);
+    EXPECT_EQ(nl.logic_gate_count(), 2u);
+    EXPECT_EQ(nl.net_count(), 5u);
+}
+
+TEST(Netlist, KindHistogram) {
+    Netlist nl;
+    const NetId a = nl.input("a");
+    const NetId b = nl.input("b");
+    nl.and_gate(a, b);
+    nl.and_gate(b, a);
+    nl.xor_gate(a, b);
+    const auto h = nl.kind_histogram();
+    EXPECT_EQ(h[static_cast<size_t>(GateKind::kAnd)], 2u);
+    EXPECT_EQ(h[static_cast<size_t>(GateKind::kXor)], 1u);
+    EXPECT_EQ(h[static_cast<size_t>(GateKind::kInput)], 2u);
+}
+
+TEST(Netlist, FanoutCounts) {
+    Netlist nl;
+    const NetId a = nl.input("a");
+    const NetId b = nl.input("b");
+    const NetId x = nl.and_gate(a, b);
+    nl.or_gate(x, a);
+    nl.not_gate(x);
+    const auto fo = nl.fanout_counts();
+    EXPECT_EQ(fo[a], 2u);  // AND + OR
+    EXPECT_EQ(fo[b], 1u);
+    EXPECT_EQ(fo[x], 2u);  // OR + NOT
+}
+
+TEST(Netlist, LiveMaskTracksOutputCone) {
+    Netlist nl;
+    const NetId a = nl.input("a");
+    const NetId b = nl.input("b");
+    const NetId live = nl.and_gate(a, b);
+    const NetId dead = nl.or_gate(a, b);
+    nl.mark_output(live, "y");
+    const auto mask = nl.live_mask();
+    EXPECT_TRUE(mask[live]);
+    EXPECT_TRUE(mask[a]);
+    EXPECT_TRUE(mask[b]);
+    EXPECT_FALSE(mask[dead]);
+}
+
+TEST(Netlist, OrTreeOfNothingIsConstFalse) {
+    Netlist nl;
+    const NetId z = nl.or_tree({});
+    EXPECT_EQ(nl.gate(z).kind, GateKind::kConst0);
+}
+
+TEST(Netlist, OrTreeSingleIsPassthrough) {
+    Netlist nl;
+    const NetId a = nl.input("a");
+    EXPECT_EQ(nl.or_tree({a}), a);
+}
+
+// --- Simulator ------------------------------------------------------------
+
+/// Evaluates every 2-input gate kind against its truth table in 4 lanes.
+TEST(Simulator, TruthTablesAllKinds) {
+    Netlist nl;
+    const NetId a = nl.input("a");
+    const NetId b = nl.input("b");
+    const NetId g_and = nl.and_gate(a, b);
+    const NetId g_or = nl.or_gate(a, b);
+    const NetId g_nand = nl.nand_gate(a, b);
+    const NetId g_nor = nl.nor_gate(a, b);
+    const NetId g_xor = nl.xor_gate(a, b);
+    const NetId g_xnor = nl.xnor_gate(a, b);
+    const NetId g_not = nl.not_gate(a);
+    const NetId g_buf = nl.buf_gate(a);
+
+    // Lanes 0..3 carry (a,b) = (0,0),(1,0),(0,1),(1,1).
+    Simulator sim(nl);
+    const std::vector<Simulator::Word> in = {0b1010, 0b1100};
+    sim.run(in);
+    EXPECT_EQ(sim.value(g_and) & 0xf, 0b1000u);
+    EXPECT_EQ(sim.value(g_or) & 0xf, 0b1110u);
+    EXPECT_EQ(sim.value(g_nand) & 0xf, 0b0111u);
+    EXPECT_EQ(sim.value(g_nor) & 0xf, 0b0001u);
+    EXPECT_EQ(sim.value(g_xor) & 0xf, 0b0110u);
+    EXPECT_EQ(sim.value(g_xnor) & 0xf, 0b1001u);
+    EXPECT_EQ(sim.value(g_not) & 0xf, 0b0101u);
+    EXPECT_EQ(sim.value(g_buf) & 0xf, 0b1010u);
+}
+
+TEST(Simulator, ConstantsEvaluate) {
+    Netlist nl;
+    const NetId c0 = nl.constant(false);
+    const NetId c1 = nl.constant(true);
+    nl.input("a");
+    Simulator sim(nl);
+    const std::vector<Simulator::Word> in = {0x55};
+    sim.run(in);
+    EXPECT_EQ(sim.value(c0), 0u);
+    EXPECT_EQ(sim.value(c1), ~uint64_t{0});
+}
+
+TEST(Simulator, RejectsWrongInputCount) {
+    Netlist nl;
+    nl.input("a");
+    nl.input("b");
+    Simulator sim(nl);
+    const std::vector<Simulator::Word> one = {0};
+    EXPECT_THROW(sim.run(one), std::invalid_argument);
+}
+
+TEST(Simulator, OutputWordsFollowDeclarationOrder) {
+    Netlist nl;
+    const NetId a = nl.input("a");
+    const NetId b = nl.input("b");
+    nl.mark_output(nl.and_gate(a, b), "y0");
+    nl.mark_output(nl.or_gate(a, b), "y1");
+    Simulator sim(nl);
+    const std::vector<Simulator::Word> in = {0b10, 0b11};
+    sim.run(in);
+    const auto out = sim.output_words();
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0] & 3u, 0b10u);
+    EXPECT_EQ(out[1] & 3u, 0b11u);
+}
+
+TEST(Simulator, ToggleCountingAccumulates) {
+    Netlist nl;
+    const NetId a = nl.input("a");
+    nl.mark_output(nl.not_gate(a), "y");
+    Simulator sim(nl);
+    const std::vector<Simulator::Word> v0 = {0};
+    const std::vector<Simulator::Word> v1 = {~uint64_t{0}};
+    sim.run_counting_toggles(v0);  // NOT output: all ones vs initial zeros -> 64 toggles
+    sim.run_counting_toggles(v1);  // flips all lanes again
+    EXPECT_EQ(sim.toggled_lanes(), 128u);
+    EXPECT_GE(sim.toggle_counts()[nl.outputs()[0].net], 64u);
+    sim.reset_toggles();
+    EXPECT_EQ(sim.toggled_lanes(), 0u);
+}
+
+TEST(Simulator, EvalSingleMatchesLanes) {
+    Netlist nl;
+    const NetId a = nl.input("a");
+    const NetId b = nl.input("b");
+    nl.mark_output(nl.xor_gate(a, b), "y");
+    EXPECT_EQ(eval_single(nl, {true, false})[0], true);
+    EXPECT_EQ(eval_single(nl, {true, true})[0], false);
+    EXPECT_THROW(eval_single(nl, {true}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sdlc

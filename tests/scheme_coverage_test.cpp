@@ -1,0 +1,137 @@
+// Cross-scheme and cross-library coverage: every multiplier variant under
+// every accumulation scheme, plus cost-model scaling properties.
+#include <gtest/gtest.h>
+
+#include "baselines/accurate.h"
+#include "core/compensation.h"
+#include "core/functional.h"
+#include "core/signed_mul.h"
+#include "tech/sta.h"
+#include "tech/synthesis.h"
+#include "util/rng.h"
+
+namespace sdlc {
+namespace {
+
+const AccumulationScheme kAllSchemes[] = {
+    AccumulationScheme::kRowRipple,
+    AccumulationScheme::kWallace,
+    AccumulationScheme::kDadda,
+    AccumulationScheme::kRowFastCpa,
+};
+
+TEST(SchemeCoverage, CompensatedNetlistMatchesModelUnderAllSchemes) {
+    const ClusterPlan plan = ClusterPlan::make(6, 2);
+    for (const AccumulationScheme scheme : kAllSchemes) {
+        SdlcOptions opts;
+        opts.scheme = scheme;
+        const MultiplierNetlist m = build_sdlc_compensated_multiplier(6, opts);
+        for (uint64_t a = 0; a < 64; a += 3) {
+            for (uint64_t b = 0; b < 64; ++b) {
+                ASSERT_EQ(simulate_one(m, a, b), sdlc_multiply_compensated(plan, a, b))
+                    << accumulation_scheme_name(scheme) << " " << a << "*" << b;
+            }
+        }
+    }
+}
+
+TEST(SchemeCoverage, SignedNetlistMatchesModelUnderAllSchemes) {
+    const ClusterPlan plan = ClusterPlan::make(5, 2);
+    for (const AccumulationScheme scheme : kAllSchemes) {
+        SdlcOptions opts;
+        opts.scheme = scheme;
+        const MultiplierNetlist m = build_sdlc_signed_multiplier(5, opts);
+        for (uint64_t a = 0; a < 32; ++a) {
+            for (uint64_t b = 0; b < 32; ++b) {
+                const int64_t sa = static_cast<int64_t>((a ^ 16u) - 16);
+                const int64_t sb = static_cast<int64_t>((b ^ 16u) - 16);
+                const uint64_t expect =
+                    static_cast<uint64_t>(sdlc_multiply_signed(plan, sa, sb)) & 0x3ffu;
+                ASSERT_EQ(simulate_one(m, a, b), expect)
+                    << accumulation_scheme_name(scheme) << " " << sa << "*" << sb;
+            }
+        }
+    }
+}
+
+TEST(SchemeCoverage, FastCpaAmplifiesSdlcDelayReduction) {
+    // Sequential prefix adders do not overlap diagonally the way ripple
+    // chains do, so their depths add per stage: the *absolute* fast-CPA
+    // delay is not lower, but the SDLC-vs-accurate delay ratio tracks the
+    // stage count and the relative saving grows (the ablation A5 effect).
+    const CellLibrary lib = CellLibrary::generic_90nm();
+    auto reduction = [&](AccumulationScheme scheme) {
+        SdlcOptions opts;
+        opts.scheme = scheme;
+        const SynthesisReport acc =
+            synthesize(build_accurate_multiplier(16, scheme).net, lib);
+        const SynthesisReport apx = synthesize(build_sdlc_multiplier(16, opts).net, lib);
+        return SynthesisReport::reduction(acc.delay_ps, apx.delay_ps);
+    };
+    EXPECT_GT(reduction(AccumulationScheme::kRowFastCpa),
+              reduction(AccumulationScheme::kRowRipple) + 0.1);
+}
+
+TEST(SchemeCoverage, FastCpaCostsMoreAreaThanRipple) {
+    // The prefix network spends gates on every stage.
+    const CellLibrary lib = CellLibrary::generic_90nm();
+    const SynthesisReport r =
+        synthesize(build_accurate_multiplier(16, AccumulationScheme::kRowRipple).net, lib);
+    const SynthesisReport f =
+        synthesize(build_accurate_multiplier(16, AccumulationScheme::kRowFastCpa).net, lib);
+    EXPECT_GT(f.area_um2, r.area_um2);
+}
+
+TEST(CostModel, ScaledLibraryScalesSynthesisLinearly) {
+    const CellLibrary base = CellLibrary::generic_90nm();
+    const CellLibrary half = base.scaled(0.5, 0.25, 0.4);
+    const MultiplierNetlist m = build_accurate_multiplier(8);
+    const SynthesisReport rb = synthesize(m.net, base);
+    const SynthesisReport rh = synthesize(m.net, half);
+    EXPECT_NEAR(rh.area_um2, 0.5 * rb.area_um2, 1e-9);
+    EXPECT_NEAR(rh.delay_ps, 0.25 * rb.delay_ps, 1e-9);
+    EXPECT_NEAR(rh.dynamic_energy_fj, 0.4 * rb.dynamic_energy_fj, 1e-6);
+    EXPECT_NEAR(rh.leakage_nw, 0.5 * rb.leakage_nw, 1e-9);
+}
+
+TEST(CostModel, DepthIsLibraryIndependent) {
+    const MultiplierNetlist m = build_sdlc_multiplier(8, {});
+    const SynthesisReport r1 = synthesize(m.net, CellLibrary::generic_90nm());
+    const SynthesisReport r2 =
+        synthesize(m.net, CellLibrary::generic_90nm().scaled(2.0, 3.0, 4.0));
+    EXPECT_EQ(r1.depth, r2.depth);
+    EXPECT_EQ(r1.cells, r2.cells);
+}
+
+TEST(U256Fuzz, AddSubShiftAgreeWithInt128OnLowHalf) {
+    Xoshiro256 rng(31337);
+    for (int i = 0; i < 2000; ++i) {
+        const uint64_t a_lo = rng.next(), b_lo = rng.next();
+        const unsigned __int128 a128 = a_lo, b128 = b_lo;
+        const U256 s = add(U256(a_lo), U256(b_lo));
+        const unsigned __int128 s128 = a128 + b128;
+        EXPECT_EQ(s.w[0], static_cast<uint64_t>(s128));
+        EXPECT_EQ(s.w[1], static_cast<uint64_t>(s128 >> 64));
+
+        const unsigned k = static_cast<unsigned>(rng.below(128));
+        const U256 sh = shl(U256(a_lo), k);
+        const unsigned __int128 sh128 = a128 << k;
+        EXPECT_EQ(sh.w[0], static_cast<uint64_t>(sh128)) << k;
+        EXPECT_EQ(sh.w[1], static_cast<uint64_t>(sh128 >> 64)) << k;
+    }
+}
+
+TEST(U256Fuzz, MulMatchesNativeProducts) {
+    Xoshiro256 rng(99999);
+    for (int i = 0; i < 2000; ++i) {
+        const uint64_t a = rng.next(), b = rng.next();
+        const U256 p = mul_128(a, 0, b, 0);
+        const unsigned __int128 ref = static_cast<unsigned __int128>(a) * b;
+        ASSERT_EQ(p.w[0], static_cast<uint64_t>(ref));
+        ASSERT_EQ(p.w[1], static_cast<uint64_t>(ref >> 64));
+        ASSERT_EQ(p.w[2] | p.w[3], 0u);
+    }
+}
+
+}  // namespace
+}  // namespace sdlc

@@ -1,0 +1,256 @@
+// Cross-validation of the SDLC netlist generator against the functional
+// model: the generated hardware must implement exactly the calibrated
+// arithmetic, for every depth, accumulation scheme and remapping mode.
+#include <gtest/gtest.h>
+
+#include "core/functional.h"
+#include "core/generator.h"
+#include "netlist/opt.h"
+#include "netlist/sim.h"
+#include "tech/sta.h"
+#include "util/rng.h"
+
+namespace sdlc {
+namespace {
+
+/// gtest parameter names may not contain '-'; map schemes to clean tokens.
+std::string scheme_token(AccumulationScheme s) {
+    switch (s) {
+        case AccumulationScheme::kRowRipple: return "ripple";
+        case AccumulationScheme::kWallace: return "wallace";
+        case AccumulationScheme::kDadda: return "dadda";
+        case AccumulationScheme::kRowFastCpa: return "fastcpa";
+    }
+    return "unknown";
+}
+
+/// Runs `checks` random operand pairs through the netlist and the model.
+void expect_netlist_matches_model(const MultiplierNetlist& m, const ClusterPlan& plan,
+                                  int checks, uint64_t seed) {
+    Xoshiro256 rng(seed);
+    const uint64_t mask = (uint64_t{1} << plan.width()) - 1;
+    std::vector<uint64_t> as(64), bs(64);
+    for (int pass = 0; pass < (checks + 63) / 64; ++pass) {
+        for (int i = 0; i < 64; ++i) {
+            as[i] = rng.next() & mask;
+            bs[i] = rng.next() & mask;
+        }
+        const auto prods = simulate_batch(m, as, bs);
+        for (int i = 0; i < 64; ++i) {
+            ASSERT_EQ(prods[i], sdlc_multiply(plan, as[i], bs[i]))
+                << m.label << ": " << as[i] << "*" << bs[i];
+        }
+    }
+}
+
+class SdlcNetlistExhaustive
+    : public testing::TestWithParam<std::tuple<int, int, AccumulationScheme>> {};
+
+TEST_P(SdlcNetlistExhaustive, MatchesFunctionalModelEverywhere) {
+    const auto [width, depth, scheme] = GetParam();
+    SdlcOptions opts;
+    opts.depth = depth;
+    opts.scheme = scheme;
+    const MultiplierNetlist m = build_sdlc_multiplier(width, opts);
+    const ClusterPlan plan = ClusterPlan::make(width, depth);
+
+    const uint64_t side = uint64_t{1} << width;
+    std::vector<uint64_t> as, bs;
+    auto flush = [&] {
+        if (as.empty()) return;
+        const auto prods = simulate_batch(m, as, bs);
+        for (size_t i = 0; i < as.size(); ++i) {
+            ASSERT_EQ(prods[i], sdlc_multiply(plan, as[i], bs[i]))
+                << m.label << ": " << as[i] << "*" << bs[i];
+        }
+        as.clear();
+        bs.clear();
+    };
+    for (uint64_t a = 0; a < side; ++a) {
+        for (uint64_t b = 0; b < side; ++b) {
+            as.push_back(a);
+            bs.push_back(b);
+            if (as.size() == 64) flush();
+        }
+    }
+    flush();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallWidths, SdlcNetlistExhaustive,
+    testing::Combine(testing::Values(4, 6), testing::Values(2, 3, 4),
+                     testing::Values(AccumulationScheme::kRowRipple,
+                                     AccumulationScheme::kWallace,
+                                     AccumulationScheme::kDadda,
+                                     AccumulationScheme::kRowFastCpa)),
+    [](const auto& pinfo) {
+        return "w" + std::to_string(std::get<0>(pinfo.param)) + "_d" +
+               std::to_string(std::get<1>(pinfo.param)) + "_" +
+               scheme_token(std::get<2>(pinfo.param));
+    });
+
+TEST(SdlcNetlist, EightBitExhaustiveDepth2) {
+    SdlcOptions opts;
+    const MultiplierNetlist m = build_sdlc_multiplier(8, opts);
+    const ClusterPlan plan = ClusterPlan::make(8, 2);
+    std::vector<uint64_t> as(64), bs(64);
+    for (uint64_t a = 0; a < 256; ++a) {
+        for (uint64_t block = 0; block < 4; ++block) {
+            for (uint64_t i = 0; i < 64; ++i) {
+                as[i] = a;
+                bs[i] = block * 64 + i;
+            }
+            const auto prods = simulate_batch(m, as, bs);
+            for (uint64_t i = 0; i < 64; ++i) {
+                ASSERT_EQ(prods[i], sdlc_multiply(plan, a, bs[i])) << a << "*" << bs[i];
+            }
+        }
+    }
+}
+
+class SdlcNetlistRandom : public testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SdlcNetlistRandom, MatchesFunctionalModelOnRandomOperands) {
+    const auto [width, depth] = GetParam();
+    SdlcOptions opts;
+    opts.depth = depth;
+    const MultiplierNetlist m = build_sdlc_multiplier(width, opts);
+    expect_netlist_matches_model(m, ClusterPlan::make(width, depth), 512,
+                                 0x5eed + static_cast<uint64_t>(width * 10 + depth));
+}
+
+INSTANTIATE_TEST_SUITE_P(WiderWidths, SdlcNetlistRandom,
+                         testing::Combine(testing::Values(12, 16, 24, 32),
+                                          testing::Values(2, 3, 4)),
+                         [](const auto& pinfo) {
+                             return "w" + std::to_string(std::get<0>(pinfo.param)) + "_d" +
+                                    std::to_string(std::get<1>(pinfo.param));
+                         });
+
+TEST(SdlcNetlist, NoRemapAblationIsFunctionallyIdentical) {
+    for (int depth : {2, 3}) {
+        SdlcOptions remap, noremap;
+        remap.depth = noremap.depth = depth;
+        noremap.commutative_remapping = false;
+        const MultiplierNetlist m1 = build_sdlc_multiplier(8, remap);
+        const MultiplierNetlist m2 = build_sdlc_multiplier(8, noremap);
+        Xoshiro256 rng(77);
+        std::vector<uint64_t> as(64), bs(64);
+        for (int pass = 0; pass < 16; ++pass) {
+            for (int i = 0; i < 64; ++i) {
+                as[i] = rng.next() & 0xff;
+                bs[i] = rng.next() & 0xff;
+            }
+            EXPECT_EQ(simulate_batch(m1, as, bs), simulate_batch(m2, as, bs));
+        }
+    }
+}
+
+TEST(SdlcNetlist, RemappingShortensRowRippleDepth) {
+    SdlcOptions remap, noremap;
+    noremap.commutative_remapping = false;
+    const MultiplierNetlist m1 = build_sdlc_multiplier(16, remap);
+    const MultiplierNetlist m2 = build_sdlc_multiplier(16, noremap);
+    EXPECT_LT(logic_depth(m1.net), logic_depth(m2.net));
+}
+
+TEST(SdlcNetlist, UsesFullAndArrayLikeAccurateDesign) {
+    // The paper keeps all N^2 AND partial products; compression adds ORs.
+    const MultiplierNetlist m = build_sdlc_multiplier(8, {});
+    const auto hist = m.net.kind_histogram();
+    EXPECT_GE(hist[static_cast<size_t>(GateKind::kAnd)], 64u);
+    EXPECT_GT(hist[static_cast<size_t>(GateKind::kOr)], 0u);
+}
+
+TEST(SdlcNetlist, MatrixCriticalColumnHalvedAtDepth2) {
+    // Paper Figure 3: the critical column height drops from N to N/2.
+    Netlist nl;
+    const OperandPorts ports = make_operand_ports(nl, 8);
+    const ClusterPlan plan = ClusterPlan::make(8, 2);
+    const BitMatrix matrix = build_sdlc_matrix(nl, ports.a, ports.b, plan);
+    EXPECT_EQ(matrix.max_height(), 4);
+
+    Netlist nl_acc;
+    const OperandPorts ports_acc = make_operand_ports(nl_acc, 8);
+    const BitMatrix acc = build_sdlc_matrix(nl_acc, ports_acc.a, ports_acc.b,
+                                            ClusterPlan::make(8, 1));
+    EXPECT_EQ(acc.max_height(), 8);
+}
+
+TEST(SdlcNetlist, DepthReducesMatrixHeightFurther) {
+    Netlist nl;
+    const OperandPorts ports = make_operand_ports(nl, 8);
+    int prev = 100;
+    for (int depth : {2, 3, 4}) {
+        Netlist scratch;
+        const OperandPorts p = make_operand_ports(scratch, 8);
+        const BitMatrix m = build_sdlc_matrix(scratch, p.a, p.b, ClusterPlan::make(8, depth));
+        EXPECT_LT(m.max_height(), prev);
+        prev = m.max_height();
+    }
+}
+
+TEST(SdlcNetlist, OptimizedNetlistStaysEquivalent) {
+    SdlcOptions opts;
+    opts.depth = 3;
+    MultiplierNetlist m = build_sdlc_multiplier(8, opts);
+    const OptResult r = optimize(m.net);
+    const ClusterPlan plan = ClusterPlan::make(8, 3);
+
+    Simulator sim(r.netlist);
+    Xoshiro256 rng(3);
+    for (int pass = 0; pass < 8; ++pass) {
+        std::vector<uint64_t> as(64), bs(64);
+        for (int i = 0; i < 64; ++i) {
+            as[i] = rng.next() & 0xff;
+            bs[i] = rng.next() & 0xff;
+        }
+        // Pack inputs in port order (a bits then b bits).
+        std::vector<uint64_t> words(r.netlist.inputs().size(), 0);
+        for (int bitpos = 0; bitpos < 8; ++bitpos) {
+            uint64_t wa = 0, wb = 0;
+            for (int lane = 0; lane < 64; ++lane) {
+                wa |= ((as[lane] >> bitpos) & 1u) << lane;
+                wb |= ((bs[lane] >> bitpos) & 1u) << lane;
+            }
+            words[static_cast<size_t>(bitpos)] = wa;
+            words[static_cast<size_t>(8 + bitpos)] = wb;
+        }
+        sim.run(words);
+        const auto outs = sim.output_words();
+        for (int lane = 0; lane < 64; ++lane) {
+            uint64_t prod = 0;
+            for (size_t bitpos = 0; bitpos < outs.size(); ++bitpos) {
+                prod |= ((outs[bitpos] >> lane) & 1u) << bitpos;
+            }
+            ASSERT_EQ(prod, sdlc_multiply(plan, as[lane], bs[lane]));
+        }
+    }
+}
+
+TEST(SdlcNetlist, LabelDescribesConfiguration) {
+    SdlcOptions opts;
+    opts.depth = 3;
+    opts.scheme = AccumulationScheme::kDadda;
+    const MultiplierNetlist m = build_sdlc_multiplier(8, opts);
+    EXPECT_NE(m.label.find("d=3"), std::string::npos);
+    EXPECT_NE(m.label.find("dadda"), std::string::npos);
+}
+
+TEST(SdlcNetlist, WideWidthsBuildAndSimulate) {
+    // 64- and 128-bit versions must construct and produce P' <= P.
+    for (int width : {64, 128}) {
+        SdlcOptions opts;
+        const MultiplierNetlist m = build_sdlc_multiplier(width, opts);
+        EXPECT_EQ(m.p_bits.size(), static_cast<size_t>(2 * width));
+        Xoshiro256 rng(11);
+        const uint64_t a_lo = rng.next(), a_hi = width > 64 ? rng.next() : 0;
+        const uint64_t b_lo = rng.next(), b_hi = width > 64 ? rng.next() : 0;
+        const U256 approx = simulate_one_wide(m, a_lo, a_hi, b_lo, b_hi);
+        const U256 exact = mul_128(a_lo, width > 64 ? a_hi : 0, b_lo, width > 64 ? b_hi : 0);
+        EXPECT_FALSE(less(exact, approx)) << width;  // approx <= exact
+    }
+}
+
+}  // namespace
+}  // namespace sdlc

@@ -1,0 +1,119 @@
+// Tests for the signed (two's-complement) SDLC extension.
+#include <gtest/gtest.h>
+
+#include "core/functional.h"
+#include "core/signed_mul.h"
+#include "util/rng.h"
+
+namespace sdlc {
+namespace {
+
+/// Sign-extends the low `width` bits of `raw` into int64.
+int64_t sign_extend(uint64_t raw, int width) {
+    const uint64_t m = uint64_t{1} << (width - 1);
+    return static_cast<int64_t>((raw ^ m) - m);
+}
+
+TEST(SignedMul, SignRulesAroundZero) {
+    const ClusterPlan plan = ClusterPlan::make(8, 2);
+    EXPECT_EQ(sdlc_multiply_signed(plan, 0, 77), 0);
+    EXPECT_EQ(sdlc_multiply_signed(plan, -5, 0), 0);
+    // a = 8 is a power of two, so the SDLC core is exact for any b.
+    EXPECT_EQ(sdlc_multiply_signed(plan, 8, 11), 88);
+    EXPECT_EQ(sdlc_multiply_signed(plan, -8, 11), -88);
+    EXPECT_EQ(sdlc_multiply_signed(plan, -8, -11), 88);
+    // 7 * 11 genuinely approximates (B = 1011 activates the row-0/1 pair):
+    // error = (a & a<<1) masked = 6, so the product is 71, negated with sign.
+    EXPECT_EQ(sdlc_multiply_signed(plan, 7, 11), 71);
+    EXPECT_EQ(sdlc_multiply_signed(plan, -7, 11), -71);
+}
+
+TEST(SignedMul, ErrorMagnitudeMatchesUnsignedCore) {
+    // By construction |error(a,b)| == error(|a|,|b|) of the unsigned core.
+    const ClusterPlan plan = ClusterPlan::make(8, 2);
+    for (int64_t a = -128; a < 128; a += 7) {
+        for (int64_t b = -128; b < 128; b += 5) {
+            const uint64_t ma = static_cast<uint64_t>(a < 0 ? -a : a);
+            const uint64_t mb = static_cast<uint64_t>(b < 0 ? -b : b);
+            EXPECT_EQ(sdlc_signed_error_distance(plan, a, b),
+                      sdlc_error_distance(plan, ma, mb))
+                << a << "*" << b;
+        }
+    }
+}
+
+TEST(SignedMul, IntMinOperandIsHandled) {
+    const ClusterPlan plan = ClusterPlan::make(8, 2);
+    // -128 * -128 = 16384; magnitude 128 is a power of two, so SDLC is exact.
+    EXPECT_EQ(sdlc_multiply_signed(plan, -128, -128), 16384);
+    EXPECT_EQ(sdlc_multiply_signed(plan, -128, 3), -384);
+}
+
+TEST(SignedMul, RejectsBadWidthAndRange) {
+    const ClusterPlan plan = ClusterPlan::make(8, 2);
+    EXPECT_THROW((void)sdlc_multiply_signed(plan, 200, 1), std::invalid_argument);
+    EXPECT_THROW((void)sdlc_multiply_signed(plan, 1, -129), std::invalid_argument);
+    const ClusterPlan wide = ClusterPlan::make(32, 2);
+    EXPECT_THROW((void)sdlc_multiply_signed(wide, 1, 1), std::invalid_argument);
+    EXPECT_THROW((void)build_sdlc_signed_multiplier(32), std::invalid_argument);
+}
+
+class SignedNetlist : public testing::TestWithParam<int> {};
+
+TEST_P(SignedNetlist, MatchesFunctionalModelExhaustive) {
+    const int width = GetParam();
+    SdlcOptions opts;
+    const MultiplierNetlist m = build_sdlc_signed_multiplier(width, opts);
+    const ClusterPlan plan = ClusterPlan::make(width, 2);
+    const uint64_t side = uint64_t{1} << width;
+    const uint64_t mask2n = (uint64_t{1} << (2 * width)) - 1;
+
+    std::vector<uint64_t> as, bs;
+    auto flush = [&] {
+        if (as.empty()) return;
+        const auto prods = simulate_batch(m, as, bs);
+        for (size_t i = 0; i < as.size(); ++i) {
+            const int64_t expect =
+                sdlc_multiply_signed(plan, sign_extend(as[i], width), sign_extend(bs[i], width));
+            ASSERT_EQ(prods[i], static_cast<uint64_t>(expect) & mask2n)
+                << sign_extend(as[i], width) << "*" << sign_extend(bs[i], width);
+        }
+        as.clear();
+        bs.clear();
+    };
+    for (uint64_t a = 0; a < side; ++a) {
+        for (uint64_t b = 0; b < side; ++b) {
+            as.push_back(a);
+            bs.push_back(b);
+            if (as.size() == 64) flush();
+        }
+    }
+    flush();
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SignedNetlist, testing::Values(4, 5, 6),
+                         [](const auto& pinfo) { return "w" + std::to_string(pinfo.param); });
+
+TEST(SignedNetlist, EightBitRandomSpotChecks) {
+    SdlcOptions opts;
+    opts.depth = 3;
+    const MultiplierNetlist m = build_sdlc_signed_multiplier(8, opts);
+    const ClusterPlan plan = ClusterPlan::make(8, 3);
+    Xoshiro256 rng(2718);
+    std::vector<uint64_t> as(64), bs(64);
+    for (int pass = 0; pass < 16; ++pass) {
+        for (int i = 0; i < 64; ++i) {
+            as[i] = rng.next() & 0xff;
+            bs[i] = rng.next() & 0xff;
+        }
+        const auto prods = simulate_batch(m, as, bs);
+        for (int i = 0; i < 64; ++i) {
+            const int64_t expect =
+                sdlc_multiply_signed(plan, sign_extend(as[i], 8), sign_extend(bs[i], 8));
+            ASSERT_EQ(prods[i], static_cast<uint64_t>(expect) & 0xffff);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace sdlc

@@ -1,0 +1,195 @@
+// Tests for the technology library, STA and power/synthesis models.
+#include <gtest/gtest.h>
+
+#include "arith/adders.h"
+#include "netlist/netlist.h"
+#include "tech/cell_library.h"
+#include "tech/power.h"
+#include "tech/sta.h"
+#include "tech/synthesis.h"
+
+namespace sdlc {
+namespace {
+
+TEST(CellLibrary, Generic90nmIsPopulated) {
+    const CellLibrary lib = CellLibrary::generic_90nm();
+    EXPECT_EQ(lib.name(), "generic-90nm");
+    for (GateKind k : {GateKind::kNot, GateKind::kAnd, GateKind::kOr, GateKind::kNand,
+                       GateKind::kNor, GateKind::kXor, GateKind::kXnor, GateKind::kBuf}) {
+        EXPECT_GT(lib.cell(k).area_um2, 0.0) << gate_kind_name(k);
+        EXPECT_GT(lib.cell(k).intrinsic_delay_ps, 0.0) << gate_kind_name(k);
+        EXPECT_GT(lib.cell(k).energy_fj, 0.0) << gate_kind_name(k);
+        EXPECT_GT(lib.cell(k).leakage_nw, 0.0) << gate_kind_name(k);
+    }
+    // Sources are free.
+    EXPECT_EQ(lib.cell(GateKind::kInput).area_um2, 0.0);
+    EXPECT_EQ(lib.cell(GateKind::kConst0).area_um2, 0.0);
+}
+
+TEST(CellLibrary, RelativeOrderingIsSane) {
+    const CellLibrary lib = CellLibrary::generic_90nm();
+    // NAND cheaper than AND; XOR the most expensive 2-input cell.
+    EXPECT_LT(lib.cell(GateKind::kNand).area_um2, lib.cell(GateKind::kAnd).area_um2);
+    EXPECT_GT(lib.cell(GateKind::kXor).area_um2, lib.cell(GateKind::kOr).area_um2);
+    EXPECT_GT(lib.cell(GateKind::kXor).intrinsic_delay_ps,
+              lib.cell(GateKind::kNand).intrinsic_delay_ps);
+}
+
+TEST(CellLibrary, ScalingAppliesFactors) {
+    const CellLibrary lib = CellLibrary::generic_90nm();
+    const CellLibrary half = lib.scaled(0.5, 0.7, 0.6);
+    EXPECT_DOUBLE_EQ(half.cell(GateKind::kAnd).area_um2,
+                     0.5 * lib.cell(GateKind::kAnd).area_um2);
+    EXPECT_DOUBLE_EQ(half.cell(GateKind::kAnd).intrinsic_delay_ps,
+                     0.7 * lib.cell(GateKind::kAnd).intrinsic_delay_ps);
+    EXPECT_DOUBLE_EQ(half.cell(GateKind::kAnd).energy_fj,
+                     0.6 * lib.cell(GateKind::kAnd).energy_fj);
+}
+
+TEST(Sta, ChainDelayAddsUp) {
+    Netlist nl;
+    const CellLibrary lib = CellLibrary::generic_90nm();
+    NetId x = nl.input("a");
+    for (int i = 0; i < 5; ++i) x = nl.not_gate(x);
+    nl.mark_output(x, "y");
+    const TimingReport t = analyze_timing(nl, lib);
+    const CellParams& inv = lib.cell(GateKind::kNot);
+    // Each NOT has exactly one sink except the last (an output, fanout 0).
+    const double expected = 4 * (inv.intrinsic_delay_ps + inv.load_delay_ps) +
+                            (inv.intrinsic_delay_ps);
+    EXPECT_NEAR(t.critical_path_ps, expected, 1e-9);
+    EXPECT_EQ(logic_depth(nl), 5);
+}
+
+TEST(Sta, PicksLongestPath) {
+    Netlist nl;
+    const CellLibrary lib = CellLibrary::generic_90nm();
+    const NetId a = nl.input("a");
+    const NetId b = nl.input("b");
+    const NetId quick = nl.and_gate(a, b);
+    NetId slow = nl.xor_gate(a, b);
+    slow = nl.xor_gate(slow, quick);
+    nl.mark_output(quick, "fast");
+    nl.mark_output(slow, "slow");
+    const TimingReport t = analyze_timing(nl, lib);
+    EXPECT_EQ(t.critical_output, slow);
+    EXPECT_GE(t.critical_path.size(), 3u);  // input -> xor -> xor
+    // Arrival times are monotone along the reported path.
+    for (size_t i = 1; i < t.critical_path.size(); ++i) {
+        EXPECT_LE(t.arrival_ps[t.critical_path[i - 1]],
+                  t.arrival_ps[t.critical_path[i]]);
+    }
+}
+
+TEST(Sta, EmptyNetlistHasZeroDelay) {
+    Netlist nl;
+    const NetId a = nl.input("a");
+    nl.mark_output(a, "y");
+    const TimingReport t = analyze_timing(nl, CellLibrary::generic_90nm());
+    EXPECT_DOUBLE_EQ(t.critical_path_ps, 0.0);
+    EXPECT_EQ(logic_depth(nl), 0);
+}
+
+TEST(Power, LeakageIsSumOfCells) {
+    Netlist nl;
+    const CellLibrary lib = CellLibrary::generic_90nm();
+    const NetId a = nl.input("a");
+    const NetId b = nl.input("b");
+    nl.mark_output(nl.and_gate(a, b), "y");
+    PowerOptions opts;
+    opts.passes = 4;
+    const PowerReport p = estimate_power(nl, lib, opts);
+    EXPECT_DOUBLE_EQ(p.leakage_nw, lib.cell(GateKind::kAnd).leakage_nw);
+}
+
+TEST(Power, ActivityScalesWithLogicSize) {
+    const CellLibrary lib = CellLibrary::generic_90nm();
+    auto chain = [&](int len) {
+        Netlist nl;
+        const NetId a = nl.input("a");
+        const NetId b = nl.input("b");
+        NetId x = nl.xor_gate(a, b);
+        for (int i = 1; i < len; ++i) x = nl.xor_gate(x, i % 2 ? a : b);
+        nl.mark_output(x, "y");
+        PowerOptions opts;
+        opts.passes = 16;
+        return estimate_power(nl, lib, opts).dynamic_energy_fj;
+    };
+    EXPECT_GT(chain(16), chain(4));
+}
+
+TEST(Power, DeterministicForSeed) {
+    Netlist nl;
+    const NetId a = nl.input("a");
+    const NetId b = nl.input("b");
+    nl.mark_output(nl.xor_gate(nl.and_gate(a, b), b), "y");
+    const CellLibrary lib = CellLibrary::generic_90nm();
+    const PowerReport p1 = estimate_power(nl, lib);
+    const PowerReport p2 = estimate_power(nl, lib);
+    EXPECT_DOUBLE_EQ(p1.dynamic_energy_fj, p2.dynamic_energy_fj);
+}
+
+TEST(Power, XorChainTogglesMoreThanAndChain) {
+    // An XOR reduction over independent inputs stays uniform-random at every
+    // stage (toggle probability 1/2); an AND reduction collapses towards
+    // constant 0, so its internal nets barely switch.
+    const CellLibrary lib = CellLibrary::generic_90nm();
+    auto build = [&](bool use_xor) {
+        Netlist nl;
+        std::vector<NetId> in;
+        for (int i = 0; i < 12; ++i) in.push_back(nl.input("i" + std::to_string(i)));
+        NetId x = in[0];
+        for (int i = 1; i < 12; ++i) {
+            x = use_xor ? nl.xor_gate(x, in[i]) : nl.and_gate(x, in[i]);
+        }
+        nl.mark_output(x, "y");
+        PowerOptions opts;
+        opts.passes = 32;
+        return estimate_power(nl, lib, opts).mean_toggle_rate;
+    };
+    EXPECT_GT(build(true), 2.0 * build(false));
+}
+
+TEST(Synthesis, ReportsAllMetrics) {
+    Netlist nl;
+    const NetId a = nl.input("a");
+    const NetId b = nl.input("b");
+    const std::vector<NetId> va = {a, nl.input("a1")};
+    const std::vector<NetId> vb = {b, nl.input("b1")};
+    const auto sum = ripple_add(nl, va, vb);
+    for (size_t i = 0; i < sum.size(); ++i) nl.mark_output(sum[i], "s" + std::to_string(i));
+    const SynthesisReport r = synthesize(nl, CellLibrary::generic_90nm());
+    EXPECT_GT(r.cells, 0u);
+    EXPECT_GT(r.area_um2, 0.0);
+    EXPECT_GT(r.delay_ps, 0.0);
+    EXPECT_GT(r.dynamic_energy_fj, 0.0);
+    EXPECT_GT(r.leakage_nw, 0.0);
+    EXPECT_GT(r.energy_fj, r.dynamic_energy_fj);  // leakage term adds on top
+    EXPECT_GT(r.depth, 0);
+    EXPECT_FALSE(summarize(r).empty());
+}
+
+TEST(Synthesis, OptimizerReducesRedundantDesigns) {
+    Netlist nl;
+    const NetId a = nl.input("a");
+    const NetId b = nl.input("b");
+    // Four identical ANDs or-ed together: collapses to a single AND.
+    const NetId o =
+        nl.or_gate(nl.or_gate(nl.and_gate(a, b), nl.and_gate(a, b)),
+                   nl.or_gate(nl.and_gate(b, a), nl.and_gate(a, b)));
+    nl.mark_output(o, "y");
+    SynthesisOptions with, without;
+    without.optimize = false;
+    const SynthesisReport r_with = synthesize(nl, CellLibrary::generic_90nm(), with);
+    const SynthesisReport r_without = synthesize(nl, CellLibrary::generic_90nm(), without);
+    EXPECT_LT(r_with.cells, r_without.cells);
+    EXPECT_EQ(r_with.cells, 1u);
+}
+
+TEST(Synthesis, ReductionHelper) {
+    EXPECT_DOUBLE_EQ(SynthesisReport::reduction(10.0, 4.0), 0.6);
+    EXPECT_DOUBLE_EQ(SynthesisReport::reduction(0.0, 4.0), 0.0);
+}
+
+}  // namespace
+}  // namespace sdlc

@@ -1,0 +1,145 @@
+// Tests for the testbench generator and stuck-at fault injection.
+#include <gtest/gtest.h>
+
+#include "baselines/accurate.h"
+#include "core/generator.h"
+#include "netlist/fault.h"
+#include "netlist/sim.h"
+#include "netlist/testbench.h"
+#include "util/rng.h"
+
+namespace sdlc {
+namespace {
+
+// --- Testbench generator ----------------------------------------------------
+
+TEST(Testbench, ContainsDutAndChecks) {
+    const MultiplierNetlist m = build_sdlc_multiplier(4, {});
+    TestbenchOptions opts;
+    opts.vectors = 16;
+    const std::string tb = to_verilog_testbench(m.net, "mul4", opts);
+    EXPECT_NE(tb.find("module mul4_tb;"), std::string::npos);
+    EXPECT_NE(tb.find("mul4 dut ("), std::string::npos);
+    EXPECT_NE(tb.find("localparam int VECTORS = 16;"), std::string::npos);
+    EXPECT_NE(tb.find("$fatal"), std::string::npos);
+    EXPECT_NE(tb.find("PASS"), std::string::npos);
+    EXPECT_NE(tb.find(".a0(in_bits[0])"), std::string::npos);
+    EXPECT_NE(tb.find(".p0(out_bits[0])"), std::string::npos);
+}
+
+TEST(Testbench, GoldenVectorsAreSelfConsistent) {
+    // The first stimulus/golden pair encoded in the testbench must agree
+    // with direct simulation: parse the literal back and re-check.
+    Netlist nl;
+    const NetId a = nl.input("a");
+    const NetId b = nl.input("b");
+    nl.mark_output(nl.and_gate(a, b), "y");
+    TestbenchOptions opts;
+    opts.vectors = 64;
+    const std::string tb = to_verilog_testbench(nl, "tiny", opts);
+    size_t pos = tb.find("stim[0] = 2'b");
+    ASSERT_NE(pos, std::string::npos);
+    const bool in1 = tb[pos + 13] == '1';  // MSB = input index 1 (b)
+    const bool in0 = tb[pos + 14] == '1';
+    size_t gpos = tb.find("gold[0] = 1'b", pos);
+    ASSERT_NE(gpos, std::string::npos);
+    const bool out0 = tb[gpos + 13] == '1';
+    EXPECT_EQ(out0, in0 && in1);
+}
+
+TEST(Testbench, DeterministicForSeed) {
+    const MultiplierNetlist m = build_sdlc_multiplier(4, {});
+    TestbenchOptions opts;
+    opts.vectors = 8;
+    const std::string first = to_verilog_testbench(m.net, "m", opts);
+    EXPECT_EQ(first, to_verilog_testbench(m.net, "m", opts));
+    opts.seed ^= 1;
+    EXPECT_NE(first, to_verilog_testbench(m.net, "m", opts));
+}
+
+// --- Fault injection ----------------------------------------------------------
+
+TEST(Fault, StuckOutputDrivesConstant) {
+    Netlist nl;
+    const NetId a = nl.input("a");
+    const NetId b = nl.input("b");
+    const NetId g = nl.and_gate(a, b);
+    nl.mark_output(g, "y");
+
+    const Netlist faulty = inject_faults(nl, {{g, true}});
+    for (const bool av : {false, true}) {
+        for (const bool bv : {false, true}) {
+            EXPECT_TRUE(eval_single(faulty, {av, bv})[0]);
+        }
+    }
+}
+
+TEST(Fault, FaultFreeInjectionIsIdentity) {
+    const MultiplierNetlist m = build_sdlc_multiplier(6, {});
+    const Netlist clone = inject_faults(m.net, {});
+    Xoshiro256 rng(5);
+    Simulator s1(m.net), s2(clone);
+    std::vector<Simulator::Word> in(m.net.inputs().size());
+    for (int pass = 0; pass < 4; ++pass) {
+        for (auto& w : in) w = rng.next();
+        s1.run(in);
+        s2.run(in);
+        EXPECT_EQ(s1.output_words(), s2.output_words());
+    }
+}
+
+TEST(Fault, RejectsOutOfRangeSite) {
+    Netlist nl;
+    nl.input("a");
+    EXPECT_THROW(inject_faults(nl, {{12345, false}}), std::invalid_argument);
+}
+
+TEST(Fault, LogicNetsExcludesSources) {
+    Netlist nl;
+    const NetId a = nl.input("a");
+    nl.constant(true);
+    nl.not_gate(a);
+    const auto nets = logic_nets(nl);
+    ASSERT_EQ(nets.size(), 1u);
+    EXPECT_EQ(nl.gate(nets[0]).kind, GateKind::kNot);
+}
+
+TEST(Fault, StuckAtChangesSomeOutputs) {
+    // A stuck-at-1 on a partial-product AND must corrupt at least one
+    // operand pair's product.
+    const MultiplierNetlist m = build_accurate_multiplier(4);
+    const auto nets = logic_nets(m.net);
+    const Netlist faulty = inject_faults(m.net, {{nets[0], true}});
+
+    MultiplierNetlist fm = m;
+    fm.net = faulty;
+    fm.p_bits.clear();
+    for (const OutputPort& p : fm.net.outputs()) fm.p_bits.push_back(p.net);
+
+    int mismatches = 0;
+    for (uint64_t a = 0; a < 16; ++a) {
+        for (uint64_t b = 0; b < 16; ++b) {
+            mismatches += simulate_one(fm, a, b) != a * b;
+        }
+    }
+    EXPECT_GT(mismatches, 0);
+}
+
+TEST(Fault, MultipleFaultsCompose) {
+    Netlist nl;
+    const NetId a = nl.input("a");
+    const NetId b = nl.input("b");
+    const NetId x = nl.and_gate(a, b);
+    const NetId y = nl.or_gate(a, b);
+    nl.mark_output(nl.xor_gate(x, y), "z");
+    const Netlist faulty = inject_faults(nl, {{x, true}, {y, false}});
+    // z = 1 XOR 0 = 1 regardless of inputs.
+    for (const bool av : {false, true}) {
+        for (const bool bv : {false, true}) {
+            EXPECT_TRUE(eval_single(faulty, {av, bv})[0]);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace sdlc

@@ -1,0 +1,143 @@
+// Tests for the VCD writer plus odds and ends not covered elsewhere
+// (P2 PGM parsing, Boolean-algebra cross-checks on the simulator).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "image/image.h"
+#include "netlist/netlist.h"
+#include "netlist/sim.h"
+#include "netlist/vcd.h"
+#include "util/rng.h"
+
+namespace sdlc {
+namespace {
+
+TEST(Vcd, HeaderDeclaresPortsAndScope) {
+    Netlist nl;
+    const NetId a = nl.input("a");
+    const NetId b = nl.input("b");
+    nl.mark_output(nl.and_gate(a, b), "y");
+    std::ostringstream oss;
+    VcdWriter w(oss, nl, "top");
+    const std::string s = oss.str();
+    EXPECT_NE(s.find("$timescale 1ns $end"), std::string::npos);
+    EXPECT_NE(s.find("$scope module top $end"), std::string::npos);
+    EXPECT_NE(s.find(" a $end"), std::string::npos);
+    EXPECT_NE(s.find(" y $end"), std::string::npos);
+    EXPECT_NE(s.find("$enddefinitions $end"), std::string::npos);
+}
+
+TEST(Vcd, FirstStepDumpsAllThenOnlyChanges) {
+    Netlist nl;
+    const NetId a = nl.input("a");
+    nl.mark_output(nl.not_gate(a), "y");
+    std::ostringstream oss;
+    VcdWriter w(oss, nl, "top");
+    w.step({false});
+    w.step({false});  // nothing changes
+    w.step({true});   // both nets flip
+    EXPECT_EQ(w.steps(), 3u);
+    const std::string s = oss.str();
+    // Timestep markers present.
+    EXPECT_NE(s.find("#0\n"), std::string::npos);
+    EXPECT_NE(s.find("#1\n"), std::string::npos);
+    EXPECT_NE(s.find("#2\n"), std::string::npos);
+    // The #1 section must be empty (between "#1\n" and "#2\n").
+    const size_t p1 = s.find("#1\n");
+    const size_t p2 = s.find("#2\n");
+    EXPECT_EQ(s.substr(p1 + 3, p2 - p1 - 3), "");
+}
+
+TEST(Vcd, RejectsWrongInputCount) {
+    Netlist nl;
+    nl.input("a");
+    nl.input("b");
+    std::ostringstream oss;
+    VcdWriter w(oss, nl, "top");
+    EXPECT_THROW(w.step({true}), std::invalid_argument);
+}
+
+TEST(Pgm, ParsesP2AsciiFormat) {
+    const std::string path = testing::TempDir() + "/sdlc_p2_test.pgm";
+    {
+        std::ofstream f(path);
+        f << "P2\n# a comment line\n3 2\n255\n0 128 255\n10 20 30\n";
+    }
+    const Image img = load_pgm(path);
+    EXPECT_EQ(img.width(), 3);
+    EXPECT_EQ(img.height(), 2);
+    EXPECT_EQ(img.at(0, 0), 0);
+    EXPECT_EQ(img.at(1, 0), 128);
+    EXPECT_EQ(img.at(2, 0), 255);
+    EXPECT_EQ(img.at(2, 1), 30);
+    std::remove(path.c_str());
+}
+
+TEST(Pgm, RejectsBadHeader) {
+    const std::string path = testing::TempDir() + "/sdlc_bad.pgm";
+    {
+        std::ofstream f(path);
+        f << "P7\n3 2\n255\n";
+    }
+    EXPECT_THROW(load_pgm(path), std::runtime_error);
+    std::remove(path.c_str());
+}
+
+// --- Boolean-algebra cross-checks (simulator-level property tests) ---------
+
+TEST(BooleanLaws, DeMorganHoldsOnRandomVectors) {
+    Netlist nl;
+    const NetId a = nl.input("a");
+    const NetId b = nl.input("b");
+    const NetId lhs = nl.not_gate(nl.and_gate(a, b));          // ~(a & b)
+    const NetId rhs = nl.or_gate(nl.not_gate(a), nl.not_gate(b));
+    const NetId lhs2 = nl.not_gate(nl.or_gate(a, b));          // ~(a | b)
+    const NetId rhs2 = nl.and_gate(nl.not_gate(a), nl.not_gate(b));
+    Simulator sim(nl);
+    Xoshiro256 rng(3);
+    for (int pass = 0; pass < 16; ++pass) {
+        const std::vector<Simulator::Word> in = {rng.next(), rng.next()};
+        sim.run(in);
+        EXPECT_EQ(sim.value(lhs), sim.value(rhs));
+        EXPECT_EQ(sim.value(lhs2), sim.value(rhs2));
+    }
+}
+
+TEST(BooleanLaws, XorDecompositionHolds) {
+    Netlist nl;
+    const NetId a = nl.input("a");
+    const NetId b = nl.input("b");
+    const NetId x = nl.xor_gate(a, b);
+    const NetId decomposed =
+        nl.or_gate(nl.and_gate(a, nl.not_gate(b)), nl.and_gate(nl.not_gate(a), b));
+    Simulator sim(nl);
+    Xoshiro256 rng(4);
+    for (int pass = 0; pass < 16; ++pass) {
+        const std::vector<Simulator::Word> in = {rng.next(), rng.next()};
+        sim.run(in);
+        EXPECT_EQ(sim.value(x), sim.value(decomposed));
+    }
+}
+
+TEST(BooleanLaws, NandNorDuality) {
+    Netlist nl;
+    const NetId a = nl.input("a");
+    const NetId b = nl.input("b");
+    const NetId nand_gate_net = nl.nand_gate(a, b);
+    const NetId via_not = nl.not_gate(nl.and_gate(a, b));
+    const NetId nor_gate_net = nl.nor_gate(a, b);
+    const NetId via_not2 = nl.not_gate(nl.or_gate(a, b));
+    Simulator sim(nl);
+    Xoshiro256 rng(5);
+    for (int pass = 0; pass < 8; ++pass) {
+        const std::vector<Simulator::Word> in = {rng.next(), rng.next()};
+        sim.run(in);
+        EXPECT_EQ(sim.value(nand_gate_net), sim.value(via_not));
+        EXPECT_EQ(sim.value(nor_gate_net), sim.value(via_not2));
+    }
+}
+
+}  // namespace
+}  // namespace sdlc

@@ -1,0 +1,224 @@
+// sdlc — command-line front end to the library.
+//
+//   sdlc gen   --width N --depth D [--scheme S] [--variant V] [-o file.v]
+//              [--tb file.sv] [--dot file.dot] [--vcd file.vcd]
+//   sdlc eval  --width N --depth D [--variant V] [--exhaustive | --samples K]
+//   sdlc synth --width N --depth D [--variant V] [--scheme S]
+//   sdlc blur  [--input in.pgm] --depth D [-o out.pgm]
+//
+// Variants: accurate | sdlc | compensated.  Schemes: ripple | wallace |
+// dadda | fastcpa.  All commands are deterministic.
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "analysis/expected_error.h"
+#include "api/approx_multiplier.h"
+#include "core/functional.h"
+#include "error/evaluate.h"
+#include "image/convolve.h"
+#include "image/gaussian.h"
+#include "image/synthetic.h"
+#include "netlist/export.h"
+#include "netlist/opt.h"
+#include "netlist/testbench.h"
+#include "netlist/vcd.h"
+#include "tech/synthesis.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace sdlc;
+
+[[noreturn]] void usage(const std::string& msg = "") {
+    if (!msg.empty()) std::cerr << "error: " << msg << "\n\n";
+    std::cerr <<
+        "usage:\n"
+        "  sdlc gen   --width N --depth D [--scheme S] [--variant V] [-o file.v]\n"
+        "             [--tb file.sv] [--dot file.dot] [--vcd file.vcd]\n"
+        "  sdlc eval  --width N --depth D [--variant V] [--exhaustive | --samples K]\n"
+        "  sdlc synth --width N --depth D [--variant V] [--scheme S]\n"
+        "  sdlc blur  [--input in.pgm] --depth D [-o out.pgm]\n"
+        "variants: accurate|sdlc|compensated   schemes: ripple|wallace|dadda|fastcpa\n";
+    std::exit(msg.empty() ? 0 : 2);
+}
+
+/// Minimal option parser: --key value pairs plus boolean flags.
+class Args {
+public:
+    Args(int argc, char** argv, int first) {
+        for (int i = first; i < argc; ++i) {
+            std::string key = argv[i];
+            if (key.rfind("--", 0) != 0 && key != "-o") usage("unexpected argument " + key);
+            if (key == "--exhaustive") {
+                flags_["exhaustive"] = true;
+                continue;
+            }
+            if (i + 1 >= argc) usage("missing value for " + key);
+            values_[key == "-o" ? "--out" : key] = argv[++i];
+        }
+    }
+    [[nodiscard]] std::string get(const std::string& key, const std::string& dflt = "") const {
+        const auto it = values_.find(key);
+        return it == values_.end() ? dflt : it->second;
+    }
+    [[nodiscard]] int get_int(const std::string& key, int dflt) const {
+        const std::string v = get(key);
+        return v.empty() ? dflt : std::stoi(v);
+    }
+    [[nodiscard]] bool flag(const std::string& key) const {
+        return flags_.count(key) != 0;
+    }
+
+private:
+    std::map<std::string, std::string> values_;
+    std::map<std::string, bool> flags_;
+};
+
+MultiplierConfig config_from(const Args& args) {
+    MultiplierConfig cfg;
+    cfg.width = args.get_int("--width", 8);
+    cfg.depth = args.get_int("--depth", 2);
+    const std::string variant = args.get("--variant", "sdlc");
+    if (variant == "accurate") cfg.variant = MultiplierVariant::kAccurate;
+    else if (variant == "sdlc") cfg.variant = MultiplierVariant::kSdlc;
+    else if (variant == "compensated") cfg.variant = MultiplierVariant::kCompensated;
+    else usage("unknown variant " + variant);
+    const std::string scheme = args.get("--scheme", "ripple");
+    if (scheme == "ripple") cfg.scheme = AccumulationScheme::kRowRipple;
+    else if (scheme == "wallace") cfg.scheme = AccumulationScheme::kWallace;
+    else if (scheme == "dadda") cfg.scheme = AccumulationScheme::kDadda;
+    else if (scheme == "fastcpa") cfg.scheme = AccumulationScheme::kRowFastCpa;
+    else usage("unknown scheme " + scheme);
+    return cfg;
+}
+
+int cmd_gen(const Args& args) {
+    const MultiplierConfig cfg = config_from(args);
+    const ApproxMultiplier mul(cfg);
+    const MultiplierNetlist hw = mul.build_netlist();
+    const Netlist optimized = optimize(hw.net).netlist;
+    const std::string module = "sdlc_mul";
+
+    const std::string out = args.get("--out", "sdlc_mul.v");
+    {
+        std::ofstream f(out);
+        if (!f) usage("cannot open " + out);
+        write_verilog(f, optimized, module);
+    }
+    std::cout << mul.describe() << " -> " << out << " ("
+              << optimized.logic_gate_count() << " gates)\n";
+
+    if (const std::string tb = args.get("--tb"); !tb.empty()) {
+        std::ofstream f(tb);
+        if (!f) usage("cannot open " + tb);
+        write_verilog_testbench(f, optimized, module);
+        std::cout << "testbench -> " << tb << "\n";
+    }
+    if (const std::string dot = args.get("--dot"); !dot.empty()) {
+        std::ofstream f(dot);
+        if (!f) usage("cannot open " + dot);
+        write_dot(f, optimized, module);
+        std::cout << "dot graph -> " << dot << "\n";
+    }
+    if (const std::string vcd = args.get("--vcd"); !vcd.empty()) {
+        std::ofstream f(vcd);
+        if (!f) usage("cannot open " + vcd);
+        VcdWriter writer(f, optimized, module);
+        Xoshiro256 rng(1);
+        std::vector<bool> in(optimized.inputs().size());
+        for (int t = 0; t < 64; ++t) {
+            for (auto&& bit : in) bit = (rng.next() & 1u) != 0;
+            writer.step(in);
+        }
+        std::cout << "waveform (64 random vectors) -> " << vcd << "\n";
+    }
+    return 0;
+}
+
+int cmd_eval(const Args& args) {
+    const MultiplierConfig cfg = config_from(args);
+    const ApproxMultiplier mul(cfg);
+    auto f = [&mul](uint64_t a, uint64_t b) { return mul.multiply(a, b); };
+
+    ErrorMetrics m;
+    std::string mode;
+    if (args.flag("exhaustive") || cfg.width <= 12) {
+        m = exhaustive_metrics(cfg.width, f);
+        mode = "exhaustive";
+    } else {
+        const uint64_t samples = static_cast<uint64_t>(args.get_int("--samples", 1 << 22));
+        m = sampled_metrics(cfg.width, samples, 0x5eed, f);
+        mode = "sampled " + std::to_string(samples);
+    }
+    std::cout << mul.describe() << "  [" << mode << "]\n";
+    TextTable t({"metric", "value"});
+    t.add_row({"MRED (%)", fmt_percent(m.mred, 5)});
+    t.add_row({"NMED", fmt_fixed(m.nmed, 8)});
+    t.add_row({"ER (%)", fmt_percent(m.error_rate, 2)});
+    t.add_row({"MAX(RED) (%)", fmt_percent(m.max_red, 4)});
+    t.add_row({"bias", fmt_fixed(m.bias, 3)});
+    t.add_row({"RMSE", fmt_fixed(m.rmse, 3)});
+    t.print(std::cout);
+
+    if (cfg.variant == MultiplierVariant::kSdlc) {
+        const AnalyticError ana = analyze_expected_error(mul.plan());
+        std::cout << "analytic: NMED " << fmt_fixed(ana.nmed, 8);
+        if (ana.error_rate) std::cout << ", ER " << fmt_percent(*ana.error_rate, 2) << " %";
+        std::cout << "\n";
+    }
+    return 0;
+}
+
+int cmd_synth(const Args& args) {
+    const MultiplierConfig cfg = config_from(args);
+    const ApproxMultiplier mul(cfg);
+    const MultiplierNetlist hw = mul.build_netlist();
+    const SynthesisReport r = synthesize(hw.net, CellLibrary::generic_90nm());
+    std::cout << mul.describe() << "\n  " << summarize(r) << "\n";
+    return 0;
+}
+
+int cmd_blur(const Args& args) {
+    const int depth = args.get_int("--depth", 2);
+    Image input;
+    if (const std::string in = args.get("--input"); !in.empty()) {
+        input = load_pgm(in);
+    } else {
+        input = make_scene(200, 200, 42);
+    }
+    const FixedKernel kernel = make_gaussian_kernel(3, 1.5);
+    const ClusterPlan plan = ClusterPlan::make(8, depth);
+    const Image reference = convolve(input, kernel, exact_mul8);
+    const Image out = convolve(input, kernel, [&](uint8_t px, uint8_t w) {
+        return static_cast<uint32_t>(sdlc_multiply(plan, px, w));
+    });
+    const std::string path = args.get("--out", "blur.pgm");
+    save_pgm(out, path);
+    std::cout << "depth " << depth << " blur -> " << path << " (PSNR vs exact blur: "
+              << fmt_fixed(psnr(reference, out), 2) << " dB)\n";
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2) usage();
+    const std::string cmd = argv[1];
+    try {
+        const Args args(argc, argv, 2);
+        if (cmd == "gen") return cmd_gen(args);
+        if (cmd == "eval") return cmd_eval(args);
+        if (cmd == "synth") return cmd_synth(args);
+        if (cmd == "blur") return cmd_blur(args);
+        if (cmd == "--help" || cmd == "-h") usage();
+        usage("unknown command " + cmd);
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}
