@@ -10,6 +10,23 @@
 
 namespace sdlc {
 
+const char* multiplier_variant_name(MultiplierVariant v) noexcept {
+    switch (v) {
+        case MultiplierVariant::kAccurate: return "accurate";
+        case MultiplierVariant::kSdlc: return "sdlc";
+        case MultiplierVariant::kCompensated: return "compensated";
+    }
+    return "?";
+}
+
+bool parse_multiplier_variant(const std::string& name, MultiplierVariant& out) noexcept {
+    if (name == "accurate") out = MultiplierVariant::kAccurate;
+    else if (name == "sdlc") out = MultiplierVariant::kSdlc;
+    else if (name == "compensated") out = MultiplierVariant::kCompensated;
+    else return false;
+    return true;
+}
+
 ApproxMultiplier::ApproxMultiplier(const MultiplierConfig& config)
     : config_(config),
       plan_(ClusterPlan::make(config.width,

@@ -23,6 +23,14 @@ enum class MultiplierVariant {
     kCompensated,  ///< SDLC + runtime error compensation (extension)
 };
 
+/// Short lowercase name ("accurate", "sdlc", "compensated").
+[[nodiscard]] const char* multiplier_variant_name(MultiplierVariant v) noexcept;
+
+/// Parses a variant name into `out`. Returns false (leaving `out` untouched)
+/// for unknown names.
+[[nodiscard]] bool parse_multiplier_variant(const std::string& name,
+                                            MultiplierVariant& out) noexcept;
+
 /// Complete configuration of one multiplier instance.
 struct MultiplierConfig {
     int width = 8;

@@ -111,6 +111,15 @@ const char* accumulation_scheme_name(AccumulationScheme s) noexcept {
     return "?";
 }
 
+bool parse_accumulation_scheme(const std::string& name, AccumulationScheme& out) noexcept {
+    if (name == "row-ripple" || name == "ripple") out = AccumulationScheme::kRowRipple;
+    else if (name == "wallace") out = AccumulationScheme::kWallace;
+    else if (name == "dadda") out = AccumulationScheme::kDadda;
+    else if (name == "row-fastcpa" || name == "fastcpa") out = AccumulationScheme::kRowFastCpa;
+    else return false;
+    return true;
+}
+
 std::vector<NetId> accumulate(Netlist& nl, const BitMatrix& matrix,
                               AccumulationScheme scheme, int out_bits) {
     std::vector<NetId> bits;

@@ -30,6 +30,12 @@ enum class AccumulationScheme {
 /// Short lowercase name ("row-ripple", "wallace", "dadda").
 [[nodiscard]] const char* accumulation_scheme_name(AccumulationScheme s) noexcept;
 
+/// Parses a scheme name into `out`; accepts both canonical names
+/// ("row-ripple", "row-fastcpa") and the CLI aliases ("ripple", "fastcpa").
+/// Returns false (leaving `out` untouched) for unknown names.
+[[nodiscard]] bool parse_accumulation_scheme(const std::string& name,
+                                             AccumulationScheme& out) noexcept;
+
 /// Reduces `matrix` to `out_bits` little-endian product bits (kNoNet-free;
 /// absent positions are tied to constant 0). `out_bits` is usually 2N.
 [[nodiscard]] std::vector<NetId> accumulate(Netlist& nl, const BitMatrix& matrix,

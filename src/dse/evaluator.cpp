@@ -1,0 +1,104 @@
+#include "dse/evaluator.h"
+
+#include "api/approx_multiplier.h"
+#include "dse/thread_pool.h"
+#include "error/evaluate.h"
+#include "util/rng.h"
+
+namespace sdlc {
+
+namespace {
+
+/// Folds the configuration into the base seed so every point gets its own
+/// reproducible random stream, independent of evaluation order.
+uint64_t point_seed(uint64_t base, const MultiplierConfig& c) {
+    SplitMix64 sm(base);
+    uint64_t s = sm.next() ^ (static_cast<uint64_t>(c.width) << 40);
+    s ^= static_cast<uint64_t>(c.depth) << 24;
+    s ^= static_cast<uint64_t>(static_cast<int>(c.variant)) << 16;
+    s ^= static_cast<uint64_t>(static_cast<int>(c.scheme));
+    return SplitMix64(s).next();
+}
+
+uint64_t draw_operand(Xoshiro256& rng, uint64_t mask, OperandDistribution dist) {
+    switch (dist) {
+        case OperandDistribution::kUniform:
+            return rng.next() & mask;
+        case OperandDistribution::kGaussian: {
+            uint64_t sum = 0;
+            for (int i = 0; i < 4; ++i) sum += rng.next() & mask;
+            return sum >> 2;
+        }
+        case OperandDistribution::kSparse:
+            return rng.next() & rng.next() & mask;
+    }
+    return rng.next() & mask;
+}
+
+template <typename Fn>
+ErrorMetrics sampled_distribution_metrics(int width, uint64_t samples, uint64_t seed,
+                                          OperandDistribution dist, Fn approx) {
+    ErrorAccumulator acc(width);
+    Xoshiro256 rng(seed);
+    const uint64_t mask = (uint64_t{1} << width) - 1;
+    for (uint64_t i = 0; i < samples; ++i) {
+        const uint64_t a = draw_operand(rng, mask, dist);
+        const uint64_t b = draw_operand(rng, mask, dist);
+        acc.add(a * b, approx(a, b));
+    }
+    return acc.finalize();
+}
+
+}  // namespace
+
+const char* operand_distribution_name(OperandDistribution d) noexcept {
+    switch (d) {
+        case OperandDistribution::kUniform: return "uniform";
+        case OperandDistribution::kGaussian: return "gaussian";
+        case OperandDistribution::kSparse: return "sparse";
+    }
+    return "?";
+}
+
+std::string DesignPoint::describe() const {
+    return ApproxMultiplier(config).describe();
+}
+
+DesignPoint evaluate_point(const MultiplierConfig& config, const EvalOptions& opts) {
+    const ApproxMultiplier mul(config);
+    auto f = [&mul](uint64_t a, uint64_t b) { return mul.multiply(a, b); };
+
+    DesignPoint point;
+    point.config = config;
+    if (config.width <= opts.exhaustive_max_width) {
+        // Single-threaded on purpose: the sweep parallelizes across points,
+        // and a fixed shard count keeps the result thread-count independent.
+        point.error = exhaustive_metrics(config.width, f, /*max_threads=*/1);
+    } else {
+        point.error = sampled_distribution_metrics(config.width, opts.samples,
+                                                   point_seed(opts.seed, config),
+                                                   opts.distribution, f);
+    }
+    if (opts.evaluate_hardware) {
+        point.hw = synthesize(mul.build_netlist().net, opts.library, opts.synthesis);
+    }
+    return point;
+}
+
+std::vector<DesignPoint> evaluate_sweep(const SweepSpec& spec, const EvalOptions& opts) {
+    const std::vector<MultiplierConfig> configs = spec.enumerate();
+    std::vector<DesignPoint> points(configs.size());
+    ThreadPool pool(opts.threads);
+    parallel_for(pool, configs.size(),
+                 [&](size_t i) { points[i] = evaluate_point(configs[i], opts); });
+    return points;
+}
+
+std::vector<ObjectiveVector> objective_matrix(const std::vector<DesignPoint>& points) {
+    std::vector<ObjectiveVector> m;
+    m.reserve(points.size());
+    for (const DesignPoint& p : points) m.push_back(p.objectives());
+    return m;
+}
+
+}  // namespace sdlc

@@ -1,0 +1,83 @@
+// Parallel evaluation of design points: software error + hardware cost.
+//
+// For each MultiplierConfig the evaluator computes error metrics with the
+// bit-exact software model (exhaustive up to a width threshold, seeded
+// Monte-Carlo above it) and hardware cost by generating the netlist and
+// running the virtual-synthesis flow (optimize -> STA -> power). Points are
+// distributed over a ThreadPool; every per-point computation is seeded from
+// the configuration itself, so results are bit-identical regardless of the
+// thread count or scheduling order.
+#ifndef SDLC_DSE_EVALUATOR_H
+#define SDLC_DSE_EVALUATOR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dse/pareto.h"
+#include "dse/sweep.h"
+#include "error/metrics.h"
+#include "tech/cell_library.h"
+#include "tech/synthesis.h"
+
+namespace sdlc {
+
+/// Operand distribution for Monte-Carlo error sampling. Exhaustive
+/// evaluation always covers the full uniform operand space.
+enum class OperandDistribution {
+    kUniform,   ///< i.i.d. uniform over [0, 2^N)
+    kGaussian,  ///< mean of four uniforms (central-limit bell around mid-range)
+    kSparse,    ///< AND of two uniforms: few set bits, models sparse data
+};
+
+/// Short lowercase name ("uniform", "gaussian", "sparse").
+[[nodiscard]] const char* operand_distribution_name(OperandDistribution d) noexcept;
+
+/// Evaluation knobs.
+struct EvalOptions {
+    unsigned threads = 0;           ///< worker threads; 0 = hardware concurrency
+    int exhaustive_max_width = 10;  ///< exhaustive error sweep at or below this width
+    uint64_t samples = uint64_t{1} << 18;  ///< Monte-Carlo samples above it
+    uint64_t seed = 0x5d1c5eed;     ///< base seed; per-point seeds derive from it
+    OperandDistribution distribution = OperandDistribution::kUniform;
+    bool evaluate_hardware = true;  ///< synthesize netlists for cost metrics
+    SynthesisOptions synthesis;     ///< virtual-synthesis knobs
+    CellLibrary library = CellLibrary::generic_90nm();
+};
+
+/// One fully evaluated configuration.
+struct DesignPoint {
+    MultiplierConfig config;
+    ErrorMetrics error;
+    SynthesisReport hw;
+
+    /// Objective values in ObjectiveVector order (NMED, area, power, delay).
+    [[nodiscard]] ObjectiveVector objectives() const noexcept {
+        return {error.nmed, hw.area_um2, hw.dynamic_power_uw, hw.delay_ps};
+    }
+    [[nodiscard]] double objective(Objective o) const noexcept {
+        return objectives()[static_cast<size_t>(o)];
+    }
+
+    /// e.g. "sdlc 8x8 d2 / row-ripple".
+    [[nodiscard]] std::string describe() const;
+};
+
+/// Evaluates one configuration (single-threaded; deterministic for a given
+/// EvalOptions regardless of the caller's threading).
+[[nodiscard]] DesignPoint evaluate_point(const MultiplierConfig& config,
+                                         const EvalOptions& opts = {});
+
+/// Evaluates every point of the sweep in parallel. The result order matches
+/// SweepSpec::enumerate() and the values are bit-identical for any
+/// opts.threads.
+[[nodiscard]] std::vector<DesignPoint> evaluate_sweep(const SweepSpec& spec,
+                                                      const EvalOptions& opts = {});
+
+/// Objective vectors of `points`, in order (input to pareto_analysis()).
+[[nodiscard]] std::vector<ObjectiveVector> objective_matrix(
+    const std::vector<DesignPoint>& points);
+
+}  // namespace sdlc
+
+#endif  // SDLC_DSE_EVALUATOR_H

@@ -1,0 +1,39 @@
+// Result export for DSE sweeps: CSV (one row per point) and JSON (an array
+// of point objects). Numeric formatting is fixed ("%.12g") so that two runs
+// producing bit-identical doubles also produce byte-identical files — the
+// property the determinism tests and the CLI's --threads invariance rely on.
+#ifndef SDLC_DSE_EXPORT_H
+#define SDLC_DSE_EXPORT_H
+
+#include <string>
+#include <vector>
+
+#include "dse/evaluator.h"
+
+namespace sdlc {
+
+/// CSV header used by write_dse_csv, exposed for tests and consumers.
+[[nodiscard]] std::vector<std::string> dse_csv_header();
+
+/// One point as CSV cells, in dse_csv_header() order. `rank` < 0 prints as
+/// an empty cell (rank unknown / not computed).
+[[nodiscard]] std::vector<std::string> dse_csv_row(const DesignPoint& p, int rank);
+
+/// Writes header + one row per point. `ranks` may be empty (no rank column
+/// values) or must match points.size(). Throws std::runtime_error on I/O
+/// failure, std::invalid_argument on a size mismatch.
+void write_dse_csv(const std::string& path, const std::vector<DesignPoint>& points,
+                   const std::vector<int>& ranks = {});
+
+/// Renders points as a JSON array string (same rank convention as CSV;
+/// rank < 0 is emitted as null).
+[[nodiscard]] std::string dse_to_json(const std::vector<DesignPoint>& points,
+                                      const std::vector<int>& ranks = {});
+
+/// Writes dse_to_json() to `path`. Throws std::runtime_error on I/O failure.
+void write_dse_json(const std::string& path, const std::vector<DesignPoint>& points,
+                    const std::vector<int>& ranks = {});
+
+}  // namespace sdlc
+
+#endif  // SDLC_DSE_EXPORT_H

@@ -1,0 +1,63 @@
+#include "dse/pareto.h"
+
+namespace sdlc {
+
+const char* objective_name(Objective o) noexcept {
+    switch (o) {
+        case Objective::kError: return "error";
+        case Objective::kArea: return "area";
+        case Objective::kPower: return "power";
+        case Objective::kDelay: return "delay";
+    }
+    return "?";
+}
+
+bool dominates(const ObjectiveVector& a, const ObjectiveVector& b) noexcept {
+    bool strictly_better = false;
+    for (int k = 0; k < kObjectiveCount; ++k) {
+        if (a[k] > b[k]) return false;
+        if (a[k] < b[k]) strictly_better = true;
+    }
+    return strictly_better;
+}
+
+ParetoResult pareto_analysis(const std::vector<ObjectiveVector>& points) {
+    const size_t n = points.size();
+    ParetoResult result;
+    result.rank.assign(n, -1);
+
+    size_t unranked = n;
+    for (int round = 0; unranked > 0; ++round) {
+        // A point joins this round's frontier when no other still-unranked
+        // point dominates it (already-ranked points are strictly better and
+        // were peeled off earlier).
+        std::vector<size_t> layer;
+        for (size_t i = 0; i < n; ++i) {
+            if (result.rank[i] != -1) continue;
+            bool dominated = false;
+            for (size_t j = 0; j < n && !dominated; ++j) {
+                if (j == i || result.rank[j] != -1) continue;
+                dominated = dominates(points[j], points[i]);
+            }
+            if (!dominated) layer.push_back(i);
+        }
+        for (size_t i : layer) result.rank[i] = round;
+        unranked -= layer.size();
+        if (round == 0) result.frontier = std::move(layer);
+    }
+    return result;
+}
+
+std::vector<size_t> pareto_frontier(const std::vector<ObjectiveVector>& points) {
+    std::vector<size_t> frontier;
+    for (size_t i = 0; i < points.size(); ++i) {
+        bool dominated = false;
+        for (size_t j = 0; j < points.size() && !dominated; ++j) {
+            if (j != i) dominated = dominates(points[j], points[i]);
+        }
+        if (!dominated) frontier.push_back(i);
+    }
+    return frontier;
+}
+
+}  // namespace sdlc

@@ -1,0 +1,49 @@
+// Pareto-dominance analysis over the (error, area, power, delay) space.
+//
+// All four objectives are minimized. A point dominates another when it is no
+// worse in every objective and strictly better in at least one; the Pareto
+// frontier is the set of points dominated by nobody. Dominance *ranking*
+// peels frontiers iteratively (NSGA-style non-dominated sorting): rank 0 is
+// the frontier, rank 1 the frontier of what remains, and so on — useful for
+// "show me the next-best designs once the frontier is excluded".
+#ifndef SDLC_DSE_PARETO_H
+#define SDLC_DSE_PARETO_H
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+namespace sdlc {
+
+/// The objectives the DSE engine minimizes, in ObjectiveVector order.
+enum class Objective { kError, kArea, kPower, kDelay };
+inline constexpr int kObjectiveCount = 4;
+
+/// Short lowercase name ("error", "area", "power", "delay").
+[[nodiscard]] const char* objective_name(Objective o) noexcept;
+
+/// One point's objective values (error = NMED, area um^2, power uW, delay ps).
+using ObjectiveVector = std::array<double, kObjectiveCount>;
+
+/// True iff `a` dominates `b`: a <= b componentwise with at least one strict
+/// inequality. Identical points do not dominate each other.
+[[nodiscard]] bool dominates(const ObjectiveVector& a, const ObjectiveVector& b) noexcept;
+
+/// Outcome of non-dominated sorting.
+struct ParetoResult {
+    /// Indices of rank-0 (non-dominated) points, in input order.
+    std::vector<size_t> frontier;
+    /// Dominance rank per input point; 0 means "on the frontier".
+    std::vector<int> rank;
+};
+
+/// Full non-dominated sort of `points` (O(rounds * n^2); n is the number of
+/// configurations in a sweep, at most a few thousand).
+[[nodiscard]] ParetoResult pareto_analysis(const std::vector<ObjectiveVector>& points);
+
+/// Just the rank-0 indices, in input order.
+[[nodiscard]] std::vector<size_t> pareto_frontier(const std::vector<ObjectiveVector>& points);
+
+}  // namespace sdlc
+
+#endif  // SDLC_DSE_PARETO_H

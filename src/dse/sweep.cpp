@@ -1,0 +1,94 @@
+#include "dse/sweep.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace sdlc {
+
+namespace {
+
+void validate(const SweepSpec& spec) {
+    if (spec.widths.empty()) throw std::invalid_argument("SweepSpec: widths is empty");
+    if (spec.variants.empty()) throw std::invalid_argument("SweepSpec: variants is empty");
+    if (spec.schemes.empty()) throw std::invalid_argument("SweepSpec: schemes is empty");
+    for (int w : spec.widths) {
+        if (w < 2 || w > 32) {
+            throw std::invalid_argument("SweepSpec: width " + std::to_string(w) +
+                                        " outside [2,32]");
+        }
+    }
+    if (spec.min_depth < 1) throw std::invalid_argument("SweepSpec: min_depth must be >= 1");
+    if (spec.max_depth < 0) throw std::invalid_argument("SweepSpec: max_depth must be >= 0");
+    if (spec.max_depth != 0 && spec.max_depth < spec.min_depth) {
+        throw std::invalid_argument("SweepSpec: max_depth < min_depth");
+    }
+}
+
+}  // namespace
+
+SweepSpec SweepSpec::full() {
+    SweepSpec spec;
+    spec.widths.clear();
+    for (int w = 4; w <= 16; ++w) spec.widths.push_back(w);
+    return spec;
+}
+
+SweepSpec SweepSpec::for_width(int width) {
+    SweepSpec spec;
+    spec.widths = {width};
+    return spec;
+}
+
+std::vector<MultiplierConfig> SweepSpec::enumerate() const {
+    validate(*this);
+    std::vector<MultiplierConfig> out;
+    out.reserve(count());
+    for (int width : widths) {
+        const int lo = std::max(2, min_depth);
+        const int hi = std::min(width, max_depth == 0 ? width : max_depth);
+        for (MultiplierVariant variant : variants) {
+            if (variant == MultiplierVariant::kAccurate) {
+                for (AccumulationScheme scheme : schemes) {
+                    out.push_back({width, 1, variant, scheme});
+                }
+                continue;
+            }
+            for (int depth = lo; depth <= hi; ++depth) {
+                for (AccumulationScheme scheme : schemes) {
+                    out.push_back({width, depth, variant, scheme});
+                }
+            }
+        }
+    }
+    return out;
+}
+
+size_t SweepSpec::count() const {
+    validate(*this);
+    size_t total = 0;
+    for (int width : widths) {
+        const int lo = std::max(2, min_depth);
+        const int hi = std::min(width, max_depth == 0 ? width : max_depth);
+        const size_t depths = hi >= lo ? static_cast<size_t>(hi - lo + 1) : 0;
+        for (MultiplierVariant variant : variants) {
+            total += schemes.size() * (variant == MultiplierVariant::kAccurate ? 1 : depths);
+        }
+    }
+    return total;
+}
+
+std::string SweepSpec::describe() const {
+    if (widths.empty()) return "empty sweep";
+    const auto [wmin, wmax] = std::minmax_element(widths.begin(), widths.end());
+    std::string s = "widths " + std::to_string(*wmin) + ".." + std::to_string(*wmax);
+    s += " depths " + std::to_string(std::max(2, min_depth)) + "..";
+    s += max_depth == 0 ? std::string("N") : std::to_string(max_depth);
+    s += " variants";
+    for (MultiplierVariant v : variants) s += std::string(" ") + multiplier_variant_name(v);
+    s += " schemes";
+    for (AccumulationScheme a : schemes) s += std::string(" ") + accumulation_scheme_name(a);
+    return s;
+}
+
+}  // namespace sdlc

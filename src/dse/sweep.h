@@ -1,0 +1,59 @@
+// Design-space enumeration for the DSE engine.
+//
+// A SweepSpec describes a grid over the multiplier configuration space:
+// operand widths x cluster depths x arithmetic variants x accumulation
+// schemes. enumerate() expands it to the concrete MultiplierConfig list in a
+// fixed deterministic order (width, then variant, then depth, then scheme),
+// which downstream code relies on for thread-count-independent results.
+//
+// The accurate variant has no depth knob, so it contributes exactly one
+// point per (width, scheme); approximate variants contribute one point per
+// depth in [max(2, min_depth), max_depth] — depth 1 would merely duplicate
+// the accurate design.
+#ifndef SDLC_DSE_SWEEP_H
+#define SDLC_DSE_SWEEP_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "api/approx_multiplier.h"
+
+namespace sdlc {
+
+/// Grid specification of a design-space sweep.
+struct SweepSpec {
+    /// Operand widths to sweep; each must be in [2, 32] (software-model
+    /// limit for approximate variants).
+    std::vector<int> widths = {8};
+    /// Cluster-depth range for approximate variants. min_depth is clamped up
+    /// to 2; max_depth == 0 means "up to the width".
+    int min_depth = 1;
+    int max_depth = 0;
+    std::vector<MultiplierVariant> variants = {
+        MultiplierVariant::kAccurate, MultiplierVariant::kSdlc,
+        MultiplierVariant::kCompensated};
+    std::vector<AccumulationScheme> schemes = {
+        AccumulationScheme::kRowRipple, AccumulationScheme::kWallace,
+        AccumulationScheme::kDadda, AccumulationScheme::kRowFastCpa};
+
+    /// The paper's full exploration range: every width from 4 to 16.
+    [[nodiscard]] static SweepSpec full();
+
+    /// Exhaustive sweep of a single width (all depths, variants, schemes).
+    [[nodiscard]] static SweepSpec for_width(int width);
+
+    /// Expands the grid. Throws std::invalid_argument if any axis is empty
+    /// or out of range.
+    [[nodiscard]] std::vector<MultiplierConfig> enumerate() const;
+
+    /// Number of points enumerate() would return (validates the same way).
+    [[nodiscard]] size_t count() const;
+
+    /// Short human-readable summary, e.g. "widths 4..16 depths 1..N ...".
+    [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace sdlc
+
+#endif  // SDLC_DSE_SWEEP_H

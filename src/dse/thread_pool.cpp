@@ -1,0 +1,55 @@
+#include "dse/thread_pool.h"
+
+namespace sdlc {
+
+ThreadPool::ThreadPool(unsigned threads) {
+    if (threads == 0) threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+    workers_.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    work_ready_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(job));
+        ++in_flight_;
+    }
+    work_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    all_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) return;  // stopping_ and drained
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        job();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--in_flight_ == 0) all_idle_.notify_all();
+        }
+    }
+}
+
+}  // namespace sdlc

@@ -3,11 +3,15 @@
 // Both take the approximate multiplier as an inlineable callable
 // `uint64_t f(uint64_t a, uint64_t b)` so that exhaustive sweeps (2^32
 // operand pairs at 16-bit) run at bit-trick speed. The exhaustive engine
-// shards the operand space across hardware threads and merges per-thread
-// accumulators; results are independent of the thread count.
+// splits the operand space into a fixed grid of shards and distributes the
+// shards across threads; because each shard accumulates the same pairs in
+// the same order and shards merge in index order, the result is
+// bit-identical for every thread count (and every machine's core count).
 #ifndef SDLC_ERROR_EVALUATE_H
 #define SDLC_ERROR_EVALUATE_H
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <thread>
 #include <vector>
@@ -23,23 +27,38 @@ template <typename ApproxFn>
 [[nodiscard]] ErrorMetrics exhaustive_metrics(int width, ApproxFn approx,
                                               unsigned max_threads = 0) {
     const uint64_t side = uint64_t{1} << width;
+    // Shard by operand stripes a ≡ s (mod kShards). The shard count is fixed
+    // (not the thread count) so the floating-point accumulation order never
+    // depends on how many workers ran.
+    constexpr unsigned kShards = 64;
+    const unsigned shards = static_cast<unsigned>(std::min<uint64_t>(kShards, side));
     unsigned threads = max_threads ? max_threads : std::thread::hardware_concurrency();
     if (threads == 0) threads = 1;
-    threads = static_cast<unsigned>(std::min<uint64_t>(threads, side));
+    threads = std::min(threads, shards);
 
-    std::vector<ErrorAccumulator> accs(threads, ErrorAccumulator(width));
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) {
-        pool.emplace_back([&, t] {
-            ErrorAccumulator& acc = accs[t];
-            for (uint64_t a = t; a < side; a += threads) {
-                for (uint64_t b = 0; b < side; ++b) acc.add(a * b, approx(a, b));
-            }
-        });
+    std::vector<ErrorAccumulator> accs(shards, ErrorAccumulator(width));
+    auto run_shard = [&](unsigned s) {
+        ErrorAccumulator& acc = accs[s];
+        for (uint64_t a = s; a < side; a += shards) {
+            for (uint64_t b = 0; b < side; ++b) acc.add(a * b, approx(a, b));
+        }
+    };
+    if (threads <= 1) {
+        for (unsigned s = 0; s < shards; ++s) run_shard(s);
+    } else {
+        std::atomic<unsigned> next{0};
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (unsigned t = 0; t < threads; ++t) {
+            pool.emplace_back([&] {
+                for (unsigned s = next.fetch_add(1); s < shards; s = next.fetch_add(1)) {
+                    run_shard(s);
+                }
+            });
+        }
+        for (auto& th : pool) th.join();
     }
-    for (auto& th : pool) th.join();
-    for (unsigned t = 1; t < threads; ++t) accs[0].merge(accs[t]);
+    for (unsigned s = 1; s < shards; ++s) accs[0].merge(accs[s]);
     return accs[0].finalize();
 }
 

@@ -1,0 +1,25 @@
+// Minimal JSON emission helpers (no external dependency): string escaping
+// and locale-independent number formatting. Writers that need structured
+// output (e.g. DSE result export) compose these instead of pulling in a
+// JSON library the container may not have.
+#ifndef SDLC_UTIL_JSON_H
+#define SDLC_UTIL_JSON_H
+
+#include <string>
+
+namespace sdlc {
+
+/// Escapes `s` for use inside a JSON string literal (quotes, backslashes,
+/// control characters); does not add the surrounding quotes.
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+/// `s` as a quoted, escaped JSON string token.
+[[nodiscard]] std::string json_string(const std::string& s);
+
+/// Shortest round-trip-friendly representation ("%.12g"). Non-finite values
+/// (which JSON cannot represent) are emitted as null.
+[[nodiscard]] std::string json_number(double v);
+
+}  // namespace sdlc
+
+#endif  // SDLC_UTIL_JSON_H

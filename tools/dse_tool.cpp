@@ -1,0 +1,291 @@
+// dse_tool — parallel design-space exploration with Pareto frontier analysis.
+//
+//   dse_tool [--width N | --widths A-B] [--depth-min D] [--depth-max D]
+//            [--variants v,v,...] [--schemes s,s,...]
+//            [--threads N] [--seed S] [--samples K] [--dist uniform|gaussian|sparse]
+//            [--exhaustive-max-width W]
+//            [--frontier] [--top K] [--by error|area|power|delay]
+//            [--max-nmed X] [--max-mred X] [--max-area X] [--max-power X]
+//            [--max-delay X]
+//            [--csv file.csv] [--json file.json]
+//
+// Modes:
+//   default      print every evaluated point with its dominance rank
+//   --frontier   print only the Pareto frontier (rank 0)
+//   --top K      print the K best points by --by (default: error)
+// Filters (--max-*) drop points before the Pareto analysis.
+//
+// Output is deterministic: for a fixed sweep and seed it is byte-identical
+// regardless of --threads.
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <numeric>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dse/evaluator.h"
+#include "dse/export.h"
+#include "dse/pareto.h"
+#include "dse/sweep.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace sdlc;
+
+[[noreturn]] void usage(const std::string& msg = "") {
+    if (!msg.empty()) std::cerr << "error: " << msg << "\n\n";
+    std::cerr <<
+        "usage: dse_tool [options]\n"
+        "  sweep axes:\n"
+        "    --width N            single width (default 8)\n"
+        "    --widths A-B         width range, e.g. 4-16\n"
+        "    --depth-min D        minimum cluster depth (default 1)\n"
+        "    --depth-max D        maximum cluster depth (default: width)\n"
+        "    --variants LIST      comma list of accurate,sdlc,compensated\n"
+        "    --schemes LIST       comma list of ripple,wallace,dadda,fastcpa\n"
+        "  evaluation:\n"
+        "    --threads N          worker threads (default: hardware)\n"
+        "    --seed S             base RNG seed (default 0x5d1c5eed)\n"
+        "    --samples K          Monte-Carlo samples for wide operands\n"
+        "    --dist D             uniform|gaussian|sparse sampling distribution\n"
+        "    --exhaustive-max-width W  exhaustive error sweep cutoff (default 10)\n"
+        "  selection:\n"
+        "    --frontier           print only Pareto rank-0 points\n"
+        "    --top K              print K best points by --by\n"
+        "    --by OBJ             error|area|power|delay (default error)\n"
+        "    --max-nmed/--max-mred/--max-area/--max-power/--max-delay X\n"
+        "  export:\n"
+        "    --csv FILE  --json FILE\n";
+    std::exit(msg.empty() ? 0 : 2);
+}
+
+/// --key value pairs plus boolean flags; unknown options are rejected so a
+/// typo'd flag cannot silently run the wrong sweep.
+class Args {
+public:
+    Args(int argc, char** argv) {
+        static const std::set<std::string> kValueKeys = {
+            "--width",   "--widths",   "--depth-min", "--depth-max", "--variants",
+            "--schemes", "--threads",  "--seed",      "--samples",   "--dist",
+            "--exhaustive-max-width",  "--top",       "--by",        "--max-nmed",
+            "--max-mred", "--max-area", "--max-power", "--max-delay", "--csv",
+            "--json"};
+        for (int i = 1; i < argc; ++i) {
+            std::string key = argv[i];
+            if (key == "--help" || key == "-h") usage();
+            if (key == "--frontier") {
+                flags_["frontier"] = true;
+                continue;
+            }
+            if (kValueKeys.count(key) == 0) usage("unknown option " + key);
+            if (i + 1 >= argc) usage("missing value for " + key);
+            values_[key] = argv[++i];
+        }
+    }
+    [[nodiscard]] std::string get(const std::string& key, const std::string& dflt = "") const {
+        const auto it = values_.find(key);
+        return it == values_.end() ? dflt : it->second;
+    }
+    [[nodiscard]] bool has(const std::string& key) const { return values_.count(key) != 0; }
+    [[nodiscard]] int get_int(const std::string& key, int dflt) const {
+        const std::string v = get(key);
+        return v.empty() ? dflt : std::stoi(v);
+    }
+    [[nodiscard]] uint64_t get_uint64(const std::string& key, uint64_t dflt) const {
+        const std::string v = get(key);
+        if (v.empty()) return dflt;
+        if (v.find('-') != std::string::npos) usage(key + " must be non-negative");
+        return std::stoull(v, nullptr, 0);
+    }
+    [[nodiscard]] double get_double(const std::string& key, double dflt) const {
+        const std::string v = get(key);
+        return v.empty() ? dflt : std::stod(v);
+    }
+    [[nodiscard]] bool flag(const std::string& key) const { return flags_.count(key) != 0; }
+
+private:
+    std::map<std::string, std::string> values_;
+    std::map<std::string, bool> flags_;
+};
+
+std::vector<std::string> split_commas(const std::string& list) {
+    std::vector<std::string> out;
+    std::istringstream in(list);
+    std::string item;
+    while (std::getline(in, item, ',')) {
+        if (!item.empty()) out.push_back(item);
+    }
+    return out;
+}
+
+SweepSpec spec_from(const Args& args) {
+    SweepSpec spec;
+    if (args.has("--widths")) {
+        const std::string range = args.get("--widths");
+        const size_t dash = range.find('-');
+        if (dash == std::string::npos) usage("--widths expects A-B, got " + range);
+        const int lo = std::stoi(range.substr(0, dash));
+        const int hi = std::stoi(range.substr(dash + 1));
+        if (lo > hi) usage("--widths range is empty");
+        spec.widths.clear();
+        for (int w = lo; w <= hi; ++w) spec.widths.push_back(w);
+    } else {
+        spec.widths = {args.get_int("--width", 8)};
+    }
+    spec.min_depth = args.get_int("--depth-min", 1);
+    spec.max_depth = args.get_int("--depth-max", 0);
+
+    if (args.has("--variants")) {
+        spec.variants.clear();
+        for (const std::string& v : split_commas(args.get("--variants"))) {
+            MultiplierVariant variant;
+            if (!parse_multiplier_variant(v, variant)) usage("unknown variant " + v);
+            spec.variants.push_back(variant);
+        }
+    }
+    if (args.has("--schemes")) {
+        spec.schemes.clear();
+        for (const std::string& s : split_commas(args.get("--schemes"))) {
+            AccumulationScheme scheme;
+            if (!parse_accumulation_scheme(s, scheme)) usage("unknown scheme " + s);
+            spec.schemes.push_back(scheme);
+        }
+    }
+    return spec;
+}
+
+EvalOptions options_from(const Args& args) {
+    EvalOptions opts;
+    const int threads = args.get_int("--threads", 0);
+    if (threads < 0) usage("--threads must be >= 0");
+    opts.threads = static_cast<unsigned>(threads);
+    opts.seed = args.get_uint64("--seed", 0x5d1c5eed);
+    opts.samples = args.get_uint64("--samples", uint64_t{1} << 18);
+    opts.exhaustive_max_width = args.get_int("--exhaustive-max-width", 10);
+    const std::string dist = args.get("--dist", "uniform");
+    if (dist == "uniform") opts.distribution = OperandDistribution::kUniform;
+    else if (dist == "gaussian") opts.distribution = OperandDistribution::kGaussian;
+    else if (dist == "sparse") opts.distribution = OperandDistribution::kSparse;
+    else usage("unknown distribution " + dist);
+    return opts;
+}
+
+Objective objective_from(const Args& args) {
+    const std::string by = args.get("--by", "error");
+    if (by == "error") return Objective::kError;
+    if (by == "area") return Objective::kArea;
+    if (by == "power") return Objective::kPower;
+    if (by == "delay") return Objective::kDelay;
+    usage("unknown objective " + by);
+}
+
+void add_point_row(TextTable& table, const DesignPoint& p, int rank) {
+    table.add_row({std::to_string(rank),
+                   std::to_string(p.config.width),
+                   p.config.variant == MultiplierVariant::kAccurate
+                       ? std::string("-")
+                       : std::to_string(p.config.depth),
+                   multiplier_variant_name(p.config.variant),
+                   accumulation_scheme_name(p.config.scheme),
+                   fmt_fixed(p.error.nmed, 8),
+                   fmt_percent(p.error.mred, 4),
+                   fmt_fixed(p.hw.area_um2, 1),
+                   fmt_fixed(p.hw.dynamic_power_uw, 2),
+                   fmt_fixed(p.hw.delay_ps, 1),
+                   fmt_fixed(p.hw.energy_fj, 1)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    try {
+        const Args args(argc, argv);
+        const SweepSpec spec = spec_from(args);
+        const EvalOptions opts = options_from(args);
+        const Objective by = objective_from(args);  // validate before the sweep runs
+
+        std::vector<DesignPoint> points = evaluate_sweep(spec, opts);
+        const size_t evaluated = points.size();
+
+        // Constraint filters run before the Pareto analysis so the frontier
+        // is the frontier of the *feasible* region.
+        auto drop_if = [&points](auto pred) {
+            points.erase(std::remove_if(points.begin(), points.end(), pred), points.end());
+        };
+        if (args.has("--max-nmed")) {
+            const double v = args.get_double("--max-nmed", 0);
+            drop_if([v](const DesignPoint& p) { return p.error.nmed > v; });
+        }
+        if (args.has("--max-mred")) {
+            const double v = args.get_double("--max-mred", 0);
+            drop_if([v](const DesignPoint& p) { return p.error.mred > v; });
+        }
+        if (args.has("--max-area")) {
+            const double v = args.get_double("--max-area", 0);
+            drop_if([v](const DesignPoint& p) { return p.hw.area_um2 > v; });
+        }
+        if (args.has("--max-power")) {
+            const double v = args.get_double("--max-power", 0);
+            drop_if([v](const DesignPoint& p) { return p.hw.dynamic_power_uw > v; });
+        }
+        if (args.has("--max-delay")) {
+            const double v = args.get_double("--max-delay", 0);
+            drop_if([v](const DesignPoint& p) { return p.hw.delay_ps > v; });
+        }
+
+        const ParetoResult pareto = pareto_analysis(objective_matrix(points));
+
+        // Display order: by the selected objective, ties broken by area and
+        // then by enumeration order (stable) — deterministic across runs.
+        std::vector<size_t> order(points.size());
+        std::iota(order.begin(), order.end(), size_t{0});
+        std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+            if (points[a].objective(by) != points[b].objective(by)) {
+                return points[a].objective(by) < points[b].objective(by);
+            }
+            return points[a].hw.area_um2 < points[b].hw.area_um2;
+        });
+
+        const bool frontier_only = args.flag("frontier");
+        const size_t top_k = static_cast<size_t>(args.get_int("--top", 0));
+
+        std::cout << "DSE sweep: " << spec.describe() << "\n"
+                  << "evaluated " << evaluated << " points";
+        if (points.size() != evaluated) {
+            std::cout << " (" << points.size() << " after filters)";
+        }
+        std::cout << ", frontier " << pareto.frontier.size() << " points, dist "
+                  << operand_distribution_name(opts.distribution) << "\n\n";
+
+        TextTable table({"rank", "width", "depth", "variant", "scheme", "NMED", "MRED(%)",
+                         "area(um2)", "power(uW)", "delay(ps)", "energy(fJ)"});
+        size_t printed = 0;
+        for (size_t i : order) {
+            if (frontier_only && pareto.rank[i] != 0) continue;
+            add_point_row(table, points[i], pareto.rank[i]);
+            if (top_k != 0 && ++printed >= top_k) break;
+        }
+        table.print(std::cout);
+        if (frontier_only) {
+            std::cout << "\n(" << table.row_count()
+                      << " Pareto-optimal points over error/area/power/delay)\n";
+        }
+
+        if (const std::string csv = args.get("--csv"); !csv.empty()) {
+            write_dse_csv(csv, points, pareto.rank);
+            std::cout << "csv -> " << csv << "\n";
+        }
+        if (const std::string json = args.get("--json"); !json.empty()) {
+            write_dse_json(json, points, pareto.rank);
+            std::cout << "json -> " << json << "\n";
+        }
+        return 0;
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}

@@ -84,16 +84,9 @@ MultiplierConfig config_from(const Args& args) {
     cfg.width = args.get_int("--width", 8);
     cfg.depth = args.get_int("--depth", 2);
     const std::string variant = args.get("--variant", "sdlc");
-    if (variant == "accurate") cfg.variant = MultiplierVariant::kAccurate;
-    else if (variant == "sdlc") cfg.variant = MultiplierVariant::kSdlc;
-    else if (variant == "compensated") cfg.variant = MultiplierVariant::kCompensated;
-    else usage("unknown variant " + variant);
+    if (!parse_multiplier_variant(variant, cfg.variant)) usage("unknown variant " + variant);
     const std::string scheme = args.get("--scheme", "ripple");
-    if (scheme == "ripple") cfg.scheme = AccumulationScheme::kRowRipple;
-    else if (scheme == "wallace") cfg.scheme = AccumulationScheme::kWallace;
-    else if (scheme == "dadda") cfg.scheme = AccumulationScheme::kDadda;
-    else if (scheme == "fastcpa") cfg.scheme = AccumulationScheme::kRowFastCpa;
-    else usage("unknown scheme " + scheme);
+    if (!parse_accumulation_scheme(scheme, cfg.scheme)) usage("unknown scheme " + scheme);
     return cfg;
 }
 
