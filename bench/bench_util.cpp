@@ -17,10 +17,13 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
             args.quick = true;
         } else if (a == "--csv" && i + 1 < argc) {
             args.csv_path = argv[++i];
+        } else if (a == "--json" && i + 1 < argc) {
+            args.json_path = argv[++i];
         } else if (a == "--seed" && i + 1 < argc) {
             args.seed = std::strtoull(argv[++i], nullptr, 0);
         } else if (a == "--help" || a == "-h") {
-            std::cout << "options: [--exhaustive] [--quick] [--csv <path>] [--seed <n>]\n";
+            std::cout << "options: [--exhaustive] [--quick] [--csv <path>] [--json <path>] "
+                         "[--seed <n>]\n";
             std::exit(0);
         }
     }

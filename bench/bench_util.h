@@ -14,11 +14,13 @@
 
 namespace sdlc::bench {
 
-/// Minimal CLI: recognizes --exhaustive, --quick, --csv <path>, --seed <n>.
+/// Minimal CLI: recognizes --exhaustive, --quick, --csv <path>,
+/// --json <path>, --seed <n>.
 struct BenchArgs {
     bool exhaustive = false;
     bool quick = false;
     std::optional<std::string> csv_path;
+    std::optional<std::string> json_path;
     uint64_t seed = 0x5d1cbe9c;
 
     static BenchArgs parse(int argc, char** argv);

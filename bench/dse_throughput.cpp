@@ -71,6 +71,23 @@ int main(int argc, char** argv) {
     }
     t.print(std::cout);
 
+    // Hardware-cache effect: one shared cache, cold run then warm run. The
+    // scaling rows above use a fresh per-sweep cache so they stay honest.
+    {
+        CostCache cache;
+        EvalOptions opts;
+        opts.seed = args.seed;
+        opts.hw_cache = &cache;
+        SweepStats cold, warm;
+        (void)evaluate_sweep(spec, opts, &cold);
+        (void)evaluate_sweep(spec, opts, &warm);
+        std::cout << "\nhw cache: cold " << fmt_fixed(cold.wall_seconds, 3) << " s ("
+                  << cold.hw_cache_misses << " misses), warm "
+                  << fmt_fixed(warm.wall_seconds, 3) << " s (" << warm.hw_cache_hits
+                  << " hits), speedup " << fmt_fixed(cold.wall_seconds / warm.wall_seconds, 2)
+                  << "x\n";
+    }
+
     // Sanity: the frontier of the last sweep is non-trivial.
     {
         EvalOptions opts;

@@ -1,0 +1,151 @@
+// Kernel-dispatch throughput: plan-interpreter vs fast-path kernels, and
+// the end-to-end effect on the default DSE sweep (cold and warm hardware
+// cache). Writes BENCH_eval.json so the perf trajectory is tracked across
+// PRs.
+//
+//   --quick       lighter per-config measurement budget
+//   --csv FILE    also dump the per-config table as CSV
+//   --json FILE   JSON output path (default: BENCH_eval.json in the CWD)
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "api/approx_multiplier.h"
+#include "bench_util.h"
+#include "core/kernels.h"
+#include "dse/evaluator.h"
+#include "dse/sweep.h"
+#include "util/csv.h"
+#include "util/json.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace sdlc;
+using Clock = std::chrono::steady_clock;
+
+/// ns/op of `fn(a, b)` over a reproducible operand stream, re-running the
+/// batch until the total wall time is trustworthy.
+template <typename Fn>
+double measure_ns_per_op(int width, uint64_t ops_per_batch, double min_seconds, Fn&& fn) {
+    const uint64_t mask = (uint64_t{1} << width) - 1;
+    uint64_t ops = 0;
+    uint64_t sink = 0;
+    const auto t0 = Clock::now();
+    double secs = 0.0;
+    do {
+        Xoshiro256 rng(0x5d1cbe9c);  // same stream every batch and every build
+        for (uint64_t i = 0; i < ops_per_batch; ++i) {
+            const uint64_t a = rng.next() & mask;
+            const uint64_t b = rng.next() & mask;
+            sink ^= fn(a, b);
+        }
+        ops += ops_per_batch;
+        secs = std::chrono::duration<double>(Clock::now() - t0).count();
+    } while (secs < min_seconds);
+    // Keep the accumulated result observable so the loop cannot fold away.
+    asm volatile("" : : "g"(sink) : "memory");
+    return secs * 1e9 / static_cast<double>(ops);
+}
+
+struct KernelRow {
+    MultiplierConfig config;
+    const char* path;
+    double interp_ns = 0.0;
+    double kernel_ns = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const auto args = bench::BenchArgs::parse(argc, argv);
+    bench::print_header(
+        "Evaluation-kernel throughput — interpreter vs fast-path dispatch",
+        "Specialized kernels make exhaustive error sweeps practical at wide operands.");
+
+    const double budget = args.quick ? 0.02 : 0.1;
+    const uint64_t batch = uint64_t{1} << (args.quick ? 14 : 16);
+
+    std::vector<MultiplierConfig> configs;
+    for (const int width : {8, 12, 16}) {
+        configs.push_back({width, 1, MultiplierVariant::kAccurate, AccumulationScheme::kRowRipple});
+        for (const int depth : {2, 3, 4}) {
+            configs.push_back({width, depth, MultiplierVariant::kSdlc,
+                               AccumulationScheme::kRowRipple});
+        }
+        configs.push_back({width, 2, MultiplierVariant::kCompensated,
+                           AccumulationScheme::kRowRipple});
+    }
+
+    std::vector<KernelRow> rows;
+    TextTable table({"config", "path", "interpreter ns/op", "kernel ns/op", "speedup"});
+    for (const MultiplierConfig& cfg : configs) {
+        KernelRow row;
+        row.config = cfg;
+        const ApproxMultiplier mul(cfg);
+        const MultiplyKernel kernel(cfg);
+        row.path = kernel.name();
+        row.interp_ns = measure_ns_per_op(cfg.width, batch, budget,
+                                          [&](uint64_t a, uint64_t b) { return mul.multiply(a, b); });
+        row.kernel_ns = measure_ns_per_op(cfg.width, batch, budget,
+                                          [&](uint64_t a, uint64_t b) { return kernel(a, b); });
+        rows.push_back(row);
+        table.add_row({mul.describe(), row.path, fmt_fixed(row.interp_ns, 1),
+                       fmt_fixed(row.kernel_ns, 1),
+                       fmt_fixed(row.interp_ns / row.kernel_ns, 1)});
+    }
+    table.print(std::cout);
+
+    // End-to-end: the default dse_tool sweep (error + hardware), cold run
+    // with a fresh cache and warm run against the same cache.
+    std::cout << "\nend-to-end default sweep (width 8, error + hardware):\n";
+    const SweepSpec spec = SweepSpec::for_width(8);
+    CostCache cache;
+    EvalOptions opts;
+    opts.seed = args.seed;
+    opts.hw_cache = &cache;
+    SweepStats cold, warm;
+    (void)evaluate_sweep(spec, opts, &cold);
+    (void)evaluate_sweep(spec, opts, &warm);
+    std::cout << "  cold: " << fmt_fixed(cold.wall_seconds, 3) << " s ("
+              << cold.hw_cache_hits << " hits / " << cold.hw_cache_misses << " misses)\n"
+              << "  warm: " << fmt_fixed(warm.wall_seconds, 3) << " s ("
+              << warm.hw_cache_hits << " hits / " << warm.hw_cache_misses << " misses)\n";
+
+    // JSON record for cross-PR tracking.
+    const std::string json_path = args.json_path.value_or("BENCH_eval.json");
+    {
+        std::ofstream f(json_path, std::ios::binary);
+        f << "{\"bench\": \"eval_kernels\",\n \"kernels\": [\n";
+        for (size_t i = 0; i < rows.size(); ++i) {
+            const KernelRow& r = rows[i];
+            f << "  {\"width\": " << r.config.width << ", \"depth\": " << r.config.depth
+              << ", \"variant\": " << json_string(multiplier_variant_name(r.config.variant))
+              << ", \"path\": " << json_string(r.path)
+              << ", \"interpreter_ns_per_op\": " << json_number(r.interp_ns)
+              << ", \"kernel_ns_per_op\": " << json_number(r.kernel_ns)
+              << ", \"speedup\": " << json_number(r.interp_ns / r.kernel_ns) << "}"
+              << (i + 1 < rows.size() ? ",\n" : "\n");
+        }
+        f << " ],\n \"default_sweep\": {\"points\": " << cold.points
+          << ", \"cold_seconds\": " << json_number(cold.wall_seconds)
+          << ", \"warm_seconds\": " << json_number(warm.wall_seconds)
+          << ", \"warm_hits\": " << warm.hw_cache_hits << "}\n}\n";
+    }
+    std::cout << "json -> " << json_path << "\n";
+
+    if (args.csv_path) {
+        CsvWriter csv(*args.csv_path);
+        csv.write_row({"width", "depth", "variant", "path", "interpreter_ns", "kernel_ns"});
+        for (const KernelRow& r : rows) {
+            csv.write_row({std::to_string(r.config.width), std::to_string(r.config.depth),
+                           multiplier_variant_name(r.config.variant), r.path,
+                           fmt_fixed(r.interp_ns, 2), fmt_fixed(r.kernel_ns, 2)});
+        }
+        std::cout << "csv -> " << *args.csv_path << "\n";
+    }
+    return 0;
+}

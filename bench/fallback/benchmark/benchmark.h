@@ -1,0 +1,123 @@
+// Vendored fallback micro-benchmark harness (drop-in for the subset of the
+// Google Benchmark API this repository uses).
+//
+// When CMake does not find the real library, bench_perf_functional (and any
+// future google-benchmark-style bench) compiles against this header and
+// links bench/fallback/minibench.cpp instead of being skipped. The harness
+// is timer-based: each benchmark runs in growing batches until it has
+// accumulated a minimum wall time, then reports ns/op (and items/s when
+// SetItemsProcessed was called). Registration order is preserved; ->Arg(x)
+// registers one variant per argument like the real library.
+//
+// Supported surface: BENCHMARK(fn)->Arg(n), benchmark::State range-for
+// iteration, State::range(i), State::iterations(), State::SetItemsProcessed,
+// DoNotOptimize, ClobberMemory, and a main() provided by the library (the
+// real package's benchmark::benchmark_main equivalent).
+#ifndef SDLC_BENCH_FALLBACK_BENCHMARK_H
+#define SDLC_BENCH_FALLBACK_BENCHMARK_H
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace benchmark {
+
+namespace internal {
+class Benchmark;
+}
+
+/// Per-run state handed to the benchmark function; iterate it range-for.
+class State {
+public:
+    State(std::vector<int64_t> args, double min_seconds)
+        : args_(std::move(args)), min_seconds_(min_seconds) {}
+
+    struct Iterator {
+        State* state;
+        bool operator!=(const Iterator&) const { return state->keep_running(); }
+        void operator++() {}
+        int operator*() const { return 0; }
+    };
+    Iterator begin() { return {this}; }
+    Iterator end() { return {nullptr}; }
+
+    [[nodiscard]] int64_t range(size_t i = 0) const {
+        return i < args_.size() ? args_[i] : 0;
+    }
+    [[nodiscard]] int64_t iterations() const { return iterations_; }
+    void SetItemsProcessed(int64_t n) { items_processed_ = n; }
+
+    // --- harness-internal results (read by the runner) -------------------
+    [[nodiscard]] double elapsed_seconds() const;
+    [[nodiscard]] int64_t items_processed() const { return items_processed_; }
+
+private:
+    bool keep_running();
+
+    std::vector<int64_t> args_;
+    double min_seconds_ = 0.25;
+    int64_t iterations_ = 0;
+    int64_t check_at_ = 1;  ///< next iteration count at which to read the clock
+    int64_t items_processed_ = 0;
+    bool started_ = false;
+    std::chrono::steady_clock::time_point start_{};
+    std::chrono::steady_clock::time_point stop_{};
+};
+
+using Function = void (*)(State&);
+
+namespace internal {
+
+/// One registered benchmark; ->Arg(x) adds argument variants.
+class Benchmark {
+public:
+    Benchmark(std::string name, Function fn);
+    Benchmark* Arg(int64_t x);
+
+    [[nodiscard]] const std::string& name() const { return name_; }
+    [[nodiscard]] Function function() const { return fn_; }
+    [[nodiscard]] const std::vector<std::vector<int64_t>>& arg_sets() const { return args_; }
+
+private:
+    std::string name_;
+    Function fn_;
+    std::vector<std::vector<int64_t>> args_;
+};
+
+Benchmark* register_benchmark(std::string name, Function fn);
+
+}  // namespace internal
+
+/// Runs every registered benchmark and prints the report table.
+/// Returns 0 (the fallback has no failure modes worth a nonzero exit).
+int run_all_benchmarks();
+
+/// Prevents the compiler from optimizing away a computed value.
+template <typename T>
+inline void DoNotOptimize(T&& value) {
+#if defined(__GNUC__) || defined(__clang__)
+    asm volatile("" : : "g"(value) : "memory");
+#else
+    static volatile const void* sink;
+    sink = &value;
+#endif
+}
+
+/// Forces all pending writes to memory.
+inline void ClobberMemory() {
+#if defined(__GNUC__) || defined(__clang__)
+    asm volatile("" : : : "memory");
+#endif
+}
+
+}  // namespace benchmark
+
+#define BENCHMARK_PRIVATE_CONCAT2(a, b) a##b
+#define BENCHMARK_PRIVATE_CONCAT(a, b) BENCHMARK_PRIVATE_CONCAT2(a, b)
+#define BENCHMARK(fn)                                              \
+    static ::benchmark::internal::Benchmark* BENCHMARK_PRIVATE_CONCAT( \
+        benchmark_registration_, __LINE__) =                       \
+        ::benchmark::internal::register_benchmark(#fn, fn)
+
+#endif  // SDLC_BENCH_FALLBACK_BENCHMARK_H

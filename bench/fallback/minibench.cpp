@@ -1,0 +1,88 @@
+// Runner for the vendored fallback micro-benchmark harness; see
+// bench/fallback/benchmark/benchmark.h.
+#include "benchmark/benchmark.h"
+
+#include <cstdio>
+#include <memory>
+
+namespace benchmark {
+
+double State::elapsed_seconds() const {
+    return std::chrono::duration<double>(stop_ - start_).count();
+}
+
+bool State::keep_running() {
+    if (!started_) {
+        started_ = true;
+        iterations_ = 0;
+        check_at_ = 64;
+        start_ = std::chrono::steady_clock::now();
+        return true;
+    }
+    ++iterations_;
+    if (iterations_ < check_at_) return true;
+    // Read the clock only at geometrically spaced checkpoints so the timing
+    // overhead stays far below the measured work.
+    stop_ = std::chrono::steady_clock::now();
+    if (std::chrono::duration<double>(stop_ - start_).count() >= min_seconds_) return false;
+    check_at_ *= 2;
+    return true;
+}
+
+namespace internal {
+
+namespace {
+
+std::vector<std::unique_ptr<Benchmark>>& registry() {
+    static std::vector<std::unique_ptr<Benchmark>> benches;
+    return benches;
+}
+
+}  // namespace
+
+Benchmark::Benchmark(std::string name, Function fn) : name_(std::move(name)), fn_(fn) {}
+
+Benchmark* Benchmark::Arg(int64_t x) {
+    args_.push_back({x});
+    return this;
+}
+
+Benchmark* register_benchmark(std::string name, Function fn) {
+    registry().push_back(std::make_unique<Benchmark>(std::move(name), fn));
+    return registry().back().get();
+}
+
+}  // namespace internal
+
+int run_all_benchmarks() {
+    std::printf("%-32s %15s %15s %15s\n", "benchmark", "iterations", "ns/op", "items/s");
+    std::printf("--------------------------------------------------------------------------------\n");
+    for (const auto& bench : internal::registry()) {
+        // No ->Arg() calls means one run with no arguments.
+        std::vector<std::vector<int64_t>> arg_sets = bench->arg_sets();
+        if (arg_sets.empty()) arg_sets.push_back({});
+        for (const std::vector<int64_t>& args : arg_sets) {
+            std::string label = bench->name();
+            for (const int64_t a : args) label += "/" + std::to_string(a);
+            State state(args, /*min_seconds=*/0.25);
+            bench->function()(state);
+            const double secs = state.elapsed_seconds();
+            const double iters = static_cast<double>(state.iterations());
+            const double ns_per_op = iters > 0 ? secs * 1e9 / iters : 0.0;
+            if (state.items_processed() > 0) {
+                // SetItemsProcessed reports the total across all iterations.
+                const double items_per_sec =
+                    static_cast<double>(state.items_processed()) / (secs > 0 ? secs : 1.0);
+                std::printf("%-32s %15.0f %15.1f %15.3e\n", label.c_str(), iters, ns_per_op,
+                            items_per_sec);
+            } else {
+                std::printf("%-32s %15.0f %15.1f %15s\n", label.c_str(), iters, ns_per_op, "-");
+            }
+        }
+    }
+    return 0;
+}
+
+}  // namespace benchmark
+
+int main() { return benchmark::run_all_benchmarks(); }

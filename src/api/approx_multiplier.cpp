@@ -31,7 +31,11 @@ ApproxMultiplier::ApproxMultiplier(const MultiplierConfig& config)
     : config_(config),
       plan_(ClusterPlan::make(config.width,
                               config.variant == MultiplierVariant::kAccurate ? 1
-                                                                             : config.depth)) {}
+                                                                             : config.depth)) {
+    if (config.variant == MultiplierVariant::kCompensated) {
+        comp_terms_ = compensation_terms(plan_);
+    }
+}
 
 uint64_t ApproxMultiplier::multiply(uint64_t a, uint64_t b) const {
     switch (config_.variant) {
@@ -43,7 +47,7 @@ uint64_t ApproxMultiplier::multiply(uint64_t a, uint64_t b) const {
         case MultiplierVariant::kSdlc:
             return sdlc_multiply(plan_, a, b);
         case MultiplierVariant::kCompensated:
-            return sdlc_multiply_compensated(plan_, a, b);
+            return sdlc_multiply_compensated(plan_, comp_terms_, a, b);
     }
     throw std::logic_error("ApproxMultiplier: unknown variant");
 }

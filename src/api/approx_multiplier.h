@@ -9,10 +9,12 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "arith/accumulate.h"
 #include "arith/mul_netlist.h"
 #include "core/cluster_plan.h"
+#include "core/compensation.h"
 
 namespace sdlc {
 
@@ -67,6 +69,9 @@ public:
 private:
     MultiplierConfig config_;
     ClusterPlan plan_;
+    /// Precomputed once for the compensated variant (empty otherwise):
+    /// deriving the table per multiply would dominate the hot loop.
+    std::vector<CompensationTerm> comp_terms_;
 };
 
 }  // namespace sdlc

@@ -36,8 +36,14 @@ std::vector<CompensationTerm> compensation_terms(const ClusterPlan& plan) {
 }
 
 uint64_t sdlc_multiply_compensated(const ClusterPlan& plan, uint64_t a, uint64_t b) {
+    return sdlc_multiply_compensated(plan, compensation_terms(plan), a, b);
+}
+
+uint64_t sdlc_multiply_compensated(const ClusterPlan& plan,
+                                   const std::vector<CompensationTerm>& terms, uint64_t a,
+                                   uint64_t b) {
     uint64_t p = sdlc_multiply(plan, a, b);
-    for (const CompensationTerm& t : compensation_terms(plan)) {
+    for (const CompensationTerm& t : terms) {
         if (bit(b, static_cast<unsigned>(t.row_a)) & bit(b, static_cast<unsigned>(t.row_b))) {
             p += t.value;
         }

@@ -45,6 +45,13 @@ struct CompensationTerm {
 [[nodiscard]] uint64_t sdlc_multiply_compensated(const ClusterPlan& plan, uint64_t a,
                                                  uint64_t b);
 
+/// Same, with the compensation table precomputed by the caller. Hot loops
+/// (error sweeps) must use this overload: deriving the table costs far more
+/// than the multiplication itself.
+[[nodiscard]] uint64_t sdlc_multiply_compensated(const ClusterPlan& plan,
+                                                 const std::vector<CompensationTerm>& terms,
+                                                 uint64_t a, uint64_t b);
+
 /// Signed error of the compensated multiplier: P' + comp - P (may be
 /// negative; the plain multiplier's error is always <= 0 in this sign
 /// convention).

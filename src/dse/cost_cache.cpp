@@ -1,0 +1,66 @@
+#include "dse/cost_cache.h"
+
+namespace sdlc {
+
+uint64_t CostCache::content_key(const Netlist& net, const CellLibrary& lib,
+                                const SynthesisOptions& opts) noexcept {
+    // Rotate-xor combine: the two halves are independently avalanched
+    // hashes, so a cheap combiner keeps the full 64 bits of spread.
+    const uint64_t a = net.structural_hash();
+    const uint64_t b = synthesis_fingerprint(lib, opts);
+    return a ^ (b << 1 | b >> 63);
+}
+
+SynthesisReport CostCache::get_or_synthesize(const Netlist& net, const CellLibrary& lib,
+                                             const SynthesisOptions& opts) {
+    const uint64_t key = content_key(net, lib, opts);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = reports_.find(key);
+        if (it != reports_.end()) {
+            ++hits_;
+            return it->second;
+        }
+        ++misses_;
+    }
+    // Synthesize outside the lock: concurrent misses on the same key do
+    // redundant work but produce the identical (deterministic) report.
+    const SynthesisReport report = synthesize(net, lib, opts);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        reports_.emplace(key, report);
+    }
+    return report;
+}
+
+bool CostCache::contains(uint64_t key) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return reports_.find(key) != reports_.end();
+}
+
+CostCache::Stats CostCache::stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return {hits_, misses_};
+}
+
+size_t CostCache::size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return reports_.size();
+}
+
+std::vector<uint64_t> CostCache::keys() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<uint64_t> out;
+    out.reserve(reports_.size());
+    for (const auto& [key, report] : reports_) out.push_back(key);
+    return out;
+}
+
+void CostCache::clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    reports_.clear();
+    hits_ = 0;
+    misses_ = 0;
+}
+
+}  // namespace sdlc

@@ -1,6 +1,10 @@
 #include "dse/evaluator.h"
 
+#include <chrono>
+#include <unordered_set>
+
 #include "api/approx_multiplier.h"
+#include "core/kernels.h"
 #include "dse/thread_pool.h"
 #include "error/evaluate.h"
 #include "util/rng.h"
@@ -64,9 +68,19 @@ std::string DesignPoint::describe() const {
     return ApproxMultiplier(config).describe();
 }
 
-DesignPoint evaluate_point(const MultiplierConfig& config, const EvalOptions& opts) {
-    const ApproxMultiplier mul(config);
-    auto f = [&mul](uint64_t a, uint64_t b) { return mul.multiply(a, b); };
+namespace {
+
+/// Shared implementation: evaluates one point, optionally reporting the
+/// hardware content key (0 when no hardware was evaluated) so the sweep
+/// can derive deterministic cache statistics.
+DesignPoint evaluate_point_impl(const MultiplierConfig& config, const EvalOptions& opts,
+                                uint64_t* hw_key) {
+    // The kernel replaces the ApproxMultiplier software model on the error
+    // path: bit-identical results (enforced by exhaustive tests), but the
+    // inner loop is a bit-trick or a precomputed strength-reduced plan
+    // instead of the ClusterPlan interpreter.
+    const MultiplyKernel kernel(config);
+    auto f = [&kernel](uint64_t a, uint64_t b) { return kernel(a, b); };
 
     DesignPoint point;
     point.config = config;
@@ -79,18 +93,79 @@ DesignPoint evaluate_point(const MultiplierConfig& config, const EvalOptions& op
                                                    point_seed(opts.seed, config),
                                                    opts.distribution, f);
     }
+    if (hw_key != nullptr) *hw_key = 0;
     if (opts.evaluate_hardware) {
-        point.hw = synthesize(mul.build_netlist().net, opts.library, opts.synthesis);
+        const Netlist net = ApproxMultiplier(config).build_netlist().net;
+        if (opts.hw_cache != nullptr) {
+            point.hw = opts.hw_cache->get_or_synthesize(net, opts.library, opts.synthesis);
+            if (hw_key != nullptr) {
+                *hw_key = CostCache::content_key(net, opts.library, opts.synthesis);
+            }
+        } else {
+            point.hw = synthesize(net, opts.library, opts.synthesis);
+        }
     }
     return point;
 }
 
-std::vector<DesignPoint> evaluate_sweep(const SweepSpec& spec, const EvalOptions& opts) {
+}  // namespace
+
+DesignPoint evaluate_point(const MultiplierConfig& config, const EvalOptions& opts) {
+    if (!opts.use_hw_cache && opts.hw_cache != nullptr) {
+        // use_hw_cache=false wins over a provided cache, matching
+        // evaluate_sweep (the documented --no-hw-cache escape hatch).
+        EvalOptions uncached = opts;
+        uncached.hw_cache = nullptr;
+        return evaluate_point_impl(config, uncached, nullptr);
+    }
+    return evaluate_point_impl(config, opts, nullptr);
+}
+
+std::vector<DesignPoint> evaluate_sweep(const SweepSpec& spec, const EvalOptions& opts,
+                                        SweepStats* stats) {
+    const auto t0 = std::chrono::steady_clock::now();
     const std::vector<MultiplierConfig> configs = spec.enumerate();
     std::vector<DesignPoint> points(configs.size());
+
+    // Resolve the cache: caller-provided, sweep-local, or none.
+    CostCache local_cache;
+    EvalOptions point_opts = opts;
+    if (point_opts.hw_cache == nullptr && point_opts.use_hw_cache) {
+        point_opts.hw_cache = &local_cache;
+    }
+    if (!point_opts.use_hw_cache) point_opts.hw_cache = nullptr;
+
+    // Keys memoized before this sweep started (for shared warm caches).
+    std::unordered_set<uint64_t> warm_keys;
+    if (point_opts.hw_cache != nullptr) {
+        for (const uint64_t k : point_opts.hw_cache->keys()) warm_keys.insert(k);
+    }
+
+    std::vector<uint64_t> hw_keys(configs.size(), 0);
     ThreadPool pool(opts.threads);
-    parallel_for(pool, configs.size(),
-                 [&](size_t i) { points[i] = evaluate_point(configs[i], opts); });
+    parallel_for(pool, configs.size(), [&](size_t i) {
+        points[i] = evaluate_point_impl(configs[i], point_opts, &hw_keys[i]);
+    });
+
+    if (stats != nullptr) {
+        *stats = SweepStats{};
+        stats->points = points.size();
+        stats->hw_cache_enabled = point_opts.hw_cache != nullptr;
+        // Replay the keys in enumeration order: the first sight of a key not
+        // already warm is the miss, every later sight a hit. This is what a
+        // sequential run would count, independent of scheduling.
+        std::unordered_set<uint64_t> seen;
+        for (const uint64_t key : hw_keys) {
+            if (key == 0) continue;
+            if (warm_keys.count(key) != 0 || !seen.insert(key).second) {
+                ++stats->hw_cache_hits;
+            } else {
+                ++stats->hw_cache_misses;
+            }
+        }
+        stats->wall_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    }
     return points;
 }
 

@@ -7,6 +7,13 @@
 // distributed over a ThreadPool; every per-point computation is seeded from
 // the configuration itself, so results are bit-identical regardless of the
 // thread count or scheduling order.
+//
+// Error evaluation dispatches through core/kernels.h (stateless bit-trick
+// kernels where available, the strength-reduced planned path otherwise),
+// and hardware cost is memoized in a content-keyed CostCache shared across
+// the sweep; both produce results bit-identical to the direct
+// ApproxMultiplier / synthesize() path, so turning them off changes speed
+// only (see EvalOptions::use_hw_cache).
 #ifndef SDLC_DSE_EVALUATOR_H
 #define SDLC_DSE_EVALUATOR_H
 
@@ -14,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "dse/cost_cache.h"
 #include "dse/pareto.h"
 #include "dse/sweep.h"
 #include "error/metrics.h"
@@ -43,6 +51,26 @@ struct EvalOptions {
     bool evaluate_hardware = true;  ///< synthesize netlists for cost metrics
     SynthesisOptions synthesis;     ///< virtual-synthesis knobs
     CellLibrary library = CellLibrary::generic_90nm();
+    /// Memoize synthesis by netlist content key for the duration of a sweep.
+    /// Results are identical either way; off means every point re-runs the
+    /// full flow (the `dse_tool --no-hw-cache` escape hatch).
+    bool use_hw_cache = true;
+    /// Optional externally owned cache to share across sweeps (service
+    /// loops, repeated runs). When null and use_hw_cache is set,
+    /// evaluate_sweep creates a sweep-local cache.
+    CostCache* hw_cache = nullptr;
+};
+
+/// Per-sweep bookkeeping reported by evaluate_sweep. The cache counts are
+/// derived in enumeration order against a pre-sweep snapshot, so they are
+/// identical for every thread count (unlike CostCache's raw counters,
+/// which can split a racing miss two ways).
+struct SweepStats {
+    size_t points = 0;              ///< evaluated design points
+    double wall_seconds = 0.0;      ///< end-to-end sweep wall time
+    bool hw_cache_enabled = false;  ///< cache active for this sweep
+    uint64_t hw_cache_hits = 0;     ///< points served from the cache
+    uint64_t hw_cache_misses = 0;   ///< points that ran the synthesis flow
 };
 
 /// One fully evaluated configuration.
@@ -70,9 +98,11 @@ struct DesignPoint {
 
 /// Evaluates every point of the sweep in parallel. The result order matches
 /// SweepSpec::enumerate() and the values are bit-identical for any
-/// opts.threads.
+/// opts.threads (and for the hardware cache on or off). When `stats` is
+/// non-null it receives the sweep's wall time and cache counters.
 [[nodiscard]] std::vector<DesignPoint> evaluate_sweep(const SweepSpec& spec,
-                                                      const EvalOptions& opts = {});
+                                                      const EvalOptions& opts = {},
+                                                      SweepStats* stats = nullptr);
 
 /// Objective vectors of `points`, in order (input to pareto_analysis()).
 [[nodiscard]] std::vector<ObjectiveVector> objective_matrix(

@@ -89,11 +89,30 @@ std::string dse_to_json(const std::vector<DesignPoint>& points, const std::vecto
     return out;
 }
 
+std::string dse_to_json(const std::vector<DesignPoint>& points, const std::vector<int>& ranks,
+                        const SweepStats& stats) {
+    std::string out = "{\"summary\": {\"points\": " + std::to_string(stats.points);
+    out += ", \"hw_cache\": {\"enabled\": ";
+    out += stats.hw_cache_enabled ? "true" : "false";
+    out += ", \"hits\": " + std::to_string(stats.hw_cache_hits);
+    out += ", \"misses\": " + std::to_string(stats.hw_cache_misses);
+    out += "}},\n\"points\": " + dse_to_json(points, ranks) + "}\n";
+    return out;
+}
+
 void write_dse_json(const std::string& path, const std::vector<DesignPoint>& points,
                     const std::vector<int>& ranks) {
     std::ofstream f(path, std::ios::binary);
     if (!f) throw std::runtime_error("dse export: cannot open " + path);
     f << dse_to_json(points, ranks);
+    if (!f) throw std::runtime_error("dse export: write failed for " + path);
+}
+
+void write_dse_json(const std::string& path, const std::vector<DesignPoint>& points,
+                    const std::vector<int>& ranks, const SweepStats& stats) {
+    std::ofstream f(path, std::ios::binary);
+    if (!f) throw std::runtime_error("dse export: cannot open " + path);
+    f << dse_to_json(points, ranks, stats);
     if (!f) throw std::runtime_error("dse export: write failed for " + path);
 }
 

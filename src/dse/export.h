@@ -30,9 +30,20 @@ void write_dse_csv(const std::string& path, const std::vector<DesignPoint>& poin
 [[nodiscard]] std::string dse_to_json(const std::vector<DesignPoint>& points,
                                       const std::vector<int>& ranks = {});
 
+/// With sweep stats: renders an object {"summary": {...}, "points": [...]}
+/// whose summary carries the point count and the hardware-cache hit/miss
+/// counters. Wall time is deliberately excluded so two identical sweeps
+/// still produce byte-identical files.
+[[nodiscard]] std::string dse_to_json(const std::vector<DesignPoint>& points,
+                                      const std::vector<int>& ranks, const SweepStats& stats);
+
 /// Writes dse_to_json() to `path`. Throws std::runtime_error on I/O failure.
 void write_dse_json(const std::string& path, const std::vector<DesignPoint>& points,
                     const std::vector<int>& ranks = {});
+
+/// Writes the summary-wrapped form to `path`.
+void write_dse_json(const std::string& path, const std::vector<DesignPoint>& points,
+                    const std::vector<int>& ranks, const SweepStats& stats);
 
 }  // namespace sdlc
 

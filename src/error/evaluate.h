@@ -2,11 +2,21 @@
 //
 // Both take the approximate multiplier as an inlineable callable
 // `uint64_t f(uint64_t a, uint64_t b)` so that exhaustive sweeps (2^32
-// operand pairs at 16-bit) run at bit-trick speed. The exhaustive engine
+// operand pairs at 16-bit) run at bit-trick speed — pass a
+// core/kernels.h MultiplyKernel (or a stateless kernel from the registry)
+// rather than a virtual ApproxMultiplier wrapper. The exhaustive engine
 // splits the operand space into a fixed grid of shards and distributes the
 // shards across threads; because each shard accumulates the same pairs in
 // the same order and shards merge in index order, the result is
 // bit-identical for every thread count (and every machine's core count).
+//
+// The inner loop is strength-reduced: the exact product a*b advances by
+// adding `a` as `b` steps through a tile, so no hardware multiply is spent
+// on the reference value. Tiles re-seed the running product from one true
+// multiply, which keeps the addition chain short, bounds the live range of
+// the loop state to something register-resident, and gives the compiler a
+// fixed trip count to unroll. The (a, b) visit order is unchanged, so all
+// accumulated metrics stay bit-identical to the pre-tiled engine.
 #ifndef SDLC_ERROR_EVALUATE_H
 #define SDLC_ERROR_EVALUATE_H
 
@@ -38,9 +48,18 @@ template <typename ApproxFn>
 
     std::vector<ErrorAccumulator> accs(shards, ErrorAccumulator(width));
     auto run_shard = [&](unsigned s) {
+        // B-axis tile: big enough to amortize the per-tile multiply, small
+        // enough that the unrolled inner loop's state stays in registers.
+        constexpr uint64_t kTile = 1024;
         ErrorAccumulator& acc = accs[s];
         for (uint64_t a = s; a < side; a += shards) {
-            for (uint64_t b = 0; b < side; ++b) acc.add(a * b, approx(a, b));
+            for (uint64_t b0 = 0; b0 < side; b0 += kTile) {
+                const uint64_t b_end = std::min(side, b0 + kTile);
+                uint64_t exact = a * b0;  // re-seed the running product
+                for (uint64_t b = b0; b < b_end; ++b, exact += a) {
+                    acc.add(exact, approx(a, b));
+                }
+            }
         }
     };
     if (threads <= 1) {

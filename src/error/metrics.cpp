@@ -14,21 +14,6 @@ ErrorAccumulator::ErrorAccumulator(int width) : width_(width) {
     pmax_ = top * top;
 }
 
-void ErrorAccumulator::add(uint64_t exact, uint64_t approx) noexcept {
-    ++samples_;
-    const uint64_t ed = exact > approx ? exact - approx : approx - exact;
-    if (ed == 0) return;
-    ++errors_;
-    sum_ed_ += static_cast<double>(ed);
-    sum_signed_ += approx > exact ? static_cast<double>(ed) : -static_cast<double>(ed);
-    sum_sq_ += static_cast<double>(ed) * static_cast<double>(ed);
-    max_ed_ = std::max(max_ed_, ed);
-    const double red =
-        exact == 0 ? 1.0 : static_cast<double>(ed) / static_cast<double>(exact);
-    sum_red_ += red;
-    max_red_ = std::max(max_red_, red);
-}
-
 void ErrorAccumulator::merge(const ErrorAccumulator& other) noexcept {
     sum_red_ += other.sum_red_;
     sum_ed_ += other.sum_ed_;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/hash.h"
+
 namespace sdlc {
 
 const char* gate_kind_name(GateKind k) noexcept {
@@ -116,6 +118,27 @@ std::vector<bool> Netlist::live_mask() const {
         if (g.in1 != kNoNet) live[g.in1] = true;
     }
     return live;
+}
+
+uint64_t Netlist::structural_hash() const noexcept {
+    // Per-word FNV mixing keeps gate order significant (the id space *is*
+    // the structure); the final avalanche spreads low-entropy inputs.
+    uint64_t h = kFnvOffsetBasis;
+    hash_mix(h, gates_.size());
+    for (const Gate& g : gates_) {
+        hash_mix(h, static_cast<uint64_t>(g.kind));
+        hash_mix(h, g.in0);
+        hash_mix(h, g.in1);
+    }
+    hash_mix(h, inputs_.size());
+    for (const NetId id : inputs_) hash_mix(h, id);
+    for (const std::string& name : input_names_) hash_mix_string(h, name);
+    hash_mix(h, outputs_.size());
+    for (const OutputPort& out : outputs_) {
+        hash_mix(h, out.net);
+        hash_mix_string(h, out.name);
+    }
+    return hash_avalanche(h);
 }
 
 }  // namespace sdlc

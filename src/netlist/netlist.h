@@ -130,6 +130,14 @@ public:
     /// Nets reachable backwards from the outputs (true = live).
     [[nodiscard]] std::vector<bool> live_mask() const;
 
+    /// 64-bit content hash of the netlist structure: gate kinds and fan-in
+    /// wiring, input/output ports (ids and names). Two netlists built the
+    /// same way hash equal; any structural difference changes the hash with
+    /// overwhelming probability. Used as the key of the DSE synthesis
+    /// cache, so it must not depend on labels or construction history
+    /// beyond the structure itself.
+    [[nodiscard]] uint64_t structural_hash() const noexcept;
+
 private:
     NetId check_net(NetId id) const;
 

@@ -3,8 +3,35 @@
 #include <sstream>
 
 #include "tech/sta.h"
+#include "util/hash.h"
 
 namespace sdlc {
+
+bool operator==(const SynthesisReport& a, const SynthesisReport& b) noexcept {
+    return a.cells == b.cells && a.area_um2 == b.area_um2 && a.delay_ps == b.delay_ps &&
+           a.depth == b.depth && a.dynamic_energy_fj == b.dynamic_energy_fj &&
+           a.dynamic_power_uw == b.dynamic_power_uw && a.leakage_nw == b.leakage_nw &&
+           a.energy_fj == b.energy_fj;
+}
+
+uint64_t synthesis_fingerprint(const CellLibrary& lib, const SynthesisOptions& opts) noexcept {
+    uint64_t h = kFnvOffsetBasis;
+    hash_mix_string(h, lib.name());
+    for (size_t k = 0; k < kGateKindCount; ++k) {
+        const CellParams& p = lib.cell(static_cast<GateKind>(k));
+        hash_mix_double(h, p.area_um2);
+        hash_mix_double(h, p.leakage_nw);
+        hash_mix_double(h, p.intrinsic_delay_ps);
+        hash_mix_double(h, p.load_delay_ps);
+        hash_mix_double(h, p.energy_fj);
+        hash_mix_double(h, p.load_energy_fj);
+    }
+    hash_mix(h, opts.optimize ? 1u : 0u);
+    hash_mix(h, opts.power.seed);
+    hash_mix(h, static_cast<uint64_t>(opts.power.passes));
+    hash_mix_double(h, opts.clock_mhz);
+    return h;
+}
 
 SynthesisReport synthesize(const Netlist& net, const CellLibrary& lib,
                            const SynthesisOptions& opts) {

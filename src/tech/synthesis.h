@@ -40,6 +40,21 @@ struct SynthesisReport {
     }
 };
 
+/// Bit-exact equality of every reported metric. The flow is deterministic,
+/// so re-synthesizing the same netlist must reproduce the report exactly;
+/// the DSE cache tests and the CLI determinism checks rely on this.
+[[nodiscard]] bool operator==(const SynthesisReport& a, const SynthesisReport& b) noexcept;
+[[nodiscard]] inline bool operator!=(const SynthesisReport& a, const SynthesisReport& b) noexcept {
+    return !(a == b);
+}
+
+/// 64-bit fingerprint of everything *besides* the netlist that determines a
+/// SynthesisReport: the cell library (name and per-kind parameters) and the
+/// option values. Combined with Netlist::structural_hash() it forms the
+/// content key of the DSE synthesis cache.
+[[nodiscard]] uint64_t synthesis_fingerprint(const CellLibrary& lib,
+                                             const SynthesisOptions& opts) noexcept;
+
 /// Synthesizes `net` against `lib` and reports metrics.
 [[nodiscard]] SynthesisReport synthesize(const Netlist& net, const CellLibrary& lib,
                                          const SynthesisOptions& opts = {});

@@ -1,0 +1,48 @@
+// Shared 64-bit content-hash primitives (FNV-1a word mixing plus a
+// splitmix-style finalizer). Both halves of the DSE synthesis-cache content
+// key — the netlist structural hash and the library/options fingerprint —
+// build on these, so they live in one place: changing the mixing scheme
+// must change every producer at once or cached keys silently diverge.
+#ifndef SDLC_UTIL_HASH_H
+#define SDLC_UTIL_HASH_H
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+namespace sdlc {
+
+inline constexpr uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
+inline constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+/// One FNV-1a step over a 64-bit word.
+constexpr void hash_mix(uint64_t& h, uint64_t word) noexcept {
+    h = (h ^ word) * kFnvPrime;
+}
+
+/// Length-prefixed byte-wise mix of a string.
+inline void hash_mix_string(uint64_t& h, const std::string& s) noexcept {
+    hash_mix(h, s.size());
+    for (const char c : s) hash_mix(h, static_cast<unsigned char>(c));
+}
+
+/// Mixes the bit pattern of a double (distinguishes +0/-0 and NaN payloads,
+/// which is exactly right for a content key: same bits, same behavior).
+inline void hash_mix_double(uint64_t& h, double v) noexcept {
+    hash_mix(h, std::bit_cast<uint64_t>(v));
+}
+
+/// Splitmix64 finalizer: spreads low-entropy accumulated state over all
+/// 64 bits.
+constexpr uint64_t hash_avalanche(uint64_t x) noexcept {
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+}
+
+}  // namespace sdlc
+
+#endif  // SDLC_UTIL_HASH_H

@@ -1,0 +1,166 @@
+// Tests for the content-keyed synthesis cache: structural hashing, memo
+// behavior, and the determinism contract of cached sweeps (identical
+// results cache on/off, cold/warm, at any thread count).
+#include <gtest/gtest.h>
+
+#include "api/approx_multiplier.h"
+#include "dse/cost_cache.h"
+#include "dse/evaluator.h"
+#include "dse/export.h"
+#include "dse/sweep.h"
+
+namespace sdlc {
+namespace {
+
+Netlist build_net(const MultiplierConfig& cfg) {
+    return ApproxMultiplier(cfg).build_netlist().net;
+}
+
+SweepSpec small_spec() {
+    SweepSpec spec = SweepSpec::for_width(5);
+    spec.schemes = {AccumulationScheme::kRowRipple, AccumulationScheme::kDadda};
+    return spec;
+}
+
+void expect_same_hw(const std::vector<DesignPoint>& a, const std::vector<DesignPoint>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_TRUE(a[i].hw == b[i].hw) << i << ": " << a[i].describe();
+        EXPECT_EQ(a[i].error.nmed, b[i].error.nmed) << i;
+    }
+}
+
+// --------------------------------------------------------- structural hash ----
+
+TEST(StructuralHash, DeterministicForIdenticalConstruction) {
+    const MultiplierConfig cfg{6, 2, MultiplierVariant::kSdlc};
+    EXPECT_EQ(build_net(cfg).structural_hash(), build_net(cfg).structural_hash());
+}
+
+TEST(StructuralHash, DistinguishesConfigurations) {
+    const uint64_t d2 = build_net({6, 2, MultiplierVariant::kSdlc}).structural_hash();
+    const uint64_t d3 = build_net({6, 3, MultiplierVariant::kSdlc}).structural_hash();
+    const uint64_t wallace =
+        build_net({6, 2, MultiplierVariant::kSdlc, AccumulationScheme::kWallace})
+            .structural_hash();
+    EXPECT_NE(d2, d3);
+    EXPECT_NE(d2, wallace);
+}
+
+TEST(StructuralHash, SensitiveToOutputsAndGates) {
+    Netlist a;
+    const NetId ia = a.input("x");
+    a.mark_output(a.not_gate(ia), "y");
+    Netlist b;
+    const NetId ib = b.input("x");
+    b.mark_output(b.buf_gate(ib), "y");
+    EXPECT_NE(a.structural_hash(), b.structural_hash());
+}
+
+// --------------------------------------------------------------- CostCache ----
+
+TEST(CostCache, SecondLookupIsAHit) {
+    const Netlist net = build_net({5, 2, MultiplierVariant::kSdlc});
+    const CellLibrary lib = CellLibrary::generic_90nm();
+    const SynthesisOptions opts;
+    CostCache cache;
+    const SynthesisReport first = cache.get_or_synthesize(net, lib, opts);
+    const SynthesisReport second = cache.get_or_synthesize(net, lib, opts);
+    EXPECT_TRUE(first == second);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_TRUE(cache.contains(CostCache::content_key(net, lib, opts)));
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(CostCache, KeyDependsOnLibraryAndOptions) {
+    const Netlist net = build_net({5, 2, MultiplierVariant::kSdlc});
+    const CellLibrary lib = CellLibrary::generic_90nm();
+    SynthesisOptions opts;
+    const uint64_t base = CostCache::content_key(net, lib, opts);
+    opts.clock_mhz *= 2;
+    EXPECT_NE(CostCache::content_key(net, lib, opts), base);
+    opts = SynthesisOptions{};
+    EXPECT_NE(CostCache::content_key(net, lib.scaled(2.0, 1.0, 1.0), opts), base);
+    EXPECT_EQ(CostCache::content_key(net, lib, opts), base);
+}
+
+TEST(CostCache, MatchesDirectSynthesis) {
+    const Netlist net = build_net({5, 3, MultiplierVariant::kSdlc});
+    const CellLibrary lib = CellLibrary::generic_90nm();
+    const SynthesisOptions opts;
+    CostCache cache;
+    EXPECT_TRUE(cache.get_or_synthesize(net, lib, opts) == synthesize(net, lib, opts));
+}
+
+// ------------------------------------------------------------ cached sweeps ----
+
+TEST(CachedSweep, CacheOnAndOffProduceIdenticalReports) {
+    EvalOptions cached;
+    EvalOptions uncached;
+    uncached.use_hw_cache = false;
+    SweepStats cached_stats, uncached_stats;
+    const auto a = evaluate_sweep(small_spec(), cached, &cached_stats);
+    const auto b = evaluate_sweep(small_spec(), uncached, &uncached_stats);
+    expect_same_hw(a, b);
+    EXPECT_TRUE(cached_stats.hw_cache_enabled);
+    EXPECT_FALSE(uncached_stats.hw_cache_enabled);
+    EXPECT_EQ(cached_stats.hw_cache_hits + cached_stats.hw_cache_misses, a.size());
+    EXPECT_EQ(uncached_stats.hw_cache_hits + uncached_stats.hw_cache_misses, 0u);
+}
+
+TEST(CachedSweep, WarmRunHitsForEveryPointAndReproduces) {
+    CostCache cache;
+    EvalOptions opts;
+    opts.hw_cache = &cache;
+    SweepStats cold, warm;
+    const auto first = evaluate_sweep(small_spec(), opts, &cold);
+    const auto second = evaluate_sweep(small_spec(), opts, &warm);
+    expect_same_hw(first, second);
+    EXPECT_EQ(cold.hw_cache_misses, cache.size());
+    EXPECT_EQ(warm.hw_cache_hits, second.size()) << "warm run must be all hits";
+    EXPECT_EQ(warm.hw_cache_misses, 0u);
+}
+
+TEST(CachedSweep, StatsAreThreadCountIndependent) {
+    EvalOptions one;
+    one.threads = 1;
+    EvalOptions many;
+    many.threads = 4;
+    SweepStats s1, s4;
+    (void)evaluate_sweep(small_spec(), one, &s1);
+    (void)evaluate_sweep(small_spec(), many, &s4);
+    EXPECT_EQ(s1.hw_cache_hits, s4.hw_cache_hits);
+    EXPECT_EQ(s1.hw_cache_misses, s4.hw_cache_misses);
+    EXPECT_EQ(s1.points, s4.points);
+}
+
+TEST(CachedSweep, ErrorOnlySweepCountsNoCacheTraffic) {
+    EvalOptions opts;
+    opts.evaluate_hardware = false;
+    SweepStats stats;
+    (void)evaluate_sweep(small_spec(), opts, &stats);
+    EXPECT_EQ(stats.hw_cache_hits, 0u);
+    EXPECT_EQ(stats.hw_cache_misses, 0u);
+}
+
+// ------------------------------------------------------------ JSON summary ----
+
+TEST(ExportSummary, JsonCarriesCacheCounters) {
+    SweepStats stats;
+    const auto points = evaluate_sweep(small_spec(), EvalOptions{}, &stats);
+    const std::string json = dse_to_json(points, {}, stats);
+    EXPECT_NE(json.find("\"summary\""), std::string::npos);
+    EXPECT_NE(json.find("\"hw_cache\""), std::string::npos);
+    EXPECT_NE(json.find("\"hits\": " + std::to_string(stats.hw_cache_hits)),
+              std::string::npos);
+    EXPECT_NE(json.find("\"misses\": " + std::to_string(stats.hw_cache_misses)),
+              std::string::npos);
+    EXPECT_NE(json.find("\"points\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdlc

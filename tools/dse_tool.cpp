@@ -3,7 +3,7 @@
 //   dse_tool [--width N | --widths A-B] [--depth-min D] [--depth-max D]
 //            [--variants v,v,...] [--schemes s,s,...]
 //            [--threads N] [--seed S] [--samples K] [--dist uniform|gaussian|sparse]
-//            [--exhaustive-max-width W]
+//            [--exhaustive-max-width W] [--no-hw-cache] [--repeat K]
 //            [--frontier] [--top K] [--by error|area|power|delay]
 //            [--max-nmed X] [--max-mred X] [--max-area X] [--max-power X]
 //            [--max-delay X]
@@ -15,8 +15,13 @@
 //   --top K      print the K best points by --by (default: error)
 // Filters (--max-*) drop points before the Pareto analysis.
 //
+// --repeat K evaluates the sweep K times sharing one hardware cache (run 1
+// cold, later runs warm) and *fails* unless every run reproduces run 1
+// bit-exactly — the CI determinism guard for the cached path.
+//
 // Output is deterministic: for a fixed sweep and seed it is byte-identical
-// regardless of --threads.
+// regardless of --threads, and identical up to the "sweep time:"/"hw
+// cache:" summary lines regardless of --no-hw-cache.
 #include <algorithm>
 #include <iostream>
 #include <map>
@@ -53,6 +58,9 @@ using namespace sdlc;
         "    --samples K          Monte-Carlo samples for wide operands\n"
         "    --dist D             uniform|gaussian|sparse sampling distribution\n"
         "    --exhaustive-max-width W  exhaustive error sweep cutoff (default 10)\n"
+        "    --no-hw-cache        disable the content-keyed synthesis cache\n"
+        "    --repeat K           evaluate the sweep K times (warm-cache runs);\n"
+        "                         exits 1 unless all runs are bit-identical\n"
         "  selection:\n"
         "    --frontier           print only Pareto rank-0 points\n"
         "    --top K              print K best points by --by\n"
@@ -73,12 +81,16 @@ public:
             "--schemes", "--threads",  "--seed",      "--samples",   "--dist",
             "--exhaustive-max-width",  "--top",       "--by",        "--max-nmed",
             "--max-mred", "--max-area", "--max-power", "--max-delay", "--csv",
-            "--json"};
+            "--json",     "--repeat"};
         for (int i = 1; i < argc; ++i) {
             std::string key = argv[i];
             if (key == "--help" || key == "-h") usage();
             if (key == "--frontier") {
                 flags_["frontier"] = true;
+                continue;
+            }
+            if (key == "--no-hw-cache") {
+                flags_["no-hw-cache"] = true;
                 continue;
             }
             if (kValueKeys.count(key) == 0) usage("unknown option " + key);
@@ -171,7 +183,24 @@ EvalOptions options_from(const Args& args) {
     else if (dist == "gaussian") opts.distribution = OperandDistribution::kGaussian;
     else if (dist == "sparse") opts.distribution = OperandDistribution::kSparse;
     else usage("unknown distribution " + dist);
+    opts.use_hw_cache = !args.flag("no-hw-cache");
     return opts;
+}
+
+/// Bit-exact equality of two evaluated sweeps (the determinism contract of
+/// the cached path: a warm run must reproduce the cold run).
+bool sweeps_identical(const std::vector<DesignPoint>& a, const std::vector<DesignPoint>& b) {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+        const ErrorMetrics& x = a[i].error;
+        const ErrorMetrics& y = b[i].error;
+        if (x.nmed != y.nmed || x.mred != y.mred || x.med != y.med || x.max_ed != y.max_ed ||
+            x.error_rate != y.error_rate || x.max_red != y.max_red || x.bias != y.bias ||
+            x.rmse != y.rmse || x.samples != y.samples || !(a[i].hw == b[i].hw)) {
+            return false;
+        }
+    }
+    return true;
 }
 
 Objective objective_from(const Args& args) {
@@ -205,10 +234,29 @@ int main(int argc, char** argv) {
     try {
         const Args args(argc, argv);
         const SweepSpec spec = spec_from(args);
-        const EvalOptions opts = options_from(args);
+        EvalOptions opts = options_from(args);
         const Objective by = objective_from(args);  // validate before the sweep runs
+        const int repeat = args.get_int("--repeat", 1);
+        if (repeat < 1) usage("--repeat must be >= 1");
 
-        std::vector<DesignPoint> points = evaluate_sweep(spec, opts);
+        // One cache shared across --repeat runs: run 1 is cold, the rest warm.
+        CostCache cache;
+        if (opts.use_hw_cache) opts.hw_cache = &cache;
+
+        SweepStats stats;  // of run 1 (cold) — what the summary and JSON report
+        std::vector<DesignPoint> points = evaluate_sweep(spec, opts, &stats);
+        std::vector<SweepStats> run_stats = {stats};
+        for (int r = 2; r <= repeat; ++r) {
+            SweepStats warm;
+            const std::vector<DesignPoint> again = evaluate_sweep(spec, opts, &warm);
+            run_stats.push_back(warm);
+            if (!sweeps_identical(points, again)) {
+                std::cerr << "error: repeat run " << r << " diverged from run 1 — the "
+                          << (opts.use_hw_cache ? "warm-cache" : "uncached")
+                          << " path is not deterministic\n";
+                return 1;
+            }
+        }
         const size_t evaluated = points.size();
 
         // Constraint filters run before the Pareto analysis so the frontier
@@ -259,7 +307,25 @@ int main(int argc, char** argv) {
             std::cout << " (" << points.size() << " after filters)";
         }
         std::cout << ", frontier " << pareto.frontier.size() << " points, dist "
-                  << operand_distribution_name(opts.distribution) << "\n\n";
+                  << operand_distribution_name(opts.distribution) << "\n";
+        if (stats.hw_cache_enabled) {
+            std::cout << "hw cache: on — " << stats.hw_cache_hits << " hits, "
+                      << stats.hw_cache_misses << " misses (run 1)\n";
+        } else {
+            std::cout << "hw cache: off\n";
+        }
+        std::cout << "sweep time:";
+        for (size_t r = 0; r < run_stats.size(); ++r) {
+            std::cout << (r == 0 ? " " : ", ") << fmt_fixed(run_stats[r].wall_seconds, 3)
+                      << " s (run " << (r + 1);
+            if (run_stats.size() > 1) std::cout << (r == 0 ? " cold" : " warm");
+            std::cout << ")";
+        }
+        std::cout << "\n";
+        if (repeat > 1) {
+            std::cout << "repeat: " << repeat << " runs bit-identical\n";
+        }
+        std::cout << "\n";
 
         TextTable table({"rank", "width", "depth", "variant", "scheme", "NMED", "MRED(%)",
                          "area(um2)", "power(uW)", "delay(ps)", "energy(fJ)"});
@@ -280,7 +346,7 @@ int main(int argc, char** argv) {
             std::cout << "csv -> " << csv << "\n";
         }
         if (const std::string json = args.get("--json"); !json.empty()) {
-            write_dse_json(json, points, pareto.rank);
+            write_dse_json(json, points, pareto.rank, stats);
             std::cout << "json -> " << json << "\n";
         }
         return 0;
