@@ -1,0 +1,148 @@
+// DSE service throughput: request latency (cold vs warm shared cache) and
+// sustained requests/second against an in-process SweepService.
+//
+//   --quick       fewer warm requests
+//   --csv FILE    dump the per-request latency samples
+//   --json FILE   machine-readable record (BENCH_serve.json in CI/repo)
+//
+// Three measurements over the default width-8 sweep (60 points each):
+//   cold    first request against an empty CostCache (pays full synthesis)
+//   warm    p50/p99 over sequential requests on the now-warm cache
+//   burst   all warm requests in flight at once (requests/second)
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <numeric>
+#include <vector>
+
+#include "bench_util.h"
+#include "serve/protocol.h"
+#include "serve/service.h"
+#include "serve/sink.h"
+#include "util/csv.h"
+#include "util/json.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace sdlc;
+using namespace sdlc::serve;
+using Clock = std::chrono::steady_clock;
+
+/// Sink that discards event lines but signals the request's done event.
+class DoneSink final : public ResponseSink {
+public:
+    void write_line(const std::string& line) override {
+        if (line.find("\"event\": \"done\"") == std::string::npos) return;
+        std::lock_guard<std::mutex> lock(mutex_);
+        done_ = true;
+        cv_.notify_all();
+    }
+    void wait() {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [&] { return done_; });
+    }
+
+private:
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool done_ = false;
+};
+
+double percentile(std::vector<double> samples, double p) {
+    std::sort(samples.begin(), samples.end());
+    const size_t index = static_cast<size_t>(p * static_cast<double>(samples.size() - 1));
+    return samples[index];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const auto args = bench::BenchArgs::parse(argc, argv);
+    bench::print_header(
+        "Serve throughput — long-lived DSE service",
+        "One resident ThreadPool + CostCache across requests: warm requests skip synthesis.");
+
+    const int warm_requests = args.quick ? 8 : 32;
+    const std::string sweep_line = "{\"id\": \"bench\", \"spec\": {\"width\": 8}}";
+
+    SweepService service;
+
+    auto timed_request = [&](const std::string& line) {
+        const auto sink = std::make_shared<DoneSink>();
+        const auto t0 = Clock::now();
+        if (!service.submit_line(line, sink)) return -1.0;
+        sink->wait();
+        return std::chrono::duration<double>(Clock::now() - t0).count();
+    };
+
+    // Cold: the first request pays every synthesis.
+    const double cold_seconds = timed_request(sweep_line);
+
+    // Warm sequential: per-request latency percentiles.
+    std::vector<double> warm_seconds;
+    for (int i = 0; i < warm_requests; ++i) warm_seconds.push_back(timed_request(sweep_line));
+    const double p50 = percentile(warm_seconds, 0.50);
+    const double p99 = percentile(warm_seconds, 0.99);
+
+    // Warm burst: all requests in flight, wall time to drain them.
+    std::vector<std::shared_ptr<DoneSink>> burst;
+    const auto burst_t0 = Clock::now();
+    for (int i = 0; i < warm_requests; ++i) {
+        burst.push_back(std::make_shared<DoneSink>());
+        (void)service.submit_line(sweep_line, burst.back());
+    }
+    for (const auto& sink : burst) sink->wait();
+    const double burst_seconds = std::chrono::duration<double>(Clock::now() - burst_t0).count();
+    const double requests_per_sec = static_cast<double>(warm_requests) / burst_seconds;
+
+    const ServiceStats stats = service.stats();
+
+    TextTable table({"phase", "requests", "seconds", "req/s", "points/s"});
+    auto add = [&table](const char* phase, int n, double secs) {
+        table.add_row({phase, std::to_string(n), fmt_fixed(secs, 4),
+                       fmt_fixed(static_cast<double>(n) / secs, 1),
+                       fmt_fixed(static_cast<double>(n) * 60.0 / secs, 0)});
+    };
+    add("cold", 1, cold_seconds);
+    add("warm (sequential)", warm_requests,
+        std::accumulate(warm_seconds.begin(), warm_seconds.end(), 0.0));
+    add("warm (burst)", warm_requests, burst_seconds);
+    table.print(std::cout);
+    std::cout << "\nwarm latency: p50 " << fmt_fixed(p50 * 1e3, 2) << " ms, p99 "
+              << fmt_fixed(p99 * 1e3, 2) << " ms, cold/warm speedup "
+              << fmt_fixed(cold_seconds / p50, 1) << "x\n"
+              << "cache: " << stats.cache_entries << " entries, " << stats.cache_hits
+              << " hits, " << stats.cache_misses << " misses across "
+              << stats.completed << " requests\n";
+
+    if (args.csv_path) {
+        CsvWriter csv(*args.csv_path);
+        csv.write_row({"request", "seconds"});
+        csv.write_row({"cold", fmt_fixed(cold_seconds, 6)});
+        for (size_t i = 0; i < warm_seconds.size(); ++i) {
+            csv.write_row({"warm" + std::to_string(i), fmt_fixed(warm_seconds[i], 6)});
+        }
+        std::cout << "CSV written to " << *args.csv_path << "\n";
+    }
+    if (args.json_path) {
+        std::string json = "{\"bench\": \"serve_throughput\",\n";
+        json += " \"sweep\": {\"width\": 8, \"points\": 60},\n";
+        json += " \"warm_requests\": " + std::to_string(warm_requests) + ",\n";
+        json += " \"cold_seconds\": " + json_number(cold_seconds) + ",\n";
+        json += " \"warm_p50_seconds\": " + json_number(p50) + ",\n";
+        json += " \"warm_p99_seconds\": " + json_number(p99) + ",\n";
+        json += " \"burst_requests_per_sec\": " + json_number(requests_per_sec) + ",\n";
+        json += " \"cache\": {\"entries\": " + std::to_string(stats.cache_entries);
+        json += ", \"hits\": " + std::to_string(stats.cache_hits);
+        json += ", \"misses\": " + std::to_string(stats.cache_misses) + "}\n}\n";
+        std::ofstream out(*args.json_path, std::ios::binary);
+        out << json;
+        std::cout << "JSON written to " << *args.json_path << "\n";
+    }
+    return 0;
+}

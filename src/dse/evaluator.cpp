@@ -1,6 +1,8 @@
 #include "dse/evaluator.h"
 
 #include <chrono>
+#include <mutex>
+#include <optional>
 #include <unordered_set>
 
 #include "api/approx_multiplier.h"
@@ -141,10 +143,37 @@ std::vector<DesignPoint> evaluate_sweep(const SweepSpec& spec, const EvalOptions
         for (const uint64_t k : point_opts.hw_cache->keys()) warm_keys.insert(k);
     }
 
+    // Run on the caller's pool when provided (service loops reuse one pool
+    // across requests); otherwise spin up a sweep-local one.
+    std::optional<ThreadPool> local_pool;
+    ThreadPool* pool = opts.pool;
+    if (pool == nullptr) {
+        local_pool.emplace(opts.threads);
+        pool = &*local_pool;
+    }
+
+    // Ordered streaming: a worker finishing point i marks it ready, then
+    // drains the contiguous ready prefix. Exactly one worker holds the
+    // emission lock at a time, so on_point sees points strictly in
+    // enumeration order regardless of completion order.
+    std::mutex emit_mutex;
+    size_t next_emit = 0;
+    std::vector<uint8_t> ready(configs.size(), 0);
+
     std::vector<uint64_t> hw_keys(configs.size(), 0);
-    ThreadPool pool(opts.threads);
-    parallel_for(pool, configs.size(), [&](size_t i) {
+    parallel_for(*pool, configs.size(), [&](size_t i) {
+        if (opts.cancel != nullptr && opts.cancel->load(std::memory_order_relaxed)) {
+            throw SweepCancelled();
+        }
         points[i] = evaluate_point_impl(configs[i], point_opts, &hw_keys[i]);
+        if (opts.on_point) {
+            std::lock_guard<std::mutex> lock(emit_mutex);
+            ready[i] = 1;
+            while (next_emit < ready.size() && ready[next_emit] != 0) {
+                opts.on_point(next_emit, points[next_emit]);
+                ++next_emit;
+            }
+        }
     });
 
     if (stats != nullptr) {
@@ -169,10 +198,11 @@ std::vector<DesignPoint> evaluate_sweep(const SweepSpec& spec, const EvalOptions
     return points;
 }
 
-std::vector<ObjectiveVector> objective_matrix(const std::vector<DesignPoint>& points) {
+std::vector<ObjectiveVector> objective_matrix(const std::vector<DesignPoint>& points,
+                                              const ObjectiveSet& set) {
     std::vector<ObjectiveVector> m;
     m.reserve(points.size());
-    for (const DesignPoint& p : points) m.push_back(p.objectives());
+    for (const DesignPoint& p : points) m.push_back(p.objectives(set));
     return m;
 }
 

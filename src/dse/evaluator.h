@@ -17,7 +17,10 @@
 #ifndef SDLC_DSE_EVALUATOR_H
 #define SDLC_DSE_EVALUATOR_H
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -29,6 +32,9 @@
 #include "tech/synthesis.h"
 
 namespace sdlc {
+
+class ThreadPool;
+struct DesignPoint;
 
 /// Operand distribution for Monte-Carlo error sampling. Exhaustive
 /// evaluation always covers the full uniform operand space.
@@ -59,6 +65,25 @@ struct EvalOptions {
     /// loops, repeated runs). When null and use_hw_cache is set,
     /// evaluate_sweep creates a sweep-local cache.
     CostCache* hw_cache = nullptr;
+    /// Optional externally owned worker pool. When null, evaluate_sweep
+    /// spins up a sweep-local pool of `threads` workers; a long-lived
+    /// service passes its own pool so every request reuses one set of
+    /// threads (`threads` is then ignored).
+    ThreadPool* pool = nullptr;
+    /// Streaming hook: called once per design point, in enumeration order
+    /// (point i is reported only once every point j < i has been reported),
+    /// from whichever worker thread completes the emission frontier. Calls
+    /// are serialized under an internal lock. An exception thrown by the
+    /// hook aborts the sweep and propagates out of evaluate_sweep.
+    std::function<void(size_t index, const DesignPoint& point)> on_point;
+    /// Cooperative cancellation: when non-null and set, workers stop
+    /// claiming points and evaluate_sweep throws SweepCancelled.
+    const std::atomic<bool>* cancel = nullptr;
+};
+
+/// Thrown by evaluate_sweep when EvalOptions::cancel fires mid-sweep.
+struct SweepCancelled : std::runtime_error {
+    SweepCancelled() : std::runtime_error("sweep cancelled") {}
 };
 
 /// Per-sweep bookkeeping reported by evaluate_sweep. The cache counts are
@@ -79,12 +104,26 @@ struct DesignPoint {
     ErrorMetrics error;
     SynthesisReport hw;
 
-    /// Objective values in ObjectiveVector order (NMED, area, power, delay).
-    [[nodiscard]] ObjectiveVector objectives() const noexcept {
-        return {error.nmed, hw.area_um2, hw.dynamic_power_uw, hw.delay_ps};
-    }
+    /// The value of one objective axis.
     [[nodiscard]] double objective(Objective o) const noexcept {
-        return objectives()[static_cast<size_t>(o)];
+        switch (o) {
+            case Objective::kError: return error.nmed;
+            case Objective::kArea: return hw.area_um2;
+            case Objective::kPower: return hw.dynamic_power_uw;
+            case Objective::kDelay: return hw.delay_ps;
+            case Objective::kEnergy: return hw.energy_fj;
+            case Objective::kMaxRed: return error.max_red;
+        }
+        return 0.0;
+    }
+
+    /// Objective values for `set`, in set order (default: NMED, area, power,
+    /// delay).
+    [[nodiscard]] ObjectiveVector objectives(const ObjectiveSet& set = default_objectives()) const {
+        ObjectiveVector v;
+        v.reserve(set.size());
+        for (const Objective o : set) v.push_back(objective(o));
+        return v;
     }
 
     /// e.g. "sdlc 8x8 d2 / row-ripple".
@@ -105,8 +144,10 @@ struct DesignPoint {
                                                       SweepStats* stats = nullptr);
 
 /// Objective vectors of `points`, in order (input to pareto_analysis()).
+/// Every row uses the same objective `set`, so ranks computed from the
+/// matrix are ranks over exactly those axes.
 [[nodiscard]] std::vector<ObjectiveVector> objective_matrix(
-    const std::vector<DesignPoint>& points);
+    const std::vector<DesignPoint>& points, const ObjectiveSet& set = default_objectives());
 
 }  // namespace sdlc
 

@@ -59,30 +59,34 @@ void write_dse_csv(const std::string& path, const std::vector<DesignPoint>& poin
     csv.close();
 }
 
+std::string dse_point_json(const DesignPoint& p, int rank) {
+    std::string out = "{\"config\": {\"width\": " + std::to_string(p.config.width);
+    out += ", \"depth\": " + std::to_string(p.config.depth);
+    out += ", \"variant\": \"" + std::string(multiplier_variant_name(p.config.variant));
+    out += "\", \"scheme\": \"" + std::string(accumulation_scheme_name(p.config.scheme));
+    out += "\"}, \"rank\": ";
+    out += rank < 0 ? std::string("null") : std::to_string(rank);
+    out += ", \"error\": {\"nmed\": " + num(p.error.nmed);
+    out += ", \"mred\": " + num(p.error.mred);
+    out += ", \"med\": " + num(p.error.med);
+    out += ", \"error_rate\": " + num(p.error.error_rate);
+    out += ", \"max_red\": " + num(p.error.max_red);
+    out += ", \"samples\": " + std::to_string(p.error.samples);
+    out += "}, \"hw\": {\"cells\": " + std::to_string(p.hw.cells);
+    out += ", \"area_um2\": " + num(p.hw.area_um2);
+    out += ", \"delay_ps\": " + num(p.hw.delay_ps);
+    out += ", \"power_uw\": " + num(p.hw.dynamic_power_uw);
+    out += ", \"leakage_nw\": " + num(p.hw.leakage_nw);
+    out += ", \"energy_fj\": " + num(p.hw.energy_fj);
+    out += "}}";
+    return out;
+}
+
 std::string dse_to_json(const std::vector<DesignPoint>& points, const std::vector<int>& ranks) {
     check_ranks(points, ranks);
     std::string out = "[\n";
     for (size_t i = 0; i < points.size(); ++i) {
-        const DesignPoint& p = points[i];
-        out += "  {\"config\": {\"width\": " + std::to_string(p.config.width);
-        out += ", \"depth\": " + std::to_string(p.config.depth);
-        out += ", \"variant\": \"" + std::string(multiplier_variant_name(p.config.variant));
-        out += "\", \"scheme\": \"" + std::string(accumulation_scheme_name(p.config.scheme));
-        out += "\"},\n   \"rank\": ";
-        out += (ranks.empty() || ranks[i] < 0) ? std::string("null") : std::to_string(ranks[i]);
-        out += ",\n   \"error\": {\"nmed\": " + num(p.error.nmed);
-        out += ", \"mred\": " + num(p.error.mred);
-        out += ", \"med\": " + num(p.error.med);
-        out += ", \"error_rate\": " + num(p.error.error_rate);
-        out += ", \"max_red\": " + num(p.error.max_red);
-        out += ", \"samples\": " + std::to_string(p.error.samples);
-        out += "},\n   \"hw\": {\"cells\": " + std::to_string(p.hw.cells);
-        out += ", \"area_um2\": " + num(p.hw.area_um2);
-        out += ", \"delay_ps\": " + num(p.hw.delay_ps);
-        out += ", \"power_uw\": " + num(p.hw.dynamic_power_uw);
-        out += ", \"leakage_nw\": " + num(p.hw.leakage_nw);
-        out += ", \"energy_fj\": " + num(p.hw.energy_fj);
-        out += "}}";
+        out += "  " + dse_point_json(points[i], ranks.empty() ? -1 : ranks[i]);
         out += i + 1 < points.size() ? ",\n" : "\n";
     }
     out += "]\n";
@@ -90,8 +94,9 @@ std::string dse_to_json(const std::vector<DesignPoint>& points, const std::vecto
 }
 
 std::string dse_to_json(const std::vector<DesignPoint>& points, const std::vector<int>& ranks,
-                        const SweepStats& stats) {
+                        const SweepStats& stats, const ObjectiveSet& objectives) {
     std::string out = "{\"summary\": {\"points\": " + std::to_string(stats.points);
+    out += ", \"objectives\": " + objective_set_json(objectives);
     out += ", \"hw_cache\": {\"enabled\": ";
     out += stats.hw_cache_enabled ? "true" : "false";
     out += ", \"hits\": " + std::to_string(stats.hw_cache_hits);
@@ -109,10 +114,11 @@ void write_dse_json(const std::string& path, const std::vector<DesignPoint>& poi
 }
 
 void write_dse_json(const std::string& path, const std::vector<DesignPoint>& points,
-                    const std::vector<int>& ranks, const SweepStats& stats) {
+                    const std::vector<int>& ranks, const SweepStats& stats,
+                    const ObjectiveSet& objectives) {
     std::ofstream f(path, std::ios::binary);
     if (!f) throw std::runtime_error("dse export: cannot open " + path);
-    f << dse_to_json(points, ranks, stats);
+    f << dse_to_json(points, ranks, stats, objectives);
     if (!f) throw std::runtime_error("dse export: write failed for " + path);
 }
 

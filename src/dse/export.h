@@ -25,17 +25,25 @@ namespace sdlc {
 void write_dse_csv(const std::string& path, const std::vector<DesignPoint>& points,
                    const std::vector<int>& ranks = {});
 
+/// One point as a single-line JSON object {"config": ..., "rank": ...,
+/// "error": ..., "hw": ...} (rank < 0 emits null). The serve protocol's
+/// `point` events embed exactly this string and dse_to_json() emits one per
+/// array row, so a streamed point and its exported row are byte-identical.
+[[nodiscard]] std::string dse_point_json(const DesignPoint& p, int rank);
+
 /// Renders points as a JSON array string (same rank convention as CSV;
 /// rank < 0 is emitted as null).
 [[nodiscard]] std::string dse_to_json(const std::vector<DesignPoint>& points,
                                       const std::vector<int>& ranks = {});
 
 /// With sweep stats: renders an object {"summary": {...}, "points": [...]}
-/// whose summary carries the point count and the hardware-cache hit/miss
-/// counters. Wall time is deliberately excluded so two identical sweeps
-/// still produce byte-identical files.
+/// whose summary carries the point count, the frontier objective set the
+/// ranks were computed over, and the hardware-cache hit/miss counters.
+/// Wall time is deliberately excluded so two identical sweeps still
+/// produce byte-identical files.
 [[nodiscard]] std::string dse_to_json(const std::vector<DesignPoint>& points,
-                                      const std::vector<int>& ranks, const SweepStats& stats);
+                                      const std::vector<int>& ranks, const SweepStats& stats,
+                                      const ObjectiveSet& objectives = default_objectives());
 
 /// Writes dse_to_json() to `path`. Throws std::runtime_error on I/O failure.
 void write_dse_json(const std::string& path, const std::vector<DesignPoint>& points,
@@ -43,7 +51,8 @@ void write_dse_json(const std::string& path, const std::vector<DesignPoint>& poi
 
 /// Writes the summary-wrapped form to `path`.
 void write_dse_json(const std::string& path, const std::vector<DesignPoint>& points,
-                    const std::vector<int>& ranks, const SweepStats& stats);
+                    const std::vector<int>& ranks, const SweepStats& stats,
+                    const ObjectiveSet& objectives = default_objectives());
 
 }  // namespace sdlc
 

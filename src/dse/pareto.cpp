@@ -8,13 +8,74 @@ const char* objective_name(Objective o) noexcept {
         case Objective::kArea: return "area";
         case Objective::kPower: return "power";
         case Objective::kDelay: return "delay";
+        case Objective::kEnergy: return "energy";
+        case Objective::kMaxRed: return "maxred";
     }
     return "?";
 }
 
+bool parse_objective(const std::string& name, Objective& out) noexcept {
+    for (int i = 0; i < kAllObjectiveCount; ++i) {
+        const Objective o = static_cast<Objective>(i);
+        if (name == objective_name(o)) {
+            out = o;
+            return true;
+        }
+    }
+    return false;
+}
+
+ObjectiveSet default_objectives() {
+    return {Objective::kError, Objective::kArea, Objective::kPower, Objective::kDelay};
+}
+
+std::string objective_set_name(const ObjectiveSet& set) {
+    std::string out;
+    for (const Objective o : set) {
+        if (!out.empty()) out += ',';
+        out += objective_name(o);
+    }
+    return out;
+}
+
+std::string objective_set_json(const ObjectiveSet& set) {
+    std::string out = "[";
+    for (size_t i = 0; i < set.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += "\"" + std::string(objective_name(set[i])) + "\"";
+    }
+    out += "]";
+    return out;
+}
+
+bool parse_objective_set(const std::vector<std::string>& names, ObjectiveSet& out,
+                         std::string* error) {
+    if (names.empty()) {
+        if (error != nullptr) *error = "objective set is empty";
+        return false;
+    }
+    ObjectiveSet parsed;
+    for (const std::string& name : names) {
+        Objective o;
+        if (!parse_objective(name, o)) {
+            if (error != nullptr) *error = "unknown objective \"" + name + "\"";
+            return false;
+        }
+        for (const Objective seen : parsed) {
+            if (seen == o) {
+                if (error != nullptr) *error = "duplicate objective \"" + name + "\"";
+                return false;
+            }
+        }
+        parsed.push_back(o);
+    }
+    out = std::move(parsed);
+    return true;
+}
+
 bool dominates(const ObjectiveVector& a, const ObjectiveVector& b) noexcept {
     bool strictly_better = false;
-    for (int k = 0; k < kObjectiveCount; ++k) {
+    for (size_t k = 0; k < a.size(); ++k) {
         if (a[k] > b[k]) return false;
         if (a[k] < b[k]) strictly_better = true;
     }

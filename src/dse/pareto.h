@@ -1,32 +1,70 @@
-// Pareto-dominance analysis over the (error, area, power, delay) space.
+// Pareto-dominance analysis over a selectable objective space.
 //
-// All four objectives are minimized. A point dominates another when it is no
+// All objectives are minimized. A point dominates another when it is no
 // worse in every objective and strictly better in at least one; the Pareto
 // frontier is the set of points dominated by nobody. Dominance *ranking*
 // peels frontiers iteratively (NSGA-style non-dominated sorting): rank 0 is
 // the frontier, rank 1 the frontier of what remains, and so on — useful for
 // "show me the next-best designs once the frontier is excluded".
+//
+// The frontier axes are configurable: the default set is the paper's
+// (error, area, power, delay); energy/op and max-RED are optional extra
+// axes (`dse_tool --objectives`, the serve protocol's "objectives" field).
+// ObjectiveVector is therefore dynamically sized — every vector in one
+// analysis must come from the same ObjectiveSet.
 #ifndef SDLC_DSE_PARETO_H
 #define SDLC_DSE_PARETO_H
 
-#include <array>
 #include <cstddef>
+#include <string>
 #include <vector>
 
 namespace sdlc {
 
-/// The objectives the DSE engine minimizes, in ObjectiveVector order.
-enum class Objective { kError, kArea, kPower, kDelay };
-inline constexpr int kObjectiveCount = 4;
+/// Everything a frontier can minimize. The first four are the default axes;
+/// kEnergy (energy/op, fJ) and kMaxRed (worst-case relative error) are
+/// opt-in.
+enum class Objective { kError, kArea, kPower, kDelay, kEnergy, kMaxRed };
 
-/// Short lowercase name ("error", "area", "power", "delay").
+/// Number of selectable objectives overall.
+inline constexpr int kAllObjectiveCount = 6;
+
+/// Short lowercase name ("error", "area", "power", "delay", "energy",
+/// "maxred").
 [[nodiscard]] const char* objective_name(Objective o) noexcept;
 
-/// One point's objective values (error = NMED, area um^2, power uW, delay ps).
-using ObjectiveVector = std::array<double, kObjectiveCount>;
+/// Parses an objective name into `out`. Returns false (leaving `out`
+/// untouched) for unknown names.
+[[nodiscard]] bool parse_objective(const std::string& name, Objective& out) noexcept;
+
+/// Ordered selection of frontier axes.
+using ObjectiveSet = std::vector<Objective>;
+
+/// The paper's default axes: {error, area, power, delay}.
+[[nodiscard]] ObjectiveSet default_objectives();
+
+/// Comma-joined names, e.g. "error,area,power,delay".
+[[nodiscard]] std::string objective_set_name(const ObjectiveSet& set);
+
+/// The set as a JSON array, e.g. ["error", "area"]. Shared by the DSE
+/// export summary and the serve protocol's summary event so the two
+/// renderings can never drift apart (their byte-level parity is
+/// CI-enforced).
+[[nodiscard]] std::string objective_set_json(const ObjectiveSet& set);
+
+/// Parses a list of objective names into `out`. Rejects unknown names,
+/// duplicates and the empty list; on failure returns false and, when
+/// `error` is non-null, explains why.
+[[nodiscard]] bool parse_objective_set(const std::vector<std::string>& names,
+                                       ObjectiveSet& out, std::string* error = nullptr);
+
+/// One point's objective values, in the order of the ObjectiveSet that
+/// produced it (default set: error = NMED, area um^2, power uW, delay ps).
+using ObjectiveVector = std::vector<double>;
 
 /// True iff `a` dominates `b`: a <= b componentwise with at least one strict
-/// inequality. Identical points do not dominate each other.
+/// inequality. Identical points do not dominate each other. Both vectors
+/// must have the same length.
 [[nodiscard]] bool dominates(const ObjectiveVector& a, const ObjectiveVector& b) noexcept;
 
 /// Outcome of non-dominated sorting.

@@ -41,4 +41,10 @@ ErrorMetrics ErrorAccumulator::finalize() const noexcept {
     return m;
 }
 
+bool operator==(const ErrorMetrics& a, const ErrorMetrics& b) noexcept {
+    return a.mred == b.mred && a.med == b.med && a.nmed == b.nmed &&
+           a.error_rate == b.error_rate && a.max_red == b.max_red && a.max_ed == b.max_ed &&
+           a.samples == b.samples && a.bias == b.bias && a.rmse == b.rmse;
+}
+
 }  // namespace sdlc

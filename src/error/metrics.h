@@ -31,6 +31,15 @@ struct ErrorMetrics {
     double rmse = 0.0;       ///< root-mean-square error distance
 };
 
+/// Bit-exact equality of every metric. Error evaluation is deterministic
+/// for a given configuration and seed, so re-evaluating must reproduce the
+/// metrics exactly; the DSE repeat guard and the serve determinism tests
+/// rely on this.
+[[nodiscard]] bool operator==(const ErrorMetrics& a, const ErrorMetrics& b) noexcept;
+[[nodiscard]] inline bool operator!=(const ErrorMetrics& a, const ErrorMetrics& b) noexcept {
+    return !(a == b);
+}
+
 /// Streaming accumulator for ErrorMetrics; mergeable for parallel sweeps.
 class ErrorAccumulator {
 public:

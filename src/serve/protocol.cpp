@@ -1,0 +1,332 @@
+#include "serve/protocol.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+#include "dse/export.h"
+#include "util/json.h"
+#include "util/json_parse.h"
+
+namespace sdlc::serve {
+
+namespace {
+
+/// Ids are echoed into every event line; keep them short and printable.
+constexpr size_t kMaxIdLength = 128;
+
+/// Thrown internally by the field readers; parse_request converts it into
+/// a RequestError with code "invalid_request".
+struct FieldError {
+    std::string message;
+};
+
+[[noreturn]] void reject(const std::string& message) { throw FieldError{message}; }
+
+bool read_bool(const JsonValue& v, const std::string& key) {
+    if (!v.is_bool()) reject("\"" + key + "\" must be a boolean");
+    return v.boolean;
+}
+
+int read_int(const JsonValue& v, const std::string& key) {
+    if (!v.is_number() || v.number != std::floor(v.number) || std::abs(v.number) > 1e9) {
+        reject("\"" + key + "\" must be an integer");
+    }
+    return static_cast<int>(v.number);
+}
+
+std::string read_string(const JsonValue& v, const std::string& key) {
+    if (!v.is_string()) reject("\"" + key + "\" must be a string");
+    return v.string;
+}
+
+/// Seeds and sample counts accept either a JSON number (exact up to 2^53)
+/// or a string ("0x5d1c5eed" works; JSON itself has no hex literals).
+uint64_t read_uint64(const JsonValue& v, const std::string& key) {
+    if (v.is_string()) {
+        // Stricter than strtoull alone: no leading whitespace or sign, and
+        // out-of-range values are an error, not a silent clamp to 2^64-1.
+        if (v.string.empty() || v.string[0] < '0' || v.string[0] > '9') {
+            reject("\"" + key + "\" must be a non-negative integer string");
+        }
+        char* end = nullptr;
+        errno = 0;
+        const uint64_t parsed = std::strtoull(v.string.c_str(), &end, 0);
+        if (end == nullptr || *end != '\0') reject("\"" + key + "\" is not a valid integer string");
+        if (errno == ERANGE) reject("\"" + key + "\" is out of range for 64 bits");
+        return parsed;
+    }
+    if (!v.is_number() || v.number != std::floor(v.number) || v.number < 0 ||
+        v.number > 9007199254740992.0 /* 2^53: exact double-integer range */) {
+        reject("\"" + key + "\" must be a non-negative integer (or a string)");
+    }
+    return static_cast<uint64_t>(v.number);
+}
+
+void check_known_keys(const JsonValue& obj, const std::string& what,
+                      std::initializer_list<const char*> known) {
+    for (const auto& [key, value] : obj.object) {
+        (void)value;
+        bool ok = false;
+        for (const char* k : known) ok = ok || key == k;
+        if (!ok) reject("unknown " + what + " field \"" + key + "\"");
+    }
+}
+
+SweepSpec read_spec(const JsonValue& v) {
+    if (!v.is_object()) reject("\"spec\" must be an object");
+    check_known_keys(v, "spec", {"width", "widths", "min_depth", "max_depth", "variants",
+                                 "schemes"});
+    SweepSpec spec;
+    const JsonValue* width = v.find("width");
+    const JsonValue* widths = v.find("widths");
+    if (width != nullptr && widths != nullptr) reject("give \"width\" or \"widths\", not both");
+    if (width != nullptr) spec.widths = {read_int(*width, "width")};
+    if (widths != nullptr) {
+        if (!widths->is_array()) reject("\"widths\" must be an array of integers");
+        spec.widths.clear();
+        for (const JsonValue& w : widths->array) spec.widths.push_back(read_int(w, "widths"));
+    }
+    if (const JsonValue* d = v.find("min_depth")) spec.min_depth = read_int(*d, "min_depth");
+    if (const JsonValue* d = v.find("max_depth")) spec.max_depth = read_int(*d, "max_depth");
+    if (const JsonValue* variants = v.find("variants")) {
+        if (!variants->is_array()) reject("\"variants\" must be an array of strings");
+        spec.variants.clear();
+        for (const JsonValue& name : variants->array) {
+            MultiplierVariant variant;
+            if (!parse_multiplier_variant(read_string(name, "variants"), variant)) {
+                reject("unknown variant \"" + name.string + "\"");
+            }
+            spec.variants.push_back(variant);
+        }
+    }
+    if (const JsonValue* schemes = v.find("schemes")) {
+        if (!schemes->is_array()) reject("\"schemes\" must be an array of strings");
+        spec.schemes.clear();
+        for (const JsonValue& name : schemes->array) {
+            AccumulationScheme scheme;
+            if (!parse_accumulation_scheme(read_string(name, "schemes"), scheme)) {
+                reject("unknown scheme \"" + name.string + "\"");
+            }
+            spec.schemes.push_back(scheme);
+        }
+    }
+    return spec;
+}
+
+EvalOptions read_eval(const JsonValue& v) {
+    if (!v.is_object()) reject("\"eval\" must be an object");
+    // Thread count is deliberately absent: the service owns one shared
+    // ThreadPool and a request cannot resize it.
+    check_known_keys(v, "eval", {"seed", "samples", "exhaustive_max_width", "dist", "hardware",
+                                 "hw_cache"});
+    EvalOptions eval;
+    if (const JsonValue* seed = v.find("seed")) eval.seed = read_uint64(*seed, "seed");
+    if (const JsonValue* samples = v.find("samples")) {
+        eval.samples = read_uint64(*samples, "samples");
+    }
+    if (const JsonValue* w = v.find("exhaustive_max_width")) {
+        eval.exhaustive_max_width = read_int(*w, "exhaustive_max_width");
+    }
+    if (const JsonValue* dist = v.find("dist")) {
+        const std::string name = read_string(*dist, "dist");
+        if (name == "uniform") eval.distribution = OperandDistribution::kUniform;
+        else if (name == "gaussian") eval.distribution = OperandDistribution::kGaussian;
+        else if (name == "sparse") eval.distribution = OperandDistribution::kSparse;
+        else reject("unknown distribution \"" + name + "\"");
+    }
+    if (const JsonValue* hw = v.find("hardware")) {
+        eval.evaluate_hardware = read_bool(*hw, "hardware");
+    }
+    if (const JsonValue* cache = v.find("hw_cache")) {
+        eval.use_hw_cache = read_bool(*cache, "hw_cache");
+    }
+    return eval;
+}
+
+ObjectiveSet read_objectives(const JsonValue& v) {
+    if (!v.is_array()) reject("\"objectives\" must be an array of strings");
+    std::vector<std::string> names;
+    for (const JsonValue& name : v.array) names.push_back(read_string(name, "objectives"));
+    ObjectiveSet set;
+    std::string error;
+    if (!parse_objective_set(names, set, &error)) reject(error);
+    return set;
+}
+
+}  // namespace
+
+const char* request_type_name(RequestType t) noexcept {
+    switch (t) {
+        case RequestType::kSweep: return "sweep";
+        case RequestType::kStats: return "stats";
+        case RequestType::kCancel: return "cancel";
+        case RequestType::kShutdown: return "shutdown";
+    }
+    return "?";
+}
+
+bool parse_request(const std::string& line, size_t max_bytes, SweepRequest& out,
+                   RequestError& err) {
+    err = RequestError{};
+    if (line.size() > max_bytes) {
+        err.code = "too_large";
+        err.message = "request line is " + std::to_string(line.size()) + " bytes (limit " +
+                      std::to_string(max_bytes) + ")";
+        return false;
+    }
+    JsonValue root;
+    std::string parse_error;
+    if (!json_parse(line, root, &parse_error)) {
+        err.code = "parse_error";
+        err.message = parse_error;
+        return false;
+    }
+    // Best-effort id extraction so even a schema-invalid request gets its
+    // error events tagged with the id the client sent.
+    if (const JsonValue* id = root.find("id"); id != nullptr && id->is_string()) {
+        err.id = id->string.substr(0, kMaxIdLength);
+    }
+    try {
+        if (!root.is_object()) reject("request must be a JSON object");
+        const JsonValue* id = root.find("id");
+        if (id == nullptr) reject("missing \"id\"");
+        out = SweepRequest{};
+        out.id = read_string(*id, "id");
+        if (out.id.empty()) reject("\"id\" must be non-empty");
+        if (out.id.size() > kMaxIdLength) reject("\"id\" exceeds 128 characters");
+
+        out.type = RequestType::kSweep;
+        if (const JsonValue* type = root.find("type")) {
+            const std::string name = read_string(*type, "type");
+            if (name == "sweep") out.type = RequestType::kSweep;
+            else if (name == "stats") out.type = RequestType::kStats;
+            else if (name == "cancel") out.type = RequestType::kCancel;
+            else if (name == "shutdown") out.type = RequestType::kShutdown;
+            else reject("unknown request type \"" + name + "\"");
+        }
+
+        switch (out.type) {
+            case RequestType::kSweep:
+                check_known_keys(root, "request", {"id", "type", "spec", "eval", "objectives",
+                                                   "stream_points", "export"});
+                if (const JsonValue* spec = root.find("spec")) out.spec = read_spec(*spec);
+                if (const JsonValue* eval = root.find("eval")) out.eval = read_eval(*eval);
+                if (const JsonValue* objectives = root.find("objectives")) {
+                    out.objectives = read_objectives(*objectives);
+                }
+                if (const JsonValue* stream = root.find("stream_points")) {
+                    out.stream_points = read_bool(*stream, "stream_points");
+                }
+                if (const JsonValue* exp = root.find("export")) {
+                    out.export_json = read_bool(*exp, "export");
+                }
+                break;
+            case RequestType::kCancel: {
+                check_known_keys(root, "request", {"id", "type", "target"});
+                const JsonValue* target = root.find("target");
+                if (target == nullptr) reject("cancel requires \"target\"");
+                out.target = read_string(*target, "target");
+                if (out.target.empty()) reject("\"target\" must be non-empty");
+                break;
+            }
+            case RequestType::kStats:
+            case RequestType::kShutdown:
+                check_known_keys(root, "request", {"id", "type"});
+                break;
+        }
+        return true;
+    } catch (const FieldError& field) {
+        err.code = "invalid_request";
+        err.message = field.message;
+        return false;
+    }
+}
+
+// ---- event emission ----
+
+namespace {
+
+std::string event_head(const std::string& id, const char* event) {
+    return "{\"id\": " + json_string(id) + ", \"event\": \"" + event + "\"";
+}
+
+}  // namespace
+
+std::string accepted_event(const std::string& id, RequestType type, size_t points,
+                           const std::string& spec_summary) {
+    std::string out = event_head(id, "accepted");
+    out += ", \"type\": \"" + std::string(request_type_name(type)) + "\"";
+    out += ", \"points\": " + std::to_string(points);
+    out += ", \"spec\": " + json_string(spec_summary);
+    out += "}";
+    return out;
+}
+
+std::string point_event(const std::string& id, size_t index, const DesignPoint& point) {
+    // Rank is unknowable mid-stream (dominance needs the whole sweep); the
+    // exported rows carry it instead.
+    std::string out = event_head(id, "point");
+    out += ", \"index\": " + std::to_string(index);
+    out += ", \"point\": " + dse_point_json(point, /*rank=*/-1);
+    out += "}";
+    return out;
+}
+
+std::string summary_event(const std::string& id, const SweepStats& stats, size_t frontier_size,
+                          const ObjectiveSet& objectives) {
+    std::string out = event_head(id, "summary");
+    out += ", \"points\": " + std::to_string(stats.points);
+    out += ", \"frontier\": " + std::to_string(frontier_size);
+    out += ", \"objectives\": " + objective_set_json(objectives);
+    out += ", \"hw_cache\": {\"enabled\": ";
+    out += stats.hw_cache_enabled ? "true" : "false";
+    out += ", \"hits\": " + std::to_string(stats.hw_cache_hits);
+    out += ", \"misses\": " + std::to_string(stats.hw_cache_misses);
+    out += "}}";
+    return out;
+}
+
+std::string result_event(const std::string& id, const std::string& dse_json) {
+    std::string out = event_head(id, "result");
+    out += ", \"format\": \"dse_json\"";
+    out += ", \"data\": " + json_string(dse_json);
+    out += "}";
+    return out;
+}
+
+std::string stats_event(const std::string& id, const ServiceStats& stats) {
+    std::string out = event_head(id, "stats");
+    out += ", \"requests\": {\"accepted\": " + std::to_string(stats.accepted);
+    out += ", \"completed\": " + std::to_string(stats.completed);
+    out += ", \"failed\": " + std::to_string(stats.failed);
+    out += ", \"cancelled\": " + std::to_string(stats.cancelled);
+    out += "}, \"points_evaluated\": " + std::to_string(stats.points_evaluated);
+    out += ", \"hw_cache\": {\"hits\": " + std::to_string(stats.cache_hits);
+    out += ", \"misses\": " + std::to_string(stats.cache_misses);
+    out += ", \"entries\": " + std::to_string(stats.cache_entries);
+    out += "}, \"queue_depth\": " + std::to_string(stats.queue_depth);
+    out += ", \"in_flight\": " + std::to_string(stats.in_flight);
+    out += ", \"busy_seconds\": " + json_number(stats.busy_seconds);
+    out += "}";
+    return out;
+}
+
+std::string error_event(const std::string& id, const std::string& code,
+                        const std::string& message) {
+    std::string out = event_head(id, "error");
+    out += ", \"code\": " + json_string(code);
+    out += ", \"message\": " + json_string(message);
+    out += "}";
+    return out;
+}
+
+std::string done_event(const std::string& id, bool ok) {
+    std::string out = event_head(id, "done");
+    out += ", \"ok\": ";
+    out += ok ? "true" : "false";
+    out += "}";
+    return out;
+}
+
+}  // namespace sdlc::serve

@@ -1,0 +1,120 @@
+// NDJSON wire protocol for the long-lived DSE service.
+//
+// Requests: one JSON object per line. Every line is answered by a stream
+// of events for that request id, ending in exactly one terminal `done`
+// event, so a client can multiplex any number of in-flight requests over
+// one connection and knows when each is finished.
+//
+//   {"id": "r1", "type": "sweep", "spec": {"widths": [8]},
+//    "objectives": ["error", "area", "power", "delay"], "export": true}
+//   {"id": "s1", "type": "stats"}
+//   {"id": "c1", "type": "cancel", "target": "r1"}
+//   {"id": "q1", "type": "shutdown"}
+//
+// Events (one per line, in deterministic per-request order for sweeps:
+// accepted, point 0..n-1, summary, [result], done):
+//
+//   {"id": "r1", "event": "accepted", "type": "sweep", "points": 60, ...}
+//   {"id": "r1", "event": "point", "index": 0, "point": {...}}
+//   {"id": "r1", "event": "summary", "points": 60, "frontier": 15, ...}
+//   {"id": "r1", "event": "result", "format": "dse_json", "data": "..."}
+//   {"id": "r1", "event": "error", "code": "parse_error", "message": "..."}
+//   {"id": "r1", "event": "done", "ok": true}
+//
+// Sweep events carry no wall-clock fields: for a fixed request and cache
+// state they are byte-identical at any thread count and any request
+// concurrency. Timing and other inherently non-reproducible observability
+// lives in the `stats` event only.
+//
+// Parsing is strict — unknown fields, wrong types, duplicate keys and
+// oversized lines are all rejected with a machine-readable error code —
+// so a typo'd request fails loudly instead of silently sweeping the wrong
+// space.
+#ifndef SDLC_SERVE_PROTOCOL_H
+#define SDLC_SERVE_PROTOCOL_H
+
+#include <cstdint>
+#include <string>
+
+#include "dse/evaluator.h"
+#include "dse/pareto.h"
+#include "dse/sweep.h"
+
+namespace sdlc::serve {
+
+/// What a request line asks the service to do.
+enum class RequestType {
+    kSweep,     ///< evaluate a SweepSpec, stream the results
+    kStats,     ///< report service counters (cache, queue, timings)
+    kCancel,    ///< cancel a queued or running sweep by id
+    kShutdown,  ///< stop intake, drain the queue, then exit
+};
+
+/// Short lowercase name ("sweep", "stats", "cancel", "shutdown").
+[[nodiscard]] const char* request_type_name(RequestType t) noexcept;
+
+/// One parsed request line.
+struct SweepRequest {
+    std::string id;
+    RequestType type = RequestType::kSweep;
+    // Sweep payload (defaults mirror dse_tool's: the default width-8 sweep
+    // with the paper's objective set).
+    SweepSpec spec;
+    EvalOptions eval;  ///< serializable knobs only; the service owns pool/cache
+    ObjectiveSet objectives = default_objectives();
+    bool stream_points = true;  ///< emit a `point` event per design point
+    bool export_json = false;   ///< attach the canonical JSON export as a `result` event
+    // Cancel payload.
+    std::string target;
+};
+
+/// Why a request line was rejected.
+struct RequestError {
+    std::string id;       ///< request id when one could be extracted, else ""
+    std::string code;     ///< "too_large", "parse_error" or "invalid_request"
+    std::string message;  ///< human-readable detail
+};
+
+/// Default cap on one request line; a line longer than this is rejected
+/// before the JSON parser ever sees it.
+inline constexpr size_t kDefaultMaxRequestBytes = size_t{1} << 20;
+
+/// Parses one NDJSON request line (strict; see file comment). Returns
+/// false and fills `err` on rejection.
+[[nodiscard]] bool parse_request(const std::string& line, size_t max_bytes, SweepRequest& out,
+                                 RequestError& err);
+
+/// Aggregate service counters for the `stats` event. Unlike sweep events
+/// these are observability, not reproducible output: timings and the raw
+/// cache counters depend on scheduling.
+struct ServiceStats {
+    uint64_t accepted = 0;          ///< requests queued since start
+    uint64_t completed = 0;         ///< requests finished successfully
+    uint64_t failed = 0;            ///< requests that errored
+    uint64_t cancelled = 0;         ///< sweeps cancelled before completion
+    uint64_t points_evaluated = 0;  ///< design points across all sweeps
+    uint64_t cache_hits = 0;        ///< CostCache raw hit counter
+    uint64_t cache_misses = 0;      ///< CostCache raw miss counter
+    size_t cache_entries = 0;       ///< distinct memoized designs
+    size_t queue_depth = 0;         ///< requests waiting in the queue
+    size_t in_flight = 0;           ///< requests being processed right now
+    double busy_seconds = 0.0;      ///< summed sweep wall time
+};
+
+// ---- event emission (single-line strings, no trailing newline) ----
+
+[[nodiscard]] std::string accepted_event(const std::string& id, RequestType type,
+                                         size_t points, const std::string& spec_summary);
+[[nodiscard]] std::string point_event(const std::string& id, size_t index,
+                                      const DesignPoint& point);
+[[nodiscard]] std::string summary_event(const std::string& id, const SweepStats& stats,
+                                        size_t frontier_size, const ObjectiveSet& objectives);
+[[nodiscard]] std::string result_event(const std::string& id, const std::string& dse_json);
+[[nodiscard]] std::string stats_event(const std::string& id, const ServiceStats& stats);
+[[nodiscard]] std::string error_event(const std::string& id, const std::string& code,
+                                      const std::string& message);
+[[nodiscard]] std::string done_event(const std::string& id, bool ok);
+
+}  // namespace sdlc::serve
+
+#endif  // SDLC_SERVE_PROTOCOL_H

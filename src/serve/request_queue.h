@@ -1,0 +1,99 @@
+// Bounded MPMC queue connecting request producers (protocol front-ends:
+// stdin reader, socket connection threads) to the service's request
+// workers.
+//
+// push() blocks while the queue is full — backpressure, not unbounded
+// buffering, is how the service survives a flood of requests — and fails
+// only once the queue is closed. close() stops intake but lets consumers
+// drain what was already accepted: pop() keeps returning queued items and
+// only reports end-of-stream (nullopt) when the queue is both closed and
+// empty. That drain-then-stop contract is what makes service shutdown
+// clean: every request accepted before shutdown still gets its response.
+#ifndef SDLC_SERVE_REQUEST_QUEUE_H
+#define SDLC_SERVE_REQUEST_QUEUE_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace sdlc::serve {
+
+/// Bounded blocking multi-producer multi-consumer FIFO.
+template <typename T>
+class BoundedQueue {
+public:
+    /// A zero capacity is clamped to 1 (a rendezvous-size queue, not a
+    /// queue that can never accept anything).
+    explicit BoundedQueue(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+    BoundedQueue(const BoundedQueue&) = delete;
+    BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+    /// Blocks until there is room (or the queue closes). Returns false —
+    /// and drops `item` — when the queue is closed.
+    bool push(T item) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        not_full_.wait(lock, [this] { return items_.size() < capacity_ || closed_; });
+        if (closed_) return false;
+        items_.push_back(std::move(item));
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /// Non-blocking push. Returns false when full or closed.
+    bool try_push(T item) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (closed_ || items_.size() >= capacity_) return false;
+        items_.push_back(std::move(item));
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /// Blocks until an item is available or the queue is closed *and*
+    /// drained; nullopt means no item will ever come again.
+    std::optional<T> pop() {
+        std::unique_lock<std::mutex> lock(mutex_);
+        not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+        if (items_.empty()) return std::nullopt;
+        T item = std::move(items_.front());
+        items_.pop_front();
+        not_full_.notify_one();
+        return item;
+    }
+
+    /// Stops intake; queued items remain poppable. Idempotent.
+    void close() {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+        not_full_.notify_all();
+        not_empty_.notify_all();
+    }
+
+    [[nodiscard]] bool closed() const {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return closed_;
+    }
+
+    /// Items currently queued (momentary; for stats reporting).
+    [[nodiscard]] size_t size() const {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return items_.size();
+    }
+
+    [[nodiscard]] size_t capacity() const noexcept { return capacity_; }
+
+private:
+    const size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable not_full_;
+    std::condition_variable not_empty_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+}  // namespace sdlc::serve
+
+#endif  // SDLC_SERVE_REQUEST_QUEUE_H

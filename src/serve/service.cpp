@@ -1,0 +1,228 @@
+#include "serve/service.h"
+
+#include <stdexcept>
+
+#include "dse/evaluator.h"
+#include "dse/export.h"
+#include "dse/pareto.h"
+
+namespace sdlc::serve {
+
+SweepService::SweepService(const ServiceOptions& opts)
+    : opts_(opts), pool_(opts.eval_threads), queue_(opts.queue_capacity) {
+    const unsigned workers = opts_.request_workers == 0 ? 1 : opts_.request_workers;
+    workers_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+SweepService::~SweepService() { shutdown(); }
+
+bool SweepService::submit_line(const std::string& line, std::shared_ptr<ResponseSink> sink) {
+    SweepRequest request;
+    RequestError error;
+    if (!parse_request(line, opts_.max_request_bytes, request, error)) {
+        sink->write_line(error_event(error.id, error.code, error.message));
+        sink->write_line(done_event(error.id, false));
+        return !shutdown_requested();
+    }
+    return submit(request, std::move(sink));
+}
+
+bool SweepService::submit(const SweepRequest& request, std::shared_ptr<ResponseSink> sink) {
+    // Cancels act on service state, not on the sweep pipeline: handle them
+    // inline so a cancel is never stuck in the queue behind its target.
+    if (request.type == RequestType::kCancel) {
+        handle_cancel(request, *sink);
+        return !shutdown_requested();
+    }
+
+    Job job;
+    job.request = request;
+    job.sink = std::move(sink);
+    if (request.type == RequestType::kSweep) {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        auto& flag = cancel_flags_[request.id];
+        if (flag == nullptr) flag = std::make_shared<std::atomic<bool>>(false);
+        job.cancel = flag;
+    }
+
+    auto failed_sink = job.sink;  // push moves the job away
+    const std::string id = request.id;
+    if (!queue_.push(std::move(job))) {
+        {
+            std::lock_guard<std::mutex> lock(state_mutex_);
+            cancel_flags_.erase(id);
+        }
+        failed_sink->write_line(
+            error_event(id, "shutting_down", "service is draining; request rejected"));
+        failed_sink->write_line(done_event(id, false));
+        return false;
+    }
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++counters_.accepted;
+    return true;
+}
+
+void SweepService::handle_cancel(const SweepRequest& request, ResponseSink& sink) {
+    std::shared_ptr<std::atomic<bool>> flag;
+    {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        const auto it = cancel_flags_.find(request.target);
+        if (it != cancel_flags_.end()) flag = it->second;
+    }
+    if (flag == nullptr) {
+        sink.write_line(error_event(request.id, "unknown_target",
+                                    "no queued or running sweep with id \"" + request.target +
+                                        "\""));
+        sink.write_line(done_event(request.id, false));
+        return;
+    }
+    flag->store(true, std::memory_order_relaxed);
+    sink.write_line(done_event(request.id, true));
+}
+
+void SweepService::request_shutdown() {
+    std::function<void()> hook;
+    {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        if (shutdown_requested_) return;
+        shutdown_requested_ = true;
+        hook = on_shutdown_;
+    }
+    queue_.close();
+    if (hook) hook();
+}
+
+void SweepService::shutdown() {
+    request_shutdown();
+    {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        if (joined_) return;
+        joined_ = true;
+    }
+    for (std::thread& worker : workers_) worker.join();
+}
+
+bool SweepService::shutdown_requested() const {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    return shutdown_requested_;
+}
+
+void SweepService::set_on_shutdown(std::function<void()> hook) {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    on_shutdown_ = std::move(hook);
+}
+
+ServiceStats SweepService::stats() const {
+    ServiceStats out;
+    {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        out = counters_;
+        out.in_flight = in_flight_;
+    }
+    out.queue_depth = queue_.size();
+    const CostCache::Stats cache = cache_.stats();
+    out.cache_hits = cache.hits;
+    out.cache_misses = cache.misses;
+    out.cache_entries = cache_.size();
+    return out;
+}
+
+void SweepService::worker_loop() {
+    while (std::optional<Job> job = queue_.pop()) {
+        {
+            std::lock_guard<std::mutex> lock(state_mutex_);
+            ++in_flight_;
+        }
+        process(*job);
+        {
+            std::lock_guard<std::mutex> lock(state_mutex_);
+            --in_flight_;
+        }
+    }
+}
+
+void SweepService::process(Job& job) {
+    const SweepRequest& request = job.request;
+    ResponseSink& sink = *job.sink;
+    switch (request.type) {
+        case RequestType::kSweep:
+            run_sweep(job);
+            break;
+        case RequestType::kStats:
+            sink.write_line(stats_event(request.id, stats()));
+            sink.write_line(done_event(request.id, true));
+            break;
+        case RequestType::kShutdown:
+            request_shutdown();
+            sink.write_line(done_event(request.id, true));
+            break;
+        case RequestType::kCancel:
+            // Unreachable: cancels are handled inline in submit().
+            break;
+    }
+}
+
+void SweepService::run_sweep(const Job& job) {
+    const SweepRequest& request = job.request;
+    ResponseSink& sink = *job.sink;
+    bool ok = false;
+    try {
+        // Validate the spec before announcing acceptance so an unbuildable
+        // sweep fails with a single error instead of accepted-then-error.
+        const size_t count = request.spec.count();
+        sink.write_line(accepted_event(request.id, request.type, count,
+                                       request.spec.describe()));
+
+        EvalOptions eval = request.eval;
+        eval.pool = &pool_;
+        eval.hw_cache = &cache_;  // evaluate_sweep drops it when use_hw_cache is off
+        eval.cancel = job.cancel.get();
+        if (request.stream_points) {
+            eval.on_point = [&](size_t index, const DesignPoint& point) {
+                sink.write_line(point_event(request.id, index, point));
+            };
+        }
+
+        SweepStats sweep_stats;
+        const std::vector<DesignPoint> points =
+            evaluate_sweep(request.spec, eval, &sweep_stats);
+        const ParetoResult pareto =
+            pareto_analysis(objective_matrix(points, request.objectives));
+        sink.write_line(summary_event(request.id, sweep_stats, pareto.frontier.size(),
+                                      request.objectives));
+        if (request.export_json) {
+            sink.write_line(result_event(
+                request.id,
+                dse_to_json(points, pareto.rank, sweep_stats, request.objectives)));
+        }
+
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        ++counters_.completed;
+        counters_.points_evaluated += sweep_stats.points;
+        counters_.busy_seconds += sweep_stats.wall_seconds;
+        ok = true;
+    } catch (const SweepCancelled&) {
+        sink.write_line(error_event(request.id, "cancelled", "sweep cancelled by request"));
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        ++counters_.cancelled;
+    } catch (const std::invalid_argument& e) {
+        sink.write_line(error_event(request.id, "invalid_request", e.what()));
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        ++counters_.failed;
+    } catch (const std::exception& e) {
+        sink.write_line(error_event(request.id, "internal_error", e.what()));
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        ++counters_.failed;
+    }
+    {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        const auto it = cancel_flags_.find(request.id);
+        if (it != cancel_flags_.end() && it->second == job.cancel) cancel_flags_.erase(it);
+    }
+    sink.write_line(done_event(request.id, ok));
+}
+
+}  // namespace sdlc::serve

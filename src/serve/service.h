@@ -1,0 +1,128 @@
+// Long-lived DSE service: one ThreadPool and one CostCache shared across
+// every request.
+//
+// SweepService consumes parsed request lines from a bounded MPMC queue and
+// streams NDJSON events to each request's ResponseSink. A fixed set of
+// request workers gives the service bounded request concurrency; each
+// sweep then fans its design points out over the single shared ThreadPool,
+// so total evaluation parallelism stays at the pool size no matter how
+// many requests are in flight. The shared CostCache is what makes the
+// service worth keeping resident: the second identical request skips
+// synthesis entirely (nonzero hit counters, visible via `stats`).
+//
+// Determinism: a sweep's event stream (accepted, point 0..n-1, summary,
+// [result], done) is byte-identical for a fixed request and pre-request
+// cache state, at any pool size and any request concurrency — events
+// carry no timestamps and the evaluator streams points in enumeration
+// order. Streams of concurrent requests interleave at line granularity
+// but each request's own subsequence never changes.
+//
+// Shutdown is drain-based: a shutdown request (or request_shutdown())
+// closes the queue so no new work is accepted, every already-queued
+// request still runs to completion, and shutdown() joins the workers once
+// the queue is empty.
+#ifndef SDLC_SERVE_SERVICE_H
+#define SDLC_SERVE_SERVICE_H
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dse/cost_cache.h"
+#include "dse/thread_pool.h"
+#include "serve/protocol.h"
+#include "serve/request_queue.h"
+#include "serve/sink.h"
+
+namespace sdlc::serve {
+
+/// Service sizing knobs.
+struct ServiceOptions {
+    unsigned eval_threads = 0;     ///< shared ThreadPool size; 0 = hardware concurrency
+    unsigned request_workers = 2;  ///< concurrent in-flight requests
+    size_t queue_capacity = 64;    ///< bounded request queue (push blocks when full)
+    size_t max_request_bytes = kDefaultMaxRequestBytes;
+};
+
+/// The long-lived sweep service (see file comment).
+class SweepService {
+public:
+    explicit SweepService(const ServiceOptions& opts = {});
+
+    /// Drains and joins (equivalent to shutdown()).
+    ~SweepService();
+
+    SweepService(const SweepService&) = delete;
+    SweepService& operator=(const SweepService&) = delete;
+
+    /// Parses and enqueues one NDJSON request line; every response event
+    /// for it goes to `sink`. Malformed lines are answered immediately
+    /// with error + done events. Returns false once the service is
+    /// shutting down and the line was rejected (an error event is still
+    /// emitted); blocks while the request queue is full.
+    bool submit_line(const std::string& line, std::shared_ptr<ResponseSink> sink);
+
+    /// Enqueues an already-parsed request (in-process embedders: tests,
+    /// benches). Same semantics as submit_line.
+    bool submit(const SweepRequest& request, std::shared_ptr<ResponseSink> sink);
+
+    /// Stops intake (idempotent); queued requests still complete. Safe to
+    /// call from any thread, including request workers.
+    void request_shutdown();
+
+    /// request_shutdown() plus draining the queue and joining the request
+    /// workers. Idempotent; must not be called from a request worker.
+    void shutdown();
+
+    /// True once a shutdown request was processed or request_shutdown()
+    /// called.
+    [[nodiscard]] bool shutdown_requested() const;
+
+    /// Invoked exactly once when shutdown is first requested — a transport
+    /// front-end hooks this to unblock its accept/read loop. Set before
+    /// the first request is submitted.
+    void set_on_shutdown(std::function<void()> hook);
+
+    /// Momentary aggregate counters (what the `stats` request reports).
+    [[nodiscard]] ServiceStats stats() const;
+
+private:
+    struct Job {
+        SweepRequest request;
+        std::shared_ptr<ResponseSink> sink;
+        std::shared_ptr<std::atomic<bool>> cancel;  ///< sweep jobs only
+    };
+
+    void worker_loop();
+    void process(Job& job);
+    void run_sweep(const Job& job);
+    void handle_cancel(const SweepRequest& request, ResponseSink& sink);
+
+    const ServiceOptions opts_;
+    ThreadPool pool_;
+    CostCache cache_;
+    BoundedQueue<Job> queue_;
+
+    mutable std::mutex state_mutex_;
+    /// Cancellation flags of queued + running sweeps, by request id. An id
+    /// is removed when its sweep finishes; requests sharing an id share a
+    /// flag (clients should keep ids unique).
+    std::map<std::string, std::shared_ptr<std::atomic<bool>>> cancel_flags_;
+    ServiceStats counters_;  ///< queue_depth/in_flight filled in stats()
+    size_t in_flight_ = 0;
+    std::function<void()> on_shutdown_;
+    bool shutdown_requested_ = false;
+    bool joined_ = false;
+
+    std::vector<std::thread> workers_;
+};
+
+}  // namespace sdlc::serve
+
+#endif  // SDLC_SERVE_SERVICE_H

@@ -1,0 +1,36 @@
+#include "serve/sink.h"
+
+namespace sdlc::serve {
+
+void OstreamSink::write_line(const std::string& line) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out_ << line << '\n';
+    out_.flush();
+}
+
+void BufferSink::write_line(const std::string& line) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    lines_.push_back(line);
+}
+
+std::vector<std::string> BufferSink::lines() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lines_;
+}
+
+std::string BufferSink::text() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out;
+    for (const std::string& line : lines_) {
+        out += line;
+        out += '\n';
+    }
+    return out;
+}
+
+size_t BufferSink::line_count() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lines_.size();
+}
+
+}  // namespace sdlc::serve

@@ -1,0 +1,65 @@
+// Pluggable response sinks for the DSE service.
+//
+// The service emits NDJSON events — one JSON object per line — and a
+// ResponseSink is where a request's lines go: a client connection, stdout,
+// or an in-memory buffer in tests and benches. Sinks must be safe to call
+// from multiple threads (the service's request workers and the evaluator's
+// streaming callback all write), so every implementation serializes whole
+// lines internally; events from concurrent requests interleave at line
+// granularity, never mid-line.
+#ifndef SDLC_SERVE_SINK_H
+#define SDLC_SERVE_SINK_H
+
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sdlc::serve {
+
+/// Thread-safe destination for NDJSON event lines.
+class ResponseSink {
+public:
+    virtual ~ResponseSink() = default;
+
+    /// Writes one event line (`line` carries no trailing newline; the sink
+    /// adds it). Implementations must tolerate a broken peer: a failed
+    /// write flips the sink into a dropped state instead of throwing into
+    /// the evaluator.
+    virtual void write_line(const std::string& line) = 0;
+};
+
+/// Writes to an ostream (stdout in `serve_tool` stdio mode), flushing per
+/// line so a client reading a pipe sees events as they happen.
+class OstreamSink final : public ResponseSink {
+public:
+    explicit OstreamSink(std::ostream& out) : out_(out) {}
+    void write_line(const std::string& line) override;
+
+private:
+    std::mutex mutex_;
+    std::ostream& out_;
+};
+
+/// Collects lines in memory; tests and benches inspect them afterwards.
+class BufferSink final : public ResponseSink {
+public:
+    void write_line(const std::string& line) override;
+
+    /// Snapshot of everything written so far.
+    [[nodiscard]] std::vector<std::string> lines() const;
+
+    /// Lines written so far, joined with '\n' (trailing newline included);
+    /// what a client on the wire would have received.
+    [[nodiscard]] std::string text() const;
+
+    [[nodiscard]] size_t line_count() const;
+
+private:
+    mutable std::mutex mutex_;
+    std::vector<std::string> lines_;
+};
+
+}  // namespace sdlc::serve
+
+#endif  // SDLC_SERVE_SINK_H

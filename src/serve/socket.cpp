@@ -1,0 +1,194 @@
+#include "serve/socket.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <ctime>
+#include <stdexcept>
+
+namespace sdlc::serve {
+
+namespace {
+
+sockaddr_un make_address(const std::string& path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        throw std::runtime_error("socket path too long: " + path);
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return addr;
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+    throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+UnixSocketServer::UnixSocketServer(const std::string& path) : path_(path) {
+    const sockaddr_un addr = make_address(path_);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) throw_errno("socket");
+    ::unlink(path_.c_str());
+    if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+        const int saved = errno;
+        ::close(fd_);
+        errno = saved;
+        throw_errno("bind " + path_);
+    }
+    if (::listen(fd_, SOMAXCONN) != 0) {
+        const int saved = errno;
+        ::close(fd_);
+        ::unlink(path_.c_str());
+        errno = saved;
+        throw_errno("listen " + path_);
+    }
+}
+
+UnixSocketServer::~UnixSocketServer() {
+    close();
+    if (fd_ >= 0) ::close(fd_);
+    ::unlink(path_.c_str());
+}
+
+int UnixSocketServer::accept_client(int timeout_ms) {
+    while (!closed_.load(std::memory_order_acquire)) {
+        if (timeout_ms >= 0) {
+            pollfd waiter{};
+            waiter.fd = fd_;
+            waiter.events = POLLIN;
+            const int ready = ::poll(&waiter, 1, timeout_ms);
+            if (ready == 0) return kTimeout;
+            if (ready < 0) {
+                if (errno == EINTR) continue;
+                return -1;
+            }
+            // POLLIN, POLLHUP or POLLERR: fall through to accept(), which
+            // resolves it (a connection, or the listener was shut down).
+        }
+        const int client = ::accept(fd_, nullptr, nullptr);
+        if (client >= 0) {
+            if (closed_.load(std::memory_order_acquire)) {
+                ::close(client);
+                return -1;
+            }
+            return client;
+        }
+        if (errno == EINTR || errno == ECONNABORTED) continue;
+        if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS || errno == ENOMEM) {
+            // Transient resource exhaustion must not look like shutdown; back
+            // off and keep serving (fds free up as connections are reaped).
+            struct timespec backoff{0, 50 * 1000 * 1000};  // 50 ms
+            ::nanosleep(&backoff, nullptr);
+            continue;
+        }
+        return -1;  // listener shut down (or a hard error): stop accepting
+    }
+    return -1;
+}
+
+void UnixSocketServer::close() {
+    if (closed_.exchange(true, std::memory_order_acq_rel)) return;
+    // shutdown() unblocks a concurrent accept(); the fd itself is closed by
+    // the destructor so a racing accept never sees a reused descriptor.
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+int unix_socket_connect(const std::string& path) {
+    const sockaddr_un addr = make_address(path);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) throw_errno("socket");
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+        const int saved = errno;
+        ::close(fd);
+        errno = saved;
+        throw_errno("connect " + path);
+    }
+    return fd;
+}
+
+bool write_all(int fd, std::string_view data) {
+    while (!data.empty()) {
+        // MSG_NOSIGNAL: a vanished peer must surface as an error return,
+        // not a process-killing SIGPIPE. Falls back to write() for fds
+        // (pipes) that are not sockets.
+        ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+        if (n < 0 && errno == ENOTSOCK) n = ::write(fd, data.data(), data.size());
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        data.remove_prefix(static_cast<size_t>(n));
+    }
+    return true;
+}
+
+bool LineReader::next(std::string& line) {
+    while (true) {
+        const size_t newline = buffer_.find('\n');
+        if (newline != std::string::npos) {
+            line.assign(buffer_, 0, newline);
+            buffer_.erase(0, newline + 1);
+            return true;
+        }
+        if (max_line_ != 0 && buffer_.size() > max_line_) {
+            eof_ = true;  // runaway unterminated line: drop the stream
+            overflowed_ = true;
+            buffer_.clear();
+            return false;
+        }
+        if (eof_) {
+            if (buffer_.empty()) return false;
+            line = std::move(buffer_);
+            buffer_.clear();
+            return true;
+        }
+        char chunk[4096];
+        const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            eof_ = true;
+            buffer_.clear();  // error-truncated bytes must not become a line
+            continue;
+        }
+        if (n == 0) {
+            eof_ = true;
+            continue;
+        }
+        buffer_.append(chunk, static_cast<size_t>(n));
+    }
+}
+
+FdSink::FdSink(int fd, bool owns_fd) : fd_(fd), owns_fd_(owns_fd) {
+    if (owns_fd_ && kSendTimeoutSeconds > 0) {
+        // Best-effort: a non-socket fd rejects the option, and write_all's
+        // error handling covers the unbounded-blocking case no worse than
+        // before.
+        timeval timeout{};
+        timeout.tv_sec = kSendTimeoutSeconds;
+        (void)::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+    }
+}
+
+FdSink::~FdSink() {
+    if (owns_fd_) ::close(fd_);
+}
+
+void FdSink::write_line(const std::string& line) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (dropped_) return;
+    if (!write_all(fd_, line) || !write_all(fd_, "\n")) dropped_ = true;
+}
+
+bool FdSink::dropped() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
+}
+
+}  // namespace sdlc::serve

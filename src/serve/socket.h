@@ -1,0 +1,130 @@
+// Unix-domain socket transport for the DSE service (POSIX).
+//
+// The service itself is transport-agnostic (it talks ResponseSink); this
+// file supplies the pieces `serve_tool` composes into a socket server and
+// client: a listener whose accept() can be unblocked from another thread,
+// a connect helper, a buffered line reader, and an FdSink that writes
+// NDJSON lines to a connected peer. A peer that disappears mid-stream must
+// not take the service down, so FdSink swallows write errors (further
+// lines are dropped) instead of throwing into the evaluator.
+#ifndef SDLC_SERVE_SOCKET_H
+#define SDLC_SERVE_SOCKET_H
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "serve/sink.h"
+
+namespace sdlc::serve {
+
+/// Listening Unix-domain stream socket bound to a filesystem path. The
+/// path is unlinked on construction (stale socket files from a previous
+/// run would otherwise fail the bind) and again on destruction.
+class UnixSocketServer {
+public:
+    /// Binds and listens; throws std::runtime_error on failure.
+    explicit UnixSocketServer(const std::string& path);
+    ~UnixSocketServer();
+
+    UnixSocketServer(const UnixSocketServer&) = delete;
+    UnixSocketServer& operator=(const UnixSocketServer&) = delete;
+
+    /// Returned by accept_client when `timeout_ms` elapsed with no client.
+    static constexpr int kTimeout = -2;
+
+    /// Blocks for the next client; returns the connection fd (caller owns
+    /// and closes it), -1 once close() was called, or kTimeout after
+    /// `timeout_ms` milliseconds with no connection (-1 = wait forever).
+    /// A timeout gives a server loop a periodic tick for housekeeping
+    /// (reaping finished connections) even when no client ever connects.
+    [[nodiscard]] int accept_client(int timeout_ms = -1);
+
+    /// Unblocks any accept_client() in progress and stops accepting.
+    void close();
+
+    [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+private:
+    std::string path_;
+    int fd_ = -1;
+    std::atomic<bool> closed_{false};
+};
+
+/// Connects to a listening Unix-domain socket; returns the fd (caller owns
+/// it). Throws std::runtime_error on failure.
+[[nodiscard]] int unix_socket_connect(const std::string& path);
+
+/// Writes all of `data`, retrying short writes. Returns false on error
+/// (e.g. the peer closed the connection).
+bool write_all(int fd, std::string_view data);
+
+/// Buffered newline-delimited reader over a file descriptor.
+class LineReader {
+public:
+    /// `max_line` bounds the partial-line buffer (0 = unbounded). A server
+    /// must pass its request-size cap (plus slack): the protocol-level
+    /// too_large rejection only fires once a complete line exists, so
+    /// without this bound a peer streaming bytes with no newline would
+    /// grow the buffer without limit.
+    explicit LineReader(int fd, size_t max_line = 0) : fd_(fd), max_line_(max_line) {}
+
+    /// Reads the next '\n'-terminated line (newline stripped) into `line`.
+    /// Returns false on EOF, read error, or an over-long unterminated
+    /// line. A final unterminated (but in-bounds) line at clean EOF is
+    /// still delivered; bytes truncated by a read *error* are discarded —
+    /// a half-received request must never execute.
+    bool next(std::string& line);
+
+    /// True when the stream ended because an unterminated line outgrew
+    /// `max_line` — lets a server answer with a too_large error event
+    /// before dropping the connection, matching the protocol contract.
+    [[nodiscard]] bool overflowed() const noexcept { return overflowed_; }
+
+private:
+    int fd_;
+    size_t max_line_;
+    std::string buffer_;
+    bool eof_ = false;
+    bool overflowed_ = false;
+};
+
+/// ResponseSink writing NDJSON lines to a socket/pipe fd. Write failures
+/// (broken peer) put the sink into a dropped state: later lines are
+/// discarded silently.
+///
+/// With owns_fd the destructor closes the fd — a server shares one FdSink
+/// per connection between its reader thread and any in-flight requests
+/// (via shared_ptr), so "last reference gone" is exactly the moment the
+/// descriptor can be closed without racing a late response or letting the
+/// kernel reuse the fd number under a still-streaming request.
+///
+/// Owned (server-side) sockets also get a send timeout: write_line runs on
+/// shared ThreadPool workers under the evaluator's ordered-emission lock,
+/// so a peer that stops reading must flip the sink to dropped after a
+/// bounded stall instead of wedging every in-flight sweep forever.
+class FdSink final : public ResponseSink {
+public:
+    /// Seconds a blocked send may stall before the sink drops the peer
+    /// (owned sockets only; 0 disables).
+    static constexpr int kSendTimeoutSeconds = 30;
+
+    explicit FdSink(int fd, bool owns_fd = false);
+    ~FdSink() override;
+
+    void write_line(const std::string& line) override;
+
+    /// True once a write failed and the sink started dropping lines.
+    [[nodiscard]] bool dropped() const;
+
+private:
+    mutable std::mutex mutex_;
+    int fd_;
+    bool owns_fd_;
+    bool dropped_ = false;
+};
+
+}  // namespace sdlc::serve
+
+#endif  // SDLC_SERVE_SOCKET_H

@@ -1,0 +1,269 @@
+#include "util/json_parse.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace sdlc {
+
+namespace {
+
+/// Nesting bound: a request line has no business being deeper than this, and
+/// the recursive-descent parser must not let input depth become stack depth.
+constexpr int kMaxDepth = 64;
+
+class Parser {
+public:
+    Parser(std::string_view text, std::string* error) : text_(text), error_(error) {}
+
+    bool parse(JsonValue& out) {
+        skip_ws();
+        if (!parse_value(out, 0)) return false;
+        skip_ws();
+        if (pos_ != text_.size()) return fail("trailing characters after JSON value");
+        return true;
+    }
+
+private:
+    bool fail(const std::string& message) {
+        if (error_ != nullptr) {
+            *error_ = message + " at byte " + std::to_string(pos_);
+        }
+        return false;
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+            ++pos_;
+        }
+    }
+
+    [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+    [[nodiscard]] char peek() const { return text_[pos_]; }
+
+    bool consume_literal(std::string_view word) {
+        if (text_.substr(pos_, word.size()) != word) {
+            return fail("invalid literal");
+        }
+        pos_ += word.size();
+        return true;
+    }
+
+    bool parse_value(JsonValue& out, int depth) {
+        if (depth > kMaxDepth) return fail("nesting too deep");
+        if (at_end()) return fail("unexpected end of input");
+        switch (peek()) {
+            case 'n': out.type = JsonValue::Type::kNull; return consume_literal("null");
+            case 't':
+                out.type = JsonValue::Type::kBool;
+                out.boolean = true;
+                return consume_literal("true");
+            case 'f':
+                out.type = JsonValue::Type::kBool;
+                out.boolean = false;
+                return consume_literal("false");
+            case '"': out.type = JsonValue::Type::kString; return parse_string(out.string);
+            case '[': return parse_array(out, depth);
+            case '{': return parse_object(out, depth);
+            default: return parse_number(out);
+        }
+    }
+
+    bool parse_array(JsonValue& out, int depth) {
+        out.type = JsonValue::Type::kArray;
+        ++pos_;  // '['
+        skip_ws();
+        if (!at_end() && peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            JsonValue element;
+            skip_ws();
+            if (!parse_value(element, depth + 1)) return false;
+            out.array.push_back(std::move(element));
+            skip_ws();
+            if (at_end()) return fail("unterminated array");
+            const char c = text_[pos_++];
+            if (c == ']') return true;
+            if (c != ',') return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool parse_object(JsonValue& out, int depth) {
+        out.type = JsonValue::Type::kObject;
+        ++pos_;  // '{'
+        skip_ws();
+        if (!at_end() && peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skip_ws();
+            if (at_end() || peek() != '"') return fail("expected object key string");
+            std::string key;
+            if (!parse_string(key)) return false;
+            for (const auto& [existing, value] : out.object) {
+                (void)value;
+                if (existing == key) return fail("duplicate object key \"" + key + "\"");
+            }
+            skip_ws();
+            if (at_end() || text_[pos_++] != ':') return fail("expected ':' after object key");
+            skip_ws();
+            JsonValue member;
+            if (!parse_value(member, depth + 1)) return false;
+            out.object.emplace_back(std::move(key), std::move(member));
+            skip_ws();
+            if (at_end()) return fail("unterminated object");
+            const char c = text_[pos_++];
+            if (c == '}') return true;
+            if (c != ',') return fail("expected ',' or '}' in object");
+        }
+    }
+
+    bool parse_hex4(unsigned& out) {
+        if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = text_[pos_++];
+            out <<= 4;
+            if (c >= '0' && c <= '9') out |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f') out |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F') out |= static_cast<unsigned>(c - 'A' + 10);
+            else return fail("invalid \\u escape digit");
+        }
+        return true;
+    }
+
+    void append_utf8(std::string& s, unsigned cp) {
+        if (cp < 0x80) {
+            s += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            s += static_cast<char>(0xC0 | (cp >> 6));
+            s += static_cast<char>(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            s += static_cast<char>(0xE0 | (cp >> 12));
+            s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            s += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            s += static_cast<char>(0xF0 | (cp >> 18));
+            s += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+            s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            s += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+    }
+
+    bool parse_string(std::string& out) {
+        ++pos_;  // opening quote
+        out.clear();
+        while (true) {
+            if (at_end()) return fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"') return true;
+            if (static_cast<unsigned char>(c) < 0x20) {
+                return fail("unescaped control character in string");
+            }
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (at_end()) return fail("truncated escape sequence");
+            const char esc = text_[pos_++];
+            switch (esc) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'u': {
+                    unsigned cp = 0;
+                    if (!parse_hex4(cp)) return false;
+                    if (cp >= 0xD800 && cp <= 0xDBFF) {
+                        // High surrogate: a low surrogate escape must follow.
+                        if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                            text_[pos_ + 1] != 'u') {
+                            return fail("unpaired high surrogate");
+                        }
+                        pos_ += 2;
+                        unsigned low = 0;
+                        if (!parse_hex4(low)) return false;
+                        if (low < 0xDC00 || low > 0xDFFF) {
+                            return fail("invalid low surrogate");
+                        }
+                        cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                    } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+                        return fail("unpaired low surrogate");
+                    }
+                    append_utf8(out, cp);
+                    break;
+                }
+                default: return fail("invalid escape sequence");
+            }
+        }
+    }
+
+    bool parse_number(JsonValue& out) {
+        const size_t start = pos_;
+        if (!at_end() && peek() == '-') ++pos_;
+        if (at_end() || peek() < '0' || peek() > '9') return fail("invalid number");
+        if (peek() == '0') {
+            ++pos_;  // leading zero cannot be followed by more digits
+        } else {
+            while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+        }
+        if (!at_end() && peek() == '.') {
+            ++pos_;
+            if (at_end() || peek() < '0' || peek() > '9') return fail("invalid number");
+            while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+        }
+        if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+            ++pos_;
+            if (!at_end() && (peek() == '+' || peek() == '-')) ++pos_;
+            if (at_end() || peek() < '0' || peek() > '9') return fail("invalid number");
+            while (!at_end() && peek() >= '0' && peek() <= '9') ++pos_;
+        }
+        // The token is validated above, so strtod cannot reject it; the copy
+        // guarantees null termination for a string_view slice.
+        const std::string token(text_.substr(start, pos_ - start));
+        out.type = JsonValue::Type::kNumber;
+        out.number = std::strtod(token.c_str(), nullptr);
+        return true;
+    }
+
+    std::string_view text_;
+    size_t pos_ = 0;
+    std::string* error_;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const noexcept {
+    if (type != Type::kObject) return nullptr;
+    for (const auto& [name, value] : object) {
+        if (name == key) return &value;
+    }
+    return nullptr;
+}
+
+const char* json_type_name(JsonValue::Type t) noexcept {
+    switch (t) {
+        case JsonValue::Type::kNull: return "null";
+        case JsonValue::Type::kBool: return "bool";
+        case JsonValue::Type::kNumber: return "number";
+        case JsonValue::Type::kString: return "string";
+        case JsonValue::Type::kArray: return "array";
+        case JsonValue::Type::kObject: return "object";
+    }
+    return "?";
+}
+
+bool json_parse(std::string_view text, JsonValue& out, std::string* error) {
+    out = JsonValue{};
+    return Parser(text, error).parse(out);
+}
+
+}  // namespace sdlc

@@ -1,0 +1,55 @@
+// Minimal strict JSON parser (no external dependency), the read-side
+// counterpart of util/json.h. The serve protocol parses every request line
+// through this before touching any sweep machinery, so the parser is strict
+// where leniency could hide a malformed request: no trailing garbage, no
+// duplicate object keys, no unpaired surrogates, bounded nesting depth.
+//
+// Documents are small (NDJSON request lines, capped by the service), so the
+// tree representation favors simplicity over compactness: every node carries
+// all payload members and only the one matching `type` is meaningful.
+#ifndef SDLC_UTIL_JSON_PARSE_H
+#define SDLC_UTIL_JSON_PARSE_H
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sdlc {
+
+/// One node of a parsed JSON document.
+struct JsonValue {
+    enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+    Type type = Type::kNull;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    /// Members in source order; keys are unique (duplicates are a parse error).
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    [[nodiscard]] bool is_null() const noexcept { return type == Type::kNull; }
+    [[nodiscard]] bool is_bool() const noexcept { return type == Type::kBool; }
+    [[nodiscard]] bool is_number() const noexcept { return type == Type::kNumber; }
+    [[nodiscard]] bool is_string() const noexcept { return type == Type::kString; }
+    [[nodiscard]] bool is_array() const noexcept { return type == Type::kArray; }
+    [[nodiscard]] bool is_object() const noexcept { return type == Type::kObject; }
+
+    /// Member lookup; nullptr when this is not an object or `key` is absent.
+    [[nodiscard]] const JsonValue* find(std::string_view key) const noexcept;
+};
+
+/// Human-readable name ("null", "bool", ... ) for diagnostics.
+[[nodiscard]] const char* json_type_name(JsonValue::Type t) noexcept;
+
+/// Parses exactly one JSON document from `text` (leading/trailing whitespace
+/// allowed, anything else after the value is an error). Returns false and
+/// writes a message with a byte offset into *error (when non-null) on
+/// failure; `out` is left in an unspecified state in that case.
+[[nodiscard]] bool json_parse(std::string_view text, JsonValue& out,
+                              std::string* error = nullptr);
+
+}  // namespace sdlc
+
+#endif  // SDLC_UTIL_JSON_PARSE_H

@@ -2,6 +2,7 @@
 // enumeration, evaluator determinism under threading, and result export.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -10,6 +11,7 @@
 #include "dse/export.h"
 #include "dse/pareto.h"
 #include "dse/sweep.h"
+#include "dse/thread_pool.h"
 
 namespace sdlc {
 namespace {
@@ -64,6 +66,48 @@ TEST(Pareto, EmptyAndSingleton) {
 TEST(Pareto, ObjectiveNames) {
     EXPECT_STREQ(objective_name(Objective::kError), "error");
     EXPECT_STREQ(objective_name(Objective::kDelay), "delay");
+    EXPECT_STREQ(objective_name(Objective::kEnergy), "energy");
+    EXPECT_STREQ(objective_name(Objective::kMaxRed), "maxred");
+}
+
+TEST(Pareto, ObjectiveParserRoundTripsAndRejectsUnknown) {
+    for (int i = 0; i < kAllObjectiveCount; ++i) {
+        const Objective o = static_cast<Objective>(i);
+        Objective parsed = Objective::kDelay;
+        ASSERT_TRUE(parse_objective(objective_name(o), parsed));
+        EXPECT_EQ(parsed, o);
+    }
+    Objective o = Objective::kArea;
+    EXPECT_FALSE(parse_objective("bogus", o));
+    EXPECT_EQ(o, Objective::kArea) << "failed parse must not modify out";
+}
+
+TEST(Pareto, ObjectiveSetParsing) {
+    ObjectiveSet set;
+    ASSERT_TRUE(parse_objective_set({"error", "energy", "maxred"}, set));
+    EXPECT_EQ(set, (ObjectiveSet{Objective::kError, Objective::kEnergy, Objective::kMaxRed}));
+    EXPECT_EQ(objective_set_name(set), "error,energy,maxred");
+
+    std::string error;
+    EXPECT_FALSE(parse_objective_set({}, set, &error)) << "empty set";
+    EXPECT_FALSE(parse_objective_set({"error", "error"}, set, &error));
+    EXPECT_NE(error.find("duplicate"), std::string::npos);
+    EXPECT_FALSE(parse_objective_set({"watts"}, set, &error));
+    EXPECT_EQ(default_objectives(),
+              (ObjectiveSet{Objective::kError, Objective::kArea, Objective::kPower,
+                            Objective::kDelay}));
+}
+
+TEST(Pareto, DominanceOverSelectedAxesOnly) {
+    // b is worse on energy; over {error, area} the points tie exactly, so
+    // neither dominates — but adding the energy axis separates them.
+    const ObjectiveVector a{1.0, 2.0};
+    const ObjectiveVector b{1.0, 2.0};
+    EXPECT_FALSE(dominates(a, b));
+    const ObjectiveVector a3{1.0, 2.0, 5.0};
+    const ObjectiveVector b3{1.0, 2.0, 7.0};
+    EXPECT_TRUE(dominates(a3, b3));
+    EXPECT_FALSE(dominates(b3, a3));
 }
 
 // ----------------------------------------------------------------- sweep ----
@@ -253,6 +297,59 @@ TEST(Evaluator, AccurateIsZeroErrorExtremeOfFrontier) {
     EXPECT_EQ(min_nmed_on_frontier, 0.0);
 }
 
+TEST(Evaluator, StreamsPointsInEnumerationOrder) {
+    // The streaming hook must see every point exactly once, in enumeration
+    // order, even though workers complete points out of order.
+    const SweepSpec spec = small_spec();
+    EvalOptions opts;
+    opts.threads = 4;
+    std::vector<size_t> order;
+    std::vector<DesignPoint> streamed;
+    opts.on_point = [&](size_t i, const DesignPoint& p) {
+        order.push_back(i);
+        streamed.push_back(p);
+    };
+    const std::vector<DesignPoint> points = evaluate_sweep(spec, opts);
+    ASSERT_EQ(order.size(), points.size());
+    for (size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+    expect_identical(streamed, points);
+}
+
+TEST(Evaluator, ExternalPoolIsReusedAcrossSweeps) {
+    ThreadPool pool(2);
+    EvalOptions opts;
+    opts.pool = &pool;
+    opts.evaluate_hardware = false;
+    EvalOptions fresh;  // sweep-local pool
+    fresh.evaluate_hardware = false;
+    expect_identical(evaluate_sweep(small_spec(), opts), evaluate_sweep(small_spec(), fresh));
+    // Second sweep on the same pool: still fine, still identical.
+    expect_identical(evaluate_sweep(small_spec(), opts), evaluate_sweep(small_spec(), fresh));
+}
+
+TEST(Evaluator, CancelThrowsSweepCancelled) {
+    std::atomic<bool> cancel{true};  // pre-set: first claimed point trips it
+    EvalOptions opts;
+    opts.cancel = &cancel;
+    opts.evaluate_hardware = false;
+    EXPECT_THROW((void)evaluate_sweep(small_spec(), opts), SweepCancelled);
+    cancel.store(false);
+    EXPECT_NO_THROW((void)evaluate_sweep(small_spec(), opts));
+}
+
+TEST(Evaluator, ObjectiveMatrixSelectsAxes) {
+    const std::vector<DesignPoint> points = evaluate_sweep(small_spec());
+    const auto m = objective_matrix(points, {Objective::kEnergy, Objective::kMaxRed});
+    ASSERT_EQ(m.size(), points.size());
+    for (size_t i = 0; i < m.size(); ++i) {
+        ASSERT_EQ(m[i].size(), 2u);
+        EXPECT_EQ(m[i][0], points[i].hw.energy_fj);
+        EXPECT_EQ(m[i][1], points[i].error.max_red);
+    }
+    // The default matrix still carries the paper's four axes.
+    EXPECT_EQ(objective_matrix(points)[0].size(), 4u);
+}
+
 TEST(Evaluator, ErrorOnlyModeSkipsSynthesis) {
     EvalOptions opts;
     opts.evaluate_hardware = false;
@@ -316,6 +413,29 @@ TEST(Export, JsonContainsConfigAndMetrics) {
         ++objects;
     }
     EXPECT_EQ(objects, points.size());
+}
+
+TEST(Export, PointJsonIsSingleLineAndMatchesArrayRows) {
+    // The serve protocol embeds dse_point_json in streamed events and the
+    // array export embeds it per row; byte-level streaming/export parity
+    // depends on both using the same renderer.
+    const std::vector<DesignPoint> points = export_fixture();
+    const std::string row = dse_point_json(points[0], 2);
+    EXPECT_EQ(row.find('\n'), std::string::npos);
+    EXPECT_NE(row.find("\"rank\": 2"), std::string::npos);
+    EXPECT_NE(dse_to_json(points, std::vector<int>(points.size(), 2)).find(row),
+              std::string::npos);
+}
+
+TEST(Export, SummaryCarriesObjectiveSet) {
+    const std::vector<DesignPoint> points = export_fixture();
+    const SweepStats stats;
+    EXPECT_NE(dse_to_json(points, {}, stats)
+                  .find("\"objectives\": [\"error\", \"area\", \"power\", \"delay\"]"),
+              std::string::npos);
+    EXPECT_NE(dse_to_json(points, {}, stats, {Objective::kEnergy})
+                  .find("\"objectives\": [\"energy\"]"),
+              std::string::npos);
 }
 
 TEST(Export, RanksSizeMismatchThrows) {

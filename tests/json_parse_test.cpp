@@ -1,0 +1,103 @@
+// Tests for the strict JSON parser backing the serve protocol.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/json.h"
+#include "util/json_parse.h"
+
+namespace sdlc {
+namespace {
+
+JsonValue parse_ok(const std::string& text) {
+    JsonValue v;
+    std::string error;
+    EXPECT_TRUE(json_parse(text, v, &error)) << text << " — " << error;
+    return v;
+}
+
+void expect_rejected(const std::string& text) {
+    JsonValue v;
+    std::string error;
+    EXPECT_FALSE(json_parse(text, v, &error)) << text;
+    EXPECT_FALSE(error.empty()) << "rejection must carry a message";
+}
+
+TEST(JsonParse, Scalars) {
+    EXPECT_TRUE(parse_ok("null").is_null());
+    EXPECT_TRUE(parse_ok("true").boolean);
+    EXPECT_FALSE(parse_ok("false").boolean);
+    EXPECT_EQ(parse_ok("42").number, 42.0);
+    EXPECT_EQ(parse_ok("-0.5").number, -0.5);
+    EXPECT_EQ(parse_ok("1e3").number, 1000.0);
+    EXPECT_EQ(parse_ok("\"hi\"").string, "hi");
+    EXPECT_EQ(parse_ok("  17  ").number, 17.0) << "surrounding whitespace is fine";
+}
+
+TEST(JsonParse, Containers) {
+    const JsonValue arr = parse_ok("[1, [2, 3], {\"k\": 4}]");
+    ASSERT_EQ(arr.array.size(), 3u);
+    EXPECT_EQ(arr.array[1].array[1].number, 3.0);
+    EXPECT_EQ(arr.array[2].find("k")->number, 4.0);
+
+    const JsonValue obj = parse_ok("{\"a\": 1, \"b\": {\"c\": [true]}}");
+    ASSERT_NE(obj.find("b"), nullptr);
+    EXPECT_TRUE(obj.find("b")->find("c")->array[0].boolean);
+    EXPECT_EQ(obj.find("missing"), nullptr);
+    EXPECT_TRUE(parse_ok("[]").array.empty());
+    EXPECT_TRUE(parse_ok("{}").object.empty());
+}
+
+TEST(JsonParse, StringEscapes) {
+    EXPECT_EQ(parse_ok(R"("a\"b\\c\/d\n\t")").string, "a\"b\\c/d\n\t");
+    EXPECT_EQ(parse_ok(R"("A")").string, "A");
+    EXPECT_EQ(parse_ok(R"("é")").string, "\xc3\xa9");          // é
+    EXPECT_EQ(parse_ok(R"("😀")").string, "\xf0\x9f\x98\x80");  // 😀
+}
+
+TEST(JsonParse, RoundTripsEmitterOutput) {
+    // Whatever util/json.h escapes, the parser must read back verbatim.
+    const std::string original = "line1\nline2\t\"quoted\" \\ end\x01";
+    EXPECT_EQ(parse_ok(json_string(original)).string, original);
+}
+
+TEST(JsonParse, RejectsMalformed) {
+    expect_rejected("");
+    expect_rejected("{");
+    expect_rejected("[1,]");
+    expect_rejected("{\"a\": }");
+    expect_rejected("{\"a\" 1}");
+    expect_rejected("nul");
+    expect_rejected("01");       // leading zero
+    expect_rejected("1.");       // missing fraction digits
+    expect_rejected("+1");
+    expect_rejected("'single'");
+    expect_rejected("\"unterminated");
+    expect_rejected("\"bad \\x escape\"");
+    expect_rejected(R"("\ud83d alone")");  // unpaired surrogate
+    expect_rejected("{} trailing");
+    expect_rejected("[1] [2]");
+    expect_rejected("\"tab\tliteral\"");  // unescaped control character
+}
+
+TEST(JsonParse, RejectsDuplicateKeys) {
+    expect_rejected("{\"a\": 1, \"a\": 2}");
+}
+
+TEST(JsonParse, RejectsRunawayNesting) {
+    std::string deep;
+    for (int i = 0; i < 200; ++i) deep += '[';
+    deep += "1";
+    for (int i = 0; i < 200; ++i) deep += ']';
+    expect_rejected(deep);
+}
+
+TEST(JsonParse, ErrorsCarryByteOffsets) {
+    JsonValue v;
+    std::string error;
+    ASSERT_FALSE(json_parse("{\"a\": xyz}", v, &error));
+    EXPECT_NE(error.find("byte 6"), std::string::npos) << error;
+}
+
+}  // namespace
+}  // namespace sdlc

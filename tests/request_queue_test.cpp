@@ -1,0 +1,103 @@
+// Tests for the serve subsystem's bounded MPMC request queue, in
+// particular the drain-then-stop close() contract the service's clean
+// shutdown depends on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "serve/request_queue.h"
+
+namespace sdlc::serve {
+namespace {
+
+TEST(BoundedQueue, FifoOrder) {
+    BoundedQueue<int> q(8);
+    for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.push(i));
+    EXPECT_EQ(q.size(), 5u);
+    for (int i = 0; i < 5; ++i) EXPECT_EQ(q.pop(), i);
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BoundedQueue, ZeroCapacityClampsToOne) {
+    BoundedQueue<int> q(0);
+    EXPECT_EQ(q.capacity(), 1u);
+    EXPECT_TRUE(q.try_push(1));
+    EXPECT_FALSE(q.try_push(2)) << "full queue must refuse try_push";
+}
+
+TEST(BoundedQueue, PushBlocksUntilPopMakesRoom) {
+    BoundedQueue<int> q(1);
+    ASSERT_TRUE(q.push(1));
+    std::atomic<bool> second_pushed{false};
+    std::thread producer([&] {
+        ASSERT_TRUE(q.push(2));  // blocks until the consumer pops
+        second_pushed.store(true);
+    });
+    EXPECT_EQ(q.pop(), 1);
+    EXPECT_EQ(q.pop(), 2);
+    producer.join();
+    EXPECT_TRUE(second_pushed.load());
+}
+
+TEST(BoundedQueue, CloseDrainsThenStops) {
+    BoundedQueue<int> q(8);
+    ASSERT_TRUE(q.push(1));
+    ASSERT_TRUE(q.push(2));
+    q.close();
+    EXPECT_FALSE(q.push(3)) << "closed queue must refuse intake";
+    EXPECT_EQ(q.pop(), 1) << "queued items survive close()";
+    EXPECT_EQ(q.pop(), 2);
+    EXPECT_EQ(q.pop(), std::nullopt) << "drained + closed means end of stream";
+}
+
+TEST(BoundedQueue, CloseUnblocksWaitingConsumers) {
+    BoundedQueue<int> q(4);
+    std::thread consumer([&] { EXPECT_EQ(q.pop(), std::nullopt); });
+    q.close();
+    consumer.join();
+}
+
+TEST(BoundedQueue, CloseUnblocksWaitingProducers) {
+    BoundedQueue<int> q(1);
+    ASSERT_TRUE(q.push(1));
+    std::thread producer([&] { EXPECT_FALSE(q.push(2)); });
+    q.close();
+    producer.join();
+}
+
+TEST(BoundedQueue, MpmcStressDeliversEveryItemOnce) {
+    constexpr int kProducers = 4;
+    constexpr int kConsumers = 4;
+    constexpr int kPerProducer = 500;
+    BoundedQueue<int> q(16);
+
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&q, p] {
+            for (int i = 0; i < kPerProducer; ++i) {
+                ASSERT_TRUE(q.push(p * kPerProducer + i));
+            }
+        });
+    }
+    std::mutex seen_mutex;
+    std::set<int> seen;
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < kConsumers; ++c) {
+        consumers.emplace_back([&] {
+            while (std::optional<int> item = q.pop()) {
+                std::lock_guard<std::mutex> lock(seen_mutex);
+                EXPECT_TRUE(seen.insert(*item).second) << "duplicate delivery of " << *item;
+            }
+        });
+    }
+    for (std::thread& t : producers) t.join();
+    q.close();
+    for (std::thread& t : consumers) t.join();
+    EXPECT_EQ(seen.size(), static_cast<size_t>(kProducers * kPerProducer));
+}
+
+}  // namespace
+}  // namespace sdlc::serve

@@ -4,7 +4,7 @@
 //            [--variants v,v,...] [--schemes s,s,...]
 //            [--threads N] [--seed S] [--samples K] [--dist uniform|gaussian|sparse]
 //            [--exhaustive-max-width W] [--no-hw-cache] [--repeat K]
-//            [--frontier] [--top K] [--by error|area|power|delay]
+//            [--objectives o,o,...] [--frontier] [--top K] [--by OBJ]
 //            [--max-nmed X] [--max-mred X] [--max-area X] [--max-power X]
 //            [--max-delay X]
 //            [--csv file.csv] [--json file.json]
@@ -14,6 +14,11 @@
 //   --frontier   print only the Pareto frontier (rank 0)
 //   --top K      print the K best points by --by (default: error)
 // Filters (--max-*) drop points before the Pareto analysis.
+//
+// --objectives selects the frontier axes (any of error, area, power,
+// delay, energy, maxred; default error,area,power,delay) — dominance
+// ranks, the frontier and exported ranks are all computed over exactly
+// that set.
 //
 // --repeat K evaluates the sweep K times sharing one hardware cache (run 1
 // cold, later runs warm) and *fails* unless every run reproduces run 1
@@ -62,9 +67,11 @@ using namespace sdlc;
         "    --repeat K           evaluate the sweep K times (warm-cache runs);\n"
         "                         exits 1 unless all runs are bit-identical\n"
         "  selection:\n"
+        "    --objectives LIST    frontier axes: comma list of error,area,power,\n"
+        "                         delay,energy,maxred (default error,area,power,delay)\n"
         "    --frontier           print only Pareto rank-0 points\n"
         "    --top K              print K best points by --by\n"
-        "    --by OBJ             error|area|power|delay (default error)\n"
+        "    --by OBJ             error|area|power|delay|energy|maxred (default error)\n"
         "    --max-nmed/--max-mred/--max-area/--max-power/--max-delay X\n"
         "  export:\n"
         "    --csv FILE  --json FILE\n";
@@ -81,7 +88,7 @@ public:
             "--schemes", "--threads",  "--seed",      "--samples",   "--dist",
             "--exhaustive-max-width",  "--top",       "--by",        "--max-nmed",
             "--max-mred", "--max-area", "--max-power", "--max-delay", "--csv",
-            "--json",     "--repeat"};
+            "--json",     "--repeat",   "--objectives"};
         for (int i = 1; i < argc; ++i) {
             std::string key = argv[i];
             if (key == "--help" || key == "-h") usage();
@@ -192,24 +199,26 @@ EvalOptions options_from(const Args& args) {
 bool sweeps_identical(const std::vector<DesignPoint>& a, const std::vector<DesignPoint>& b) {
     if (a.size() != b.size()) return false;
     for (size_t i = 0; i < a.size(); ++i) {
-        const ErrorMetrics& x = a[i].error;
-        const ErrorMetrics& y = b[i].error;
-        if (x.nmed != y.nmed || x.mred != y.mred || x.med != y.med || x.max_ed != y.max_ed ||
-            x.error_rate != y.error_rate || x.max_red != y.max_red || x.bias != y.bias ||
-            x.rmse != y.rmse || x.samples != y.samples || !(a[i].hw == b[i].hw)) {
-            return false;
-        }
+        if (a[i].error != b[i].error || !(a[i].hw == b[i].hw)) return false;
     }
     return true;
 }
 
 Objective objective_from(const Args& args) {
     const std::string by = args.get("--by", "error");
-    if (by == "error") return Objective::kError;
-    if (by == "area") return Objective::kArea;
-    if (by == "power") return Objective::kPower;
-    if (by == "delay") return Objective::kDelay;
-    usage("unknown objective " + by);
+    Objective o;
+    if (!parse_objective(by, o)) usage("unknown objective " + by);
+    return o;
+}
+
+ObjectiveSet objective_set_from(const Args& args) {
+    if (!args.has("--objectives")) return default_objectives();
+    ObjectiveSet set;
+    std::string error;
+    if (!parse_objective_set(split_commas(args.get("--objectives")), set, &error)) {
+        usage(error);
+    }
+    return set;
 }
 
 void add_point_row(TextTable& table, const DesignPoint& p, int rank) {
@@ -236,6 +245,7 @@ int main(int argc, char** argv) {
         const SweepSpec spec = spec_from(args);
         EvalOptions opts = options_from(args);
         const Objective by = objective_from(args);  // validate before the sweep runs
+        const ObjectiveSet objectives = objective_set_from(args);
         const int repeat = args.get_int("--repeat", 1);
         if (repeat < 1) usage("--repeat must be >= 1");
 
@@ -285,7 +295,7 @@ int main(int argc, char** argv) {
             drop_if([v](const DesignPoint& p) { return p.hw.delay_ps > v; });
         }
 
-        const ParetoResult pareto = pareto_analysis(objective_matrix(points));
+        const ParetoResult pareto = pareto_analysis(objective_matrix(points, objectives));
 
         // Display order: by the selected objective, ties broken by area and
         // then by enumeration order (stable) — deterministic across runs.
@@ -306,7 +316,8 @@ int main(int argc, char** argv) {
         if (points.size() != evaluated) {
             std::cout << " (" << points.size() << " after filters)";
         }
-        std::cout << ", frontier " << pareto.frontier.size() << " points, dist "
+        std::cout << ", frontier " << pareto.frontier.size() << " points over ("
+                  << objective_set_name(objectives) << "), dist "
                   << operand_distribution_name(opts.distribution) << "\n";
         if (stats.hw_cache_enabled) {
             std::cout << "hw cache: on — " << stats.hw_cache_hits << " hits, "
@@ -337,8 +348,8 @@ int main(int argc, char** argv) {
         }
         table.print(std::cout);
         if (frontier_only) {
-            std::cout << "\n(" << table.row_count()
-                      << " Pareto-optimal points over error/area/power/delay)\n";
+            std::cout << "\n(" << table.row_count() << " Pareto-optimal points over "
+                      << objective_set_name(objectives) << ")\n";
         }
 
         if (const std::string csv = args.get("--csv"); !csv.empty()) {
@@ -346,7 +357,7 @@ int main(int argc, char** argv) {
             std::cout << "csv -> " << csv << "\n";
         }
         if (const std::string json = args.get("--json"); !json.empty()) {
-            write_dse_json(json, points, pareto.rank, stats);
+            write_dse_json(json, points, pareto.rank, stats, objectives);
             std::cout << "json -> " << json << "\n";
         }
         return 0;

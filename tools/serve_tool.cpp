@@ -1,0 +1,348 @@
+// serve_tool — long-lived DSE service front-end and client.
+//
+// Server modes (one SweepService: shared ThreadPool + CostCache across all
+// requests; see src/serve/protocol.h for the NDJSON wire format):
+//
+//   serve_tool                       requests on stdin, events on stdout
+//   serve_tool --listen PATH         Unix-domain socket server at PATH
+//
+// Client mode (against a --listen server):
+//
+//   serve_tool --client FILE --socket PATH [--output FILE] [--quiet]
+//
+// sends every request line of FILE ('-' = stdin), prints the event stream,
+// and exits once each sent request has received its terminal `done` event
+// (exit 1 if any request failed). --output extracts the `result` event's
+// embedded dse_json export to a file — byte-identical to what
+// `dse_tool --json` writes for the same sweep against a cold cache.
+//
+// Shutdown: a {"type": "shutdown"} request stops intake, drains every
+// queued request, then the server exits; so does EOF on stdin (stdio
+// mode). Requests already accepted always get their full event stream.
+#include <atomic>
+#include <condition_variable>
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "serve/protocol.h"
+#include "serve/service.h"
+#include "serve/socket.h"
+#include "util/json_parse.h"
+
+namespace {
+
+using namespace sdlc;
+using namespace sdlc::serve;
+
+[[noreturn]] void usage(const std::string& msg = "") {
+    if (!msg.empty()) std::cerr << "error: " << msg << "\n\n";
+    std::cerr <<
+        "usage: serve_tool [options]\n"
+        "  server (default: NDJSON requests on stdin, events on stdout):\n"
+        "    --listen PATH        serve on a Unix-domain socket instead\n"
+        "    --threads N          evaluation ThreadPool size (default: hardware)\n"
+        "    --workers N          concurrent in-flight requests (default 2)\n"
+        "    --queue-capacity N   bounded request queue size (default 64)\n"
+        "    --max-request-bytes N  reject longer request lines (default 1 MiB)\n"
+        "  client:\n"
+        "    --client FILE        send FILE's request lines ('-' = stdin)\n"
+        "    --socket PATH        server socket to connect to (required)\n"
+        "    --output FILE        write the result event's dse_json export here\n"
+        "    --quiet              do not echo the event stream to stdout\n";
+    std::exit(msg.empty() ? 0 : 2);
+}
+
+struct Args {
+    std::map<std::string, std::string> values;
+    std::set<std::string> flags;
+
+    Args(int argc, char** argv) {
+        const std::set<std::string> value_keys = {"--listen",         "--threads",
+                                                  "--workers",        "--queue-capacity",
+                                                  "--max-request-bytes", "--client",
+                                                  "--socket",         "--output"};
+        for (int i = 1; i < argc; ++i) {
+            const std::string key = argv[i];
+            if (key == "--help" || key == "-h") usage();
+            if (key == "--quiet") {
+                flags.insert("quiet");
+                continue;
+            }
+            if (value_keys.count(key) == 0) usage("unknown option " + key);
+            if (i + 1 >= argc) usage("missing value for " + key);
+            values[key] = argv[++i];
+        }
+    }
+
+    [[nodiscard]] std::string get(const std::string& key, const std::string& dflt = "") const {
+        const auto it = values.find(key);
+        return it == values.end() ? dflt : it->second;
+    }
+    [[nodiscard]] long get_long(const std::string& key, long dflt) const {
+        const std::string v = get(key);
+        if (v.empty()) return dflt;
+        const long parsed = std::stol(v);
+        if (parsed < 0) usage(key + " must be >= 0");
+        return parsed;
+    }
+};
+
+ServiceOptions service_options(const Args& args) {
+    ServiceOptions opts;
+    opts.eval_threads = static_cast<unsigned>(args.get_long("--threads", 0));
+    opts.request_workers = static_cast<unsigned>(args.get_long("--workers", 2));
+    opts.queue_capacity = static_cast<size_t>(args.get_long("--queue-capacity", 64));
+    opts.max_request_bytes = static_cast<size_t>(
+        args.get_long("--max-request-bytes", static_cast<long>(kDefaultMaxRequestBytes)));
+    return opts;
+}
+
+// ------------------------------------------------------------ stdio mode ----
+
+int run_stdio_server(const Args& args) {
+    const ServiceOptions opts = service_options(args);
+    SweepService service(opts);
+    const auto sink = std::make_shared<OstreamSink>(std::cout);
+
+    // stdin is read on its own thread so a shutdown request can end the
+    // server even while the peer keeps the pipe open: the main thread
+    // waits for EOF *or* shutdown, whichever comes first, then drains.
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool reader_done = false;
+    service.set_on_shutdown([&] {
+        std::lock_guard<std::mutex> lock(mutex);
+        cv.notify_all();
+    });
+    std::thread reader([&] {
+        LineReader lines(STDIN_FILENO, opts.max_request_bytes + 1);
+        std::string line;
+        while (lines.next(line)) {
+            if (line.empty()) continue;
+            if (!service.submit_line(line, sink)) break;  // draining: stop reading
+        }
+        if (lines.overflowed()) {
+            sink->write_line(error_event(
+                "", "too_large", "unterminated request line exceeded the size cap"));
+            sink->write_line(done_event("", false));
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            reader_done = true;
+        }
+        cv.notify_all();
+    });
+
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [&] { return reader_done || service.shutdown_requested(); });
+    }
+    service.shutdown();  // drain queued requests, join workers
+    if (reader_done) {
+        reader.join();
+        return 0;
+    }
+    // Shutdown arrived while the reader is still blocked on an open stdin;
+    // every accepted request has drained, so leave the reader behind and
+    // end the process (its only remaining act would be rejecting input).
+    reader.detach();
+    std::cout.flush();
+    ::_exit(0);
+}
+
+// ----------------------------------------------------------- socket mode ----
+
+int run_socket_server(const Args& args) {
+    const std::string path = args.get("--listen");
+    UnixSocketServer server(path);
+    const ServiceOptions opts = service_options(args);
+    SweepService service(opts);
+    // A processed shutdown request must unblock the accept loop below.
+    service.set_on_shutdown([&server] { server.close(); });
+
+    // Each connection's FdSink owns the fd and is shared between the reader
+    // thread and every in-flight request, so the descriptor closes exactly
+    // when the last response for that peer has been written (or dropped).
+    struct Connection {
+        int fd;
+        std::shared_ptr<FdSink> sink;
+        std::shared_ptr<std::atomic<bool>> finished;
+        std::thread reader;
+    };
+    std::vector<Connection> connections;
+    auto reap_finished = [&connections] {
+        for (auto it = connections.begin(); it != connections.end();) {
+            if (it->finished->load(std::memory_order_acquire)) {
+                it->reader.join();
+                it = connections.erase(it);  // drops the sink ref; fd closes with it
+            } else {
+                ++it;
+            }
+        }
+    };
+
+    std::cerr << "serve_tool: listening on " << path << "\n";
+    int client;
+    // The 1 s accept timeout is the reap tick: dead connections release
+    // their thread promptly even when no new client ever connects (their
+    // fd already closes with the sink's last reference).
+    while ((client = server.accept_client(/*timeout_ms=*/1000)) != -1) {
+        reap_finished();
+        if (client == UnixSocketServer::kTimeout) continue;
+        Connection conn;
+        conn.fd = client;
+        conn.sink = std::make_shared<FdSink>(client, /*owns_fd=*/true);
+        conn.finished = std::make_shared<std::atomic<bool>>(false);
+        conn.reader = std::thread(
+            [fd = client, sink = conn.sink, finished = conn.finished, &service,
+             max_line = opts.max_request_bytes + 1] {
+                LineReader reader(fd, max_line);
+                std::string line;
+                while (reader.next(line)) {
+                    if (line.empty()) continue;
+                    if (!service.submit_line(line, sink)) break;
+                }
+                if (reader.overflowed()) {
+                    // The protocol promises a machine-readable rejection for
+                    // oversized lines even when no newline ever arrives.
+                    sink->write_line(error_event(
+                        "", "too_large", "unterminated request line exceeded the size cap"));
+                    sink->write_line(done_event("", false));
+                }
+                finished->store(true, std::memory_order_release);
+            });
+        connections.push_back(std::move(conn));
+    }
+
+    // Accept loop ended (shutdown request): finish every accepted request,
+    // then release the connections. Readers may still be blocked on idle
+    // peers; shutting the read side down unblocks them.
+    service.shutdown();
+    for (Connection& conn : connections) {
+        ::shutdown(conn.fd, SHUT_RD);
+        conn.reader.join();
+    }
+    connections.clear();
+    return 0;
+}
+
+// ----------------------------------------------------------- client mode ----
+
+int run_client(const Args& args) {
+    const std::string request_path = args.get("--client");
+    const std::string socket_path = args.get("--socket");
+    if (socket_path.empty()) usage("--client requires --socket PATH");
+    const std::string output_path = args.get("--output");
+    const bool quiet = args.flags.count("quiet") != 0;
+
+    // Collect the request lines first so we know how many done events to
+    // expect before anything is sent.
+    std::vector<std::string> requests;
+    {
+        std::ifstream file;
+        std::istream* in = &std::cin;
+        if (request_path != "-") {
+            file.open(request_path);
+            if (!file) {
+                std::cerr << "error: cannot open " << request_path << "\n";
+                return 2;
+            }
+            in = &file;
+        }
+        std::string line;
+        while (std::getline(*in, line)) {
+            if (!line.empty()) requests.push_back(line);
+        }
+    }
+    if (requests.empty()) usage("no request lines in " + request_path);
+
+    const int fd = unix_socket_connect(socket_path);
+    // Send from a separate thread while the main thread drains responses:
+    // writing everything first can deadlock once the server's bounded
+    // request queue and both socket buffers fill (the server stops reading
+    // while it streams events nobody is consuming).
+    std::atomic<bool> send_failed{false};
+    std::thread sender([&] {
+        for (const std::string& request : requests) {
+            if (!write_all(fd, request) || !write_all(fd, "\n")) {
+                send_failed.store(true);
+                return;
+            }
+        }
+    });
+
+    LineReader reader(fd);
+    std::string line;
+    size_t done = 0;
+    bool all_ok = true;
+    bool wrote_output = false;
+    while (done < requests.size() && reader.next(line)) {
+        if (!quiet) std::cout << line << "\n";
+        JsonValue event;
+        if (!json_parse(line, event)) continue;  // not ours to validate
+        const JsonValue* kind = event.find("event");
+        if (kind == nullptr || !kind->is_string()) continue;
+        if (kind->string == "result" && !output_path.empty()) {
+            if (const JsonValue* data = event.find("data"); data != nullptr && data->is_string()) {
+                std::ofstream out(output_path, std::ios::binary);
+                out << data->string;
+                if (!out) {
+                    std::cerr << "error: cannot write " << output_path << "\n";
+                    all_ok = false;
+                    break;
+                }
+                wrote_output = true;
+            }
+        }
+        if (kind->string == "done") {
+            ++done;
+            if (const JsonValue* ok = event.find("ok"); ok != nullptr && ok->is_bool()) {
+                all_ok = all_ok && ok->boolean;
+            }
+        }
+    }
+    sender.join();
+    ::close(fd);
+    if (send_failed.load()) {
+        std::cerr << "error: send failed\n";
+        return 1;
+    }
+    if (done < requests.size()) {
+        std::cerr << "error: server closed the stream after " << done << " of "
+                  << requests.size() << " responses\n";
+        return 1;
+    }
+    if (!output_path.empty() && !wrote_output) {
+        std::cerr << "error: no result event received (add \"export\": true?)\n";
+        return 1;
+    }
+    return all_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    // A client that disconnects mid-stream must not kill the server.
+    std::signal(SIGPIPE, SIG_IGN);
+    try {
+        const Args args(argc, argv);
+        if (args.values.count("--client") != 0) return run_client(args);
+        if (args.values.count("--listen") != 0) return run_socket_server(args);
+        return run_stdio_server(args);
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}
