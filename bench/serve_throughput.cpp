@@ -5,10 +5,13 @@
 //   --csv FILE    dump the per-request latency samples
 //   --json FILE   machine-readable record (BENCH_serve.json in CI/repo)
 //
-// Three measurements over the default width-8 sweep (60 points each):
-//   cold    first request against an empty CostCache (pays full synthesis)
-//   warm    p50/p99 over sequential requests on the now-warm cache
-//   burst   all warm requests in flight at once (requests/second)
+// Measurements over the default width-8 sweep (60 points each):
+//   cold      first request against an empty CostCache (pays full synthesis)
+//   warm      p50/p99 over sequential requests on the now-warm cache
+//   burst     all warm requests in flight at once (requests/second)
+//   export    warm request with the full JSON export attached, monolithic
+//             `result` event vs 64 KiB `result_chunk` streaming (the
+//             chunked path trades one big line for bounded buffering)
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
@@ -89,6 +92,22 @@ int main(int argc, char** argv) {
     const double p50 = percentile(warm_seconds, 0.50);
     const double p99 = percentile(warm_seconds, 0.99);
 
+    // Warm export paths: monolithic result event vs chunked streaming.
+    const std::string export_line =
+        "{\"id\": \"bench\", \"spec\": {\"width\": 8}, \"export\": true}";
+    const std::string chunked_line =
+        "{\"id\": \"bench\", \"spec\": {\"width\": 8}, \"export\": true,"
+        " \"chunk_bytes\": 65536}";
+    std::vector<double> export_seconds;
+    std::vector<double> chunked_seconds;
+    const int export_requests = args.quick ? 4 : 16;
+    for (int i = 0; i < export_requests; ++i) {
+        export_seconds.push_back(timed_request(export_line));
+        chunked_seconds.push_back(timed_request(chunked_line));
+    }
+    const double export_p50 = percentile(export_seconds, 0.50);
+    const double chunked_p50 = percentile(chunked_seconds, 0.50);
+
     // Warm burst: all requests in flight, wall time to drain them.
     std::vector<std::shared_ptr<DoneSink>> burst;
     const auto burst_t0 = Clock::now();
@@ -112,10 +131,17 @@ int main(int argc, char** argv) {
     add("warm (sequential)", warm_requests,
         std::accumulate(warm_seconds.begin(), warm_seconds.end(), 0.0));
     add("warm (burst)", warm_requests, burst_seconds);
+    add("warm (export)", export_requests,
+        std::accumulate(export_seconds.begin(), export_seconds.end(), 0.0));
+    add("warm (export, chunked)", export_requests,
+        std::accumulate(chunked_seconds.begin(), chunked_seconds.end(), 0.0));
     table.print(std::cout);
     std::cout << "\nwarm latency: p50 " << fmt_fixed(p50 * 1e3, 2) << " ms, p99 "
               << fmt_fixed(p99 * 1e3, 2) << " ms, cold/warm speedup "
               << fmt_fixed(cold_seconds / p50, 1) << "x\n"
+              << "export latency: p50 " << fmt_fixed(export_p50 * 1e3, 2)
+              << " ms monolithic, " << fmt_fixed(chunked_p50 * 1e3, 2)
+              << " ms chunked (64 KiB)\n"
               << "cache: " << stats.cache_entries << " entries, " << stats.cache_hits
               << " hits, " << stats.cache_misses << " misses across "
               << stats.completed << " requests\n";
@@ -137,6 +163,8 @@ int main(int argc, char** argv) {
         json += " \"warm_p50_seconds\": " + json_number(p50) + ",\n";
         json += " \"warm_p99_seconds\": " + json_number(p99) + ",\n";
         json += " \"burst_requests_per_sec\": " + json_number(requests_per_sec) + ",\n";
+        json += " \"export_p50_seconds\": " + json_number(export_p50) + ",\n";
+        json += " \"export_chunked_p50_seconds\": " + json_number(chunked_p50) + ",\n";
         json += " \"cache\": {\"entries\": " + std::to_string(stats.cache_entries);
         json += ", \"hits\": " + std::to_string(stats.cache_hits);
         json += ", \"misses\": " + std::to_string(stats.cache_misses) + "}\n}\n";

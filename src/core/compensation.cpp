@@ -1,5 +1,6 @@
 #include "core/compensation.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -25,8 +26,13 @@ std::vector<CompensationTerm> compensation_terms(const ClusterPlan& plan) {
                 }
                 if (expected < 0.5) continue;
                 // Round to the nearest power of two: the gated constant then
-                // costs a single extra bit in the accumulation matrix.
-                const int exponent = static_cast<int>(std::lround(std::log2(expected)));
+                // costs a single extra bit in the accumulation matrix. An
+                // expected loss in [0.5, 1) still rounds *up* to 2^0 — the
+                // smallest representable constant — never to a negative
+                // exponent (a negative shift is UB; width-2 depth-2 lands
+                // exactly on 0.5).
+                const int exponent =
+                    std::max(0, static_cast<int>(std::lround(std::log2(expected))));
                 const uint64_t value = uint64_t{1} << exponent;
                 terms.push_back({grp.base_row + k1, grp.base_row + k2, value});
             }

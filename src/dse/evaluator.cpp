@@ -160,10 +160,14 @@ std::vector<DesignPoint> evaluate_sweep(const SweepSpec& spec, const EvalOptions
     size_t next_emit = 0;
     std::vector<uint8_t> ready(configs.size(), 0);
 
+    const bool has_deadline = opts.deadline != std::chrono::steady_clock::time_point{};
     std::vector<uint64_t> hw_keys(configs.size(), 0);
     parallel_for(*pool, configs.size(), [&](size_t i) {
         if (opts.cancel != nullptr && opts.cancel->load(std::memory_order_relaxed)) {
             throw SweepCancelled();
+        }
+        if (has_deadline && std::chrono::steady_clock::now() >= opts.deadline) {
+            throw SweepDeadlineExceeded();
         }
         points[i] = evaluate_point_impl(configs[i], point_opts, &hw_keys[i]);
         if (opts.on_point) {

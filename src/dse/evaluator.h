@@ -18,6 +18,7 @@
 #define SDLC_DSE_EVALUATOR_H
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <stdexcept>
@@ -79,11 +80,24 @@ struct EvalOptions {
     /// Cooperative cancellation: when non-null and set, workers stop
     /// claiming points and evaluate_sweep throws SweepCancelled.
     const std::atomic<bool>* cancel = nullptr;
+    /// Cooperative wall-clock budget: when set (non-epoch), workers stop
+    /// claiming points once the deadline passes and evaluate_sweep throws
+    /// SweepDeadlineExceeded. Checked at the same granularity as `cancel`
+    /// — between design points, never inside one — so a single very
+    /// expensive point can overshoot the budget by its own cost. Points
+    /// already reported through on_point stay reported: the partial stream
+    /// is always a strict prefix of the full enumeration-order stream.
+    std::chrono::steady_clock::time_point deadline{};
 };
 
 /// Thrown by evaluate_sweep when EvalOptions::cancel fires mid-sweep.
 struct SweepCancelled : std::runtime_error {
     SweepCancelled() : std::runtime_error("sweep cancelled") {}
+};
+
+/// Thrown by evaluate_sweep when EvalOptions::deadline passes mid-sweep.
+struct SweepDeadlineExceeded : std::runtime_error {
+    SweepDeadlineExceeded() : std::runtime_error("sweep deadline exceeded") {}
 };
 
 /// Per-sweep bookkeeping reported by evaluate_sweep. The cache counts are

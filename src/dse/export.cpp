@@ -93,15 +93,31 @@ std::string dse_to_json(const std::vector<DesignPoint>& points, const std::vecto
     return out;
 }
 
+void dse_json_stream(const std::vector<DesignPoint>& points, const std::vector<int>& ranks,
+                     const SweepStats& stats, const ObjectiveSet& objectives,
+                     const std::function<void(std::string_view)>& emit) {
+    check_ranks(points, ranks);
+    std::string head = "{\"summary\": {\"points\": " + std::to_string(stats.points);
+    head += ", \"objectives\": " + objective_set_json(objectives);
+    head += ", \"hw_cache\": {\"enabled\": ";
+    head += stats.hw_cache_enabled ? "true" : "false";
+    head += ", \"hits\": " + std::to_string(stats.hw_cache_hits);
+    head += ", \"misses\": " + std::to_string(stats.hw_cache_misses);
+    head += "}},\n\"points\": [\n";
+    emit(head);
+    for (size_t i = 0; i < points.size(); ++i) {
+        std::string row = "  " + dse_point_json(points[i], ranks.empty() ? -1 : ranks[i]);
+        row += i + 1 < points.size() ? ",\n" : "\n";
+        emit(row);
+    }
+    emit("]\n}\n");
+}
+
 std::string dse_to_json(const std::vector<DesignPoint>& points, const std::vector<int>& ranks,
                         const SweepStats& stats, const ObjectiveSet& objectives) {
-    std::string out = "{\"summary\": {\"points\": " + std::to_string(stats.points);
-    out += ", \"objectives\": " + objective_set_json(objectives);
-    out += ", \"hw_cache\": {\"enabled\": ";
-    out += stats.hw_cache_enabled ? "true" : "false";
-    out += ", \"hits\": " + std::to_string(stats.hw_cache_hits);
-    out += ", \"misses\": " + std::to_string(stats.hw_cache_misses);
-    out += "}},\n\"points\": " + dse_to_json(points, ranks) + "}\n";
+    std::string out;
+    dse_json_stream(points, ranks, stats, objectives,
+                    [&out](std::string_view piece) { out += piece; });
     return out;
 }
 

@@ -5,7 +5,9 @@
 #ifndef SDLC_DSE_EXPORT_H
 #define SDLC_DSE_EXPORT_H
 
+#include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "dse/evaluator.h"
@@ -44,6 +46,18 @@ void write_dse_csv(const std::string& path, const std::vector<DesignPoint>& poin
 [[nodiscard]] std::string dse_to_json(const std::vector<DesignPoint>& points,
                                       const std::vector<int>& ranks, const SweepStats& stats,
                                       const ObjectiveSet& objectives = default_objectives());
+
+/// Streams the summary-wrapped export in syntactic pieces (summary header,
+/// one piece per point row, closing brackets), in order, to `emit`.
+/// Concatenating every piece yields byte-for-byte the dse_to_json()
+/// overload above — that overload is implemented on top of this one — but
+/// the caller never needs the whole document in memory at once: peak
+/// transient is one row, which is what lets the serve layer chunk a
+/// width-12+ export with O(chunk) buffering. Throws std::invalid_argument
+/// on a ranks/points size mismatch.
+void dse_json_stream(const std::vector<DesignPoint>& points, const std::vector<int>& ranks,
+                     const SweepStats& stats, const ObjectiveSet& objectives,
+                     const std::function<void(std::string_view)>& emit);
 
 /// Writes dse_to_json() to `path`. Throws std::runtime_error on I/O failure.
 void write_dse_json(const std::string& path, const std::vector<DesignPoint>& points,

@@ -1,0 +1,87 @@
+#include "serve/metrics.h"
+
+#include "util/json.h"
+
+namespace sdlc::serve {
+
+namespace {
+
+/// Shortest exact-enough rendering for bucket bounds and seconds values
+/// ("0.005", "2.5"); Prometheus parses any float literal.
+std::string num(double v) { return json_number(v); }
+
+void counter(std::string& out, const std::string& name, const char* help) {
+    out += "# HELP " + name + " " + help + "\n";
+    out += "# TYPE " + name + " counter\n";
+}
+
+void gauge(std::string& out, const std::string& name, const char* help) {
+    out += "# HELP " + name + " " + help + "\n";
+    out += "# TYPE " + name + " gauge\n";
+}
+
+}  // namespace
+
+std::string prometheus_metrics(const ServiceStats& stats) {
+    const std::string p = kMetricsPrefix;
+    std::string out;
+    out.reserve(2048);
+
+    counter(out, p + "requests_accepted_total", "Requests admitted to the queue.");
+    out += p + "requests_accepted_total " + std::to_string(stats.accepted) + "\n";
+
+    counter(out, p + "requests_total", "Requests by terminal outcome.");
+    const struct {
+        const char* outcome;
+        uint64_t value;
+    } outcomes[] = {
+        {"completed", stats.completed},
+        {"failed", stats.failed},
+        {"cancelled", stats.cancelled},
+        {"deadline_exceeded", stats.deadline_exceeded},
+        {"overloaded", stats.overloaded},
+    };
+    for (const auto& o : outcomes) {
+        out += p + "requests_total{outcome=\"" + o.outcome + "\"} " +
+               std::to_string(o.value) + "\n";
+    }
+
+    counter(out, p + "points_evaluated_total", "Design points evaluated across all sweeps.");
+    out += p + "points_evaluated_total " + std::to_string(stats.points_evaluated) + "\n";
+
+    counter(out, p + "hw_cache_lookups_total",
+            "Synthesis-cache lookups by result (raw counters; scheduling-dependent).");
+    out += p + "hw_cache_lookups_total{result=\"hit\"} " + std::to_string(stats.cache_hits) +
+           "\n";
+    out += p + "hw_cache_lookups_total{result=\"miss\"} " + std::to_string(stats.cache_misses) +
+           "\n";
+
+    gauge(out, p + "hw_cache_entries", "Distinct memoized designs resident in the cache.");
+    out += p + "hw_cache_entries " + std::to_string(stats.cache_entries) + "\n";
+
+    gauge(out, p + "queue_depth", "Requests waiting in the bounded queue.");
+    out += p + "queue_depth " + std::to_string(stats.queue_depth) + "\n";
+
+    gauge(out, p + "in_flight_requests", "Requests being processed right now.");
+    out += p + "in_flight_requests " + std::to_string(stats.in_flight) + "\n";
+
+    counter(out, p + "busy_seconds_total", "Summed sweep wall time.");
+    out += p + "busy_seconds_total " + num(stats.busy_seconds) + "\n";
+
+    const std::string hist = p + "request_duration_seconds";
+    out += "# HELP " + hist + " Per-request wall latency, arrival to terminal event.\n";
+    out += "# TYPE " + hist + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < LatencyHistogram::kBounds.size(); ++i) {
+        cumulative += stats.latency.counts[i];
+        out += hist + "_bucket{le=\"" + num(LatencyHistogram::kBounds[i]) + "\"} " +
+               std::to_string(cumulative) + "\n";
+    }
+    cumulative += stats.latency.counts.back();
+    out += hist + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) + "\n";
+    out += hist + "_sum " + num(stats.latency.sum) + "\n";
+    out += hist + "_count " + std::to_string(stats.latency.count) + "\n";
+    return out;
+}
+
+}  // namespace sdlc::serve

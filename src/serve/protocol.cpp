@@ -160,6 +160,7 @@ const char* request_type_name(RequestType t) noexcept {
     switch (t) {
         case RequestType::kSweep: return "sweep";
         case RequestType::kStats: return "stats";
+        case RequestType::kMetrics: return "metrics";
         case RequestType::kCancel: return "cancel";
         case RequestType::kShutdown: return "shutdown";
     }
@@ -201,6 +202,7 @@ bool parse_request(const std::string& line, size_t max_bytes, SweepRequest& out,
             const std::string name = read_string(*type, "type");
             if (name == "sweep") out.type = RequestType::kSweep;
             else if (name == "stats") out.type = RequestType::kStats;
+            else if (name == "metrics") out.type = RequestType::kMetrics;
             else if (name == "cancel") out.type = RequestType::kCancel;
             else if (name == "shutdown") out.type = RequestType::kShutdown;
             else reject("unknown request type \"" + name + "\"");
@@ -209,7 +211,8 @@ bool parse_request(const std::string& line, size_t max_bytes, SweepRequest& out,
         switch (out.type) {
             case RequestType::kSweep:
                 check_known_keys(root, "request", {"id", "type", "spec", "eval", "objectives",
-                                                   "stream_points", "export"});
+                                                   "stream_points", "export", "deadline_ms",
+                                                   "chunk_bytes"});
                 if (const JsonValue* spec = root.find("spec")) out.spec = read_spec(*spec);
                 if (const JsonValue* eval = root.find("eval")) out.eval = read_eval(*eval);
                 if (const JsonValue* objectives = root.find("objectives")) {
@@ -221,6 +224,22 @@ bool parse_request(const std::string& line, size_t max_bytes, SweepRequest& out,
                 if (const JsonValue* exp = root.find("export")) {
                     out.export_json = read_bool(*exp, "export");
                 }
+                if (const JsonValue* deadline = root.find("deadline_ms")) {
+                    out.deadline_ms = read_uint64(*deadline, "deadline_ms");
+                    if (out.deadline_ms == 0) reject("\"deadline_ms\" must be >= 1");
+                    // ~11.5 days. Anything bigger is "no deadline" in intent
+                    // but would overflow the steady_clock arithmetic
+                    // (milliseconds -> int64 nanoseconds) downstream.
+                    if (out.deadline_ms > 1000000000) {
+                        reject("\"deadline_ms\" must be <= 1000000000");
+                    }
+                }
+                if (const JsonValue* chunk = root.find("chunk_bytes")) {
+                    out.chunk_bytes = static_cast<size_t>(read_uint64(*chunk, "chunk_bytes"));
+                    // A floor keeps a hostile client from turning one export
+                    // into millions of one-byte events.
+                    if (out.chunk_bytes < 16) reject("\"chunk_bytes\" must be >= 16");
+                }
                 break;
             case RequestType::kCancel: {
                 check_known_keys(root, "request", {"id", "type", "target"});
@@ -231,6 +250,7 @@ bool parse_request(const std::string& line, size_t max_bytes, SweepRequest& out,
                 break;
             }
             case RequestType::kStats:
+            case RequestType::kMetrics:
             case RequestType::kShutdown:
                 check_known_keys(root, "request", {"id", "type"});
                 break;
@@ -295,12 +315,34 @@ std::string result_event(const std::string& id, const std::string& dse_json) {
     return out;
 }
 
+std::string result_chunk_event(const std::string& id, size_t seq, bool last,
+                               std::string_view data) {
+    std::string out = event_head(id, "result_chunk");
+    out += ", \"format\": \"dse_json\"";
+    out += ", \"seq\": " + std::to_string(seq);
+    out += ", \"last\": ";
+    out += last ? "true" : "false";
+    out += ", \"data\": " + json_string(std::string(data));
+    out += "}";
+    return out;
+}
+
+std::string metrics_event(const std::string& id, const std::string& prometheus) {
+    std::string out = event_head(id, "metrics");
+    out += ", \"format\": \"prometheus\"";
+    out += ", \"data\": " + json_string(prometheus);
+    out += "}";
+    return out;
+}
+
 std::string stats_event(const std::string& id, const ServiceStats& stats) {
     std::string out = event_head(id, "stats");
     out += ", \"requests\": {\"accepted\": " + std::to_string(stats.accepted);
     out += ", \"completed\": " + std::to_string(stats.completed);
     out += ", \"failed\": " + std::to_string(stats.failed);
     out += ", \"cancelled\": " + std::to_string(stats.cancelled);
+    out += ", \"deadline_exceeded\": " + std::to_string(stats.deadline_exceeded);
+    out += ", \"overloaded\": " + std::to_string(stats.overloaded);
     out += "}, \"points_evaluated\": " + std::to_string(stats.points_evaluated);
     out += ", \"hw_cache\": {\"hits\": " + std::to_string(stats.cache_hits);
     out += ", \"misses\": " + std::to_string(stats.cache_misses);
@@ -327,6 +369,25 @@ std::string done_event(const std::string& id, bool ok) {
     out += ok ? "true" : "false";
     out += "}";
     return out;
+}
+
+void ResultChunker::feed(std::string_view piece) {
+    buffer_.append(piece);
+    // Flush only while *more* than one chunk is buffered: the final
+    // chunk-sized remainder waits for finish(), which is what guarantees
+    // the last chunk is never empty.
+    while (buffer_.size() > chunk_bytes_) {
+        sink_.write_line(result_chunk_event(id_, seq_, /*last=*/false,
+                                            std::string_view(buffer_).substr(0, chunk_bytes_)));
+        ++seq_;
+        buffer_.erase(0, chunk_bytes_);
+    }
+}
+
+void ResultChunker::finish() {
+    sink_.write_line(result_chunk_event(id_, seq_, /*last=*/true, buffer_));
+    ++seq_;
+    buffer_.clear();
 }
 
 }  // namespace sdlc::serve

@@ -33,12 +33,15 @@
 #ifndef SDLC_SERVE_PROTOCOL_H
 #define SDLC_SERVE_PROTOCOL_H
 
+#include <array>
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "dse/evaluator.h"
 #include "dse/pareto.h"
 #include "dse/sweep.h"
+#include "serve/sink.h"
 
 namespace sdlc::serve {
 
@@ -46,11 +49,12 @@ namespace sdlc::serve {
 enum class RequestType {
     kSweep,     ///< evaluate a SweepSpec, stream the results
     kStats,     ///< report service counters (cache, queue, timings)
+    kMetrics,   ///< dump Prometheus text-format metrics
     kCancel,    ///< cancel a queued or running sweep by id
     kShutdown,  ///< stop intake, drain the queue, then exit
 };
 
-/// Short lowercase name ("sweep", "stats", "cancel", "shutdown").
+/// Short lowercase name ("sweep", "stats", "metrics", "cancel", "shutdown").
 [[nodiscard]] const char* request_type_name(RequestType t) noexcept;
 
 /// One parsed request line.
@@ -64,6 +68,15 @@ struct SweepRequest {
     ObjectiveSet objectives = default_objectives();
     bool stream_points = true;  ///< emit a `point` event per design point
     bool export_json = false;   ///< attach the canonical JSON export as a `result` event
+    /// Wall-clock budget in milliseconds, measured from arrival (queue wait
+    /// counts). 0 = none. An exceeded budget aborts the sweep with a
+    /// `deadline_exceeded` error event; the points already streamed are a
+    /// strict prefix of the full enumeration-order stream.
+    uint64_t deadline_ms = 0;
+    /// When > 0 and export is requested, the export payload is streamed as
+    /// `result_chunk` events of at most this many payload bytes instead of
+    /// one `result` event, keeping peak buffering O(chunk_bytes).
+    size_t chunk_bytes = 0;
     // Cancel payload.
     std::string target;
 };
@@ -84,6 +97,27 @@ inline constexpr size_t kDefaultMaxRequestBytes = size_t{1} << 20;
 [[nodiscard]] bool parse_request(const std::string& line, size_t max_bytes, SweepRequest& out,
                                  RequestError& err);
 
+/// Fixed-boundary histogram of per-request wall latency (arrival to
+/// terminal event), in seconds. Buckets follow the Prometheus histogram
+/// convention when rendered (cumulative `le` counts plus sum and count);
+/// storage here is one count per bucket, the last bucket being +Inf.
+struct LatencyHistogram {
+    /// Upper bounds (seconds) of the finite buckets.
+    static constexpr std::array<double, 13> kBounds = {
+        0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0};
+    std::array<uint64_t, kBounds.size() + 1> counts{};  ///< last = beyond kBounds
+    uint64_t count = 0;   ///< total observations
+    double sum = 0.0;     ///< summed observed seconds
+
+    void observe(double seconds) noexcept {
+        size_t bucket = 0;
+        while (bucket < kBounds.size() && seconds > kBounds[bucket]) ++bucket;
+        ++counts[bucket];
+        ++count;
+        sum += seconds;
+    }
+};
+
 /// Aggregate service counters for the `stats` event. Unlike sweep events
 /// these are observability, not reproducible output: timings and the raw
 /// cache counters depend on scheduling.
@@ -92,6 +126,8 @@ struct ServiceStats {
     uint64_t completed = 0;         ///< requests finished successfully
     uint64_t failed = 0;            ///< requests that errored
     uint64_t cancelled = 0;         ///< sweeps cancelled before completion
+    uint64_t deadline_exceeded = 0; ///< sweeps aborted by their deadline_ms budget
+    uint64_t overloaded = 0;        ///< requests rejected because the queue was full
     uint64_t points_evaluated = 0;  ///< design points across all sweeps
     uint64_t cache_hits = 0;        ///< CostCache raw hit counter
     uint64_t cache_misses = 0;      ///< CostCache raw miss counter
@@ -99,6 +135,7 @@ struct ServiceStats {
     size_t queue_depth = 0;         ///< requests waiting in the queue
     size_t in_flight = 0;           ///< requests being processed right now
     double busy_seconds = 0.0;      ///< summed sweep wall time
+    LatencyHistogram latency;       ///< per-request wall latency (sweep requests)
 };
 
 // ---- event emission (single-line strings, no trailing newline) ----
@@ -110,10 +147,40 @@ struct ServiceStats {
 [[nodiscard]] std::string summary_event(const std::string& id, const SweepStats& stats,
                                         size_t frontier_size, const ObjectiveSet& objectives);
 [[nodiscard]] std::string result_event(const std::string& id, const std::string& dse_json);
+[[nodiscard]] std::string result_chunk_event(const std::string& id, size_t seq, bool last,
+                                             std::string_view data);
+[[nodiscard]] std::string metrics_event(const std::string& id, const std::string& prometheus);
 [[nodiscard]] std::string stats_event(const std::string& id, const ServiceStats& stats);
 [[nodiscard]] std::string error_event(const std::string& id, const std::string& code,
                                       const std::string& message);
 [[nodiscard]] std::string done_event(const std::string& id, bool ok);
+
+/// Splits a streamed export payload into bounded `result_chunk` events:
+/// feed() pieces in order, then finish() exactly once. Every chunk except
+/// the last carries exactly `chunk_bytes` payload bytes; the last carries
+/// 1..chunk_bytes and `"last": true`. Byte-concatenating the chunks'
+/// `data` fields reconstructs the payload exactly, and sequence numbers
+/// run 0..n-1 so a client can detect a gap. Peak buffering is
+/// O(chunk_bytes + largest piece), never the whole payload.
+class ResultChunker {
+public:
+    ResultChunker(ResponseSink& sink, std::string id, size_t chunk_bytes)
+        : sink_(sink), id_(std::move(id)), chunk_bytes_(chunk_bytes == 0 ? 1 : chunk_bytes) {}
+
+    void feed(std::string_view piece);
+    /// Flushes whatever remains as the final chunk (last=true).
+    void finish();
+
+    /// Chunks emitted so far.
+    [[nodiscard]] size_t chunks() const noexcept { return seq_; }
+
+private:
+    ResponseSink& sink_;
+    std::string id_;
+    size_t chunk_bytes_;
+    size_t seq_ = 0;
+    std::string buffer_;
+};
 
 }  // namespace sdlc::serve
 

@@ -1,10 +1,12 @@
 #include "serve/service.h"
 
 #include <stdexcept>
+#include <string_view>
 
 #include "dse/evaluator.h"
 #include "dse/export.h"
 #include "dse/pareto.h"
+#include "serve/metrics.h"
 
 namespace sdlc::serve {
 
@@ -41,24 +43,76 @@ bool SweepService::submit(const SweepRequest& request, std::shared_ptr<ResponseS
     Job job;
     job.request = request;
     job.sink = std::move(sink);
+    job.arrival = std::chrono::steady_clock::now();
+    bool created_flag = false;
     if (request.type == RequestType::kSweep) {
         std::lock_guard<std::mutex> lock(state_mutex_);
         auto& flag = cancel_flags_[request.id];
-        if (flag == nullptr) flag = std::make_shared<std::atomic<bool>>(false);
+        if (flag == nullptr) {
+            flag = std::make_shared<std::atomic<bool>>(false);
+            created_flag = true;
+        }
         job.cancel = flag;
     }
 
     auto failed_sink = job.sink;  // push moves the job away
+    const auto cancel_flag = job.cancel;
     const std::string id = request.id;
-    if (!queue_.push(std::move(job))) {
+    // Control requests (stats, metrics, shutdown) must stay serviceable
+    // during the very overload they exist to observe and resolve, so they
+    // never block on — or get shed from — a full queue: they ride the
+    // queue when there is room (normal FIFO semantics) and are answered
+    // inline when there is not. Sweeps block (backpressure) unless
+    // --reject-overload turns a full queue into `overloaded` rejections.
+    const bool sweep = request.type == RequestType::kSweep;
+    const bool blocking = sweep && !opts_.reject_when_full;
+    const bool pushed = blocking ? queue_.push(std::move(job)) : queue_.try_push(std::move(job));
+    if (!pushed) {
+        if (created_flag) {
+            // Only retract the flag this submission created: a rejected
+            // duplicate id must not strip a queued/running sweep of its
+            // cancellability.
+            std::lock_guard<std::mutex> lock(state_mutex_);
+            const auto it = cancel_flags_.find(id);
+            if (it != cancel_flags_.end() && it->second == cancel_flag) cancel_flags_.erase(it);
+        }
+        if (queue_.closed()) {
+            failed_sink->write_line(
+                error_event(id, "shutting_down", "service is draining; request rejected"));
+            failed_sink->write_line(done_event(id, false));
+            return false;
+        }
+        if (!sweep) {
+            // Full queue, control request: answer it right here on the
+            // submitting thread. The counters are momentary either way.
+            switch (request.type) {
+                case RequestType::kStats:
+                    failed_sink->write_line(stats_event(id, stats()));
+                    break;
+                case RequestType::kMetrics:
+                    failed_sink->write_line(metrics_event(id, prometheus_metrics(stats())));
+                    break;
+                case RequestType::kShutdown:
+                    request_shutdown();
+                    break;
+                case RequestType::kSweep:
+                case RequestType::kCancel:
+                    break;  // unreachable: sweeps handled below, cancels above
+            }
+            failed_sink->write_line(done_event(id, true));
+            return !shutdown_requested();
+        }
+        // Load-shedding rejection: the service stays up, the caller keeps
+        // reading its connection, only this request is refused.
         {
             std::lock_guard<std::mutex> lock(state_mutex_);
-            cancel_flags_.erase(id);
+            ++counters_.overloaded;
         }
-        failed_sink->write_line(
-            error_event(id, "shutting_down", "service is draining; request rejected"));
+        failed_sink->write_line(error_event(
+            id, "overloaded",
+            "request queue is full (capacity " + std::to_string(queue_.capacity()) + ")"));
         failed_sink->write_line(done_event(id, false));
-        return false;
+        return true;
     }
     std::lock_guard<std::mutex> lock(state_mutex_);
     ++counters_.accepted;
@@ -155,6 +209,10 @@ void SweepService::process(Job& job) {
             sink.write_line(stats_event(request.id, stats()));
             sink.write_line(done_event(request.id, true));
             break;
+        case RequestType::kMetrics:
+            sink.write_line(metrics_event(request.id, prometheus_metrics(stats())));
+            sink.write_line(done_event(request.id, true));
+            break;
         case RequestType::kShutdown:
             request_shutdown();
             sink.write_line(done_event(request.id, true));
@@ -180,6 +238,12 @@ void SweepService::run_sweep(const Job& job) {
         eval.pool = &pool_;
         eval.hw_cache = &cache_;  // evaluate_sweep drops it when use_hw_cache is off
         eval.cancel = job.cancel.get();
+        if (request.deadline_ms > 0) {
+            // The budget runs from arrival, not from here: time spent queued
+            // behind other requests counts, so an overloaded service sheds
+            // expired work with one cheap check instead of evaluating it.
+            eval.deadline = job.arrival + std::chrono::milliseconds(request.deadline_ms);
+        }
         if (request.stream_points) {
             eval.on_point = [&](size_t index, const DesignPoint& point) {
                 sink.write_line(point_event(request.id, index, point));
@@ -194,9 +258,19 @@ void SweepService::run_sweep(const Job& job) {
         sink.write_line(summary_event(request.id, sweep_stats, pareto.frontier.size(),
                                       request.objectives));
         if (request.export_json) {
-            sink.write_line(result_event(
-                request.id,
-                dse_to_json(points, pareto.rank, sweep_stats, request.objectives)));
+            if (request.chunk_bytes > 0) {
+                // Stream the export through a chunker: bounded event sizes,
+                // sequence numbers, and O(chunk) peak buffering. The chunks
+                // byte-concatenate to exactly the unchunked payload.
+                ResultChunker chunker(sink, request.id, request.chunk_bytes);
+                dse_json_stream(points, pareto.rank, sweep_stats, request.objectives,
+                                [&chunker](std::string_view piece) { chunker.feed(piece); });
+                chunker.finish();
+            } else {
+                sink.write_line(result_event(
+                    request.id,
+                    dse_to_json(points, pareto.rank, sweep_stats, request.objectives)));
+            }
         }
 
         std::lock_guard<std::mutex> lock(state_mutex_);
@@ -208,6 +282,13 @@ void SweepService::run_sweep(const Job& job) {
         sink.write_line(error_event(request.id, "cancelled", "sweep cancelled by request"));
         std::lock_guard<std::mutex> lock(state_mutex_);
         ++counters_.cancelled;
+    } catch (const SweepDeadlineExceeded&) {
+        sink.write_line(error_event(
+            request.id, "deadline_exceeded",
+            "sweep exceeded its deadline_ms budget of " + std::to_string(request.deadline_ms) +
+                " ms; the points streamed so far are a prefix of the full sweep"));
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        ++counters_.deadline_exceeded;
     } catch (const std::invalid_argument& e) {
         sink.write_line(error_event(request.id, "invalid_request", e.what()));
         std::lock_guard<std::mutex> lock(state_mutex_);
@@ -221,6 +302,9 @@ void SweepService::run_sweep(const Job& job) {
         std::lock_guard<std::mutex> lock(state_mutex_);
         const auto it = cancel_flags_.find(request.id);
         if (it != cancel_flags_.end() && it->second == job.cancel) cancel_flags_.erase(it);
+        counters_.latency.observe(std::chrono::duration<double>(
+                                      std::chrono::steady_clock::now() - job.arrival)
+                                      .count());
     }
     sink.write_line(done_event(request.id, ok));
 }

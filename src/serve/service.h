@@ -25,6 +25,7 @@
 #define SDLC_SERVE_SERVICE_H
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <functional>
 #include <map>
@@ -48,6 +49,14 @@ struct ServiceOptions {
     unsigned request_workers = 2;  ///< concurrent in-flight requests
     size_t queue_capacity = 64;    ///< bounded request queue (push blocks when full)
     size_t max_request_bytes = kDefaultMaxRequestBytes;
+    /// Overload policy. false (default): submit blocks while the queue is
+    /// full — backpressure onto the connection that is flooding. true:
+    /// load-shedding — a full queue answers immediately with a structured
+    /// `overloaded` error event instead of blocking the reader, so one
+    /// flooding client cannot wedge intake for everyone on its connection
+    /// and a deadline-carrying client learns of the rejection in time to
+    /// retry elsewhere.
+    bool reject_when_full = false;
 };
 
 /// The long-lived sweep service (see file comment).
@@ -97,6 +106,9 @@ private:
         SweepRequest request;
         std::shared_ptr<ResponseSink> sink;
         std::shared_ptr<std::atomic<bool>> cancel;  ///< sweep jobs only
+        /// Submission time: the origin of the request's deadline_ms budget
+        /// (queue wait counts against it) and of the latency histogram.
+        std::chrono::steady_clock::time_point arrival;
     };
 
     void worker_loop();

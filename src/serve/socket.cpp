@@ -1,5 +1,8 @@
 #include "serve/socket.h"
 
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
@@ -29,7 +32,35 @@ sockaddr_un make_address(const std::string& path) {
     throw std::runtime_error(what + ": " + std::strerror(errno));
 }
 
+/// getaddrinfo wrapper: resolved list freed on scope exit, gai error codes
+/// turned into runtime_error (they are not errno values).
+struct ResolvedAddress {
+    addrinfo* list = nullptr;
+
+    ResolvedAddress(const std::string& host, uint16_t port, bool passive) {
+        addrinfo hints{};
+        hints.ai_family = AF_UNSPEC;
+        hints.ai_socktype = SOCK_STREAM;
+        if (passive) hints.ai_flags = AI_PASSIVE;
+        const std::string service = std::to_string(port);
+        const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(), service.c_str(),
+                                     &hints, &list);
+        if (rc != 0) {
+            throw std::runtime_error("resolve " + (host.empty() ? "*" : host) + ":" + service +
+                                     ": " + ::gai_strerror(rc));
+        }
+    }
+    ~ResolvedAddress() { ::freeaddrinfo(list); }
+    ResolvedAddress(const ResolvedAddress&) = delete;
+    ResolvedAddress& operator=(const ResolvedAddress&) = delete;
+};
+
 }  // namespace
+
+SocketListener::~SocketListener() {
+    close();
+    if (fd_ >= 0) ::close(fd_);
+}
 
 UnixSocketServer::UnixSocketServer(const std::string& path) : path_(path) {
     const sockaddr_un addr = make_address(path_);
@@ -39,25 +70,66 @@ UnixSocketServer::UnixSocketServer(const std::string& path) : path_(path) {
     if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
         const int saved = errno;
         ::close(fd_);
+        fd_ = -1;
         errno = saved;
         throw_errno("bind " + path_);
     }
     if (::listen(fd_, SOMAXCONN) != 0) {
         const int saved = errno;
         ::close(fd_);
+        fd_ = -1;
         ::unlink(path_.c_str());
         errno = saved;
         throw_errno("listen " + path_);
     }
+    endpoint_ = "unix:" + path_;
 }
 
 UnixSocketServer::~UnixSocketServer() {
     close();
-    if (fd_ >= 0) ::close(fd_);
     ::unlink(path_.c_str());
+    // The fd itself is closed by the SocketListener destructor.
 }
 
-int UnixSocketServer::accept_client(int timeout_ms) {
+TcpSocketServer::TcpSocketServer(const std::string& host, uint16_t port) {
+    const ResolvedAddress resolved(host, port, /*passive=*/true);
+    int last_errno = 0;
+    for (const addrinfo* ai = resolved.list; ai != nullptr; ai = ai->ai_next) {
+        const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0) {
+            last_errno = errno;
+            continue;
+        }
+        // Restarted servers must be able to rebind while old connections
+        // linger in TIME_WAIT.
+        const int reuse = 1;
+        (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+        if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 && ::listen(fd, SOMAXCONN) == 0) {
+            fd_ = fd;
+            break;
+        }
+        last_errno = errno;
+        ::close(fd);
+    }
+    if (fd_ < 0) {
+        errno = last_errno;
+        throw_errno("bind tcp " + (host.empty() ? "*" : host) + ":" + std::to_string(port));
+    }
+    // Report the port the kernel actually chose (resolves port 0).
+    sockaddr_storage bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+        if (bound.ss_family == AF_INET) {
+            port_ = ntohs(reinterpret_cast<const sockaddr_in&>(bound).sin_port);
+        } else if (bound.ss_family == AF_INET6) {
+            port_ = ntohs(reinterpret_cast<const sockaddr_in6&>(bound).sin6_port);
+        }
+    }
+    if (port_ == 0) port_ = port;
+    endpoint_ = "tcp:" + (host.empty() ? std::string("*") : host) + ":" + std::to_string(port_);
+}
+
+int SocketListener::accept_client(int timeout_ms) {
     while (!closed_.load(std::memory_order_acquire)) {
         if (timeout_ms >= 0) {
             pollfd waiter{};
@@ -93,7 +165,7 @@ int UnixSocketServer::accept_client(int timeout_ms) {
     return -1;
 }
 
-void UnixSocketServer::close() {
+void SocketListener::close() {
     if (closed_.exchange(true, std::memory_order_acq_rel)) return;
     // shutdown() unblocks a concurrent accept(); the fd itself is closed by
     // the destructor so a racing accept never sees a reused descriptor.
@@ -111,6 +183,51 @@ int unix_socket_connect(const std::string& path) {
         throw_errno("connect " + path);
     }
     return fd;
+}
+
+int tcp_connect(const std::string& host, uint16_t port) {
+    if (host.empty()) throw std::runtime_error("tcp connect: host must be non-empty");
+    const ResolvedAddress resolved(host, port, /*passive=*/false);
+    int last_errno = 0;
+    for (const addrinfo* ai = resolved.list; ai != nullptr; ai = ai->ai_next) {
+        const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0) {
+            last_errno = errno;
+            continue;
+        }
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) return fd;
+        last_errno = errno;
+        ::close(fd);
+    }
+    errno = last_errno;
+    throw_errno("connect tcp " + host + ":" + std::to_string(port));
+}
+
+bool parse_host_port(const std::string& spec, std::string& host, uint16_t& port,
+                     std::string* error) {
+    const size_t colon = spec.rfind(':');
+    if (colon == std::string::npos) {
+        if (error != nullptr) *error = "expected HOST:PORT, got \"" + spec + "\"";
+        return false;
+    }
+    std::string h = spec.substr(0, colon);
+    if (h.size() >= 2 && h.front() == '[' && h.back() == ']') h = h.substr(1, h.size() - 2);
+    const std::string port_text = spec.substr(colon + 1);
+    if (port_text.empty() || port_text.find_first_not_of("0123456789") != std::string::npos) {
+        if (error != nullptr) *error = "invalid port \"" + port_text + "\"";
+        return false;
+    }
+    unsigned long parsed = 0;
+    for (const char c : port_text) {
+        parsed = parsed * 10 + static_cast<unsigned long>(c - '0');
+        if (parsed > 65535) {
+            if (error != nullptr) *error = "port " + port_text + " is out of range";
+            return false;
+        }
+    }
+    host = std::move(h);
+    port = static_cast<uint16_t>(parsed);
+    return true;
 }
 
 bool write_all(int fd, std::string_view data) {
@@ -173,6 +290,10 @@ FdSink::FdSink(int fd, bool owns_fd) : fd_(fd), owns_fd_(owns_fd) {
         timeval timeout{};
         timeout.tv_sec = kSendTimeoutSeconds;
         (void)::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+        // Event lines are latency-sensitive and already line-batched;
+        // Nagle only delays them. Harmlessly refused on non-TCP fds.
+        const int nodelay = 1;
+        (void)::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
     }
 }
 

@@ -1,16 +1,21 @@
-// Unix-domain socket transport for the DSE service (POSIX).
+// Stream-socket transports for the DSE service (POSIX): Unix-domain and
+// TCP.
 //
 // The service itself is transport-agnostic (it talks ResponseSink); this
 // file supplies the pieces `serve_tool` composes into a socket server and
-// client: a listener whose accept() can be unblocked from another thread,
-// a connect helper, a buffered line reader, and an FdSink that writes
-// NDJSON lines to a connected peer. A peer that disappears mid-stream must
-// not take the service down, so FdSink swallows write errors (further
-// lines are dropped) instead of throwing into the evaluator.
+// client: listeners whose accept() can be unblocked from another thread,
+// connect helpers, a buffered line reader, and an FdSink that writes
+// NDJSON lines to a connected peer. Both listeners share one accept/close
+// implementation (SocketListener), so the TCP path reuses the Unix path's
+// timeout tick, EINTR handling and fd-exhaustion backoff — only the bind
+// differs. A peer that disappears mid-stream must not take the service
+// down, so FdSink swallows write errors (further lines are dropped)
+// instead of throwing into the evaluator.
 #ifndef SDLC_SERVE_SOCKET_H
 #define SDLC_SERVE_SOCKET_H
 
 #include <atomic>
+#include <cstdint>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -19,17 +24,15 @@
 
 namespace sdlc::serve {
 
-/// Listening Unix-domain stream socket bound to a filesystem path. The
-/// path is unlinked on construction (stale socket files from a previous
-/// run would otherwise fail the bind) and again on destruction.
-class UnixSocketServer {
+/// Accept/close machinery shared by every listening stream socket. The
+/// derived class binds + listens and hands the fd over; accept_client and
+/// close are transport-independent from there.
+class SocketListener {
 public:
-    /// Binds and listens; throws std::runtime_error on failure.
-    explicit UnixSocketServer(const std::string& path);
-    ~UnixSocketServer();
+    virtual ~SocketListener();
 
-    UnixSocketServer(const UnixSocketServer&) = delete;
-    UnixSocketServer& operator=(const UnixSocketServer&) = delete;
+    SocketListener(const SocketListener&) = delete;
+    SocketListener& operator=(const SocketListener&) = delete;
 
     /// Returned by accept_client when `timeout_ms` elapsed with no client.
     static constexpr int kTimeout = -2;
@@ -44,17 +47,65 @@ public:
     /// Unblocks any accept_client() in progress and stops accepting.
     void close();
 
+    /// Human-readable endpoint ("unix:/tmp/dse.sock", "tcp:127.0.0.1:8331").
+    [[nodiscard]] const std::string& endpoint() const noexcept { return endpoint_; }
+
+protected:
+    SocketListener() = default;
+
+    int fd_ = -1;
+    std::string endpoint_;
+
+private:
+    std::atomic<bool> closed_{false};
+};
+
+/// Listening Unix-domain stream socket bound to a filesystem path. The
+/// path is unlinked on construction (stale socket files from a previous
+/// run would otherwise fail the bind) and again on destruction.
+class UnixSocketServer final : public SocketListener {
+public:
+    /// Binds and listens; throws std::runtime_error on failure.
+    explicit UnixSocketServer(const std::string& path);
+    ~UnixSocketServer() override;
+
     [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
 private:
     std::string path_;
-    int fd_ = -1;
-    std::atomic<bool> closed_{false};
+};
+
+/// Listening TCP stream socket (IPv4/IPv6 via getaddrinfo, SO_REUSEADDR).
+/// Port 0 binds an ephemeral port; port() reports the one the kernel
+/// chose, so tests and supervisors can bind first and publish after.
+class TcpSocketServer final : public SocketListener {
+public:
+    /// Binds `host:port` and listens; throws std::runtime_error on failure
+    /// (unresolvable host, port in use). An empty host means all
+    /// interfaces.
+    TcpSocketServer(const std::string& host, uint16_t port);
+
+    /// The actually bound port (resolves port 0).
+    [[nodiscard]] uint16_t port() const noexcept { return port_; }
+
+private:
+    uint16_t port_ = 0;
 };
 
 /// Connects to a listening Unix-domain socket; returns the fd (caller owns
 /// it). Throws std::runtime_error on failure.
 [[nodiscard]] int unix_socket_connect(const std::string& path);
+
+/// Connects to host:port over TCP; returns the fd (caller owns it).
+/// Throws std::runtime_error on failure.
+[[nodiscard]] int tcp_connect(const std::string& host, uint16_t port);
+
+/// Splits "HOST:PORT" at the last colon ("[::1]:70" style brackets are
+/// stripped from the host; an empty host — ":8331" — is allowed and means
+/// all interfaces when listening). Returns false with a message in *error
+/// (when non-null) on a missing or invalid port.
+[[nodiscard]] bool parse_host_port(const std::string& spec, std::string& host, uint16_t& port,
+                                   std::string* error = nullptr);
 
 /// Writes all of `data`, retrying short writes. Returns false on error
 /// (e.g. the peer closed the connection).

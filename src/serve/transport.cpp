@@ -1,0 +1,80 @@
+#include "serve/transport.h"
+
+#include <sys/socket.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "serve/protocol.h"
+
+namespace sdlc::serve {
+
+void serve_listener(SocketListener& listener, SweepService& service, size_t max_request_bytes) {
+    // A processed shutdown request must unblock the accept loop below.
+    service.set_on_shutdown([&listener] { listener.close(); });
+
+    struct Connection {
+        int fd;
+        std::shared_ptr<FdSink> sink;
+        std::shared_ptr<std::atomic<bool>> finished;
+        std::thread reader;
+    };
+    std::vector<Connection> connections;
+    auto reap_finished = [&connections] {
+        for (auto it = connections.begin(); it != connections.end();) {
+            if (it->finished->load(std::memory_order_acquire)) {
+                it->reader.join();
+                it = connections.erase(it);  // drops the sink ref; fd closes with it
+            } else {
+                ++it;
+            }
+        }
+    };
+
+    int client;
+    // The 1 s accept timeout is the reap tick: dead connections release
+    // their thread promptly even when no new client ever connects (their
+    // fd already closes with the sink's last reference).
+    while ((client = listener.accept_client(/*timeout_ms=*/1000)) != -1) {
+        reap_finished();
+        if (client == SocketListener::kTimeout) continue;
+        Connection conn;
+        conn.fd = client;
+        conn.sink = std::make_shared<FdSink>(client, /*owns_fd=*/true);
+        conn.finished = std::make_shared<std::atomic<bool>>(false);
+        conn.reader = std::thread(
+            [fd = client, sink = conn.sink, finished = conn.finished, &service,
+             max_line = max_request_bytes + 1] {
+                LineReader reader(fd, max_line);
+                std::string line;
+                while (reader.next(line)) {
+                    if (line.empty()) continue;
+                    if (!service.submit_line(line, sink)) break;
+                }
+                if (reader.overflowed()) {
+                    // The protocol promises a machine-readable rejection for
+                    // oversized lines even when no newline ever arrives.
+                    sink->write_line(error_event(
+                        "", "too_large", "unterminated request line exceeded the size cap"));
+                    sink->write_line(done_event("", false));
+                }
+                finished->store(true, std::memory_order_release);
+            });
+        connections.push_back(std::move(conn));
+    }
+
+    // Accept loop ended (shutdown request): finish every accepted request,
+    // then release the connections. Readers may still be blocked on idle
+    // peers; shutting the read side down unblocks them.
+    service.shutdown();
+    for (Connection& conn : connections) {
+        ::shutdown(conn.fd, SHUT_RD);
+        conn.reader.join();
+    }
+    connections.clear();
+}
+
+}  // namespace sdlc::serve

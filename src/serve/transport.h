@@ -1,0 +1,34 @@
+// Front-end glue shared by every stream-socket transport (Unix-domain and
+// TCP): accept connections, read request lines, stream response events.
+//
+// serve_listener() owns the lifecycle that used to live in serve_tool's
+// socket mode and is now common to both transports and to in-process
+// tests: one reader thread per connection feeding SweepService, one FdSink
+// per connection owning the fd (shared with in-flight requests, so the
+// descriptor closes exactly when the last response line has been written
+// or dropped), periodic reaping of finished connections on the accept
+// tick, oversized-line rejection per the protocol contract, and a
+// drain-then-unblock shutdown: once the service stops intake the listener
+// closes, every accepted request still streams to completion, idle readers
+// are unblocked with shutdown(SHUT_RD), and all threads are joined before
+// returning.
+#ifndef SDLC_SERVE_TRANSPORT_H
+#define SDLC_SERVE_TRANSPORT_H
+
+#include "serve/service.h"
+#include "serve/socket.h"
+
+namespace sdlc::serve {
+
+/// Serves `listener` until the service shuts down (a `shutdown` request,
+/// or request_shutdown() from another thread). Installs the service's
+/// on_shutdown hook to unblock the accept loop; blocks until every
+/// accepted connection is drained and joined. `max_request_bytes` must
+/// mirror the service's request-size cap (it bounds the per-connection
+/// LineReader so a peer streaming bytes without a newline cannot grow the
+/// buffer without limit).
+void serve_listener(SocketListener& listener, SweepService& service, size_t max_request_bytes);
+
+}  // namespace sdlc::serve
+
+#endif  // SDLC_SERVE_TRANSPORT_H

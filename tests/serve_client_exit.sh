@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# serve_tool --client exit-status contract, end to end over a real server:
+#   0  every request succeeded
+#   1  the server answered an error event / a request failed
+#   2  usage error
+#   3  transport failure (cannot connect, stream dropped early)
+# Usage: serve_client_exit.sh /path/to/serve_tool
+set -u
+
+tool="${1:?usage: serve_client_exit.sh /path/to/serve_tool}"
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+cd "$workdir"
+
+failures=0
+check_exit() { # name expected actual
+    if [ "$3" -ne "$2" ]; then
+        echo "FAIL: $1: expected exit $2, got $3" >&2
+        failures=$((failures + 1))
+    else
+        echo "ok: $1 (exit $3)"
+    fi
+}
+
+sock="$workdir/dse.sock"
+"$tool" --listen "$sock" --threads 1 2>server.log &
+server=$!
+# Generous bind wait: ctest -j on a loaded box can starve the server
+# briefly at startup.
+for _ in $(seq 600); do [ -S "$sock" ] && break; sleep 0.1; done
+[ -S "$sock" ] || { echo "FAIL: server never bound $sock" >&2; cat server.log >&2; exit 1; }
+
+# A successful tiny sweep exits 0.
+echo '{"id":"ok","spec":{"width":4,"variants":["sdlc"],"schemes":["ripple"]}}' >good.ndjson
+"$tool" --client good.ndjson --socket "$sock" --quiet
+check_exit "successful sweep" 0 $?
+
+# A server-side error event (unparseable request) must exit non-zero.
+echo 'this is not json' >bad.ndjson
+"$tool" --client bad.ndjson --socket "$sock" --quiet
+check_exit "parse error from server" 1 $?
+
+# A schema-invalid request (error event with the request's id) too.
+echo '{"id":"r","spec":{"width":4},"typo":true}' >invalid.ndjson
+"$tool" --client invalid.ndjson --socket "$sock" --quiet
+check_exit "invalid request" 1 $?
+
+# A failing request among successes still fails the whole run.
+cat >mixed.ndjson <<'EOF'
+{"id":"good1","spec":{"width":4,"variants":["sdlc"],"schemes":["ripple"]}}
+{"id":"bad1","spec":{"width":99}}
+EOF
+"$tool" --client mixed.ndjson --socket "$sock" --quiet
+check_exit "mixed success + failure" 1 $?
+
+# A deadline-exceeded sweep is a failure to the caller.
+echo '{"id":"late","spec":{"width":8},"deadline_ms":1}' >late.ndjson
+"$tool" --client late.ndjson --socket "$sock" --quiet
+check_exit "deadline exceeded" 1 $?
+
+# Two chunked exports multiplexed over one connection: per-id reassembly
+# must keep the interleaved streams apart and exit 0.
+cat >multi.ndjson <<'EOF'
+{"id":"m1","spec":{"width":4,"variants":["sdlc"],"schemes":["ripple"]},"export":true,"chunk_bytes":64}
+{"id":"m2","spec":{"width":4,"variants":["sdlc"],"schemes":["wallace"]},"export":true,"chunk_bytes":64}
+EOF
+"$tool" --client multi.ndjson --socket "$sock" --quiet --output multi.json
+check_exit "multiplexed chunked exports" 0 $?
+if [ ! -s multi.json ]; then
+    echo "FAIL: multiplexed chunked export produced no output file" >&2
+    failures=$((failures + 1))
+fi
+
+# Chunked export reassembly still exits 0 and writes the payload.
+echo '{"id":"chunky","spec":{"width":4,"variants":["sdlc"],"schemes":["ripple"]},"export":true,"chunk_bytes":128}' >chunky.ndjson
+"$tool" --client chunky.ndjson --socket "$sock" --quiet --output chunked.json
+rc=$?
+check_exit "chunked export" 0 $rc
+if [ ! -s chunked.json ]; then
+    echo "FAIL: chunked export produced no output file" >&2
+    failures=$((failures + 1))
+fi
+
+echo '{"id":"q","type":"shutdown"}' >quit.ndjson
+"$tool" --client quit.ndjson --socket "$sock" --quiet
+check_exit "shutdown request" 0 $?
+wait "$server"
+check_exit "server exit" 0 $?
+
+# Transport failure: nothing listens here any more.
+"$tool" --client good.ndjson --socket "$sock" --quiet 2>/dev/null
+check_exit "connect to dead socket" 3 $?
+
+# Usage errors are exit 2, even for malformed numeric option values.
+"$tool" --workers abc </dev/null 2>/dev/null
+check_exit "non-numeric option value" 2 $?
+"$tool" --client good.ndjson 2>/dev/null
+check_exit "client without destination" 2 $?
+
+exit "$failures"

@@ -156,6 +156,13 @@ TEST(ServeProtocol, StrictRejection) {
          "invalid_request"},  // 2^64: out of range must not clamp
         {"{\"id\": \"r\", \"eval\": {\"seed\": \" 42\"}}", "invalid_request"},
         {"{\"id\": \"r\", \"eval\": {\"seed\": \"+42\"}}", "invalid_request"},
+        {"{\"id\": \"r\", \"deadline_ms\": 0}", "invalid_request"},
+        {"{\"id\": \"r\", \"deadline_ms\": -5}", "invalid_request"},
+        // > 1e9 ms would overflow steady_clock arithmetic downstream.
+        {"{\"id\": \"r\", \"deadline_ms\": 1000000001}", "invalid_request"},
+        {"{\"id\": \"r\", \"deadline_ms\": \"18446744073709551615\"}", "invalid_request"},
+        {"{\"id\": \"r\", \"chunk_bytes\": 0}", "invalid_request"},
+        {"{\"id\": \"r\", \"chunk_bytes\": 15}", "invalid_request"},
         {"{\"id\": \"r\", \"objectives\": []}", "invalid_request"},
         {"{\"id\": \"r\", \"objectives\": [\"error\", \"error\"]}", "invalid_request"},
         {"{\"id\": \"r\", \"objectives\": [\"bogus\"]}", "invalid_request"},

@@ -5,16 +5,24 @@
 //
 //   serve_tool                       requests on stdin, events on stdout
 //   serve_tool --listen PATH         Unix-domain socket server at PATH
+//   serve_tool --listen-tcp H:P      TCP server (port 0 = ephemeral,
+//                                    actual endpoint printed to stderr)
 //
-// Client mode (against a --listen server):
+// Client mode (against a socket server; destination is --socket PATH or
+// --tcp HOST:PORT):
 //
 //   serve_tool --client FILE --socket PATH [--output FILE] [--quiet]
 //
 // sends every request line of FILE ('-' = stdin), prints the event stream,
-// and exits once each sent request has received its terminal `done` event
-// (exit 1 if any request failed). --output extracts the `result` event's
-// embedded dse_json export to a file — byte-identical to what
-// `dse_tool --json` writes for the same sweep against a cold cache.
+// and exits 0 only if every request succeeded (any server `error` event,
+// failed `done`, or a dropped stream exits non-zero). --output extracts
+// the `result` event's embedded dse_json export to a file — byte-identical
+// to what `dse_tool --json` writes for the same sweep against a cold cache
+// — and reassembles chunked exports (`result_chunk` events) the same way.
+//
+// Scrape mode (for a Prometheus textfile collector / cron scraper):
+//
+//   serve_tool --scrape --socket PATH   prints the raw Prometheus text
 //
 // Shutdown: a {"type": "shutdown"} request stops intake, drains every
 // queued request, then the server exits; so does EOF on stdin (stdio
@@ -39,6 +47,7 @@
 #include "serve/protocol.h"
 #include "serve/service.h"
 #include "serve/socket.h"
+#include "serve/transport.h"
 #include "util/json_parse.h"
 
 namespace {
@@ -52,15 +61,23 @@ using namespace sdlc::serve;
         "usage: serve_tool [options]\n"
         "  server (default: NDJSON requests on stdin, events on stdout):\n"
         "    --listen PATH        serve on a Unix-domain socket instead\n"
+        "    --listen-tcp HOST:PORT  serve on a TCP socket (port 0 = ephemeral)\n"
         "    --threads N          evaluation ThreadPool size (default: hardware)\n"
         "    --workers N          concurrent in-flight requests (default 2)\n"
         "    --queue-capacity N   bounded request queue size (default 64)\n"
         "    --max-request-bytes N  reject longer request lines (default 1 MiB)\n"
+        "    --reject-overload    answer a full queue with an `overloaded` error\n"
+        "                         event instead of blocking the connection\n"
         "  client:\n"
         "    --client FILE        send FILE's request lines ('-' = stdin)\n"
-        "    --socket PATH        server socket to connect to (required)\n"
+        "    --socket PATH        server Unix socket to connect to\n"
+        "    --tcp HOST:PORT      server TCP endpoint to connect to\n"
         "    --output FILE        write the result event's dse_json export here\n"
-        "    --quiet              do not echo the event stream to stdout\n";
+        "                         (reassembles chunked result_chunk streams)\n"
+        "    --quiet              do not echo the event stream to stdout\n"
+        "  scrape:\n"
+        "    --scrape             fetch Prometheus metrics (with --socket/--tcp)\n"
+        "                         and print the raw exposition text to stdout\n";
     std::exit(msg.empty() ? 0 : 2);
 }
 
@@ -69,15 +86,17 @@ struct Args {
     std::set<std::string> flags;
 
     Args(int argc, char** argv) {
-        const std::set<std::string> value_keys = {"--listen",         "--threads",
-                                                  "--workers",        "--queue-capacity",
-                                                  "--max-request-bytes", "--client",
-                                                  "--socket",         "--output"};
+        const std::set<std::string> value_keys = {"--listen",         "--listen-tcp",
+                                                  "--threads",        "--workers",
+                                                  "--queue-capacity", "--max-request-bytes",
+                                                  "--client",         "--socket",
+                                                  "--tcp",            "--output"};
+        const std::set<std::string> flag_keys = {"--quiet", "--scrape", "--reject-overload"};
         for (int i = 1; i < argc; ++i) {
             const std::string key = argv[i];
             if (key == "--help" || key == "-h") usage();
-            if (key == "--quiet") {
-                flags.insert("quiet");
+            if (flag_keys.count(key) != 0) {
+                flags.insert(key.substr(2));
                 continue;
             }
             if (value_keys.count(key) == 0) usage("unknown option " + key);
@@ -93,7 +112,16 @@ struct Args {
     [[nodiscard]] long get_long(const std::string& key, long dflt) const {
         const std::string v = get(key);
         if (v.empty()) return dflt;
-        const long parsed = std::stol(v);
+        long parsed = 0;
+        try {
+            size_t consumed = 0;
+            parsed = std::stol(v, &consumed);
+            if (consumed != v.size()) usage(key + " expects an integer, got \"" + v + "\"");
+        } catch (const std::logic_error&) {
+            // invalid_argument / out_of_range: a usage error, not a
+            // transport failure — exit 2, matching the documented contract.
+            usage(key + " expects an integer, got \"" + v + "\"");
+        }
         if (parsed < 0) usage(key + " must be >= 0");
         return parsed;
     }
@@ -106,7 +134,25 @@ ServiceOptions service_options(const Args& args) {
     opts.queue_capacity = static_cast<size_t>(args.get_long("--queue-capacity", 64));
     opts.max_request_bytes = static_cast<size_t>(
         args.get_long("--max-request-bytes", static_cast<long>(kDefaultMaxRequestBytes)));
+    opts.reject_when_full = args.flags.count("reject-overload") != 0;
     return opts;
+}
+
+/// Client/scrape destination: --socket PATH or --tcp HOST:PORT. Returns a
+/// connected fd (caller owns it).
+int connect_destination(const Args& args) {
+    const std::string socket_path = args.get("--socket");
+    const std::string tcp_spec = args.get("--tcp");
+    if (socket_path.empty() == tcp_spec.empty()) {
+        usage("give exactly one of --socket PATH or --tcp HOST:PORT");
+    }
+    if (!socket_path.empty()) return unix_socket_connect(socket_path);
+    std::string host;
+    uint16_t port = 0;
+    std::string error;
+    if (!parse_host_port(tcp_spec, host, port, &error)) usage("--tcp: " + error);
+    if (host.empty()) host = "127.0.0.1";
+    return tcp_connect(host, port);
 }
 
 // ------------------------------------------------------------ stdio mode ----
@@ -165,76 +211,24 @@ int run_stdio_server(const Args& args) {
 // ----------------------------------------------------------- socket mode ----
 
 int run_socket_server(const Args& args) {
-    const std::string path = args.get("--listen");
-    UnixSocketServer server(path);
+    // Bind the listener before spinning up the service so a bad endpoint
+    // fails fast without spawning any worker.
+    std::unique_ptr<SocketListener> listener;
+    if (const std::string path = args.get("--listen"); !path.empty()) {
+        listener = std::make_unique<UnixSocketServer>(path);
+    } else {
+        std::string host;
+        uint16_t port = 0;
+        std::string error;
+        if (!parse_host_port(args.get("--listen-tcp"), host, port, &error)) {
+            usage("--listen-tcp: " + error);
+        }
+        listener = std::make_unique<TcpSocketServer>(host, port);
+    }
     const ServiceOptions opts = service_options(args);
     SweepService service(opts);
-    // A processed shutdown request must unblock the accept loop below.
-    service.set_on_shutdown([&server] { server.close(); });
-
-    // Each connection's FdSink owns the fd and is shared between the reader
-    // thread and every in-flight request, so the descriptor closes exactly
-    // when the last response for that peer has been written (or dropped).
-    struct Connection {
-        int fd;
-        std::shared_ptr<FdSink> sink;
-        std::shared_ptr<std::atomic<bool>> finished;
-        std::thread reader;
-    };
-    std::vector<Connection> connections;
-    auto reap_finished = [&connections] {
-        for (auto it = connections.begin(); it != connections.end();) {
-            if (it->finished->load(std::memory_order_acquire)) {
-                it->reader.join();
-                it = connections.erase(it);  // drops the sink ref; fd closes with it
-            } else {
-                ++it;
-            }
-        }
-    };
-
-    std::cerr << "serve_tool: listening on " << path << "\n";
-    int client;
-    // The 1 s accept timeout is the reap tick: dead connections release
-    // their thread promptly even when no new client ever connects (their
-    // fd already closes with the sink's last reference).
-    while ((client = server.accept_client(/*timeout_ms=*/1000)) != -1) {
-        reap_finished();
-        if (client == UnixSocketServer::kTimeout) continue;
-        Connection conn;
-        conn.fd = client;
-        conn.sink = std::make_shared<FdSink>(client, /*owns_fd=*/true);
-        conn.finished = std::make_shared<std::atomic<bool>>(false);
-        conn.reader = std::thread(
-            [fd = client, sink = conn.sink, finished = conn.finished, &service,
-             max_line = opts.max_request_bytes + 1] {
-                LineReader reader(fd, max_line);
-                std::string line;
-                while (reader.next(line)) {
-                    if (line.empty()) continue;
-                    if (!service.submit_line(line, sink)) break;
-                }
-                if (reader.overflowed()) {
-                    // The protocol promises a machine-readable rejection for
-                    // oversized lines even when no newline ever arrives.
-                    sink->write_line(error_event(
-                        "", "too_large", "unterminated request line exceeded the size cap"));
-                    sink->write_line(done_event("", false));
-                }
-                finished->store(true, std::memory_order_release);
-            });
-        connections.push_back(std::move(conn));
-    }
-
-    // Accept loop ended (shutdown request): finish every accepted request,
-    // then release the connections. Readers may still be blocked on idle
-    // peers; shutting the read side down unblocks them.
-    service.shutdown();
-    for (Connection& conn : connections) {
-        ::shutdown(conn.fd, SHUT_RD);
-        conn.reader.join();
-    }
-    connections.clear();
+    std::cerr << "serve_tool: listening on " << listener->endpoint() << "\n";
+    serve_listener(*listener, service, opts.max_request_bytes);
     return 0;
 }
 
@@ -242,8 +236,6 @@ int run_socket_server(const Args& args) {
 
 int run_client(const Args& args) {
     const std::string request_path = args.get("--client");
-    const std::string socket_path = args.get("--socket");
-    if (socket_path.empty()) usage("--client requires --socket PATH");
     const std::string output_path = args.get("--output");
     const bool quiet = args.flags.count("quiet") != 0;
 
@@ -268,7 +260,7 @@ int run_client(const Args& args) {
     }
     if (requests.empty()) usage("no request lines in " + request_path);
 
-    const int fd = unix_socket_connect(socket_path);
+    const int fd = connect_destination(args);
     // Send from a separate thread while the main thread drains responses:
     // writing everything first can deadlock once the server's bounded
     // request queue and both socket buffers fill (the server stops reading
@@ -287,23 +279,68 @@ int run_client(const Args& args) {
     std::string line;
     size_t done = 0;
     bool all_ok = true;
+    bool saw_error_event = false;
     bool wrote_output = false;
+    // result_chunk reassembly, keyed by request id: multiplexed chunked
+    // exports interleave at line granularity and must not corrupt each
+    // other's sequence tracking.
+    struct ChunkState {
+        std::string data;
+        size_t next_seq = 0;
+    };
+    std::map<std::string, ChunkState> chunk_streams;
+    auto write_output = [&](const std::string& payload) {
+        std::ofstream out(output_path, std::ios::binary);
+        out << payload;
+        if (!out) {
+            std::cerr << "error: cannot write " << output_path << "\n";
+            return false;
+        }
+        wrote_output = true;
+        return true;
+    };
+    bool aborted = false;  // client-side protocol/file error, not transport
     while (done < requests.size() && reader.next(line)) {
         if (!quiet) std::cout << line << "\n";
         JsonValue event;
         if (!json_parse(line, event)) continue;  // not ours to validate
         const JsonValue* kind = event.find("event");
         if (kind == nullptr || !kind->is_string()) continue;
+        // Any server-side error event means this run did not fully succeed,
+        // even if a later `done` somehow claimed otherwise: scripts keying
+        // off the exit status must see the failure.
+        if (kind->string == "error") saw_error_event = true;
         if (kind->string == "result" && !output_path.empty()) {
             if (const JsonValue* data = event.find("data"); data != nullptr && data->is_string()) {
-                std::ofstream out(output_path, std::ios::binary);
-                out << data->string;
-                if (!out) {
-                    std::cerr << "error: cannot write " << output_path << "\n";
-                    all_ok = false;
+                if (!write_output(data->string)) {
+                    aborted = true;
                     break;
                 }
-                wrote_output = true;
+            }
+        }
+        if (kind->string == "result_chunk" && !output_path.empty()) {
+            const JsonValue* id = event.find("id");
+            const JsonValue* seq = event.find("seq");
+            const JsonValue* last = event.find("last");
+            const JsonValue* data = event.find("data");
+            ChunkState& stream =
+                chunk_streams[id != nullptr && id->is_string() ? id->string : ""];
+            if (seq == nullptr || !seq->is_number() || last == nullptr || !last->is_bool() ||
+                data == nullptr || !data->is_string() ||
+                static_cast<size_t>(seq->number) != stream.next_seq) {
+                std::cerr << "error: bad result_chunk sequence (expected seq "
+                          << stream.next_seq << ")\n";
+                aborted = true;
+                break;
+            }
+            ++stream.next_seq;
+            stream.data += data->string;
+            if (last->boolean) {
+                if (!write_output(stream.data)) {
+                    aborted = true;
+                    break;
+                }
+                chunk_streams.erase(id != nullptr && id->is_string() ? id->string : "");
             }
         }
         if (kind->string == "done") {
@@ -317,18 +354,58 @@ int run_client(const Args& args) {
     ::close(fd);
     if (send_failed.load()) {
         std::cerr << "error: send failed\n";
-        return 1;
+        return 3;
     }
+    // A break above already printed its own diagnosis; the stream was
+    // alive, so this is a request failure (1), not a transport one (3).
+    if (aborted) return 1;
     if (done < requests.size()) {
         std::cerr << "error: server closed the stream after " << done << " of "
                   << requests.size() << " responses\n";
-        return 1;
+        return 3;
     }
     if (!output_path.empty() && !wrote_output) {
         std::cerr << "error: no result event received (add \"export\": true?)\n";
         return 1;
     }
-    return all_ok ? 0 : 1;
+    return all_ok && !saw_error_event ? 0 : 1;
+}
+
+// ----------------------------------------------------------- scrape mode ----
+
+int run_scrape(const Args& args) {
+    const int fd = connect_destination(args);
+    const std::string request = "{\"id\": \"scrape\", \"type\": \"metrics\"}\n";
+    if (!write_all(fd, request)) {
+        std::cerr << "error: send failed\n";
+        ::close(fd);
+        return 3;
+    }
+    LineReader reader(fd);
+    std::string line;
+    std::string metrics;
+    bool got_metrics = false;
+    bool done = false;
+    while (!done && reader.next(line)) {
+        JsonValue event;
+        if (!json_parse(line, event)) continue;
+        const JsonValue* kind = event.find("event");
+        if (kind == nullptr || !kind->is_string()) continue;
+        if (kind->string == "metrics") {
+            if (const JsonValue* data = event.find("data"); data != nullptr && data->is_string()) {
+                metrics = data->string;
+                got_metrics = true;
+            }
+        }
+        if (kind->string == "done") done = true;
+    }
+    ::close(fd);
+    if (!got_metrics) {
+        std::cerr << "error: no metrics event received\n";
+        return 1;
+    }
+    std::cout << metrics;  // raw Prometheus exposition text
+    return 0;
 }
 
 }  // namespace
@@ -338,11 +415,25 @@ int main(int argc, char** argv) {
     std::signal(SIGPIPE, SIG_IGN);
     try {
         const Args args(argc, argv);
-        if (args.values.count("--client") != 0) return run_client(args);
-        if (args.values.count("--listen") != 0) return run_socket_server(args);
+        // One mode per invocation: ambiguous combinations are rejected, not
+        // silently resolved by precedence.
+        if (args.values.count("--listen") != 0 && args.values.count("--listen-tcp") != 0) {
+            usage("give --listen or --listen-tcp, not both");
+        }
+        const bool server = args.values.count("--listen") != 0 ||
+                            args.values.count("--listen-tcp") != 0;
+        const bool client = args.values.count("--client") != 0;
+        const bool scrape = args.flags.count("scrape") != 0;
+        if ((server && (client || scrape)) || (client && scrape)) {
+            usage("server (--listen/--listen-tcp), client (--client) and --scrape "
+                  "are mutually exclusive modes");
+        }
+        if (scrape) return run_scrape(args);
+        if (client) return run_client(args);
+        if (server) return run_socket_server(args);
         return run_stdio_server(args);
     } catch (const std::exception& e) {
         std::cerr << "error: " << e.what() << "\n";
-        return 1;
+        return 3;
     }
 }
