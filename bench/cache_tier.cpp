@@ -1,0 +1,201 @@
+// Distributed cache tier: cold vs warm-via-peer sweep latency.
+//
+// Spins an in-process cache daemon (CacheTierService behind a real Unix
+// socket, the same serve_listener lifecycle `cache_tool` uses) and times
+// a synthesis-bound width-12 sweep in four cache configurations:
+//
+//   cold (local only)   fresh CostCache, no peers — the baseline cost of
+//                       synthesizing every unique design
+//   cold (populating)   fresh local tier + empty daemon: pays synthesis
+//                       AND writes every report back to the peer
+//   cold (warm peer)    fresh local tier + the now-warm daemon: what a new
+//                       fleet replica pays when a sibling already swept —
+//                       synthesis becomes one socket round trip per design
+//   warm (local)        second sweep on a warm local cache (lower bound)
+//
+//   --quick       fewer repetitions
+//   --json FILE   machine-readable record (BENCH_cache.json in the repo)
+//
+// The warm-peer run must record a remote hit per unique design and beat
+// the cold baseline; the bench fails loudly if the tier went unused.
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "dse/cost_cache.h"
+#include "dse/evaluator.h"
+#include "dse/remote_cache.h"
+#include "dse/sweep.h"
+#include "serve/cache_tier.h"
+#include "serve/socket.h"
+#include "serve/transport.h"
+#include "util/json.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace sdlc;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const auto args = bench::BenchArgs::parse(argc, argv);
+    bench::print_header(
+        "Cache tier — cold vs warm-via-peer sweep latency",
+        "A fleet sharing one cache daemon pays synthesis once, then one round trip per "
+        "design.");
+
+    // A synthesis-bound sweep: width 12 is above the exhaustive-error
+    // cutoff, and with a small Monte-Carlo sample count nearly all the
+    // cold cost is the synthesis flow — exactly what the tier amortizes.
+    // (The default width-8 sweep is error-eval-bound since the PR 2 kernel
+    // work, so it would mostly measure the evaluator, not the cache.)
+    const SweepSpec spec = SweepSpec::for_width(12);
+    const int repetitions = args.quick ? 2 : 5;
+    auto base_opts = [] {
+        EvalOptions opts;
+        opts.samples = 2048;
+        return opts;
+    };
+
+    // In-process daemon on a real Unix socket.
+    const std::string sock_path = "bench_cache_tier.sock";
+    serve::UnixSocketServer listener(sock_path);
+    serve::CacheTierService daemon;
+    std::thread daemon_thread([&] {
+        serve::serve_listener(listener, daemon, kCacheMaxRequestBytes);
+    });
+
+    RemoteCacheOptions ropts;
+    ropts.peers = {"unix:" + sock_path};
+
+    // Median over repetitions; every timed run starts from a fresh local
+    // cache so repetition never turns a cold scenario warm.
+    auto timed_median = [&](auto&& run) {
+        std::vector<double> samples;
+        for (int i = 0; i < repetitions; ++i) {
+            const auto t0 = Clock::now();
+            run();
+            samples.push_back(seconds_since(t0));
+        }
+        std::sort(samples.begin(), samples.end());
+        return samples[samples.size() / 2];
+    };
+
+    // cold (local only): baseline synthesis cost.
+    SweepStats local_stats;
+    const double cold_local = timed_median([&] {
+        CostCache cache;
+        EvalOptions opts = base_opts();
+        opts.hw_cache = &cache;
+        (void)evaluate_sweep(spec, opts, &local_stats);
+    });
+
+    // warm (local): everything memoized in-process.
+    CostCache warm_local_cache;
+    {
+        EvalOptions opts = base_opts();
+        opts.hw_cache = &warm_local_cache;
+        (void)evaluate_sweep(spec, opts);
+    }
+    const double warm_local = timed_median([&] {
+        EvalOptions opts = base_opts();
+        opts.hw_cache = &warm_local_cache;
+        (void)evaluate_sweep(spec, opts);
+    });
+
+    // cold (populating): first fleet member against an empty daemon. Only
+    // the first repetition truly populates; later ones hit the peer, so
+    // time the first run alone.
+    SweepStats populate_stats;
+    double cold_populate = 0.0;
+    {
+        CostCache local;
+        RemoteCostCache remote(local, ropts);
+        EvalOptions opts = base_opts();
+        opts.hw_cache = &remote;
+        const auto t0 = Clock::now();
+        (void)evaluate_sweep(spec, opts, &populate_stats);
+        cold_populate = seconds_since(t0);
+    }
+
+    // cold (warm peer): a new replica joining a warmed fleet.
+    SweepStats warm_peer_stats;
+    const double warm_via_peer = timed_median([&] {
+        CostCache local;
+        RemoteCostCache remote(local, ropts);
+        EvalOptions opts = base_opts();
+        opts.hw_cache = &remote;
+        (void)evaluate_sweep(spec, opts, &warm_peer_stats);
+    });
+
+    const CacheDaemonStats daemon_stats = daemon.stats();
+    listener.close();
+    daemon_thread.join();
+
+    TextTable table({"scenario", "seconds", "speedup vs cold", "remote traffic"});
+    auto row = [&](const char* name, double secs, const std::string& remote) {
+        table.add_row({name, fmt_fixed(secs, 4), fmt_fixed(cold_local / secs, 2) + "x",
+                       remote});
+    };
+    row("cold (local only)", cold_local, "-");
+    row("cold (populating peer)", cold_populate,
+        std::to_string(populate_stats.remote.puts) + " puts");
+    row("cold (warm peer)", warm_via_peer,
+        std::to_string(warm_peer_stats.remote.hits) + " hits");
+    row("warm (local)", warm_local, "none");
+    table.print(std::cout);
+    std::cout << "\ndaemon: " << daemon_stats.entries << " entries, " << daemon_stats.gets
+              << " gets (" << daemon_stats.hits << " hits), " << daemon_stats.puts
+              << " puts\n";
+
+    bool ok = true;
+    if (warm_peer_stats.remote.hits == 0) {
+        std::cerr << "error: warm-via-peer run recorded no remote hits — the tier went "
+                     "unused\n";
+        ok = false;
+    }
+    if (warm_via_peer >= cold_local) {
+        // A round trip per design must beat a synthesis per design; if it
+        // does not, the tier is mis-tuned and the record should say so.
+        std::cerr << "error: warm-via-peer sweep (" << warm_via_peer
+                  << " s) is not faster than cold local (" << cold_local << " s)\n";
+        ok = false;
+    }
+
+    if (args.json_path) {
+        std::string json = "{\"bench\": \"cache_tier\",\n";
+        json += " \"sweep\": {\"width\": 12, \"points\": " +
+                std::to_string(local_stats.points) + ", \"unique_designs\": " +
+                std::to_string(local_stats.hw_cache_misses) + "},\n";
+        json += " \"repetitions\": " + std::to_string(repetitions) + ",\n";
+        json += " \"cold_local_seconds\": " + json_number(cold_local) + ",\n";
+        json += " \"cold_populate_seconds\": " + json_number(cold_populate) + ",\n";
+        json += " \"warm_via_peer_seconds\": " + json_number(warm_via_peer) + ",\n";
+        json += " \"warm_local_seconds\": " + json_number(warm_local) + ",\n";
+        json += " \"warm_via_peer_speedup\": " + json_number(cold_local / warm_via_peer) +
+                ",\n";
+        json += " \"warm_peer_remote\": {\"hits\": " +
+                std::to_string(warm_peer_stats.remote.hits) + ", \"misses\": " +
+                std::to_string(warm_peer_stats.remote.misses) + ", \"errors\": " +
+                std::to_string(warm_peer_stats.remote.errors) + ", \"timeouts\": " +
+                std::to_string(warm_peer_stats.remote.timeouts) + "},\n";
+        json += " \"daemon\": {\"entries\": " + std::to_string(daemon_stats.entries) +
+                ", \"gets\": " + std::to_string(daemon_stats.gets) + ", \"hits\": " +
+                std::to_string(daemon_stats.hits) + ", \"puts\": " +
+                std::to_string(daemon_stats.puts) + "}\n}\n";
+        std::ofstream out(*args.json_path, std::ios::binary);
+        out << json;
+        std::cout << "JSON written to " << *args.json_path << "\n";
+    }
+    return ok ? 0 : 1;
+}

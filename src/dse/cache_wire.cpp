@@ -1,0 +1,326 @@
+#include "dse/cache_wire.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+#include "util/json.h"
+
+namespace sdlc {
+
+namespace {
+
+/// Mirrors the serve protocol's id cap: ids are echoed into every response.
+constexpr size_t kMaxIdLength = 128;
+
+/// "0x" + 16 hex digits: the exact-bits encoding shared by content keys and
+/// report doubles.
+std::string hex64(uint64_t v) {
+    char buf[19];
+    std::snprintf(buf, sizeof buf, "0x%016llx", static_cast<unsigned long long>(v));
+    return buf;
+}
+
+bool parse_hex64(const std::string& s, uint64_t& out) {
+    // Exactly the form hex64() emits: "0x" + 1..16 hex digits. Accepting
+    // decimal or (worse) leading-zero octal here would let two clients
+    // disagree about which key a string names.
+    if (s.size() < 3 || s.size() > 18 || s[0] != '0' || s[1] != 'x') return false;
+    uint64_t value = 0;
+    for (size_t i = 2; i < s.size(); ++i) {
+        const char c = s[i];
+        int digit;
+        if (c >= '0' && c <= '9') digit = c - '0';
+        else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+        else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+        else return false;
+        value = (value << 4) | static_cast<uint64_t>(digit);
+    }
+    out = value;
+    return true;
+}
+
+std::string bits_of(double v) { return hex64(std::bit_cast<uint64_t>(v)); }
+
+/// The report's double-valued fields, in wire order. Walking one table from
+/// both the encoder and the decoder keeps the two in lockstep: adding a
+/// field here extends the wire format and its strict validation at once.
+struct DoubleField {
+    const char* name;
+    double SynthesisReport::* member;
+};
+constexpr DoubleField kDoubleFields[] = {
+    {"area_um2", &SynthesisReport::area_um2},
+    {"delay_ps", &SynthesisReport::delay_ps},
+    {"dynamic_energy_fj", &SynthesisReport::dynamic_energy_fj},
+    {"dynamic_power_uw", &SynthesisReport::dynamic_power_uw},
+    {"leakage_nw", &SynthesisReport::leakage_nw},
+    {"energy_fj", &SynthesisReport::energy_fj},
+};
+
+bool fail(std::string* error, const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+}
+
+/// True when `v` is a non-negative integer small enough to cast safely
+/// (2^53: the exact double-integer range). Guards every double-to-integer
+/// cast on untrusted input — static_cast from an out-of-range or infinite
+/// double is undefined behavior, so a hostile "cells": 1e999 must be
+/// rejected, not cast.
+bool is_safe_count(const JsonValue& v) noexcept {
+    return v.is_number() && v.number >= 0 && v.number <= 9007199254740992.0 &&
+           v.number == std::floor(v.number);
+}
+
+}  // namespace
+
+const char* cache_op_name(CacheOp op) noexcept {
+    switch (op) {
+        case CacheOp::kGet: return "get";
+        case CacheOp::kPut: return "put";
+        case CacheOp::kStats: return "stats";
+        case CacheOp::kShutdown: return "shutdown";
+    }
+    return "?";
+}
+
+std::string synthesis_report_json(const SynthesisReport& report) {
+    std::string out = "{\"cells\": " + std::to_string(report.cells);
+    out += ", \"depth\": " + std::to_string(report.depth);
+    for (const DoubleField& f : kDoubleFields) {
+        out += ", \"" + std::string(f.name) + "\": \"" + bits_of(report.*f.member) + "\"";
+    }
+    out += "}";
+    return out;
+}
+
+bool synthesis_report_from_json(const JsonValue& value, SynthesisReport& out,
+                                std::string* error) {
+    if (!value.is_object()) return fail(error, "report must be an object");
+    constexpr size_t kFieldCount = 2 + std::size(kDoubleFields);
+    if (value.object.size() != kFieldCount) {
+        return fail(error, "report must have exactly " + std::to_string(kFieldCount) +
+                               " fields");
+    }
+    out = SynthesisReport{};
+    const JsonValue* cells = value.find("cells");
+    if (cells == nullptr || !is_safe_count(*cells)) {
+        return fail(error, "report \"cells\" must be a non-negative integer");
+    }
+    out.cells = static_cast<size_t>(cells->number);
+    const JsonValue* depth = value.find("depth");
+    if (depth == nullptr || !is_safe_count(*depth) || depth->number > 1e9) {
+        return fail(error, "report \"depth\" must be a non-negative integer");
+    }
+    out.depth = static_cast<int>(depth->number);
+    for (const DoubleField& f : kDoubleFields) {
+        const JsonValue* v = value.find(f.name);
+        uint64_t bits = 0;
+        if (v == nullptr || !v->is_string() || !parse_hex64(v->string, bits)) {
+            return fail(error, "report \"" + std::string(f.name) +
+                                   "\" must be a 64-bit hex bit-pattern string");
+        }
+        out.*f.member = std::bit_cast<double>(bits);
+    }
+    return true;
+}
+
+bool parse_cache_request(const std::string& line, size_t max_bytes, CacheRequest& out,
+                         CacheWireError& err) {
+    err = CacheWireError{};
+    if (line.size() > max_bytes) {
+        err.code = "too_large";
+        err.message = "request line is " + std::to_string(line.size()) + " bytes (limit " +
+                      std::to_string(max_bytes) + ")";
+        return false;
+    }
+    JsonValue root;
+    std::string parse_error;
+    if (!json_parse(line, root, &parse_error)) {
+        err.code = "parse_error";
+        err.message = parse_error;
+        return false;
+    }
+    // Best-effort id extraction so even a schema-invalid request gets a
+    // response tagged with the id the client sent.
+    if (const JsonValue* id = root.find("id"); id != nullptr && id->is_string()) {
+        err.id = id->string.substr(0, kMaxIdLength);
+    }
+    auto invalid = [&err](const std::string& message) {
+        err.code = "invalid_request";
+        err.message = message;
+        return false;
+    };
+    if (!root.is_object()) return invalid("request must be a JSON object");
+    out = CacheRequest{};
+    if (const JsonValue* id = root.find("id")) {
+        if (!id->is_string()) return invalid("\"id\" must be a string");
+        if (id->string.size() > kMaxIdLength) return invalid("\"id\" exceeds 128 characters");
+        out.id = id->string;
+    }
+    const JsonValue* op = root.find("op");
+    if (op == nullptr || !op->is_string()) return invalid("missing \"op\"");
+    if (op->string == "get") out.op = CacheOp::kGet;
+    else if (op->string == "put") out.op = CacheOp::kPut;
+    else if (op->string == "stats") out.op = CacheOp::kStats;
+    else if (op->string == "shutdown") out.op = CacheOp::kShutdown;
+    else return invalid("unknown op \"" + op->string + "\"");
+
+    // Strict key-set check, matching serve/protocol's check_known_keys.
+    for (const auto& [key, member] : root.object) {
+        (void)member;
+        const bool known =
+            key == "id" || key == "op" ||
+            ((out.op == CacheOp::kGet || out.op == CacheOp::kPut) && key == "key") ||
+            (out.op == CacheOp::kPut && key == "report");
+        if (!known) return invalid("unknown request field \"" + key + "\"");
+    }
+
+    if (out.op == CacheOp::kGet || out.op == CacheOp::kPut) {
+        const JsonValue* key = root.find("key");
+        if (key == nullptr || !key->is_string() || !parse_hex64(key->string, out.key)) {
+            return invalid("\"key\" must be a 64-bit hex string");
+        }
+    }
+    if (out.op == CacheOp::kPut) {
+        const JsonValue* report = root.find("report");
+        std::string report_error;
+        if (report == nullptr || !synthesis_report_from_json(*report, out.report,
+                                                             &report_error)) {
+            return invalid(report == nullptr ? "put requires \"report\"" : report_error);
+        }
+    }
+    return true;
+}
+
+// ---- line builders ----
+
+namespace {
+
+std::string request_head(const std::string& id, const char* op) {
+    return "{\"id\": " + json_string(id) + ", \"op\": \"" + op + "\"";
+}
+
+std::string response_head(const std::string& id, bool ok) {
+    return "{\"id\": " + json_string(id) + (ok ? ", \"ok\": true" : ", \"ok\": false");
+}
+
+}  // namespace
+
+std::string cache_get_line(const std::string& id, uint64_t key) {
+    return request_head(id, "get") + ", \"key\": \"" + hex64(key) + "\"}";
+}
+
+std::string cache_put_line(const std::string& id, uint64_t key, const SynthesisReport& report) {
+    return request_head(id, "put") + ", \"key\": \"" + hex64(key) +
+           "\", \"report\": " + synthesis_report_json(report) + "}";
+}
+
+std::string cache_stats_line(const std::string& id) { return request_head(id, "stats") + "}"; }
+
+std::string cache_shutdown_line(const std::string& id) {
+    return request_head(id, "shutdown") + "}";
+}
+
+std::string cache_hit_response(const std::string& id, const SynthesisReport& report) {
+    return response_head(id, true) + ", \"hit\": true, \"report\": " +
+           synthesis_report_json(report) + "}";
+}
+
+std::string cache_miss_response(const std::string& id) {
+    return response_head(id, true) + ", \"hit\": false}";
+}
+
+std::string cache_put_response(const std::string& id, bool stored) {
+    return response_head(id, true) + std::string(", \"stored\": ") +
+           (stored ? "true" : "false") + "}";
+}
+
+std::string cache_stats_response(const std::string& id, const CacheDaemonStats& stats) {
+    std::string out = response_head(id, true);
+    out += ", \"stats\": {\"entries\": " + std::to_string(stats.entries);
+    out += ", \"gets\": " + std::to_string(stats.gets);
+    out += ", \"hits\": " + std::to_string(stats.hits);
+    out += ", \"puts\": " + std::to_string(stats.puts);
+    out += ", \"rejected\": " + std::to_string(stats.rejected);
+    out += "}}";
+    return out;
+}
+
+std::string cache_ok_response(const std::string& id) { return response_head(id, true) + "}"; }
+
+std::string cache_error_response(const std::string& id, const std::string& code,
+                                 const std::string& message) {
+    return response_head(id, false) + ", \"code\": " + json_string(code) +
+           ", \"message\": " + json_string(message) + "}";
+}
+
+bool parse_cache_response(const std::string& line, CacheResponse& out, std::string* error) {
+    JsonValue root;
+    std::string parse_error;
+    if (!json_parse(line, root, &parse_error)) return fail(error, parse_error);
+    if (!root.is_object()) return fail(error, "response must be a JSON object");
+    out = CacheResponse{};
+    if (const JsonValue* id = root.find("id"); id != nullptr && id->is_string()) {
+        out.id = id->string;
+    }
+    const JsonValue* ok = root.find("ok");
+    if (ok == nullptr || !ok->is_bool()) return fail(error, "missing \"ok\"");
+    out.ok = ok->boolean;
+    if (!out.ok) {
+        if (const JsonValue* code = root.find("code"); code != nullptr && code->is_string()) {
+            out.code = code->string;
+        }
+        if (const JsonValue* msg = root.find("message"); msg != nullptr && msg->is_string()) {
+            out.message = msg->string;
+        }
+        return true;
+    }
+    if (const JsonValue* hit = root.find("hit")) {
+        if (!hit->is_bool()) return fail(error, "\"hit\" must be a boolean");
+        out.has_hit = true;
+        out.hit = hit->boolean;
+    }
+    if (const JsonValue* report = root.find("report")) {
+        std::string report_error;
+        if (!synthesis_report_from_json(*report, out.report, &report_error)) {
+            return fail(error, report_error);
+        }
+        out.has_report = true;
+    }
+    if (out.has_hit && out.hit && !out.has_report) {
+        return fail(error, "hit response carries no report");
+    }
+    if (const JsonValue* stored = root.find("stored")) {
+        if (!stored->is_bool()) return fail(error, "\"stored\" must be a boolean");
+        out.stored = stored->boolean;
+    }
+    if (const JsonValue* stats = root.find("stats")) {
+        if (!stats->is_object()) return fail(error, "\"stats\" must be an object");
+        // A counter outside the safe integer range means the peer is not
+        // speaking our protocol; fail the line rather than cast (UB).
+        bool counters_ok = true;
+        auto count = [&](const char* name, uint64_t& into) {
+            const JsonValue* v = stats->find(name);
+            if (v == nullptr) return;
+            if (!is_safe_count(*v)) {
+                counters_ok = false;
+                return;
+            }
+            into = static_cast<uint64_t>(v->number);
+        };
+        count("gets", out.stats.gets);
+        count("hits", out.stats.hits);
+        count("puts", out.stats.puts);
+        count("rejected", out.stats.rejected);
+        uint64_t entries = 0;
+        count("entries", entries);
+        out.stats.entries = static_cast<size_t>(entries);
+        if (!counters_ok) return fail(error, "stats counter is not a safe integer");
+        out.has_stats = true;
+    }
+    return true;
+}
+
+}  // namespace sdlc

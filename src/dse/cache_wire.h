@@ -1,0 +1,139 @@
+// NDJSON wire format of the distributed synthesis-cache tier.
+//
+// A cache daemon (`cache_tool`) stores content-keyed SynthesisReports for a
+// fleet of DSE processes; this header defines the line protocol both sides
+// speak, mirroring the serve protocol's conventions: one JSON object per
+// request line, exactly one response line per request (so a client can
+// pipeline requests over one connection), strict parsing, and structured
+// rejections with the same machine-readable codes ("too_large",
+// "parse_error", "invalid_request").
+//
+//   {"id": "g1", "op": "get", "key": "0x5cf1d3a9b2e47086"}
+//   {"id": "p1", "op": "put", "key": "0x5cf1...", "report": {...}}
+//   {"id": "s1", "op": "stats"}
+//   {"id": "q1", "op": "shutdown"}
+//
+//   {"id": "g1", "ok": true, "hit": true, "report": {...}}
+//   {"id": "g1", "ok": true, "hit": false}
+//   {"id": "p1", "ok": true, "stored": true}
+//   {"id": "s1", "ok": true, "stats": {"entries": 49, "gets": 60, ...}}
+//   {"id": "q1", "ok": true}
+//   {"id": "",   "ok": false, "code": "parse_error", "message": "..."}
+//
+// Bit-exactness: a report fetched from a peer must be indistinguishable
+// from one synthesized locally, or cache topology would change sweep
+// results. JSON's decimal doubles cannot guarantee that, so every double
+// crosses the wire as its IEEE-754 bit pattern ("0x" + 16 hex digits), and
+// content keys use the same encoding (they are avalanched 64-bit hashes; a
+// JSON number would silently round beyond 2^53).
+#ifndef SDLC_DSE_CACHE_WIRE_H
+#define SDLC_DSE_CACHE_WIRE_H
+
+#include <cstdint>
+#include <string>
+
+#include "tech/synthesis.h"
+#include "util/json_parse.h"
+
+namespace sdlc {
+
+/// What a cache request line asks the daemon to do.
+enum class CacheOp {
+    kGet,       ///< look a content key up
+    kPut,       ///< memoize a report under a content key
+    kStats,     ///< report daemon counters
+    kShutdown,  ///< stop accepting, drain connections, exit
+};
+
+/// Short lowercase name ("get", "put", "stats", "shutdown").
+[[nodiscard]] const char* cache_op_name(CacheOp op) noexcept;
+
+/// One parsed cache request line.
+struct CacheRequest {
+    std::string id;  ///< echoed into the response; may be empty
+    CacheOp op = CacheOp::kGet;
+    uint64_t key = 0;        ///< get/put payload
+    SynthesisReport report;  ///< put payload
+};
+
+/// Why a cache request line was rejected (codes follow serve/protocol.h).
+struct CacheWireError {
+    std::string id;       ///< request id when one could be extracted, else ""
+    std::string code;     ///< "too_large", "parse_error" or "invalid_request"
+    std::string message;  ///< human-readable detail
+};
+
+/// Default cap on one cache request line. Reports are a few hundred bytes;
+/// anything near this limit is garbage, not traffic.
+inline constexpr size_t kCacheMaxRequestBytes = size_t{1} << 16;
+
+/// Daemon-side aggregate counters (the `stats` response payload).
+struct CacheDaemonStats {
+    uint64_t gets = 0;      ///< get requests served
+    uint64_t hits = 0;      ///< gets that found the key
+    uint64_t puts = 0;      ///< put requests served
+    uint64_t rejected = 0;  ///< lines answered with ok=false
+    size_t entries = 0;     ///< distinct memoized reports
+};
+
+/// Parses one request line (strict; see file comment). Returns false and
+/// fills `err` on rejection.
+[[nodiscard]] bool parse_cache_request(const std::string& line, size_t max_bytes,
+                                       CacheRequest& out, CacheWireError& err);
+
+// ---- client-side request lines (no trailing newline) ----
+
+[[nodiscard]] std::string cache_get_line(const std::string& id, uint64_t key);
+[[nodiscard]] std::string cache_put_line(const std::string& id, uint64_t key,
+                                         const SynthesisReport& report);
+[[nodiscard]] std::string cache_stats_line(const std::string& id);
+[[nodiscard]] std::string cache_shutdown_line(const std::string& id);
+
+// ---- daemon-side response lines (no trailing newline) ----
+
+[[nodiscard]] std::string cache_hit_response(const std::string& id,
+                                             const SynthesisReport& report);
+[[nodiscard]] std::string cache_miss_response(const std::string& id);
+[[nodiscard]] std::string cache_put_response(const std::string& id, bool stored);
+[[nodiscard]] std::string cache_stats_response(const std::string& id,
+                                               const CacheDaemonStats& stats);
+[[nodiscard]] std::string cache_ok_response(const std::string& id);
+[[nodiscard]] std::string cache_error_response(const std::string& id, const std::string& code,
+                                               const std::string& message);
+
+/// One decoded response line (client side). Only the members matching the
+/// request's op are meaningful; `ok == false` carries code/message.
+struct CacheResponse {
+    std::string id;
+    bool ok = false;
+    bool has_hit = false;  ///< response carried a "hit" member (a get answer)
+    bool hit = false;
+    bool has_report = false;
+    SynthesisReport report;
+    bool stored = false;
+    bool has_stats = false;
+    CacheDaemonStats stats;
+    std::string code;     ///< ok == false
+    std::string message;  ///< ok == false
+};
+
+/// Decodes one response line. Returns false (with a message in *error when
+/// non-null) on anything that is not a well-formed cache response — the
+/// client then treats the peer as failed.
+[[nodiscard]] bool parse_cache_response(const std::string& line, CacheResponse& out,
+                                        std::string* error = nullptr);
+
+// ---- report serialization ----
+
+/// `report` as a single-line JSON object; doubles are IEEE-754 bit-pattern
+/// strings so the round trip is exact.
+[[nodiscard]] std::string synthesis_report_json(const SynthesisReport& report);
+
+/// Decodes synthesis_report_json() output (strict: every field required,
+/// no extras). Returns false with a message in *error (when non-null).
+[[nodiscard]] bool synthesis_report_from_json(const JsonValue& value, SynthesisReport& out,
+                                              std::string* error = nullptr);
+
+}  // namespace sdlc
+
+#endif  // SDLC_DSE_CACHE_WIRE_H

@@ -30,8 +30,47 @@
 
 namespace sdlc {
 
+/// Raw counters of one sweep's traffic against a remote cache tier.
+/// Scheduling-dependent (two workers racing on a key may both query the
+/// peer), so these are observability only: they appear in tool summaries
+/// and service stats, never in exports or deterministic event streams.
+struct RemoteCacheCounters {
+    bool enabled = false;    ///< a remote tier was configured
+    uint64_t hits = 0;       ///< keys served by a peer
+    uint64_t misses = 0;     ///< peer answered "not cached"
+    uint64_t errors = 0;     ///< connect/protocol failures (degraded to local)
+    uint64_t timeouts = 0;   ///< peer slower than the budget (degraded to local)
+    uint64_t puts = 0;       ///< reports written back to a peer
+};
+
+/// What the evaluator needs from a synthesis cache: the memo itself plus a
+/// snapshot of the locally memoized keys (for scheduling-independent sweep
+/// statistics). CostCache is the in-process implementation; RemoteCostCache
+/// (remote_cache.h) layers a sharded peer tier in front of one. Every
+/// implementation must return reports bit-identical to synthesize(), so
+/// swapping caches can never change sweep results.
+class SynthesisCache {
+public:
+    virtual ~SynthesisCache() = default;
+
+    /// Returns the cached report for the request's content key, or runs
+    /// synthesize() and memoizes the result.
+    [[nodiscard]] virtual SynthesisReport get_or_synthesize(const Netlist& net,
+                                                            const CellLibrary& lib,
+                                                            const SynthesisOptions& opts) = 0;
+
+    /// Snapshot of the *locally* memoized keys (unordered). The Evaluator
+    /// takes one before a sweep to derive scheduling-independent hit/miss
+    /// counts.
+    [[nodiscard]] virtual std::vector<uint64_t> keys() const = 0;
+
+    /// Remote-tier traffic counters; all-zero/disabled for purely local
+    /// caches.
+    [[nodiscard]] virtual RemoteCacheCounters remote_counters() const { return {}; }
+};
+
 /// Thread-safe memo from content key to SynthesisReport.
-class CostCache {
+class CostCache final : public SynthesisCache {
 public:
     CostCache() = default;
     CostCache(const CostCache&) = delete;
@@ -44,7 +83,19 @@ public:
     /// Returns the cached report for the request's content key, or runs
     /// synthesize() and memoizes the result.
     [[nodiscard]] SynthesisReport get_or_synthesize(const Netlist& net, const CellLibrary& lib,
-                                                    const SynthesisOptions& opts);
+                                                    const SynthesisOptions& opts) override;
+
+    /// Copies the report memoized under `key` into `out`. Counts a raw hit
+    /// or miss exactly like get_or_synthesize, so a tiered cache probing
+    /// the local store first keeps these counters meaning "local lookups
+    /// by result". Returns false when the key is absent — the remote tier
+    /// then decides between peer fetch and synthesis.
+    [[nodiscard]] bool lookup(uint64_t key, SynthesisReport& out);
+
+    /// Memoizes `report` under `key` (no-op if present; determinism makes
+    /// duplicate inserts identical). Used by the remote tier's fill path
+    /// and by the cache daemon's put handler.
+    void insert(uint64_t key, const SynthesisReport& report);
 
     /// True when `key` is already memoized (does not count as a hit).
     [[nodiscard]] bool contains(uint64_t key) const;
@@ -61,7 +112,7 @@ public:
 
     /// Snapshot of all memoized keys (unordered). The Evaluator takes one
     /// before a sweep to derive scheduling-independent hit/miss counts.
-    [[nodiscard]] std::vector<uint64_t> keys() const;
+    [[nodiscard]] std::vector<uint64_t> keys() const override;
 
     /// Drops all entries and zeroes the counters.
     void clear();

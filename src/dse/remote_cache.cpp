@@ -1,0 +1,316 @@
+#include "dse/remote_cache.h"
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <stdexcept>
+#include <utility>
+
+#include "dse/cache_wire.h"
+#include "serve/socket.h"
+#include "util/hash.h"
+
+namespace sdlc {
+
+namespace {
+
+/// Applies the per-operation budget to both directions of `fd`.
+void set_socket_timeouts(int fd, int timeout_ms) {
+    if (timeout_ms <= 0) return;
+    timeval tv{};
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
+    (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+bool is_timeout_errno(int err) { return err == EAGAIN || err == EWOULDBLOCK; }
+
+}  // namespace
+
+bool parse_cache_peer(const std::string& spec, CachePeerAddress& out, std::string* error) {
+    auto fail = [error](const std::string& message) {
+        if (error != nullptr) *error = message;
+        return false;
+    };
+    if (spec.rfind("unix:", 0) == 0) {
+        const std::string path = spec.substr(5);
+        if (path.empty()) return fail("empty unix socket path in \"" + spec + "\"");
+        out = CachePeerAddress{};
+        out.is_unix = true;
+        out.path_or_host = path;
+        return true;
+    }
+    std::string host_port = spec;
+    if (host_port.rfind("tcp:", 0) == 0) host_port = host_port.substr(4);
+    std::string host;
+    uint16_t port = 0;
+    std::string parse_error;
+    if (!serve::parse_host_port(host_port, host, port, &parse_error)) {
+        return fail("peer \"" + spec + "\": " + parse_error +
+                    " (expected unix:PATH or HOST:PORT)");
+    }
+    out = CachePeerAddress{};
+    out.is_unix = false;
+    out.path_or_host = host;
+    out.port = port;
+    return true;
+}
+
+bool parse_cache_peer_list(const std::string& list, std::vector<std::string>& out,
+                           std::string* error) {
+    out.clear();
+    size_t start = 0;
+    while (start <= list.size()) {
+        const size_t comma = list.find(',', start);
+        const std::string item =
+            list.substr(start, comma == std::string::npos ? comma : comma - start);
+        if (!item.empty()) {
+            CachePeerAddress address;
+            if (!parse_cache_peer(item, address, error)) return false;
+            out.push_back(item);
+        }
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+    }
+    if (!list.empty() && out.empty()) {
+        if (error != nullptr) *error = "empty peer list";
+        return false;
+    }
+    return true;
+}
+
+// ------------------------------------------------------------- hash ring ----
+
+CacheHashRing::CacheHashRing(const std::vector<std::string>& peer_specs, unsigned vnodes) {
+    const unsigned per_peer = vnodes == 0 ? 1 : vnodes;
+    ring_.reserve(peer_specs.size() * per_peer);
+    for (size_t i = 0; i < peer_specs.size(); ++i) {
+        uint64_t h = kFnvOffsetBasis;
+        hash_mix_string(h, peer_specs[i]);
+        for (unsigned v = 0; v < per_peer; ++v) {
+            uint64_t point = h;
+            hash_mix(point, v);
+            ring_.emplace_back(hash_avalanche(point), i);
+        }
+    }
+    std::sort(ring_.begin(), ring_.end());
+}
+
+size_t CacheHashRing::pick(uint64_t key) const noexcept {
+    if (ring_.empty()) return npos;
+    // Re-avalanche so ring placement is independent of the key's own
+    // hashing scheme.
+    const uint64_t point = hash_avalanche(key);
+    const auto it = std::lower_bound(ring_.begin(), ring_.end(),
+                                     std::make_pair(point, size_t{0}));
+    return it == ring_.end() ? ring_.front().second : it->second;
+}
+
+// ------------------------------------------------------- RemoteCostCache ----
+
+RemoteCostCache::RemoteCostCache(CostCache& local, const RemoteCacheOptions& opts)
+    : local_(local), opts_(opts), ring_(opts.peers, opts.vnodes) {
+    peers_.reserve(opts_.peers.size());
+    for (const std::string& spec : opts_.peers) {
+        auto peer = std::make_unique<Peer>();
+        std::string error;
+        if (!parse_cache_peer(spec, peer->address, &error)) {
+            throw std::invalid_argument(error);
+        }
+        peer->spec = spec;
+        peers_.push_back(std::move(peer));
+    }
+    counters_.enabled = !peers_.empty();
+}
+
+RemoteCostCache::~RemoteCostCache() {
+    for (const auto& peer : peers_) {
+        std::lock_guard<std::mutex> lock(peer->mutex);
+        if (peer->fd >= 0) ::close(peer->fd);
+        peer->fd = -1;
+    }
+}
+
+std::vector<uint64_t> RemoteCostCache::keys() const { return local_.keys(); }
+
+RemoteCacheCounters RemoteCostCache::remote_counters() const {
+    std::lock_guard<std::mutex> lock(counter_mutex_);
+    return counters_;
+}
+
+size_t RemoteCostCache::peer_count() const noexcept { return peers_.size(); }
+
+void RemoteCostCache::mark_down(Peer& peer) const {
+    if (peer.fd >= 0) ::close(peer.fd);
+    peer.fd = -1;
+    peer.buffer.clear();
+    peer.down_until =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(opts_.cooldown_ms);
+}
+
+bool RemoteCostCache::transact(Peer& peer, const std::string& line,
+                               std::string& response_line, bool& timed_out) {
+    timed_out = false;
+    auto fail = [&](bool timeout) {
+        mark_down(peer);
+        timed_out = timeout;
+        return false;
+    };
+
+    if (peer.fd < 0) {
+        // The per-operation budget covers the connect too: a blackholed
+        // peer must not stall a sweep worker for the kernel's own connect
+        // timeout.
+        try {
+            peer.fd = peer.address.is_unix
+                          ? serve::unix_socket_connect(peer.address.path_or_host,
+                                                       opts_.timeout_ms)
+                          : serve::tcp_connect(peer.address.path_or_host.empty()
+                                                   ? "127.0.0.1"
+                                                   : peer.address.path_or_host,
+                                               peer.address.port, opts_.timeout_ms);
+        } catch (const std::runtime_error&) {
+            return fail(errno == ETIMEDOUT);
+        }
+        set_socket_timeouts(peer.fd, opts_.timeout_ms);
+        peer.buffer.clear();
+    }
+
+    // Send the request line. MSG_NOSIGNAL: a daemon dying mid-write must
+    // surface as EPIPE here, not as a process-killing SIGPIPE in whatever
+    // tool embeds the sweep.
+    std::string out = line;
+    out.push_back('\n');
+    size_t sent = 0;
+    while (sent < out.size()) {
+        const ssize_t n = ::send(peer.fd, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR) continue;
+            return fail(n < 0 && is_timeout_errno(errno));
+        }
+        sent += static_cast<size_t>(n);
+    }
+
+    // Read exactly one response line (requests and responses pair 1:1 on
+    // this connection; any failure closes it, so pairing can never skew).
+    for (;;) {
+        const size_t newline = peer.buffer.find('\n');
+        if (newline != std::string::npos) {
+            response_line = peer.buffer.substr(0, newline);
+            peer.buffer.erase(0, newline + 1);
+            return true;
+        }
+        if (peer.buffer.size() > kCacheMaxRequestBytes) {
+            return fail(false);  // runaway response
+        }
+        char chunk[4096];
+        const ssize_t n = ::recv(peer.fd, chunk, sizeof chunk, 0);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR) continue;
+            return fail(n < 0 && is_timeout_errno(errno));
+        }
+        peer.buffer.append(chunk, static_cast<size_t>(n));
+    }
+}
+
+void RemoteCostCache::count_failure(bool timeout) {
+    std::lock_guard<std::mutex> lock(counter_mutex_);
+    if (timeout) {
+        ++counters_.timeouts;
+    } else {
+        ++counters_.errors;
+    }
+}
+
+RemoteCostCache::FetchResult RemoteCostCache::remote_get(Peer& peer, uint64_t key,
+                                                         SynthesisReport& out) {
+    std::lock_guard<std::mutex> lock(peer.mutex);
+    if (std::chrono::steady_clock::now() < peer.down_until) {
+        return FetchResult::kFailed;  // cooling down: silent local fallback
+    }
+    const std::string id = "g" + std::to_string(peer.next_id++);
+    std::string response_line;
+    bool timed_out = false;
+    if (!transact(peer, cache_get_line(id, key), response_line, timed_out)) {
+        count_failure(timed_out);
+        return FetchResult::kFailed;
+    }
+    CacheResponse response;
+    if (!parse_cache_response(response_line, response) || !response.ok ||
+        !response.has_hit || response.id != id) {
+        // The daemon is answering but not our protocol — unparseable,
+        // rejecting valid lines, or (id mismatch) answering some *other*
+        // request, which would pair responses with the wrong keys from
+        // here on. Stop talking to it; a wrong report must never be
+        // cached.
+        mark_down(peer);
+        count_failure(false);
+        return FetchResult::kFailed;
+    }
+    if (!response.hit) return FetchResult::kMiss;
+    out = response.report;
+    return FetchResult::kHit;
+}
+
+void RemoteCostCache::remote_put(Peer& peer, uint64_t key, const SynthesisReport& report) {
+    std::lock_guard<std::mutex> lock(peer.mutex);
+    if (std::chrono::steady_clock::now() < peer.down_until) return;
+    const std::string id = "p" + std::to_string(peer.next_id++);
+    std::string response_line;
+    bool timed_out = false;
+    if (!transact(peer, cache_put_line(id, key, report), response_line, timed_out)) {
+        count_failure(timed_out);
+        return;
+    }
+    CacheResponse response;
+    if (!parse_cache_response(response_line, response) || !response.ok ||
+        response.id != id) {
+        mark_down(peer);
+        count_failure(false);
+        return;
+    }
+    std::lock_guard<std::mutex> counter_lock(counter_mutex_);
+    ++counters_.puts;
+}
+
+SynthesisReport RemoteCostCache::get_or_synthesize(const Netlist& net, const CellLibrary& lib,
+                                                   const SynthesisOptions& opts) {
+    const uint64_t key = CostCache::content_key(net, lib, opts);
+    SynthesisReport report;
+    if (local_.lookup(key, report)) return report;
+
+    const size_t index = ring_.pick(key);
+    Peer* peer = index == CacheHashRing::npos ? nullptr : peers_[index].get();
+    bool peer_answered_miss = false;
+    if (peer != nullptr) {
+        switch (remote_get(*peer, key, report)) {
+            case FetchResult::kHit: {
+                local_.insert(key, report);
+                std::lock_guard<std::mutex> lock(counter_mutex_);
+                ++counters_.hits;
+                return report;
+            }
+            case FetchResult::kMiss: {
+                peer_answered_miss = true;
+                std::lock_guard<std::mutex> lock(counter_mutex_);
+                ++counters_.misses;
+                break;
+            }
+            case FetchResult::kFailed:
+                break;  // counted inside remote_get; degrade to local
+        }
+    }
+
+    report = synthesize(net, lib, opts);
+    local_.insert(key, report);
+    // Write back only when the peer just answered: a down peer's cooldown
+    // must not be probed on every synthesized point.
+    if (peer_answered_miss) remote_put(*peer, key, report);
+    return report;
+}
+
+}  // namespace sdlc

@@ -1,0 +1,107 @@
+#include "serve/cache_tier.h"
+
+#include <thread>
+
+namespace sdlc::serve {
+
+CacheTierService::CacheTierService(const CacheTierOptions& opts) : opts_(opts) {}
+
+bool CacheTierService::submit_line(const std::string& line,
+                                   std::shared_ptr<ResponseSink> sink) {
+    if (opts_.delay_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(opts_.delay_ms));
+    }
+    CacheRequest request;
+    CacheWireError error;
+    if (!parse_cache_request(line, opts_.max_request_bytes, request, error)) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++counters_.rejected;
+        }
+        sink->write_line(cache_error_response(error.id, error.code, error.message));
+        return !shutdown_requested();
+    }
+    switch (request.op) {
+        case CacheOp::kGet: {
+            SynthesisReport report;
+            bool hit = false;
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++counters_.gets;
+                hit = store_.lookup(request.key, report);
+                if (hit) ++counters_.hits;
+            }
+            sink->write_line(hit ? cache_hit_response(request.id, report)
+                                 : cache_miss_response(request.id));
+            break;
+        }
+        case CacheOp::kPut: {
+            bool stored = false;
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++counters_.puts;
+                // First write wins; duplicate puts of a content key carry
+                // the identical report (determinism), so dropping them is
+                // both safe and the cheaper answer.
+                stored = !store_.contains(request.key);
+                if (stored) store_.insert(request.key, request.report);
+            }
+            sink->write_line(cache_put_response(request.id, stored));
+            break;
+        }
+        case CacheOp::kStats:
+            sink->write_line(cache_stats_response(request.id, stats()));
+            break;
+        case CacheOp::kShutdown: {
+            std::function<void()> hook;
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                if (!shutdown_requested_) {
+                    shutdown_requested_ = true;
+                    hook = on_shutdown_;
+                }
+            }
+            // Answer before unblocking the accept loop so the requester
+            // always sees its acknowledgement.
+            sink->write_line(cache_ok_response(request.id));
+            if (hook) hook();
+            break;
+        }
+    }
+    return !shutdown_requested();
+}
+
+void CacheTierService::reject_oversized_line(ResponseSink& sink) {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++counters_.rejected;  // counted like any other ok=false answer
+    }
+    sink.write_line(cache_error_response(
+        "", "too_large", "unterminated request line exceeded the size cap"));
+}
+
+void CacheTierService::set_on_shutdown(std::function<void()> hook) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    on_shutdown_ = std::move(hook);
+}
+
+void CacheTierService::shutdown() {
+    // Requests execute inline on their reader thread; once the transport
+    // calls this, no submission is in flight that we would have to drain.
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_requested_ = true;
+}
+
+bool CacheTierService::shutdown_requested() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return shutdown_requested_;
+}
+
+CacheDaemonStats CacheTierService::stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    CacheDaemonStats out = counters_;
+    out.entries = store_.size();
+    return out;
+}
+
+}  // namespace sdlc::serve

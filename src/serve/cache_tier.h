@@ -1,0 +1,74 @@
+// Daemon side of the distributed synthesis-cache tier.
+//
+// CacheTierService is the LineService behind `cache_tool`: a shared
+// content-keyed store of SynthesisReports that any number of DSE processes
+// (dse_tool runs, serve_tool replicas) query over the NDJSON protocol in
+// dse/cache_wire.h. It reuses the serve stack end to end — SocketListener
+// transports, serve_listener's connection lifecycle, per-connection FdSink
+// — so the daemon inherits the hardened accept/read/drain behaviour the
+// sweep server already has.
+//
+// Requests are cheap point lookups, so there is no queue: submit_line
+// parses, executes under the store's lock, and answers inline on the
+// caller's reader thread. Concurrency equals the connection count.
+//
+// The daemon trusts its peers (it runs inside one deployment, like a
+// memcached): a put overwrites nothing — first write wins, which is safe
+// because every honest writer derives the identical report from the same
+// content key — and malformed lines get structured rejections without
+// tearing the connection down.
+#ifndef SDLC_SERVE_CACHE_TIER_H
+#define SDLC_SERVE_CACHE_TIER_H
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "dse/cache_wire.h"
+#include "dse/cost_cache.h"
+#include "serve/line_service.h"
+
+namespace sdlc::serve {
+
+/// Cache daemon sizing/testing knobs.
+struct CacheTierOptions {
+    size_t max_request_bytes = kCacheMaxRequestBytes;
+    /// Fault injection for tests: sleep this long before answering each
+    /// request, so a "slow peer" is one flag away (clients must degrade to
+    /// local synthesis via their timeout, without changing results).
+    int delay_ms = 0;
+};
+
+/// The cache daemon service (see file comment).
+class CacheTierService final : public LineService {
+public:
+    explicit CacheTierService(const CacheTierOptions& opts = {});
+
+    bool submit_line(const std::string& line, std::shared_ptr<ResponseSink> sink) override;
+    void reject_oversized_line(ResponseSink& sink) override;
+    void set_on_shutdown(std::function<void()> hook) override;
+    void shutdown() override;
+
+    /// True once a shutdown request was processed.
+    [[nodiscard]] bool shutdown_requested() const;
+
+    /// Momentary counters (what the `stats` op reports).
+    [[nodiscard]] CacheDaemonStats stats() const;
+
+private:
+    const CacheTierOptions opts_;
+
+    mutable std::mutex mutex_;
+    /// Keyed report store. CostCache's synthesize path is unused here; the
+    /// daemon only ever lookup()s and insert()s what clients send.
+    CostCache store_;
+    CacheDaemonStats counters_;
+    std::function<void()> on_shutdown_;
+    bool shutdown_requested_ = false;
+};
+
+}  // namespace sdlc::serve
+
+#endif  // SDLC_SERVE_CACHE_TIER_H

@@ -1,0 +1,56 @@
+// The contract a socket front-end needs from a line-oriented service.
+//
+// serve_listener() (transport.h) drives any NDJSON request/response service
+// through this interface: SweepService (the DSE sweep server) and
+// CacheTierService (the synthesis-cache daemon) both implement it, so the
+// two tools share one accept/read/drain lifecycle — including the
+// oversized-line rejection and the drain-then-unblock shutdown — instead
+// of each reinventing it.
+#ifndef SDLC_SERVE_LINE_SERVICE_H
+#define SDLC_SERVE_LINE_SERVICE_H
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "serve/sink.h"
+
+namespace sdlc::serve {
+
+/// A service consuming NDJSON request lines and answering through sinks.
+class LineService {
+public:
+    virtual ~LineService() = default;
+
+    /// Handles one request line; every response line for it goes to `sink`
+    /// (possibly from another thread, possibly after this call returns).
+    /// Malformed lines are answered with structured errors, never dropped
+    /// silently. Returns false once the service is shutting down and the
+    /// caller should stop reading its connection.
+    virtual bool submit_line(const std::string& line, std::shared_ptr<ResponseSink> sink) = 0;
+
+    /// Answers an over-long unterminated request line in the service's own
+    /// wire format (the transport never got a complete line to hand to
+    /// submit_line, but the protocol contract still promises a
+    /// machine-readable "too_large" rejection before the connection
+    /// drops).
+    virtual void reject_oversized_line(ResponseSink& sink) = 0;
+
+    /// Invoked exactly once when shutdown is first requested — the
+    /// transport hooks this to unblock its accept loop. Set before the
+    /// first request is submitted.
+    virtual void set_on_shutdown(std::function<void()> hook) = 0;
+
+    /// Stops intake and drains any internally queued work (idempotent). A
+    /// service that answers inline on the caller's reader thread has
+    /// nothing queued and may return immediately; requests still executing
+    /// inside submit_line are finished by their reader threads, which the
+    /// transport joins after calling this. Callers other than the
+    /// transport must not assume every in-flight request has completed
+    /// when this returns.
+    virtual void shutdown() = 0;
+};
+
+}  // namespace sdlc::serve
+
+#endif  // SDLC_SERVE_LINE_SERVICE_H

@@ -59,6 +59,30 @@ std::string prometheus_metrics(const ServiceStats& stats) {
     gauge(out, p + "hw_cache_entries", "Distinct memoized designs resident in the cache.");
     out += p + "hw_cache_entries " + std::to_string(stats.cache_entries) + "\n";
 
+    counter(out, p + "remote_cache_requests_total",
+            "Remote cache-tier operations by result (zero without --cache-peers).");
+    const struct {
+        const char* result;
+        uint64_t value;
+    } remote[] = {
+        {"hit", stats.remote_cache.hits},
+        {"miss", stats.remote_cache.misses},
+        {"error", stats.remote_cache.errors},
+        {"timeout", stats.remote_cache.timeouts},
+    };
+    for (const auto& r : remote) {
+        out += p + "remote_cache_requests_total{result=\"" + r.result + "\"} " +
+               std::to_string(r.value) + "\n";
+    }
+
+    counter(out, p + "remote_cache_puts_total",
+            "Synthesis reports written back to a cache peer.");
+    out += p + "remote_cache_puts_total " + std::to_string(stats.remote_cache.puts) + "\n";
+
+    gauge(out, p + "remote_cache_enabled", "1 when a remote cache tier is configured.");
+    out += p + "remote_cache_enabled " + std::string(stats.remote_cache.enabled ? "1" : "0") +
+           "\n";
+
     gauge(out, p + "queue_depth", "Requests waiting in the bounded queue.");
     out += p + "queue_depth " + std::to_string(stats.queue_depth) + "\n";
 

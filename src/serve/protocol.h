@@ -132,6 +132,8 @@ struct ServiceStats {
     uint64_t cache_hits = 0;        ///< CostCache raw hit counter
     uint64_t cache_misses = 0;      ///< CostCache raw miss counter
     size_t cache_entries = 0;       ///< distinct memoized designs
+    /// Remote cache-tier traffic (all-zero/disabled without --cache-peers).
+    RemoteCacheCounters remote_cache;
     size_t queue_depth = 0;         ///< requests waiting in the queue
     size_t in_flight = 0;           ///< requests being processed right now
     double busy_seconds = 0.0;      ///< summed sweep wall time

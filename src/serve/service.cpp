@@ -12,6 +12,12 @@ namespace sdlc::serve {
 
 SweepService::SweepService(const ServiceOptions& opts)
     : opts_(opts), pool_(opts.eval_threads), queue_(opts.queue_capacity) {
+    if (!opts_.cache_peers.empty()) {
+        RemoteCacheOptions remote;
+        remote.peers = opts_.cache_peers;
+        remote.timeout_ms = opts_.cache_timeout_ms;
+        remote_cache_ = std::make_unique<RemoteCostCache>(cache_, remote);
+    }
     const unsigned workers = opts_.request_workers == 0 ? 1 : opts_.request_workers;
     workers_.reserve(workers);
     for (unsigned i = 0; i < workers; ++i) {
@@ -30,6 +36,12 @@ bool SweepService::submit_line(const std::string& line, std::shared_ptr<Response
         return !shutdown_requested();
     }
     return submit(request, std::move(sink));
+}
+
+void SweepService::reject_oversized_line(ResponseSink& sink) {
+    sink.write_line(
+        error_event("", "too_large", "unterminated request line exceeded the size cap"));
+    sink.write_line(done_event("", false));
 }
 
 bool SweepService::submit(const SweepRequest& request, std::shared_ptr<ResponseSink> sink) {
@@ -181,6 +193,7 @@ ServiceStats SweepService::stats() const {
     out.cache_hits = cache.hits;
     out.cache_misses = cache.misses;
     out.cache_entries = cache_.size();
+    if (remote_cache_ != nullptr) out.remote_cache = remote_cache_->remote_counters();
     return out;
 }
 
@@ -236,7 +249,9 @@ void SweepService::run_sweep(const Job& job) {
 
         EvalOptions eval = request.eval;
         eval.pool = &pool_;
-        eval.hw_cache = &cache_;  // evaluate_sweep drops it when use_hw_cache is off
+        // The resident cache — with its remote tier when peers are
+        // configured; evaluate_sweep drops it when use_hw_cache is off.
+        eval.hw_cache = eval_cache();
         eval.cancel = job.cancel.get();
         if (request.deadline_ms > 0) {
             // The budget runs from arrival, not from here: time spent queued

@@ -36,7 +36,9 @@
 #include <vector>
 
 #include "dse/cost_cache.h"
+#include "dse/remote_cache.h"
 #include "dse/thread_pool.h"
+#include "serve/line_service.h"
 #include "serve/protocol.h"
 #include "serve/request_queue.h"
 #include "serve/sink.h"
@@ -57,15 +59,23 @@ struct ServiceOptions {
     /// and a deadline-carrying client learns of the rejection in time to
     /// retry elsewhere.
     bool reject_when_full = false;
+    /// Remote synthesis-cache peers (cache_tool daemons; "unix:PATH" or
+    /// "HOST:PORT"). Empty = local-only caching. With peers, the resident
+    /// CostCache gains a sharded remote tier: local hit -> remote hit ->
+    /// synthesize + write-back, degrading to local-only on peer failure
+    /// without changing any sweep result.
+    std::vector<std::string> cache_peers;
+    int cache_timeout_ms = 250;  ///< per-operation budget against a peer
 };
 
 /// The long-lived sweep service (see file comment).
-class SweepService {
+class SweepService final : public LineService {
 public:
+    /// Throws std::invalid_argument on a malformed cache peer spec.
     explicit SweepService(const ServiceOptions& opts = {});
 
     /// Drains and joins (equivalent to shutdown()).
-    ~SweepService();
+    ~SweepService() override;
 
     SweepService(const SweepService&) = delete;
     SweepService& operator=(const SweepService&) = delete;
@@ -75,7 +85,10 @@ public:
     /// with error + done events. Returns false once the service is
     /// shutting down and the line was rejected (an error event is still
     /// emitted); blocks while the request queue is full.
-    bool submit_line(const std::string& line, std::shared_ptr<ResponseSink> sink);
+    bool submit_line(const std::string& line, std::shared_ptr<ResponseSink> sink) override;
+
+    /// Answers an over-long unterminated line with too_large + done.
+    void reject_oversized_line(ResponseSink& sink) override;
 
     /// Enqueues an already-parsed request (in-process embedders: tests,
     /// benches). Same semantics as submit_line.
@@ -87,7 +100,7 @@ public:
 
     /// request_shutdown() plus draining the queue and joining the request
     /// workers. Idempotent; must not be called from a request worker.
-    void shutdown();
+    void shutdown() override;
 
     /// True once a shutdown request was processed or request_shutdown()
     /// called.
@@ -96,7 +109,7 @@ public:
     /// Invoked exactly once when shutdown is first requested — a transport
     /// front-end hooks this to unblock its accept/read loop. Set before
     /// the first request is submitted.
-    void set_on_shutdown(std::function<void()> hook);
+    void set_on_shutdown(std::function<void()> hook) override;
 
     /// Momentary aggregate counters (what the `stats` request reports).
     [[nodiscard]] ServiceStats stats() const;
@@ -119,7 +132,16 @@ private:
     const ServiceOptions opts_;
     ThreadPool pool_;
     CostCache cache_;
+    /// Sharded peer tier over cache_ (null without cache_peers). Sweeps
+    /// evaluate through eval_cache(): the remote tier when configured,
+    /// plain cache_ otherwise.
+    std::unique_ptr<RemoteCostCache> remote_cache_;
     BoundedQueue<Job> queue_;
+
+    [[nodiscard]] SynthesisCache* eval_cache() noexcept {
+        return remote_cache_ != nullptr ? static_cast<SynthesisCache*>(remote_cache_.get())
+                                        : &cache_;
+    }
 
     mutable std::mutex state_mutex_;
     /// Cancellation flags of queued + running sweeps, by request id. An id

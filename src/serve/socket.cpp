@@ -1,5 +1,6 @@
 #include "serve/socket.h"
 
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -172,11 +173,51 @@ void SocketListener::close() {
     if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
 
-int unix_socket_connect(const std::string& path) {
+namespace {
+
+/// Bounded connect: with timeout_ms >= 0 the socket connects in
+/// non-blocking mode, waits for writability at most timeout_ms, checks
+/// SO_ERROR, and is restored to blocking before returning. A caller that
+/// promises a per-operation budget (the remote cache tier) must not hang
+/// for the kernel's multi-minute connect timeout on a blackholed peer.
+/// Returns false with errno set on failure.
+bool connect_bounded(int fd, const sockaddr* addr, socklen_t len, int timeout_ms) {
+    if (timeout_ms < 0) return ::connect(fd, addr, len) == 0;
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) return false;
+    bool ok = ::connect(fd, addr, len) == 0;
+    if (!ok && errno == EINPROGRESS) {
+        pollfd pfd{fd, POLLOUT, 0};
+        int polled;
+        while ((polled = ::poll(&pfd, 1, timeout_ms)) < 0 && errno == EINTR) {
+        }
+        if (polled == 0) {
+            errno = ETIMEDOUT;
+        } else if (polled > 0) {
+            int so_error = 0;
+            socklen_t so_len = sizeof so_error;
+            if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &so_len) == 0 &&
+                so_error == 0) {
+                ok = true;
+            } else {
+                errno = so_error != 0 ? so_error : errno;
+            }
+        }
+    }
+    const int saved = errno;
+    (void)::fcntl(fd, F_SETFL, flags);  // restore blocking mode either way
+    errno = saved;
+    return ok;
+}
+
+}  // namespace
+
+int unix_socket_connect(const std::string& path, int timeout_ms) {
     const sockaddr_un addr = make_address(path);
     const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd < 0) throw_errno("socket");
-    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (!connect_bounded(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr),
+                         timeout_ms)) {
         const int saved = errno;
         ::close(fd);
         errno = saved;
@@ -185,7 +226,7 @@ int unix_socket_connect(const std::string& path) {
     return fd;
 }
 
-int tcp_connect(const std::string& host, uint16_t port) {
+int tcp_connect(const std::string& host, uint16_t port, int timeout_ms) {
     if (host.empty()) throw std::runtime_error("tcp connect: host must be non-empty");
     const ResolvedAddress resolved(host, port, /*passive=*/false);
     int last_errno = 0;
@@ -195,7 +236,7 @@ int tcp_connect(const std::string& host, uint16_t port) {
             last_errno = errno;
             continue;
         }
-        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) return fd;
+        if (connect_bounded(fd, ai->ai_addr, ai->ai_addrlen, timeout_ms)) return fd;
         last_errno = errno;
         ::close(fd);
     }

@@ -93,12 +93,16 @@ private:
 };
 
 /// Connects to a listening Unix-domain socket; returns the fd (caller owns
-/// it). Throws std::runtime_error on failure.
-[[nodiscard]] int unix_socket_connect(const std::string& path);
+/// it). `timeout_ms` bounds the connect itself (non-blocking connect +
+/// poll; -1 = block indefinitely, the classic behavior). Throws
+/// std::runtime_error on failure or timeout.
+[[nodiscard]] int unix_socket_connect(const std::string& path, int timeout_ms = -1);
 
 /// Connects to host:port over TCP; returns the fd (caller owns it).
-/// Throws std::runtime_error on failure.
-[[nodiscard]] int tcp_connect(const std::string& host, uint16_t port);
+/// `timeout_ms` bounds each address's connect attempt (name resolution is
+/// not covered; pass numeric peers when that matters). Throws
+/// std::runtime_error on failure or timeout.
+[[nodiscard]] int tcp_connect(const std::string& host, uint16_t port, int timeout_ms = -1);
 
 /// Splits "HOST:PORT" at the last colon ("[::1]:70" style brackets are
 /// stripped from the host; an empty host — ":8331" — is allowed and means

@@ -8,11 +8,9 @@
 #include <utility>
 #include <vector>
 
-#include "serve/protocol.h"
-
 namespace sdlc::serve {
 
-void serve_listener(SocketListener& listener, SweepService& service, size_t max_request_bytes) {
+void serve_listener(SocketListener& listener, LineService& service, size_t max_request_bytes) {
     // A processed shutdown request must unblock the accept loop below.
     service.set_on_shutdown([&listener] { listener.close(); });
 
@@ -57,9 +55,7 @@ void serve_listener(SocketListener& listener, SweepService& service, size_t max_
                 if (reader.overflowed()) {
                     // The protocol promises a machine-readable rejection for
                     // oversized lines even when no newline ever arrives.
-                    sink->write_line(error_event(
-                        "", "too_large", "unterminated request line exceeded the size cap"));
-                    sink->write_line(done_event("", false));
+                    service.reject_oversized_line(*sink);
                 }
                 finished->store(true, std::memory_order_release);
             });

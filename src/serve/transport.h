@@ -2,12 +2,13 @@
 // TCP): accept connections, read request lines, stream response events.
 //
 // serve_listener() owns the lifecycle that used to live in serve_tool's
-// socket mode and is now common to both transports and to in-process
-// tests: one reader thread per connection feeding SweepService, one FdSink
-// per connection owning the fd (shared with in-flight requests, so the
-// descriptor closes exactly when the last response line has been written
-// or dropped), periodic reaping of finished connections on the accept
-// tick, oversized-line rejection per the protocol contract, and a
+// socket mode and is now common to both transports, to every LineService
+// implementation (the sweep server and the cache daemon), and to
+// in-process tests: one reader thread per connection feeding the service,
+// one FdSink per connection owning the fd (shared with in-flight requests,
+// so the descriptor closes exactly when the last response line has been
+// written or dropped), periodic reaping of finished connections on the
+// accept tick, oversized-line rejection per the protocol contract, and a
 // drain-then-unblock shutdown: once the service stops intake the listener
 // closes, every accepted request still streams to completion, idle readers
 // are unblocked with shutdown(SHUT_RD), and all threads are joined before
@@ -15,19 +16,19 @@
 #ifndef SDLC_SERVE_TRANSPORT_H
 #define SDLC_SERVE_TRANSPORT_H
 
-#include "serve/service.h"
+#include "serve/line_service.h"
 #include "serve/socket.h"
 
 namespace sdlc::serve {
 
 /// Serves `listener` until the service shuts down (a `shutdown` request,
-/// or request_shutdown() from another thread). Installs the service's
-/// on_shutdown hook to unblock the accept loop; blocks until every
-/// accepted connection is drained and joined. `max_request_bytes` must
-/// mirror the service's request-size cap (it bounds the per-connection
-/// LineReader so a peer streaming bytes without a newline cannot grow the
-/// buffer without limit).
-void serve_listener(SocketListener& listener, SweepService& service, size_t max_request_bytes);
+/// or the service's shutdown hook firing from another thread). Installs
+/// the service's on_shutdown hook to unblock the accept loop; blocks until
+/// every accepted connection is drained and joined. `max_request_bytes`
+/// must mirror the service's request-size cap (it bounds the
+/// per-connection LineReader so a peer streaming bytes without a newline
+/// cannot grow the buffer without limit).
+void serve_listener(SocketListener& listener, LineService& service, size_t max_request_bytes);
 
 }  // namespace sdlc::serve
 

@@ -1,0 +1,518 @@
+// Distributed synthesis-cache tier: wire-format exactness, consistent-hash
+// sharding, the daemon service, and the RemoteCostCache client against a
+// real in-process daemon over a Unix socket.
+//
+// The load-bearing property throughout: cache topology must never change
+// results. Reports round-trip the wire bit-exactly, a remote hit equals
+// local synthesis, and every failure mode (dead peer, slow peer, garbage
+// peer) degrades to local-only with identical outputs.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "api/approx_multiplier.h"
+#include "dse/cache_wire.h"
+#include "dse/cost_cache.h"
+#include "dse/evaluator.h"
+#include "dse/export.h"
+#include "dse/pareto.h"
+#include "dse/remote_cache.h"
+#include "dse/sweep.h"
+#include "serve/cache_tier.h"
+#include "serve/sink.h"
+#include "serve/socket.h"
+#include "serve/transport.h"
+#include "util/rng.h"
+
+namespace sdlc {
+namespace {
+
+using serve::BufferSink;
+using serve::CacheTierOptions;
+using serve::CacheTierService;
+using serve::serve_listener;
+using serve::UnixSocketServer;
+
+SynthesisReport sample_report(uint64_t seed) {
+    Xoshiro256 rng(seed);
+    SynthesisReport r;
+    r.cells = rng.below(10000);
+    r.depth = static_cast<int>(rng.below(64));
+    r.area_um2 = std::bit_cast<double>(rng.next() >> 12);  // finite positive
+    r.delay_ps = 1234.5678901234567;
+    r.dynamic_energy_fj = 1.0 / 3.0;
+    r.dynamic_power_uw = std::numeric_limits<double>::denorm_min();
+    r.leakage_nw = 5e-324 * static_cast<double>(1 + rng.below(100));
+    r.energy_fj = 0.1 + static_cast<double>(rng.below(1000)) * 1e-13;
+    return r;
+}
+
+// ------------------------------------------------------------ wire format ----
+
+TEST(CacheWire, ReportRoundTripIsBitExact) {
+    for (uint64_t seed = 1; seed <= 32; ++seed) {
+        const SynthesisReport original = sample_report(seed);
+        const std::string json = synthesis_report_json(original);
+        JsonValue doc;
+        ASSERT_TRUE(json_parse(json, doc)) << json;
+        SynthesisReport decoded;
+        std::string error;
+        ASSERT_TRUE(synthesis_report_from_json(doc, decoded, &error)) << error;
+        // operator== is bit-exact equality of every metric.
+        EXPECT_TRUE(decoded == original) << json;
+    }
+}
+
+TEST(CacheWire, ReportRoundTripPreservesNonFiniteBits) {
+    // %.12g-style decimal JSON would destroy these; the bit-pattern
+    // encoding must not.
+    SynthesisReport r = sample_report(7);
+    r.area_um2 = -0.0;
+    r.delay_ps = std::numeric_limits<double>::infinity();
+    r.energy_fj = std::numeric_limits<double>::quiet_NaN();
+    const std::string json = synthesis_report_json(r);
+    JsonValue doc;
+    ASSERT_TRUE(json_parse(json, doc));
+    SynthesisReport back;
+    ASSERT_TRUE(synthesis_report_from_json(doc, back, nullptr));
+    EXPECT_EQ(std::bit_cast<uint64_t>(back.area_um2), std::bit_cast<uint64_t>(-0.0));
+    EXPECT_TRUE(std::isinf(back.delay_ps));
+    EXPECT_EQ(std::bit_cast<uint64_t>(back.energy_fj), std::bit_cast<uint64_t>(r.energy_fj));
+}
+
+TEST(CacheWire, RequestLinesRoundTrip) {
+    const SynthesisReport report = sample_report(3);
+    const uint64_t key = 0xdeadbeefcafef00dull;
+
+    CacheRequest request;
+    CacheWireError error;
+    ASSERT_TRUE(parse_cache_request(cache_get_line("g1", key), kCacheMaxRequestBytes, request,
+                                    error))
+        << error.message;
+    EXPECT_EQ(request.op, CacheOp::kGet);
+    EXPECT_EQ(request.id, "g1");
+    EXPECT_EQ(request.key, key);
+
+    ASSERT_TRUE(parse_cache_request(cache_put_line("p1", key, report), kCacheMaxRequestBytes,
+                                    request, error))
+        << error.message;
+    EXPECT_EQ(request.op, CacheOp::kPut);
+    EXPECT_EQ(request.key, key);
+    EXPECT_TRUE(request.report == report);
+
+    ASSERT_TRUE(parse_cache_request(cache_stats_line("s"), kCacheMaxRequestBytes, request,
+                                    error));
+    EXPECT_EQ(request.op, CacheOp::kStats);
+    ASSERT_TRUE(parse_cache_request(cache_shutdown_line("q"), kCacheMaxRequestBytes, request,
+                                    error));
+    EXPECT_EQ(request.op, CacheOp::kShutdown);
+}
+
+TEST(CacheWire, RejectionsAreStructured) {
+    struct Case {
+        const char* line;
+        const char* code;
+    };
+    const Case cases[] = {
+        {"not json", "parse_error"},
+        {"[1,2,3]", "invalid_request"},
+        {"{\"op\": \"get\"}", "invalid_request"},                       // missing key
+        {"{\"op\": \"get\", \"key\": 17}", "invalid_request"},          // numeric key
+        {"{\"op\": \"get\", \"key\": \"zzz\"}", "invalid_request"},     // unparseable key
+        {"{\"op\": \"get\", \"key\": \"42\"}", "invalid_request"},      // decimal, not 0x hex
+        {"{\"op\": \"get\", \"key\": \"010\"}", "invalid_request"},     // octal-ambiguous
+        {"{\"op\": \"get\", \"key\": \"0x11112222333344445\"}", "invalid_request"},  // 17 digits
+        {"{\"op\": \"frobnicate\", \"key\": \"0x1\"}", "invalid_request"},
+        {"{\"key\": \"0x1\"}", "invalid_request"},                      // missing op
+        {"{\"op\": \"put\", \"key\": \"0x1\"}", "invalid_request"},     // missing report
+        {"{\"op\": \"get\", \"key\": \"0x1\", \"extra\": 1}", "invalid_request"},
+        {"{\"op\": \"stats\", \"key\": \"0x1\"}", "invalid_request"},   // key on stats
+        {"{\"op\": \"put\", \"key\": \"0x1\", \"report\": {\"cells\": 1}}",
+         "invalid_request"},                                            // short report
+    };
+    for (const Case& c : cases) {
+        CacheRequest request;
+        CacheWireError error;
+        EXPECT_FALSE(parse_cache_request(c.line, kCacheMaxRequestBytes, request, error))
+            << c.line;
+        EXPECT_EQ(error.code, c.code) << c.line << " — " << error.message;
+        EXPECT_FALSE(error.message.empty());
+    }
+    // Oversized line.
+    CacheRequest request;
+    CacheWireError error;
+    EXPECT_FALSE(parse_cache_request(std::string(128, 'x'), 64, request, error));
+    EXPECT_EQ(error.code, "too_large");
+}
+
+TEST(CacheWire, HostileIntegerFieldsAreRejectedNotCast) {
+    // An out-of-range or non-integral double cast to size_t/int is UB; a
+    // network-facing daemon must reject these values, not cast them.
+    const std::string tail =
+        "\"depth\": 3, \"area_um2\": \"0x0\", \"delay_ps\": \"0x0\","
+        " \"dynamic_energy_fj\": \"0x0\", \"dynamic_power_uw\": \"0x0\","
+        " \"leakage_nw\": \"0x0\", \"energy_fj\": \"0x0\"}}";
+    for (const char* cells : {"1e999", "1e300", "-1", "1.5", "\"7\""}) {
+        const std::string line = "{\"op\": \"put\", \"key\": \"0x1\", \"report\": {\"cells\": " +
+                                 std::string(cells) + ", " + tail;
+        CacheRequest request;
+        CacheWireError error;
+        EXPECT_FALSE(parse_cache_request(line, kCacheMaxRequestBytes, request, error))
+            << cells;
+        EXPECT_EQ(error.code, "invalid_request") << cells;
+    }
+    // Same guard on the daemon's "depth" and on stats counters a garbage
+    // peer might send back to a client.
+    const std::string bad_depth =
+        "{\"op\": \"put\", \"key\": \"0x1\", \"report\": {\"cells\": 1, \"depth\": 1e10,"
+        " \"area_um2\": \"0x0\", \"delay_ps\": \"0x0\", \"dynamic_energy_fj\": \"0x0\","
+        " \"dynamic_power_uw\": \"0x0\", \"leakage_nw\": \"0x0\", \"energy_fj\": \"0x0\"}}";
+    CacheRequest request;
+    CacheWireError error;
+    EXPECT_FALSE(parse_cache_request(bad_depth, kCacheMaxRequestBytes, request, error));
+    CacheResponse response;
+    std::string message;
+    EXPECT_FALSE(parse_cache_response(
+        "{\"id\": \"s\", \"ok\": true, \"stats\": {\"entries\": 1e300}}", response, &message));
+}
+
+TEST(CacheWire, ResponseRoundTrips) {
+    const SynthesisReport report = sample_report(9);
+    CacheResponse response;
+    std::string error;
+
+    ASSERT_TRUE(parse_cache_response(cache_hit_response("a", report), response, &error))
+        << error;
+    EXPECT_TRUE(response.ok);
+    EXPECT_TRUE(response.has_hit && response.hit && response.has_report);
+    EXPECT_TRUE(response.report == report);
+
+    ASSERT_TRUE(parse_cache_response(cache_miss_response("b"), response, &error)) << error;
+    EXPECT_TRUE(response.ok && response.has_hit && !response.hit);
+
+    ASSERT_TRUE(parse_cache_response(cache_put_response("c", true), response, &error));
+    EXPECT_TRUE(response.ok && response.stored);
+
+    CacheDaemonStats stats;
+    stats.entries = 42;
+    stats.gets = 100;
+    stats.hits = 60;
+    stats.puts = 42;
+    stats.rejected = 3;
+    ASSERT_TRUE(parse_cache_response(cache_stats_response("d", stats), response, &error));
+    EXPECT_TRUE(response.ok && response.has_stats);
+    EXPECT_EQ(response.stats.entries, 42u);
+    EXPECT_EQ(response.stats.gets, 100u);
+    EXPECT_EQ(response.stats.hits, 60u);
+    EXPECT_EQ(response.stats.rejected, 3u);
+
+    ASSERT_TRUE(parse_cache_response(cache_error_response("e", "parse_error", "boom"),
+                                     response, &error));
+    EXPECT_FALSE(response.ok);
+    EXPECT_EQ(response.code, "parse_error");
+    EXPECT_EQ(response.message, "boom");
+
+    // A hit claiming to carry a report but not doing so is a broken peer.
+    EXPECT_FALSE(parse_cache_response("{\"id\": \"x\", \"ok\": true, \"hit\": true}", response,
+                                      &error));
+    EXPECT_FALSE(parse_cache_response("hello", response, &error));
+    EXPECT_FALSE(parse_cache_response("{\"id\": \"x\"}", response, &error));
+}
+
+// --------------------------------------------------------------- hash ring ----
+
+TEST(CacheHashRing, DeterministicAndOrderIndependent) {
+    const std::vector<std::string> peers = {"unix:/tmp/a.sock", "10.0.0.2:7070",
+                                            "unix:/tmp/c.sock"};
+    std::vector<std::string> shuffled = {peers[2], peers[0], peers[1]};
+    const CacheHashRing ring(peers, 64);
+    const CacheHashRing ring_shuffled(shuffled, 64);
+    Xoshiro256 rng(11);
+    for (int i = 0; i < 5000; ++i) {
+        const uint64_t key = rng.next();
+        const size_t a = ring.pick(key);
+        const size_t b = ring_shuffled.pick(key);
+        ASSERT_LT(a, peers.size());
+        // Same spec owns the key regardless of list order.
+        ASSERT_EQ(peers[a], shuffled[b]) << key;
+    }
+}
+
+TEST(CacheHashRing, SpreadsKeysAcrossPeers) {
+    const std::vector<std::string> peers = {"unix:/a", "unix:/b", "unix:/c"};
+    const CacheHashRing ring(peers, 64);
+    std::vector<int> counts(peers.size(), 0);
+    Xoshiro256 rng(13);
+    const int keys = 30000;
+    for (int i = 0; i < keys; ++i) ++counts[ring.pick(rng.next())];
+    for (size_t p = 0; p < peers.size(); ++p) {
+        // With 64 vnodes each peer should own a substantial share; 15% is a
+        // loose floor that still catches a broken ring (one peer owning
+        // everything, or one owning nothing).
+        EXPECT_GT(counts[p], keys * 15 / 100) << p;
+    }
+}
+
+TEST(CacheHashRing, RemovingAPeerOnlyRemapsItsKeys) {
+    const std::vector<std::string> three = {"unix:/a", "unix:/b", "unix:/c"};
+    const std::vector<std::string> two = {"unix:/a", "unix:/b"};
+    const CacheHashRing ring3(three, 64);
+    const CacheHashRing ring2(two, 64);
+    Xoshiro256 rng(17);
+    for (int i = 0; i < 5000; ++i) {
+        const uint64_t key = rng.next();
+        const size_t owner3 = ring3.pick(key);
+        if (owner3 == 2) continue;  // keys of the removed peer may remap
+        // Everything owned by a surviving peer must stay put: that is the
+        // "consistent" in consistent hashing.
+        ASSERT_EQ(two[ring2.pick(key)], three[owner3]) << key;
+    }
+}
+
+TEST(CacheHashRing, EmptyRingPicksNothing) {
+    const CacheHashRing ring({}, 64);
+    EXPECT_EQ(ring.pick(123), CacheHashRing::npos);
+}
+
+TEST(CachePeerSpec, ParsesAndRejects) {
+    CachePeerAddress address;
+    std::string error;
+    ASSERT_TRUE(parse_cache_peer("unix:/tmp/x.sock", address, &error));
+    EXPECT_TRUE(address.is_unix);
+    EXPECT_EQ(address.path_or_host, "/tmp/x.sock");
+    ASSERT_TRUE(parse_cache_peer("127.0.0.1:7070", address, &error));
+    EXPECT_FALSE(address.is_unix);
+    EXPECT_EQ(address.port, 7070);
+    ASSERT_TRUE(parse_cache_peer("tcp:localhost:1234", address, &error));
+    EXPECT_EQ(address.path_or_host, "localhost");
+    EXPECT_FALSE(parse_cache_peer("unix:", address, &error));
+    EXPECT_FALSE(parse_cache_peer("no-port-here", address, &error));
+    EXPECT_FALSE(parse_cache_peer("host:notaport", address, &error));
+    EXPECT_FALSE(error.empty());
+}
+
+// ---------------------------------------------------------- daemon service ----
+
+TEST(CacheTierService, GetPutStatsFlow) {
+    CacheTierService service;
+    const auto sink = std::make_shared<BufferSink>();
+    const SynthesisReport report = sample_report(21);
+    const uint64_t key = 0x123456789abcdef0ull;
+
+    EXPECT_TRUE(service.submit_line(cache_get_line("g0", key), sink));
+    EXPECT_TRUE(service.submit_line(cache_put_line("p0", key, report), sink));
+    EXPECT_TRUE(service.submit_line(cache_put_line("p1", key, report), sink));  // duplicate
+    EXPECT_TRUE(service.submit_line(cache_get_line("g1", key), sink));
+    EXPECT_TRUE(service.submit_line("garbage", sink));
+
+    const std::vector<std::string> lines = sink->lines();
+    ASSERT_EQ(lines.size(), 5u);
+    CacheResponse response;
+    ASSERT_TRUE(parse_cache_response(lines[0], response));
+    EXPECT_TRUE(response.ok && response.has_hit && !response.hit);
+    ASSERT_TRUE(parse_cache_response(lines[1], response));
+    EXPECT_TRUE(response.ok && response.stored);
+    ASSERT_TRUE(parse_cache_response(lines[2], response));
+    EXPECT_TRUE(response.ok);
+    EXPECT_FALSE(response.stored);  // first write won
+    ASSERT_TRUE(parse_cache_response(lines[3], response));
+    EXPECT_TRUE(response.ok && response.has_hit && response.hit);
+    EXPECT_TRUE(response.report == report);
+    ASSERT_TRUE(parse_cache_response(lines[4], response));
+    EXPECT_FALSE(response.ok);
+    EXPECT_EQ(response.code, "parse_error");
+
+    const CacheDaemonStats stats = service.stats();
+    EXPECT_EQ(stats.entries, 1u);
+    EXPECT_EQ(stats.gets, 2u);
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.puts, 2u);
+    EXPECT_EQ(stats.rejected, 1u);
+}
+
+TEST(CacheTierService, ShutdownStopsIntake) {
+    CacheTierService service;
+    const auto sink = std::make_shared<BufferSink>();
+    bool hook_fired = false;
+    service.set_on_shutdown([&] { hook_fired = true; });
+    EXPECT_FALSE(service.submit_line(cache_shutdown_line("q"), sink));
+    EXPECT_TRUE(hook_fired);
+    EXPECT_TRUE(service.shutdown_requested());
+    CacheResponse response;
+    ASSERT_TRUE(parse_cache_response(sink->lines().back(), response));
+    EXPECT_TRUE(response.ok);
+}
+
+// ----------------------------------------------- client-daemon integration ----
+
+/// An in-process cache daemon on a real Unix socket, using the same
+/// serve_listener lifecycle as `cache_tool`.
+class DaemonHarness {
+public:
+    explicit DaemonHarness(const std::string& path, const CacheTierOptions& opts = {})
+        : listener_(path), service_(opts), thread_([this, opts] {
+              serve_listener(listener_, service_, opts.max_request_bytes);
+          }) {}
+
+    ~DaemonHarness() { stop(); }
+
+    void stop() {
+        if (thread_.joinable()) {
+            listener_.close();
+            thread_.join();
+        }
+    }
+
+    [[nodiscard]] CacheDaemonStats stats() const { return service_.stats(); }
+
+private:
+    UnixSocketServer listener_;
+    CacheTierService service_;
+    std::thread thread_;
+};
+
+struct SynthesisSetup {
+    Netlist net = ApproxMultiplier({4, 2, MultiplierVariant::kSdlc}).build_netlist().net;
+    CellLibrary lib = CellLibrary::generic_90nm();
+    SynthesisOptions opts;
+};
+
+TEST(RemoteCostCacheIntegration, TierFlowWriteBackAndSecondInstanceHit) {
+    const std::string sock = testing::TempDir() + "/sdlc_cache_tier_flow.sock";
+    DaemonHarness daemon(sock);
+    SynthesisSetup setup;
+    const SynthesisReport direct = synthesize(setup.net, setup.lib, setup.opts);
+
+    RemoteCacheOptions ropts;
+    ropts.peers = {"unix:" + sock};
+
+    // Instance 1: cold local, cold peer -> miss, synthesize, write back.
+    CostCache local1;
+    RemoteCostCache remote1(local1, ropts);
+    EXPECT_TRUE(remote1.get_or_synthesize(setup.net, setup.lib, setup.opts) == direct);
+    RemoteCacheCounters c1 = remote1.remote_counters();
+    EXPECT_TRUE(c1.enabled);
+    EXPECT_EQ(c1.hits, 0u);
+    EXPECT_EQ(c1.misses, 1u);
+    EXPECT_EQ(c1.puts, 1u);
+    EXPECT_EQ(c1.errors, 0u);
+
+    // Same instance again: local hit, no new peer traffic.
+    EXPECT_TRUE(remote1.get_or_synthesize(setup.net, setup.lib, setup.opts) == direct);
+    c1 = remote1.remote_counters();
+    EXPECT_EQ(c1.misses, 1u);
+    EXPECT_EQ(c1.puts, 1u);
+
+    // Instance 2 (fresh local tier, same peer): remote hit, bit-identical
+    // report, and the hit fills its local tier.
+    CostCache local2;
+    RemoteCostCache remote2(local2, ropts);
+    EXPECT_TRUE(remote2.get_or_synthesize(setup.net, setup.lib, setup.opts) == direct);
+    EXPECT_EQ(remote2.remote_counters().hits, 1u);
+    EXPECT_EQ(remote2.keys().size(), 1u);
+    EXPECT_TRUE(remote2.get_or_synthesize(setup.net, setup.lib, setup.opts) == direct);
+    EXPECT_EQ(remote2.remote_counters().hits, 1u);  // second call stayed local
+
+    const CacheDaemonStats daemon_stats = daemon.stats();
+    EXPECT_EQ(daemon_stats.entries, 1u);
+    EXPECT_EQ(daemon_stats.gets, 2u);
+    EXPECT_EQ(daemon_stats.hits, 1u);
+    EXPECT_EQ(daemon_stats.puts, 1u);
+}
+
+TEST(RemoteCostCacheIntegration, DeadPeerDegradesToLocalWithIdenticalResults) {
+    SynthesisSetup setup;
+    const SynthesisReport direct = synthesize(setup.net, setup.lib, setup.opts);
+    RemoteCacheOptions ropts;
+    ropts.peers = {"unix:" + testing::TempDir() + "/sdlc_cache_no_such_daemon.sock"};
+    CostCache local;
+    RemoteCostCache remote(local, ropts);
+    EXPECT_TRUE(remote.get_or_synthesize(setup.net, setup.lib, setup.opts) == direct);
+    const RemoteCacheCounters c = remote.remote_counters();
+    EXPECT_EQ(c.hits, 0u);
+    EXPECT_EQ(c.misses, 0u);
+    EXPECT_GE(c.errors, 1u);
+    EXPECT_EQ(c.puts, 0u);  // no write-back probing of a down peer
+}
+
+TEST(RemoteCostCacheIntegration, SlowPeerTimesOutAndDegrades) {
+    const std::string sock = testing::TempDir() + "/sdlc_cache_tier_slow.sock";
+    CacheTierOptions slow;
+    slow.delay_ms = 500;
+    DaemonHarness daemon(sock, slow);
+    SynthesisSetup setup;
+    const SynthesisReport direct = synthesize(setup.net, setup.lib, setup.opts);
+
+    RemoteCacheOptions ropts;
+    ropts.peers = {"unix:" + sock};
+    ropts.timeout_ms = 30;
+    CostCache local;
+    RemoteCostCache remote(local, ropts);
+    EXPECT_TRUE(remote.get_or_synthesize(setup.net, setup.lib, setup.opts) == direct);
+    const RemoteCacheCounters c = remote.remote_counters();
+    EXPECT_GE(c.timeouts, 1u);
+    EXPECT_EQ(c.hits, 0u);
+}
+
+TEST(RemoteCostCacheIntegration, SweepIsByteIdenticalWithAndWithoutTier) {
+    const std::string sock = testing::TempDir() + "/sdlc_cache_tier_sweep.sock";
+    DaemonHarness daemon(sock);
+    const SweepSpec spec = SweepSpec::for_width(4);
+
+    EvalOptions base;
+    base.threads = 2;
+    SweepStats local_stats;
+    const std::vector<DesignPoint> local_points = evaluate_sweep(spec, base, &local_stats);
+
+    RemoteCacheOptions ropts;
+    ropts.peers = {"unix:" + sock};
+
+    // Cold fleet member: populates the daemon.
+    CostCache local1;
+    RemoteCostCache remote1(local1, ropts);
+    EvalOptions with_tier = base;
+    with_tier.hw_cache = &remote1;
+    SweepStats cold_stats;
+    const std::vector<DesignPoint> cold_points = evaluate_sweep(spec, with_tier, &cold_stats);
+
+    // Warm fleet member: fresh local tier, warm daemon.
+    CostCache local2;
+    RemoteCostCache remote2(local2, ropts);
+    EvalOptions warm_eval = base;
+    warm_eval.hw_cache = &remote2;
+    SweepStats warm_stats;
+    const std::vector<DesignPoint> warm_points = evaluate_sweep(spec, warm_eval, &warm_stats);
+
+    // The canonical export is byte-identical across all three topologies.
+    const auto export_of = [&](const std::vector<DesignPoint>& points,
+                               const SweepStats& stats) {
+        const ParetoResult pareto = pareto_analysis(objective_matrix(points));
+        return dse_to_json(points, pareto.rank, stats, default_objectives());
+    };
+    EXPECT_EQ(export_of(local_points, local_stats), export_of(cold_points, cold_stats));
+    EXPECT_EQ(export_of(local_points, local_stats), export_of(warm_points, warm_stats));
+
+    // The deterministic local-cache counters are topology-independent too.
+    EXPECT_EQ(cold_stats.hw_cache_hits, local_stats.hw_cache_hits);
+    EXPECT_EQ(cold_stats.hw_cache_misses, local_stats.hw_cache_misses);
+    EXPECT_EQ(warm_stats.hw_cache_misses, local_stats.hw_cache_misses);
+
+    // Observability: the cold member wrote everything back, the warm member
+    // hit for every unique design. GE rather than EQ where two workers
+    // racing on one key can both talk to the peer (the raw counters are
+    // scheduling-dependent by design); the daemon's entry count is exact
+    // because duplicate puts are dropped.
+    EXPECT_FALSE(local_stats.remote.enabled);
+    EXPECT_TRUE(cold_stats.remote.enabled);
+    EXPECT_GE(cold_stats.remote.puts, local_stats.hw_cache_misses);
+    EXPECT_GE(warm_stats.remote.hits, local_stats.hw_cache_misses);
+    EXPECT_EQ(warm_stats.remote.puts, 0u);
+    EXPECT_EQ(daemon.stats().entries, local_stats.hw_cache_misses);
+}
+
+}  // namespace
+}  // namespace sdlc

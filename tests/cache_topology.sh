@@ -1,0 +1,152 @@
+#!/usr/bin/env bash
+# Sweep exports must be byte-identical across cache-tier topologies, end to
+# end over real processes and sockets:
+#   - no peers (the reference)
+#   - 1 cache daemon, cold and warm
+#   - 3 cache daemons (sharded), cold and warm
+#   - a peer killed mid-sweep
+#   - a dead peer in the list
+#   - a slow peer forcing client timeouts
+# Every topology must reproduce `dse_tool --json` exactly and exit 0; the
+# remote tier is an accelerator, never a result-changing dependency.
+# Usage: cache_topology.sh /path/to/dse_tool /path/to/cache_tool
+set -u
+
+dse="${1:?usage: cache_topology.sh /path/to/dse_tool /path/to/cache_tool}"
+cache="${2:?usage: cache_topology.sh /path/to/dse_tool /path/to/cache_tool}"
+workdir="$(mktemp -d)"
+cleanup() {
+    # shellcheck disable=SC2046
+    kill $(jobs -p) 2>/dev/null
+    wait 2>/dev/null
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+cd "$workdir"
+
+SWEEP="--width 6"
+failures=0
+
+fail() {
+    echo "FAIL: $1" >&2
+    failures=$((failures + 1))
+}
+
+wait_for_socket() { # path
+    for _ in $(seq 600); do [ -S "$1" ] && return 0; sleep 0.05; done
+    fail "daemon never bound $1"
+    return 1
+}
+
+check_identical() { # name file
+    if cmp -s ref.json "$2"; then
+        echo "ok: $1 export byte-identical"
+    else
+        fail "$1 export differs from reference"
+    fi
+}
+
+# Counter fields from dse_tool's "remote cache:" summary line.
+remote_field() { # file field-name
+    sed -n "s/^remote cache: .*[^0-9]\([0-9][0-9]*\) $2.*/\1/p" "$1"
+}
+
+# ---- reference: no peers ---------------------------------------------------
+"$dse" $SWEEP --json ref.json >/dev/null || fail "reference sweep failed"
+
+# ---- one peer: cold then warm ---------------------------------------------
+"$cache" --listen one.sock 2>/dev/null &
+wait_for_socket one.sock
+
+"$dse" $SWEEP --cache-peers unix:one.sock --json one_cold.json >one_cold.txt \
+    || fail "1-peer cold sweep failed"
+check_identical "1-peer cold" one_cold.json
+puts=$(remote_field one_cold.txt puts)
+[ "${puts:-0}" -gt 0 ] || fail "1-peer cold run recorded no puts"
+
+"$dse" $SWEEP --cache-peers unix:one.sock --json one_warm.json >one_warm.txt \
+    || fail "1-peer warm sweep failed"
+check_identical "1-peer warm" one_warm.json
+hits=$(remote_field one_warm.txt hits)
+[ "${hits:-0}" -gt 0 ] || fail "1-peer warm run recorded no remote hits"
+
+# Daemon-side view agrees: entries resident, hits served.
+"$cache" --stats --socket one.sock >one_stats.json || fail "stats query failed"
+grep -q '"entries": 0' one_stats.json && fail "daemon holds no entries"
+grep -q '"hits": 0,' one_stats.json && fail "daemon served no hits"
+"$cache" --shutdown --socket one.sock >/dev/null || fail "daemon shutdown failed"
+
+# ---- three peers: sharded cold, then warm ---------------------------------
+for i in 1 2 3; do
+    "$cache" --listen "three$i.sock" 2>/dev/null &
+    wait_for_socket "three$i.sock"
+done
+PEERS="unix:three1.sock,unix:three2.sock,unix:three3.sock"
+
+"$dse" $SWEEP --cache-peers "$PEERS" --json three_cold.json >three_cold.txt \
+    || fail "3-peer cold sweep failed"
+check_identical "3-peer cold" three_cold.json
+
+"$dse" $SWEEP --cache-peers "$PEERS" --json three_warm.json >three_warm.txt \
+    || fail "3-peer warm sweep failed"
+check_identical "3-peer warm" three_warm.json
+hits=$(remote_field three_warm.txt hits)
+[ "${hits:-0}" -gt 0 ] || fail "3-peer warm run recorded no remote hits"
+
+# Consistent hashing spread the keys: every daemon owns at least one entry,
+# and no daemon owns them all.
+total=0
+for i in 1 2 3; do
+    "$cache" --stats --socket "three$i.sock" >"three${i}_stats.json"
+    entries=$(sed -n 's/.*"entries": \([0-9]*\).*/\1/p' "three${i}_stats.json")
+    [ "${entries:-0}" -gt 0 ] || fail "daemon $i owns no keys (sharding broken)"
+    total=$((total + ${entries:-0}))
+done
+max=$(for i in 1 2 3; do sed -n 's/.*"entries": \([0-9]*\).*/\1/p' "three${i}_stats.json"; done | sort -n | tail -1)
+[ "$max" -lt "$total" ] || fail "one daemon owns every key (sharding broken)"
+
+# A warm sweep with the peer list in a different order shards identically:
+# still all hits, still byte-identical.
+"$dse" $SWEEP --cache-peers "unix:three3.sock,unix:three1.sock,unix:three2.sock" \
+    --json three_reorder.json >three_reorder.txt || fail "reordered-peer sweep failed"
+check_identical "3-peer reordered" three_reorder.json
+misses=$(remote_field three_reorder.txt misses)
+[ "${misses:-1}" -eq 0 ] || fail "reordered peer list remapped keys ($misses misses)"
+
+for i in 1 2 3; do "$cache" --shutdown --socket "three$i.sock" >/dev/null; done
+
+# ---- peer killed mid-sweep -------------------------------------------------
+# The daemon answers each request 3 ms late so the cold sweep takes long
+# enough to kill it in flight; the export must still be byte-identical and
+# the run must exit 0.
+"$cache" --listen victim.sock --delay-ms 3 2>/dev/null &
+victim=$!
+wait_for_socket victim.sock
+"$dse" $SWEEP --cache-peers unix:victim.sock --json killed.json >killed.txt &
+sweep=$!
+sleep 0.12
+kill -9 "$victim" 2>/dev/null
+wait "$sweep"
+[ $? -eq 0 ] || fail "sweep with killed peer exited non-zero"
+check_identical "peer killed mid-sweep" killed.json
+
+# ---- dead peer in the list -------------------------------------------------
+"$cache" --listen alive.sock 2>/dev/null &
+wait_for_socket alive.sock
+"$dse" $SWEEP --cache-peers "unix:alive.sock,unix:$workdir/never-existed.sock" \
+    --json dead_peer.json >dead_peer.txt || fail "dead-peer sweep failed"
+check_identical "dead peer in list" dead_peer.json
+errors=$(remote_field dead_peer.txt errors)
+[ "${errors:-0}" -gt 0 ] || fail "dead peer recorded no errors"
+"$cache" --shutdown --socket alive.sock >/dev/null
+
+# ---- slow peer: timeouts degrade to local synthesis ------------------------
+"$cache" --listen slow.sock --delay-ms 2000 2>/dev/null &
+wait_for_socket slow.sock
+"$dse" $SWEEP --cache-peers unix:slow.sock --cache-timeout-ms 25 \
+    --json slow.json >slow.txt || fail "slow-peer sweep failed"
+check_identical "slow peer (timeouts)" slow.json
+timeouts=$(remote_field slow.txt timeouts)
+[ "${timeouts:-0}" -gt 0 ] || fail "slow peer recorded no timeouts"
+
+exit "$failures"

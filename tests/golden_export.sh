@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Golden-file regression for dse_tool's export formats: the JSON and CSV
+# exports of the canonical width-4 sweep must byte-match the fixtures
+# committed under tests/golden/. Catches export format drift (field
+# renames, number formatting, row-order changes) locally in ctest instead
+# of only in the CI serve smoke.
+#
+# The fixtures are legitimate to regenerate ONLY when the export format
+# changes on purpose:
+#   dse_tool --width 4 --json tests/golden/dse_w4.json --csv tests/golden/dse_w4.csv
+# Usage: golden_export.sh /path/to/dse_tool /path/to/tests/golden
+set -u
+
+dse="${1:?usage: golden_export.sh /path/to/dse_tool /path/to/golden_dir}"
+golden="${2:?usage: golden_export.sh /path/to/dse_tool /path/to/golden_dir}"
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+"$dse" --width 4 --json "$workdir/out.json" --csv "$workdir/out.csv" >/dev/null || {
+    echo "FAIL: width-4 sweep failed" >&2
+    exit 1
+}
+
+failures=0
+for kind in json csv; do
+    if cmp -s "$golden/dse_w4.$kind" "$workdir/out.$kind"; then
+        echo "ok: $kind export matches golden fixture"
+    else
+        echo "FAIL: $kind export drifted from tests/golden/dse_w4.$kind:" >&2
+        diff "$golden/dse_w4.$kind" "$workdir/out.$kind" | head -20 >&2
+        failures=$((failures + 1))
+    fi
+done
+exit "$failures"

@@ -1,0 +1,104 @@
+// End-to-end regression of the approximate image pipeline: Gaussian blur
+// of a fixed-seed synthetic scene with approximate multipliers must hold a
+// committed per-config PSNR window against the exact-multiplier blur.
+//
+// image_test checks qualitative ordering (d2 beats deeper clusters); this
+// suite pins the actual numbers. The whole pipeline is integer arithmetic
+// plus one deterministic PSNR computation, so the values are reproducible
+// to the last bit on any platform — the window below is drift tolerance
+// for *intentional* algorithm changes (which must update the table), not
+// for noise. It is also the first test driving the image path through
+// MultiplyKernel, the same fast path the DSE error sweep runs on, rather
+// than the ClusterPlan interpreter.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/functional.h"
+#include "core/kernels.h"
+#include "image/convolve.h"
+#include "image/gaussian.h"
+#include "image/synthetic.h"
+
+namespace sdlc {
+namespace {
+
+constexpr int kScene = 160;       ///< scene side length
+constexpr uint64_t kSeed = 5;     ///< scene generator seed
+constexpr double kWindowDb = 0.75;  ///< tolerance around the committed PSNR
+
+Image blur_with(const Image& img, const FixedKernel& k, const MultiplierConfig& config) {
+    const MultiplyKernel kernel(config);
+    return convolve(img, k, [&](uint8_t px, uint8_t w) {
+        return static_cast<uint32_t>(kernel(px, w));
+    });
+}
+
+TEST(ImageRegression, ApproximateBlurPsnrMatchesCommittedBounds) {
+    const Image img = make_scene(kScene, kScene, kSeed);
+    const FixedKernel k = make_gaussian_kernel(3, 1.5);
+    const Image exact = convolve(img, k, exact_mul8);
+
+    // Measured on the committed pipeline (width 8, scene 160x160 seed 5,
+    // 3x3 sigma-1.5 kernel, pixel-first operand binding).
+    const struct {
+        MultiplierVariant variant;
+        int depth;
+        double psnr_db;
+    } expected[] = {
+        {MultiplierVariant::kSdlc, 2, 35.5766},
+        {MultiplierVariant::kSdlc, 3, 16.8775},
+        {MultiplierVariant::kSdlc, 4, 25.7425},
+        {MultiplierVariant::kCompensated, 2, 38.2459},
+        {MultiplierVariant::kCompensated, 3, 19.2803},
+        {MultiplierVariant::kCompensated, 4, 28.8277},
+    };
+    for (const auto& e : expected) {
+        const MultiplierConfig config{8, e.depth, e.variant};
+        const double measured = psnr(exact, blur_with(img, k, config));
+        EXPECT_NEAR(measured, e.psnr_db, kWindowDb)
+            << multiplier_variant_name(e.variant) << " d" << e.depth;
+        // Whatever the exact number, the blur must stay usable — a floor
+        // that catches catastrophic regressions even if someone widens the
+        // window above.
+        EXPECT_GT(measured, 15.0);
+    }
+
+    // Compensation must help at every depth (it corrects the cluster
+    // error it was derived from).
+    for (const int depth : {2, 3, 4}) {
+        const double plain =
+            psnr(exact, blur_with(img, k, {8, depth, MultiplierVariant::kSdlc}));
+        const double compensated =
+            psnr(exact, blur_with(img, k, {8, depth, MultiplierVariant::kCompensated}));
+        EXPECT_GT(compensated, plain) << "depth " << depth;
+    }
+}
+
+TEST(ImageRegression, AccurateKernelReproducesExactBlur) {
+    const Image img = make_scene(kScene, kScene, kSeed);
+    const FixedKernel k = make_gaussian_kernel(3, 1.5);
+    const Image exact = convolve(img, k, exact_mul8);
+    const Image via_kernel = blur_with(img, k, {8, 1, MultiplierVariant::kAccurate});
+    EXPECT_EQ(exact, via_kernel);
+    EXPECT_TRUE(std::isinf(psnr(exact, via_kernel)));
+}
+
+TEST(ImageRegression, KernelPathMatchesInterpreterPath) {
+    // The fast MultiplyKernel and the ClusterPlan interpreter must yield
+    // pixel-identical blurs — the image-pipeline face of the kernel
+    // equivalence the DSE sweep relies on.
+    const Image img = make_scene(96, 96, 7);
+    const FixedKernel k = make_gaussian_kernel(3, 1.5);
+    for (const int depth : {2, 3, 4}) {
+        const ClusterPlan plan = ClusterPlan::make(8, depth);
+        const Image interpreted = convolve(img, k, [&](uint8_t px, uint8_t w) {
+            return static_cast<uint32_t>(sdlc_multiply(plan, px, w));
+        });
+        const Image fast = blur_with(img, k, {8, depth, MultiplierVariant::kSdlc});
+        EXPECT_EQ(interpreted, fast) << "depth " << depth;
+    }
+}
+
+}  // namespace
+}  // namespace sdlc

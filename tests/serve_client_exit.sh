@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
-# serve_tool --client exit-status contract, end to end over a real server:
+# serve_tool --client / cache_tool exit-status contract, end to end over a
+# real server:
 #   0  every request succeeded
 #   1  the server answered an error event / a request failed
 #   2  usage error
 #   3  transport failure (cannot connect, stream dropped early)
-# Usage: serve_client_exit.sh /path/to/serve_tool
+# Usage: serve_client_exit.sh /path/to/serve_tool /path/to/cache_tool
 set -u
 
-tool="${1:?usage: serve_client_exit.sh /path/to/serve_tool}"
+tool="${1:?usage: serve_client_exit.sh /path/to/serve_tool /path/to/cache_tool}"
+cache="${2:?usage: serve_client_exit.sh /path/to/serve_tool /path/to/cache_tool}"
 workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
 cd "$workdir"
@@ -96,5 +98,69 @@ check_exit "connect to dead socket" 3 $?
 check_exit "non-numeric option value" 2 $?
 "$tool" --client good.ndjson 2>/dev/null
 check_exit "client without destination" 2 $?
+
+# --cache-peers usage contract: malformed peer specs and misplaced flags
+# are usage errors (2) before anything binds or runs.
+"$tool" --cache-peers "no-port-here" </dev/null 2>/dev/null
+check_exit "malformed cache peer spec" 2 $?
+"$tool" --cache-peers "unix:" </dev/null 2>/dev/null
+check_exit "empty unix cache peer path" 2 $?
+"$tool" --cache-peers "," </dev/null 2>/dev/null
+check_exit "empty cache peer list" 2 $?
+"$tool" --cache-peers 2>/dev/null
+check_exit "cache peers without value" 2 $?
+"$tool" --client good.ndjson --socket "$sock" --cache-peers unix:x.sock 2>/dev/null
+check_exit "cache peers in client mode" 2 $?
+"$tool" --scrape --socket "$sock" --cache-timeout-ms 10 2>/dev/null
+check_exit "cache timeout in scrape mode" 2 $?
+"$tool" --cache-timeout-ms abc </dev/null 2>/dev/null
+check_exit "non-numeric cache timeout" 2 $?
+
+# A server pointed at unreachable cache peers still serves correctly (the
+# tier degrades; it never becomes a dependency).
+"$tool" --listen "$workdir/degraded.sock" --threads 1 \
+    --cache-peers "unix:$workdir/no-daemon-here.sock" 2>/dev/null &
+degraded=$!
+for _ in $(seq 600); do [ -S "$workdir/degraded.sock" ] && break; sleep 0.1; done
+"$tool" --client good.ndjson --socket "$workdir/degraded.sock" --quiet
+check_exit "sweep with unreachable cache peers" 0 $?
+echo '{"id":"q","type":"shutdown"}' >quit2.ndjson
+"$tool" --client quit2.ndjson --socket "$workdir/degraded.sock" --quiet
+wait "$degraded"
+check_exit "degraded server exit" 0 $?
+
+# cache_tool shares the same exit contract.
+"$cache" 2>/dev/null
+check_exit "cache_tool without mode" 2 $?
+"$cache" --bogus 2>/dev/null
+check_exit "cache_tool unknown option" 2 $?
+"$cache" --listen a.sock --listen-tcp 127.0.0.1:0 2>/dev/null
+check_exit "cache_tool both listen modes" 2 $?
+"$cache" --stats 2>/dev/null
+check_exit "cache_tool stats without destination" 2 $?
+"$cache" --stats --shutdown --socket x.sock 2>/dev/null
+check_exit "cache_tool stats plus shutdown" 2 $?
+"$cache" --listen a.sock --stats --socket b.sock 2>/dev/null
+check_exit "cache_tool daemon plus client mode" 2 $?
+"$cache" --delay-ms abc --listen a.sock 2>/dev/null
+check_exit "cache_tool non-numeric delay" 2 $?
+"$cache" --stats --socket "$workdir/no-daemon-here.sock" 2>/dev/null
+check_exit "cache_tool stats against dead socket" 3 $?
+"$cache" --listen "$workdir/no/such/dir/c.sock" 2>/dev/null
+check_exit "cache_tool unbindable path" 3 $?
+
+# cache_tool round trip: daemon up, stats ok, shutdown ok, then dead.
+csock="$workdir/contract-cache.sock"
+"$cache" --listen "$csock" 2>/dev/null &
+cache_daemon=$!
+for _ in $(seq 600); do [ -S "$csock" ] && break; sleep 0.1; done
+"$cache" --stats --socket "$csock" >/dev/null
+check_exit "cache_tool stats" 0 $?
+"$cache" --shutdown --socket "$csock" >/dev/null
+check_exit "cache_tool shutdown" 0 $?
+wait "$cache_daemon"
+check_exit "cache daemon exit" 0 $?
+"$cache" --stats --socket "$csock" 2>/dev/null
+check_exit "cache_tool stats after shutdown" 3 $?
 
 exit "$failures"

@@ -1,0 +1,194 @@
+// cache_tool — standalone synthesis-cache daemon for a DSE fleet.
+//
+// Serves the NDJSON get/put/stats protocol (src/dse/cache_wire.h) over the
+// same socket transports as serve_tool, backed by one in-memory
+// content-keyed report store. Point `dse_tool --cache-peers` or
+// `serve_tool --cache-peers` at one or more daemons and every process
+// shares one warm cache: the first replica to synthesize a design pays for
+// it, everyone else fetches the report in a round trip.
+//
+// Daemon modes:
+//
+//   cache_tool --listen PATH         Unix-domain socket daemon at PATH
+//   cache_tool --listen-tcp H:P      TCP daemon (port 0 = ephemeral,
+//                                    actual endpoint printed to stderr)
+//
+// Client modes (against a running daemon; destination is --socket PATH or
+// --tcp HOST:PORT):
+//
+//   cache_tool --stats ...           print the daemon's stats JSON
+//   cache_tool --shutdown ...        ask the daemon to exit
+//
+// Exit codes follow the serve_tool contract: 0 success, 1 daemon-side
+// error response, 2 usage error, 3 transport failure.
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include <unistd.h>
+
+#include "dse/cache_wire.h"
+#include "serve/cache_tier.h"
+#include "serve/socket.h"
+#include "serve/transport.h"
+
+namespace {
+
+using namespace sdlc;
+using namespace sdlc::serve;
+
+[[noreturn]] void usage(const std::string& msg = "") {
+    if (!msg.empty()) std::cerr << "error: " << msg << "\n\n";
+    std::cerr <<
+        "usage: cache_tool [options]\n"
+        "  daemon:\n"
+        "    --listen PATH        serve on a Unix-domain socket at PATH\n"
+        "    --listen-tcp HOST:PORT  serve on a TCP socket (port 0 = ephemeral)\n"
+        "    --max-request-bytes N  reject longer request lines (default 64 KiB)\n"
+        "    --delay-ms N         test fault injection: delay every answer N ms\n"
+        "  client (with --socket PATH or --tcp HOST:PORT):\n"
+        "    --stats              print the daemon's stats JSON line\n"
+        "    --shutdown           ask the daemon to drain and exit\n";
+    std::exit(msg.empty() ? 0 : 2);
+}
+
+struct Args {
+    std::map<std::string, std::string> values;
+    std::set<std::string> flags;
+
+    Args(int argc, char** argv) {
+        const std::set<std::string> value_keys = {"--listen", "--listen-tcp",
+                                                  "--max-request-bytes", "--delay-ms",
+                                                  "--socket", "--tcp"};
+        const std::set<std::string> flag_keys = {"--stats", "--shutdown"};
+        for (int i = 1; i < argc; ++i) {
+            const std::string key = argv[i];
+            if (key == "--help" || key == "-h") usage();
+            if (flag_keys.count(key) != 0) {
+                flags.insert(key.substr(2));
+                continue;
+            }
+            if (value_keys.count(key) == 0) usage("unknown option " + key);
+            if (i + 1 >= argc) usage("missing value for " + key);
+            values[key] = argv[++i];
+        }
+    }
+
+    [[nodiscard]] std::string get(const std::string& key, const std::string& dflt = "") const {
+        const auto it = values.find(key);
+        return it == values.end() ? dflt : it->second;
+    }
+    [[nodiscard]] long get_long(const std::string& key, long dflt) const {
+        const std::string v = get(key);
+        if (v.empty()) return dflt;
+        long parsed = 0;
+        try {
+            size_t consumed = 0;
+            parsed = std::stol(v, &consumed);
+            if (consumed != v.size()) usage(key + " expects an integer, got \"" + v + "\"");
+        } catch (const std::logic_error&) {
+            usage(key + " expects an integer, got \"" + v + "\"");
+        }
+        if (parsed < 0) usage(key + " must be >= 0");
+        return parsed;
+    }
+};
+
+int run_daemon(const Args& args) {
+    std::unique_ptr<SocketListener> listener;
+    if (const std::string path = args.get("--listen"); !path.empty()) {
+        listener = std::make_unique<UnixSocketServer>(path);
+    } else {
+        std::string host;
+        uint16_t port = 0;
+        std::string error;
+        if (!parse_host_port(args.get("--listen-tcp"), host, port, &error)) {
+            usage("--listen-tcp: " + error);
+        }
+        listener = std::make_unique<TcpSocketServer>(host, port);
+    }
+    CacheTierOptions opts;
+    opts.max_request_bytes = static_cast<size_t>(
+        args.get_long("--max-request-bytes", static_cast<long>(kCacheMaxRequestBytes)));
+    opts.delay_ms = static_cast<int>(args.get_long("--delay-ms", 0));
+    CacheTierService service(opts);
+    std::cerr << "cache_tool: listening on " << listener->endpoint() << "\n";
+    serve_listener(*listener, service, opts.max_request_bytes);
+    const CacheDaemonStats stats = service.stats();
+    std::cerr << "cache_tool: exiting with " << stats.entries << " entries, " << stats.gets
+              << " gets (" << stats.hits << " hits), " << stats.puts << " puts\n";
+    return 0;
+}
+
+/// Sends one request line and prints/validates the single response line.
+int run_client(const Args& args, const std::string& request) {
+    const std::string socket_path = args.get("--socket");
+    const std::string tcp_spec = args.get("--tcp");
+    if (socket_path.empty() == tcp_spec.empty()) {
+        usage("give exactly one of --socket PATH or --tcp HOST:PORT");
+    }
+    int fd = -1;
+    if (!socket_path.empty()) {
+        fd = unix_socket_connect(socket_path);
+    } else {
+        std::string host;
+        uint16_t port = 0;
+        std::string error;
+        if (!parse_host_port(tcp_spec, host, port, &error)) usage("--tcp: " + error);
+        fd = tcp_connect(host.empty() ? "127.0.0.1" : host, port);
+    }
+    if (!write_all(fd, request) || !write_all(fd, "\n")) {
+        std::cerr << "error: send failed\n";
+        ::close(fd);
+        return 3;
+    }
+    LineReader reader(fd);
+    std::string line;
+    if (!reader.next(line)) {
+        std::cerr << "error: daemon closed the stream without answering\n";
+        ::close(fd);
+        return 3;
+    }
+    ::close(fd);
+    std::cout << line << "\n";
+    CacheResponse response;
+    std::string error;
+    if (!parse_cache_response(line, response, &error)) {
+        std::cerr << "error: unparseable response: " << error << "\n";
+        return 1;
+    }
+    return response.ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    // A peer that disconnects mid-write must not kill the daemon.
+    std::signal(SIGPIPE, SIG_IGN);
+    try {
+        const Args args(argc, argv);
+        const bool daemon = args.values.count("--listen") != 0 ||
+                            args.values.count("--listen-tcp") != 0;
+        const bool stats = args.flags.count("stats") != 0;
+        const bool shutdown = args.flags.count("shutdown") != 0;
+        if (args.values.count("--listen") != 0 && args.values.count("--listen-tcp") != 0) {
+            usage("give --listen or --listen-tcp, not both");
+        }
+        if (stats && shutdown) usage("--stats and --shutdown are mutually exclusive");
+        if (daemon && (stats || shutdown)) {
+            usage("daemon (--listen/--listen-tcp) and client (--stats/--shutdown) are "
+                  "mutually exclusive modes");
+        }
+        if (stats) return run_client(args, cache_stats_line("stats"));
+        if (shutdown) return run_client(args, cache_shutdown_line("shutdown"));
+        if (!daemon) usage("give --listen PATH or --listen-tcp HOST:PORT");
+        return run_daemon(args);
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 3;
+    }
+}

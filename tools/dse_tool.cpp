@@ -30,6 +30,7 @@
 #include <algorithm>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <numeric>
 #include <set>
 #include <sstream>
@@ -39,6 +40,7 @@
 #include "dse/evaluator.h"
 #include "dse/export.h"
 #include "dse/pareto.h"
+#include "dse/remote_cache.h"
 #include "dse/sweep.h"
 #include "util/table.h"
 
@@ -64,6 +66,12 @@ using namespace sdlc;
         "    --dist D             uniform|gaussian|sparse sampling distribution\n"
         "    --exhaustive-max-width W  exhaustive error sweep cutoff (default 10)\n"
         "    --no-hw-cache        disable the content-keyed synthesis cache\n"
+        "    --cache-peers LIST   comma list of cache_tool daemons sharing the\n"
+        "                         synthesis cache (unix:PATH or HOST:PORT each);\n"
+        "                         peer failures degrade to local synthesis and\n"
+        "                         never change results\n"
+        "    --cache-timeout-ms N per-operation budget against a cache peer\n"
+        "                         (default 250)\n"
         "    --repeat K           evaluate the sweep K times (warm-cache runs);\n"
         "                         exits 1 unless all runs are bit-identical\n"
         "  selection:\n"
@@ -88,7 +96,8 @@ public:
             "--schemes", "--threads",  "--seed",      "--samples",   "--dist",
             "--exhaustive-max-width",  "--top",       "--by",        "--max-nmed",
             "--max-mred", "--max-area", "--max-power", "--max-delay", "--csv",
-            "--json",     "--repeat",   "--objectives"};
+            "--json",     "--repeat",   "--objectives", "--cache-peers",
+            "--cache-timeout-ms"};
         for (int i = 1; i < argc; ++i) {
             std::string key = argv[i];
             if (key == "--help" || key == "-h") usage();
@@ -204,6 +213,23 @@ bool sweeps_identical(const std::vector<DesignPoint>& a, const std::vector<Desig
     return true;
 }
 
+/// Validated remote-cache options from --cache-peers/--cache-timeout-ms;
+/// a malformed peer spec is a usage error before the sweep starts.
+RemoteCacheOptions remote_options_from(const Args& args) {
+    RemoteCacheOptions remote;
+    std::string error;
+    if (!parse_cache_peer_list(args.get("--cache-peers"), remote.peers, &error)) {
+        usage("--cache-peers: " + error);
+    }
+    if (args.has("--cache-peers") && remote.peers.empty()) {
+        usage("--cache-peers: empty peer list");
+    }
+    const int timeout = args.get_int("--cache-timeout-ms", 250);
+    if (timeout < 1) usage("--cache-timeout-ms must be >= 1");
+    remote.timeout_ms = timeout;
+    return remote;
+}
+
 Objective objective_from(const Args& args) {
     const std::string by = args.get("--by", "error");
     Objective o;
@@ -251,7 +277,18 @@ int main(int argc, char** argv) {
 
         // One cache shared across --repeat runs: run 1 is cold, the rest warm.
         CostCache cache;
-        if (opts.use_hw_cache) opts.hw_cache = &cache;
+        const RemoteCacheOptions remote_opts = remote_options_from(args);
+        if (!remote_opts.peers.empty() && !opts.use_hw_cache) {
+            usage("--cache-peers requires the hardware cache (drop --no-hw-cache)");
+        }
+        std::unique_ptr<RemoteCostCache> remote;
+        if (!remote_opts.peers.empty()) {
+            remote = std::make_unique<RemoteCostCache>(cache, remote_opts);
+        }
+        if (opts.use_hw_cache) {
+            opts.hw_cache = remote != nullptr ? static_cast<SynthesisCache*>(remote.get())
+                                              : &cache;
+        }
 
         SweepStats stats;  // of run 1 (cold) — what the summary and JSON report
         std::vector<DesignPoint> points = evaluate_sweep(spec, opts, &stats);
@@ -324,6 +361,16 @@ int main(int argc, char** argv) {
                       << stats.hw_cache_misses << " misses (run 1)\n";
         } else {
             std::cout << "hw cache: off\n";
+        }
+        if (remote != nullptr) {
+            // Totals across every run; scheduling-dependent, so this line
+            // is observability only (like "sweep time:") and is never part
+            // of any byte-compared output.
+            const RemoteCacheCounters rc = remote->remote_counters();
+            std::cout << "remote cache: " << remote->peer_count() << " peer"
+                      << (remote->peer_count() == 1 ? "" : "s") << " — " << rc.hits
+                      << " hits, " << rc.misses << " misses, " << rc.errors << " errors, "
+                      << rc.timeouts << " timeouts, " << rc.puts << " puts\n";
         }
         std::cout << "sweep time:";
         for (size_t r = 0; r < run_stats.size(); ++r) {

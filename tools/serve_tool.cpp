@@ -37,6 +37,7 @@
 #include <memory>
 #include <mutex>
 #include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -44,6 +45,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "dse/remote_cache.h"
 #include "serve/protocol.h"
 #include "serve/service.h"
 #include "serve/socket.h"
@@ -68,6 +70,10 @@ using namespace sdlc::serve;
         "    --max-request-bytes N  reject longer request lines (default 1 MiB)\n"
         "    --reject-overload    answer a full queue with an `overloaded` error\n"
         "                         event instead of blocking the connection\n"
+        "    --cache-peers LIST   comma list of cache_tool daemons sharing the\n"
+        "                         synthesis cache (unix:PATH or HOST:PORT each)\n"
+        "    --cache-timeout-ms N per-operation budget against a cache peer\n"
+        "                         before degrading to local synthesis (default 250)\n"
         "  client:\n"
         "    --client FILE        send FILE's request lines ('-' = stdin)\n"
         "    --socket PATH        server Unix socket to connect to\n"
@@ -90,7 +96,8 @@ struct Args {
                                                   "--threads",        "--workers",
                                                   "--queue-capacity", "--max-request-bytes",
                                                   "--client",         "--socket",
-                                                  "--tcp",            "--output"};
+                                                  "--tcp",            "--output",
+                                                  "--cache-peers",    "--cache-timeout-ms"};
         const std::set<std::string> flag_keys = {"--quiet", "--scrape", "--reject-overload"};
         for (int i = 1; i < argc; ++i) {
             const std::string key = argv[i];
@@ -135,6 +142,21 @@ ServiceOptions service_options(const Args& args) {
     opts.max_request_bytes = static_cast<size_t>(
         args.get_long("--max-request-bytes", static_cast<long>(kDefaultMaxRequestBytes)));
     opts.reject_when_full = args.flags.count("reject-overload") != 0;
+    // Validate every peer spec up front: a typo'd peer is a usage error
+    // before anything binds, not a silent local-only server.
+    std::string peers_error;
+    if (!parse_cache_peer_list(args.get("--cache-peers"), opts.cache_peers, &peers_error)) {
+        usage("--cache-peers: " + peers_error);
+    }
+    // `--cache-peers ""` (an unset shell variable) must not silently start
+    // a local-only replica that was meant to share the fleet cache.
+    if (args.values.count("--cache-peers") != 0 && opts.cache_peers.empty()) {
+        usage("--cache-peers: empty peer list");
+    }
+    opts.cache_timeout_ms = static_cast<int>(args.get_long("--cache-timeout-ms", 250));
+    // 0 would disable the socket timeouts entirely and let a hung peer
+    // block a sweep worker forever; dse_tool rejects it the same way.
+    if (opts.cache_timeout_ms < 1) usage("--cache-timeout-ms must be >= 1");
     return opts;
 }
 
@@ -427,6 +449,10 @@ int main(int argc, char** argv) {
         if ((server && (client || scrape)) || (client && scrape)) {
             usage("server (--listen/--listen-tcp), client (--client) and --scrape "
                   "are mutually exclusive modes");
+        }
+        if ((client || scrape) && (args.values.count("--cache-peers") != 0 ||
+                                   args.values.count("--cache-timeout-ms") != 0)) {
+            usage("--cache-peers/--cache-timeout-ms are server options");
         }
         if (scrape) return run_scrape(args);
         if (client) return run_client(args);
