@@ -126,7 +126,21 @@ DesignPoint evaluate_point(const MultiplierConfig& config, const EvalOptions& op
 std::vector<DesignPoint> evaluate_sweep(const SweepSpec& spec, const EvalOptions& opts,
                                         SweepStats* stats) {
     const auto t0 = std::chrono::steady_clock::now();
-    const std::vector<MultiplierConfig> configs = spec.enumerate();
+    std::vector<MultiplierConfig> configs = spec.enumerate();
+    // Shard restriction: keep only [shard_lo, shard_hi), remembering the
+    // offset so on_point still reports global enumeration indices.
+    size_t base = 0;
+    if (opts.shard_lo != 0 || opts.shard_hi != 0) {
+        if (opts.shard_lo >= opts.shard_hi || opts.shard_hi > configs.size()) {
+            throw std::invalid_argument(
+                "sweep shard range [" + std::to_string(opts.shard_lo) + ", " +
+                std::to_string(opts.shard_hi) + ") is invalid for " +
+                std::to_string(configs.size()) + " points");
+        }
+        configs = std::vector<MultiplierConfig>(configs.begin() + opts.shard_lo,
+                                                configs.begin() + opts.shard_hi);
+        base = opts.shard_lo;
+    }
     std::vector<DesignPoint> points(configs.size());
 
     // Resolve the cache: caller-provided, sweep-local, or none.
@@ -180,7 +194,7 @@ std::vector<DesignPoint> evaluate_sweep(const SweepSpec& spec, const EvalOptions
             std::lock_guard<std::mutex> lock(emit_mutex);
             ready[i] = 1;
             while (next_emit < ready.size() && ready[next_emit] != 0) {
-                opts.on_point(next_emit, points[next_emit]);
+                opts.on_point(base + next_emit, points[next_emit]);
                 ++next_emit;
             }
         }

@@ -90,6 +90,17 @@ struct EvalOptions {
     /// already reported through on_point stay reported: the partial stream
     /// is always a strict prefix of the full enumeration-order stream.
     std::chrono::steady_clock::time_point deadline{};
+    /// Optional enumeration-index restriction: evaluate only the points at
+    /// indices [shard_lo, shard_hi) of SweepSpec::enumerate() order — the
+    /// unit a distributed sweep hands one worker. Both zero (the default)
+    /// means the whole space. Indices reported through on_point stay
+    /// *global* enumeration indices and the returned vector holds exactly
+    /// the shard's points, so sharding changes which points are evaluated,
+    /// never what any point's value or index is. A range with
+    /// shard_lo >= shard_hi or shard_hi > count() throws
+    /// std::invalid_argument.
+    size_t shard_lo = 0;
+    size_t shard_hi = 0;
 };
 
 /// Thrown by evaluate_sweep when EvalOptions::cancel fires mid-sweep.

@@ -1,0 +1,131 @@
+#include "dse/point_wire.h"
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace sdlc {
+
+namespace {
+
+constexpr char kPrefix[] = "v1:";
+constexpr size_t kPrefixLen = 3;
+constexpr size_t kWords = 18;
+constexpr size_t kBlobLen = kPrefixLen + kWords * 16;
+
+void append_hex64(std::string& out, uint64_t v) {
+    static const char digits[] = "0123456789abcdef";
+    for (int shift = 60; shift >= 0; shift -= 4) {
+        out += digits[(v >> shift) & 0xF];
+    }
+}
+
+bool parse_word(const std::string& blob, size_t word, uint64_t& out) {
+    out = 0;
+    const size_t base = kPrefixLen + word * 16;
+    for (size_t i = 0; i < 16; ++i) {
+        const char c = blob[base + i];
+        uint64_t nibble = 0;
+        if (c >= '0' && c <= '9') nibble = static_cast<uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f') nibble = static_cast<uint64_t>(c - 'a' + 10);
+        else return false;
+        out = (out << 4) | nibble;
+    }
+    return true;
+}
+
+double as_double(uint64_t bits) { return std::bit_cast<double>(bits); }
+
+bool fail(std::string* error, const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+}
+
+}  // namespace
+
+std::string design_point_bits(const DesignPoint& point) {
+    std::string out;
+    out.reserve(kBlobLen);
+    out += kPrefix;
+    const MultiplierConfig& c = point.config;
+    append_hex64(out, (static_cast<uint64_t>(static_cast<uint16_t>(c.width)) << 48) |
+                          (static_cast<uint64_t>(static_cast<uint16_t>(c.depth)) << 32) |
+                          (static_cast<uint64_t>(static_cast<int>(c.variant)) << 16) |
+                          static_cast<uint64_t>(static_cast<int>(c.scheme)));
+    const ErrorMetrics& e = point.error;
+    append_hex64(out, std::bit_cast<uint64_t>(e.mred));
+    append_hex64(out, std::bit_cast<uint64_t>(e.med));
+    append_hex64(out, std::bit_cast<uint64_t>(e.nmed));
+    append_hex64(out, std::bit_cast<uint64_t>(e.error_rate));
+    append_hex64(out, std::bit_cast<uint64_t>(e.max_red));
+    append_hex64(out, e.max_ed);
+    append_hex64(out, e.samples);
+    append_hex64(out, std::bit_cast<uint64_t>(e.bias));
+    append_hex64(out, std::bit_cast<uint64_t>(e.rmse));
+    const SynthesisReport& hw = point.hw;
+    append_hex64(out, static_cast<uint64_t>(hw.cells));
+    append_hex64(out, std::bit_cast<uint64_t>(hw.area_um2));
+    append_hex64(out, std::bit_cast<uint64_t>(hw.delay_ps));
+    append_hex64(out, static_cast<uint64_t>(static_cast<int64_t>(hw.depth)));
+    append_hex64(out, std::bit_cast<uint64_t>(hw.dynamic_energy_fj));
+    append_hex64(out, std::bit_cast<uint64_t>(hw.dynamic_power_uw));
+    append_hex64(out, std::bit_cast<uint64_t>(hw.leakage_nw));
+    append_hex64(out, std::bit_cast<uint64_t>(hw.energy_fj));
+    return out;
+}
+
+bool parse_design_point_bits(const std::string& blob, DesignPoint& out, std::string* error) {
+    if (blob.size() != kBlobLen || blob.compare(0, kPrefixLen, kPrefix) != 0) {
+        return fail(error, "point bits: expected \"v1:\" + " +
+                               std::to_string(kWords * 16) + " hex digits");
+    }
+    std::array<uint64_t, kWords> w{};
+    for (size_t i = 0; i < kWords; ++i) {
+        if (!parse_word(blob, i, w[i])) {
+            return fail(error, "point bits: non-hex digit in word " + std::to_string(i));
+        }
+    }
+
+    DesignPoint point;
+    const uint64_t cfg = w[0];
+    point.config.width = static_cast<int>((cfg >> 48) & 0xFFFF);
+    point.config.depth = static_cast<int>((cfg >> 32) & 0xFFFF);
+    const uint64_t variant = (cfg >> 16) & 0xFFFF;
+    const uint64_t scheme = cfg & 0xFFFF;
+    if (point.config.width < 1 || point.config.width > 64 || point.config.depth < 1 ||
+        point.config.depth > 64) {
+        return fail(error, "point bits: config width/depth out of range");
+    }
+    if (variant > static_cast<uint64_t>(MultiplierVariant::kCompensated)) {
+        return fail(error, "point bits: unknown variant encoding");
+    }
+    if (scheme > static_cast<uint64_t>(AccumulationScheme::kRowFastCpa)) {
+        return fail(error, "point bits: unknown scheme encoding");
+    }
+    point.config.variant = static_cast<MultiplierVariant>(variant);
+    point.config.scheme = static_cast<AccumulationScheme>(scheme);
+
+    point.error.mred = as_double(w[1]);
+    point.error.med = as_double(w[2]);
+    point.error.nmed = as_double(w[3]);
+    point.error.error_rate = as_double(w[4]);
+    point.error.max_red = as_double(w[5]);
+    point.error.max_ed = w[6];
+    point.error.samples = w[7];
+    point.error.bias = as_double(w[8]);
+    point.error.rmse = as_double(w[9]);
+
+    point.hw.cells = static_cast<size_t>(w[10]);
+    point.hw.area_um2 = as_double(w[11]);
+    point.hw.delay_ps = as_double(w[12]);
+    point.hw.depth = static_cast<int>(static_cast<int64_t>(w[13]));
+    point.hw.dynamic_energy_fj = as_double(w[14]);
+    point.hw.dynamic_power_uw = as_double(w[15]);
+    point.hw.leakage_nw = as_double(w[16]);
+    point.hw.energy_fj = as_double(w[17]);
+
+    out = point;
+    return true;
+}
+
+}  // namespace sdlc

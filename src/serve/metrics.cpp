@@ -20,6 +20,19 @@ void gauge(std::string& out, const std::string& name, const char* help) {
     out += "# TYPE " + name + " gauge\n";
 }
 
+/// Prometheus label values escape backslash, double-quote and newline.
+std::string label_escape(const std::string& v) {
+    std::string out;
+    out.reserve(v.size());
+    for (const char c : v) {
+        if (c == '\\') out += "\\\\";
+        else if (c == '"') out += "\\\"";
+        else if (c == '\n') out += "\\n";
+        else out += c;
+    }
+    return out;
+}
+
 }  // namespace
 
 std::string prometheus_metrics(const ServiceStats& stats) {
@@ -91,6 +104,47 @@ std::string prometheus_metrics(const ServiceStats& stats) {
 
     counter(out, p + "busy_seconds_total", "Summed sweep wall time.");
     out += p + "busy_seconds_total " + num(stats.busy_seconds) + "\n";
+
+    gauge(out, p + "cluster_enabled", "1 when this instance coordinates a worker fleet.");
+    out += p + "cluster_enabled " + std::string(stats.cluster.enabled ? "1" : "0") + "\n";
+    if (stats.cluster.enabled) {
+        gauge(out, p + "cluster_shards", "Configured shard count per distributed sweep.");
+        out += p + "cluster_shards " + std::to_string(stats.cluster.shards) + "\n";
+
+        counter(out, p + "cluster_sweeps_total", "Distributed sweeps coordinated.");
+        out += p + "cluster_sweeps_total " + std::to_string(stats.cluster.sweeps) + "\n";
+
+        counter(out, p + "cluster_local_shards_total",
+                "Shards executed locally because no worker could serve them.");
+        out += p + "cluster_local_shards_total " +
+               std::to_string(stats.cluster.local_shards) + "\n";
+
+        counter(out, p + "cluster_shards_total",
+                "Shard dispatch outcomes per worker (dispatched/completed/retried).");
+        for (const ClusterWorkerCounters& w : stats.cluster.workers) {
+            const std::string labels = "{worker=\"" + label_escape(w.spec) + "\"";
+            out += p + "cluster_shards_total" + labels + ",result=\"dispatched\"} " +
+                   std::to_string(w.dispatched) + "\n";
+            out += p + "cluster_shards_total" + labels + ",result=\"completed\"} " +
+                   std::to_string(w.completed) + "\n";
+            out += p + "cluster_shards_total" + labels + ",result=\"retried\"} " +
+                   std::to_string(w.retried) + "\n";
+        }
+
+        counter(out, p + "cluster_worker_bytes_total",
+                "Event bytes received from each worker.");
+        for (const ClusterWorkerCounters& w : stats.cluster.workers) {
+            out += p + "cluster_worker_bytes_total{worker=\"" + label_escape(w.spec) +
+                   "\"} " + std::to_string(w.bytes) + "\n";
+        }
+
+        counter(out, p + "cluster_worker_busy_seconds_total",
+                "Summed shard round-trip wall time per worker.");
+        for (const ClusterWorkerCounters& w : stats.cluster.workers) {
+            out += p + "cluster_worker_busy_seconds_total{worker=\"" + label_escape(w.spec) +
+                   "\"} " + num(w.busy_seconds) + "\n";
+        }
+    }
 
     const std::string hist = p + "request_duration_seconds";
     out += "# HELP " + hist + " Per-request wall latency, arrival to terminal event.\n";

@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "dse/export.h"
+#include "dse/point_wire.h"
 #include "util/json.h"
 #include "util/json_parse.h"
 
@@ -16,12 +17,18 @@ namespace {
 constexpr size_t kMaxIdLength = 128;
 
 /// Thrown internally by the field readers; parse_request converts it into
-/// a RequestError with code "invalid_request".
+/// a RequestError with the carried code ("invalid_request" unless a more
+/// specific code applies, e.g. "invalid_shard").
 struct FieldError {
     std::string message;
+    std::string code = "invalid_request";
 };
 
 [[noreturn]] void reject(const std::string& message) { throw FieldError{message}; }
+
+[[noreturn]] void reject_shard(const std::string& message) {
+    throw FieldError{message, "invalid_shard"};
+}
 
 bool read_bool(const JsonValue& v, const std::string& key) {
     if (!v.is_bool()) reject("\"" + key + "\" must be a boolean");
@@ -212,7 +219,7 @@ bool parse_request(const std::string& line, size_t max_bytes, SweepRequest& out,
             case RequestType::kSweep:
                 check_known_keys(root, "request", {"id", "type", "spec", "eval", "objectives",
                                                    "stream_points", "export", "deadline_ms",
-                                                   "chunk_bytes"});
+                                                   "chunk_bytes", "shard", "point_bits"});
                 if (const JsonValue* spec = root.find("spec")) out.spec = read_spec(*spec);
                 if (const JsonValue* eval = root.find("eval")) out.eval = read_eval(*eval);
                 if (const JsonValue* objectives = root.find("objectives")) {
@@ -240,6 +247,38 @@ bool parse_request(const std::string& line, size_t max_bytes, SweepRequest& out,
                     // into millions of one-byte events.
                     if (out.chunk_bytes < 16) reject("\"chunk_bytes\" must be >= 16");
                 }
+                if (const JsonValue* shard = root.find("shard")) {
+                    if (!shard->is_object()) reject("\"shard\" must be an object");
+                    check_known_keys(*shard, "shard", {"lo", "hi"});
+                    const JsonValue* lo = shard->find("lo");
+                    const JsonValue* hi = shard->find("hi");
+                    if (lo == nullptr || hi == nullptr) {
+                        reject("\"shard\" requires both \"lo\" and \"hi\"");
+                    }
+                    out.shard_lo = static_cast<size_t>(read_uint64(*lo, "lo"));
+                    out.shard_hi = static_cast<size_t>(read_uint64(*hi, "hi"));
+                    // Validate against the enumeration size right here: a
+                    // contradictory range gets its own structured code so a
+                    // coordinator can tell a planning bug from a typo'd spec.
+                    size_t space = 0;
+                    try {
+                        space = out.spec.count();
+                    } catch (const std::invalid_argument& e) {
+                        reject(e.what());  // the spec itself is the problem
+                    }
+                    if (out.shard_lo >= out.shard_hi) {
+                        reject_shard("\"shard\" range [" + std::to_string(out.shard_lo) +
+                                     ", " + std::to_string(out.shard_hi) + ") is empty");
+                    }
+                    if (out.shard_hi > space) {
+                        reject_shard("\"shard\" hi " + std::to_string(out.shard_hi) +
+                                     " exceeds the spec's " + std::to_string(space) +
+                                     " points");
+                    }
+                }
+                if (const JsonValue* bits = root.find("point_bits")) {
+                    out.point_bits = read_bool(*bits, "point_bits");
+                }
                 break;
             case RequestType::kCancel: {
                 check_known_keys(root, "request", {"id", "type", "target"});
@@ -257,7 +296,7 @@ bool parse_request(const std::string& line, size_t max_bytes, SweepRequest& out,
         }
         return true;
     } catch (const FieldError& field) {
-        err.code = "invalid_request";
+        err.code = field.code;
         err.message = field.message;
         return false;
     }
@@ -283,12 +322,14 @@ std::string accepted_event(const std::string& id, RequestType type, size_t point
     return out;
 }
 
-std::string point_event(const std::string& id, size_t index, const DesignPoint& point) {
+std::string point_event(const std::string& id, size_t index, const DesignPoint& point,
+                        bool with_bits) {
     // Rank is unknowable mid-stream (dominance needs the whole sweep); the
     // exported rows carry it instead.
     std::string out = event_head(id, "point");
     out += ", \"index\": " + std::to_string(index);
     out += ", \"point\": " + dse_point_json(point, /*rank=*/-1);
+    if (with_bits) out += ", \"bits\": \"" + design_point_bits(point) + "\"";
     out += "}";
     return out;
 }
@@ -335,6 +376,24 @@ std::string metrics_event(const std::string& id, const std::string& prometheus) 
     return out;
 }
 
+void ClusterCounters::add(const ClusterCounters& other) {
+    enabled = enabled || other.enabled;
+    if (other.shards != 0) shards = other.shards;
+    sweeps += other.sweeps;
+    local_shards += other.local_shards;
+    if (workers.size() < other.workers.size()) workers.resize(other.workers.size());
+    for (size_t i = 0; i < other.workers.size(); ++i) {
+        ClusterWorkerCounters& mine = workers[i];
+        const ClusterWorkerCounters& theirs = other.workers[i];
+        if (mine.spec.empty()) mine.spec = theirs.spec;
+        mine.dispatched += theirs.dispatched;
+        mine.completed += theirs.completed;
+        mine.retried += theirs.retried;
+        mine.bytes += theirs.bytes;
+        mine.busy_seconds += theirs.busy_seconds;
+    }
+}
+
 std::string stats_event(const std::string& id, const ServiceStats& stats) {
     std::string out = event_head(id, "stats");
     out += ", \"requests\": {\"accepted\": " + std::to_string(stats.accepted);
@@ -357,6 +416,26 @@ std::string stats_event(const std::string& id, const ServiceStats& stats) {
     out += "}, \"queue_depth\": " + std::to_string(stats.queue_depth);
     out += ", \"in_flight\": " + std::to_string(stats.in_flight);
     out += ", \"busy_seconds\": " + json_number(stats.busy_seconds);
+    if (stats.cluster.enabled) {
+        // Only a coordinator emits this section, so plain servers' stats
+        // events are byte-for-byte what they were before clustering existed.
+        out += ", \"cluster\": {\"shards\": " + std::to_string(stats.cluster.shards);
+        out += ", \"sweeps\": " + std::to_string(stats.cluster.sweeps);
+        out += ", \"local_shards\": " + std::to_string(stats.cluster.local_shards);
+        out += ", \"workers\": [";
+        for (size_t i = 0; i < stats.cluster.workers.size(); ++i) {
+            const ClusterWorkerCounters& w = stats.cluster.workers[i];
+            if (i != 0) out += ", ";
+            out += "{\"spec\": " + json_string(w.spec);
+            out += ", \"dispatched\": " + std::to_string(w.dispatched);
+            out += ", \"completed\": " + std::to_string(w.completed);
+            out += ", \"retried\": " + std::to_string(w.retried);
+            out += ", \"bytes\": " + std::to_string(w.bytes);
+            out += ", \"busy_seconds\": " + json_number(w.busy_seconds);
+            out += "}";
+        }
+        out += "]}";
+    }
     out += "}";
     return out;
 }
@@ -376,6 +455,82 @@ std::string done_event(const std::string& id, bool ok) {
     out += ok ? "true" : "false";
     out += "}";
     return out;
+}
+
+std::string sweep_request_json(const SweepRequest& request) {
+    std::string out = "{\"id\": " + json_string(request.id) + ", \"type\": \"sweep\"";
+
+    out += ", \"spec\": {\"widths\": [";
+    for (size_t i = 0; i < request.spec.widths.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += std::to_string(request.spec.widths[i]);
+    }
+    out += "], \"min_depth\": " + std::to_string(request.spec.min_depth);
+    out += ", \"max_depth\": " + std::to_string(request.spec.max_depth);
+    out += ", \"variants\": [";
+    for (size_t i = 0; i < request.spec.variants.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += "\"" + std::string(multiplier_variant_name(request.spec.variants[i])) + "\"";
+    }
+    out += "], \"schemes\": [";
+    for (size_t i = 0; i < request.spec.schemes.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += "\"" + std::string(accumulation_scheme_name(request.spec.schemes[i])) + "\"";
+    }
+    out += "]}";
+
+    // Seed and samples ride as decimal strings: exact for the full 64-bit
+    // range, where a JSON number would silently round past 2^53.
+    out += ", \"eval\": {\"seed\": \"" + std::to_string(request.eval.seed) + "\"";
+    out += ", \"samples\": \"" + std::to_string(request.eval.samples) + "\"";
+    out += ", \"exhaustive_max_width\": " + std::to_string(request.eval.exhaustive_max_width);
+    out += ", \"dist\": \"" +
+           std::string(operand_distribution_name(request.eval.distribution)) + "\"";
+    out += ", \"hardware\": ";
+    out += request.eval.evaluate_hardware ? "true" : "false";
+    out += ", \"hw_cache\": ";
+    out += request.eval.use_hw_cache ? "true" : "false";
+    out += "}";
+
+    out += ", \"objectives\": " + objective_set_json(request.objectives);
+    out += ", \"stream_points\": ";
+    out += request.stream_points ? "true" : "false";
+    out += ", \"export\": ";
+    out += request.export_json ? "true" : "false";
+    if (request.deadline_ms > 0) {
+        out += ", \"deadline_ms\": " + std::to_string(request.deadline_ms);
+    }
+    if (request.chunk_bytes > 0) {
+        out += ", \"chunk_bytes\": " + std::to_string(request.chunk_bytes);
+    }
+    if (request.shard_lo != 0 || request.shard_hi != 0) {
+        out += ", \"shard\": {\"lo\": " + std::to_string(request.shard_lo);
+        out += ", \"hi\": " + std::to_string(request.shard_hi) + "}";
+    }
+    if (request.point_bits) out += ", \"point_bits\": true";
+    out += "}";
+    return out;
+}
+
+void emit_sweep_results(ResponseSink& sink, const SweepRequest& request,
+                        const std::vector<DesignPoint>& points, const SweepStats& stats) {
+    const ParetoResult pareto = pareto_analysis(objective_matrix(points, request.objectives));
+    sink.write_line(summary_event(request.id, stats, pareto.frontier.size(),
+                                  request.objectives));
+    if (request.export_json) {
+        if (request.chunk_bytes > 0) {
+            // Stream the export through a chunker: bounded event sizes,
+            // sequence numbers, and O(chunk) peak buffering. The chunks
+            // byte-concatenate to exactly the unchunked payload.
+            ResultChunker chunker(sink, request.id, request.chunk_bytes);
+            dse_json_stream(points, pareto.rank, stats, request.objectives,
+                            [&chunker](std::string_view piece) { chunker.feed(piece); });
+            chunker.finish();
+        } else {
+            sink.write_line(result_event(
+                request.id, dse_to_json(points, pareto.rank, stats, request.objectives)));
+        }
+    }
 }
 
 void ResultChunker::feed(std::string_view piece) {

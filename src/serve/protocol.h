@@ -37,6 +37,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "dse/evaluator.h"
 #include "dse/pareto.h"
@@ -77,6 +78,20 @@ struct SweepRequest {
     /// `result_chunk` events of at most this many payload bytes instead of
     /// one `result` event, keeping peak buffering O(chunk_bytes).
     size_t chunk_bytes = 0;
+    /// Enumeration-index restriction ({"shard": {"lo": N, "hi": M}}): run
+    /// only points [lo, hi) of the spec's enumeration — how a cluster
+    /// coordinator hands one worker its slice of a sweep. Both zero = the
+    /// whole space. A contradictory range (lo >= hi, hi > the spec's point
+    /// count) is rejected at parse time with the structured code
+    /// "invalid_shard". Point events keep their global enumeration
+    /// indices, so shard streams merge back by index alone.
+    size_t shard_lo = 0;
+    size_t shard_hi = 0;
+    /// When true, every point event additionally carries a "bits" field —
+    /// the point's exact IEEE-754 payload (dse/point_wire.h) — so a
+    /// coordinator can reconstruct points bit-exactly instead of re-parsing
+    /// the lossy "%.12g" rendering.
+    bool point_bits = false;
     // Cancel payload.
     std::string target;
 };
@@ -84,7 +99,8 @@ struct SweepRequest {
 /// Why a request line was rejected.
 struct RequestError {
     std::string id;       ///< request id when one could be extracted, else ""
-    std::string code;     ///< "too_large", "parse_error" or "invalid_request"
+    std::string code;     ///< "too_large", "parse_error", "invalid_request"
+                          ///< or "invalid_shard"
     std::string message;  ///< human-readable detail
 };
 
@@ -118,6 +134,31 @@ struct LatencyHistogram {
     }
 };
 
+/// Per-worker shard-dispatch counters of a cluster coordinator (see
+/// src/cluster/coordinator.h). Observability only — like every other
+/// counter here, never part of a sweep's deterministic event stream.
+struct ClusterWorkerCounters {
+    std::string spec;           ///< worker endpoint as configured
+    uint64_t dispatched = 0;    ///< shard requests sent to this worker
+    uint64_t completed = 0;     ///< shards fully streamed back
+    uint64_t retried = 0;       ///< shard attempts that failed here and were re-dispatched
+    uint64_t bytes = 0;         ///< event bytes received from this worker
+    double busy_seconds = 0.0;  ///< summed shard round-trip wall time
+};
+
+/// Cluster coordination counters (disabled/empty without --workers).
+struct ClusterCounters {
+    bool enabled = false;
+    size_t shards = 0;          ///< configured shard count per sweep
+    uint64_t sweeps = 0;        ///< distributed sweeps coordinated
+    uint64_t local_shards = 0;  ///< shards executed locally as last resort
+    std::vector<ClusterWorkerCounters> workers;
+
+    /// Accumulates a per-sweep delta (workers matched by position; `other`
+    /// must come from the same worker list).
+    void add(const ClusterCounters& other);
+};
+
 /// Aggregate service counters for the `stats` event. Unlike sweep events
 /// these are observability, not reproducible output: timings and the raw
 /// cache counters depend on scheduling.
@@ -138,14 +179,18 @@ struct ServiceStats {
     size_t in_flight = 0;           ///< requests being processed right now
     double busy_seconds = 0.0;      ///< summed sweep wall time
     LatencyHistogram latency;       ///< per-request wall latency (sweep requests)
+    /// Cluster coordination counters (disabled without --workers).
+    ClusterCounters cluster;
 };
 
 // ---- event emission (single-line strings, no trailing newline) ----
 
 [[nodiscard]] std::string accepted_event(const std::string& id, RequestType type,
                                          size_t points, const std::string& spec_summary);
+/// `with_bits` appends the exact-payload "bits" field (requests with
+/// "point_bits": true); the rest of the line is unchanged either way.
 [[nodiscard]] std::string point_event(const std::string& id, size_t index,
-                                      const DesignPoint& point);
+                                      const DesignPoint& point, bool with_bits = false);
 [[nodiscard]] std::string summary_event(const std::string& id, const SweepStats& stats,
                                         size_t frontier_size, const ObjectiveSet& objectives);
 [[nodiscard]] std::string result_event(const std::string& id, const std::string& dse_json);
@@ -156,6 +201,21 @@ struct ServiceStats {
 [[nodiscard]] std::string error_event(const std::string& id, const std::string& code,
                                       const std::string& message);
 [[nodiscard]] std::string done_event(const std::string& id, bool ok);
+
+/// Serializes a sweep request back into one parseable NDJSON line —
+/// parse_request(sweep_request_json(r)) reproduces `r` exactly for any
+/// valid sweep request. A cluster coordinator builds its shard
+/// sub-requests with this, so dispatch can never drift from the parser.
+/// Only meaningful for RequestType::kSweep.
+[[nodiscard]] std::string sweep_request_json(const SweepRequest& request);
+
+/// Emits the deterministic post-evaluation tail of a sweep's event stream
+/// — summary, then (when requested) the result event or result_chunk
+/// stream — exactly as SweepService does. Shared with the cluster
+/// coordinator so a coordinated sweep's bytes cannot drift from a
+/// single-node one's.
+void emit_sweep_results(ResponseSink& sink, const SweepRequest& request,
+                        const std::vector<DesignPoint>& points, const SweepStats& stats);
 
 /// Splits a streamed export payload into bounded `result_chunk` events:
 /// feed() pieces in order, then finish() exactly once. Every chunk except

@@ -4,8 +4,6 @@
 #include <string_view>
 
 #include "dse/evaluator.h"
-#include "dse/export.h"
-#include "dse/pareto.h"
 #include "serve/metrics.h"
 
 namespace sdlc::serve {
@@ -236,6 +234,11 @@ void SweepService::process(Job& job) {
     }
 }
 
+std::vector<DesignPoint> SweepService::evaluate(const SweepRequest& request, EvalOptions& eval,
+                                                SweepStats& stats) {
+    return evaluate_sweep(request.spec, eval, &stats);
+}
+
 void SweepService::run_sweep(const Job& job) {
     const SweepRequest& request = job.request;
     ResponseSink& sink = *job.sink;
@@ -244,7 +247,11 @@ void SweepService::run_sweep(const Job& job) {
         // Validate the spec before announcing acceptance so an unbuildable
         // sweep fails with a single error instead of accepted-then-error.
         const size_t count = request.spec.count();
-        sink.write_line(accepted_event(request.id, request.type, count,
+        // A shard-restricted request announces the points it will actually
+        // stream, not the whole space it is a slice of.
+        const size_t effective =
+            request.shard_hi > 0 ? request.shard_hi - request.shard_lo : count;
+        sink.write_line(accepted_event(request.id, request.type, effective,
                                        request.spec.describe()));
 
         EvalOptions eval = request.eval;
@@ -261,32 +268,15 @@ void SweepService::run_sweep(const Job& job) {
         }
         if (request.stream_points) {
             eval.on_point = [&](size_t index, const DesignPoint& point) {
-                sink.write_line(point_event(request.id, index, point));
+                sink.write_line(point_event(request.id, index, point, request.point_bits));
             };
         }
+        eval.shard_lo = request.shard_lo;
+        eval.shard_hi = request.shard_hi;
 
         SweepStats sweep_stats;
-        const std::vector<DesignPoint> points =
-            evaluate_sweep(request.spec, eval, &sweep_stats);
-        const ParetoResult pareto =
-            pareto_analysis(objective_matrix(points, request.objectives));
-        sink.write_line(summary_event(request.id, sweep_stats, pareto.frontier.size(),
-                                      request.objectives));
-        if (request.export_json) {
-            if (request.chunk_bytes > 0) {
-                // Stream the export through a chunker: bounded event sizes,
-                // sequence numbers, and O(chunk) peak buffering. The chunks
-                // byte-concatenate to exactly the unchunked payload.
-                ResultChunker chunker(sink, request.id, request.chunk_bytes);
-                dse_json_stream(points, pareto.rank, sweep_stats, request.objectives,
-                                [&chunker](std::string_view piece) { chunker.feed(piece); });
-                chunker.finish();
-            } else {
-                sink.write_line(result_event(
-                    request.id,
-                    dse_to_json(points, pareto.rank, sweep_stats, request.objectives)));
-            }
-        }
+        const std::vector<DesignPoint> points = evaluate(request, eval, sweep_stats);
+        emit_sweep_results(sink, request, points, sweep_stats);
 
         std::lock_guard<std::mutex> lock(state_mutex_);
         ++counters_.completed;

@@ -68,8 +68,11 @@ struct ServiceOptions {
     int cache_timeout_ms = 250;  ///< per-operation budget against a peer
 };
 
-/// The long-lived sweep service (see file comment).
-class SweepService final : public LineService {
+/// The long-lived sweep service (see file comment). Derivable: a subclass
+/// can swap the evaluation engine (see the protected evaluate() hook) while
+/// inheriting the queue, cancellation, deadline, stats and event-emission
+/// machinery — cluster::CoordinatorService distributes sweeps this way.
+class SweepService : public LineService {
 public:
     /// Throws std::invalid_argument on a malformed cache peer spec.
     explicit SweepService(const ServiceOptions& opts = {});
@@ -112,7 +115,19 @@ public:
     void set_on_shutdown(std::function<void()> hook) override;
 
     /// Momentary aggregate counters (what the `stats` request reports).
-    [[nodiscard]] ServiceStats stats() const;
+    [[nodiscard]] virtual ServiceStats stats() const;
+
+protected:
+    /// Evaluates one accepted sweep request. `eval` arrives fully wired —
+    /// shared pool, resident cache (with remote tier), cancel flag,
+    /// deadline, and the ordered on_point stream — so an override only
+    /// decides *where* the points are computed. Everything around the call
+    /// (accepted/summary/result/error/done emission, counters, latency) is
+    /// shared, which is what keeps a derived service's event stream
+    /// byte-identical to this one's. Throws like evaluate_sweep
+    /// (SweepCancelled, SweepDeadlineExceeded, std::invalid_argument).
+    virtual std::vector<DesignPoint> evaluate(const SweepRequest& request, EvalOptions& eval,
+                                              SweepStats& stats);
 
 private:
     struct Job {

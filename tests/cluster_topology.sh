@@ -1,0 +1,138 @@
+#!/usr/bin/env bash
+# Distributed sweeps must be byte-identical across cluster topologies, end
+# to end over real processes and sockets:
+#   - no workers (the single-node reference)
+#   - a worker list where every worker is dead (full local fallback)
+#   - 1 worker, 3 workers, and the 3-worker list reordered
+#   - a worker killed -9 mid-sweep
+#   - a dead worker in an otherwise healthy list
+#   - a slow worker (a stalling endpoint) forcing shard-timeout retries
+# Every topology must reproduce `dse_tool --json` exactly and exit 0; the
+# worker fleet is an accelerator, never a result-changing dependency.
+# Usage: cluster_topology.sh /path/to/dse_tool /path/to/serve_tool /path/to/cache_tool
+set -u
+
+dse="${1:?usage: cluster_topology.sh dse_tool serve_tool cache_tool}"
+serve="${2:?usage: cluster_topology.sh dse_tool serve_tool cache_tool}"
+cache="${3:?usage: cluster_topology.sh dse_tool serve_tool cache_tool}"
+workdir="$(mktemp -d)"
+cleanup() {
+    # shellcheck disable=SC2046
+    kill $(jobs -p) 2>/dev/null
+    wait 2>/dev/null
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+cd "$workdir"
+
+SWEEP="--width 6"
+failures=0
+
+fail() {
+    echo "FAIL: $1" >&2
+    failures=$((failures + 1))
+}
+
+wait_for_socket() { # path
+    for _ in $(seq 600); do [ -S "$1" ] && return 0; sleep 0.05; done
+    fail "server never bound $1"
+    return 1
+}
+
+check_identical() { # name file
+    if cmp -s ref.json "$2"; then
+        echo "ok: $1 export byte-identical"
+    else
+        fail "$1 export differs from reference"
+    fi
+}
+
+# Counter fields from dse_tool's "cluster:" summary line.
+cluster_field() { # file field-name
+    sed -n "s/^cluster: .*[^0-9]\([0-9][0-9]*\) $2.*/\1/p" "$1"
+}
+
+# ---- reference: no workers -------------------------------------------------
+"$dse" $SWEEP --json ref.json >/dev/null || fail "reference sweep failed"
+
+# ---- every worker dead: the whole sweep runs locally -----------------------
+"$dse" $SWEEP --workers "unix:$workdir/never1.sock,unix:$workdir/never2.sock" \
+    --shard-retries 0 --json alldead.json >alldead.txt \
+    || fail "all-dead-workers sweep failed"
+check_identical "all workers dead" alldead.json
+local_shards=$(cluster_field alldead.txt local)
+[ "${local_shards:-0}" -gt 0 ] || fail "all-dead run reported no local shards"
+completed=$(cluster_field alldead.txt completed)
+[ "${completed:-1}" -eq 0 ] || fail "all-dead run reported completed shards"
+
+# ---- one worker ------------------------------------------------------------
+"$serve" --listen w1.sock --threads 2 2>/dev/null &
+wait_for_socket w1.sock
+
+"$dse" $SWEEP --workers unix:w1.sock --json one.json >one.txt \
+    || fail "1-worker sweep failed"
+check_identical "1 worker" one.json
+completed=$(cluster_field one.txt completed)
+[ "${completed:-0}" -gt 0 ] || fail "1-worker run completed no shards remotely"
+
+# ---- three workers ---------------------------------------------------------
+"$serve" --listen w2.sock --threads 2 2>/dev/null &
+wait_for_socket w2.sock
+"$serve" --listen w3.sock --threads 2 2>/dev/null &
+wait_for_socket w3.sock
+WORKERS="unix:w1.sock,unix:w2.sock,unix:w3.sock"
+
+"$dse" $SWEEP --workers "$WORKERS" --json three.json >three.txt \
+    || fail "3-worker sweep failed"
+check_identical "3 workers" three.json
+local_shards=$(cluster_field three.txt local)
+[ "${local_shards:-1}" -eq 0 ] || fail "3-worker run fell back locally"
+
+# The shard cut is fixed, so a reordered worker list changes only who
+# computes what, never the bytes.
+"$dse" $SWEEP --workers "unix:w3.sock,unix:w1.sock,unix:w2.sock" \
+    --json reorder.json >reorder.txt || fail "reordered-worker sweep failed"
+check_identical "3 workers reordered" reorder.json
+
+# A second (warm) run against the same fleet also matches the single-node
+# warm run's export: the deterministic cache counters replay fleet-wide.
+"$dse" $SWEEP --json ref_warm.json --repeat 2 >/dev/null \
+    || fail "single-node repeat sweep failed"
+"$dse" $SWEEP --workers "$WORKERS" --json warm.json --repeat 2 >warm.txt \
+    || fail "3-worker repeat sweep failed"
+cmp -s ref_warm.json warm.json || fail "repeat-run cluster export differs"
+echo "ok: repeat run byte-identical"
+
+# ---- worker killed mid-sweep -----------------------------------------------
+"$serve" --listen victim.sock --threads 1 2>/dev/null &
+victim=$!
+wait_for_socket victim.sock
+"$dse" $SWEEP --workers "unix:w1.sock,unix:victim.sock" --shards 16 \
+    --json killed.json >killed.txt &
+sweep=$!
+sleep 0.08
+kill -9 "$victim" 2>/dev/null
+wait "$sweep"
+[ $? -eq 0 ] || fail "sweep with killed worker exited non-zero"
+check_identical "worker killed mid-sweep" killed.json
+
+# ---- dead worker in the list -----------------------------------------------
+"$dse" $SWEEP --workers "unix:w1.sock,unix:$workdir/never3.sock" \
+    --json deadone.json >deadone.txt || fail "dead-worker sweep failed"
+check_identical "dead worker in list" deadone.json
+completed=$(cluster_field deadone.txt completed)
+[ "${completed:-0}" -gt 0 ] || fail "dead-worker run completed no shards"
+
+# ---- slow worker: shard timeouts retry on the healthy peer -----------------
+# A cache daemon that sleeps 2 s before answering anything stands in for a
+# stalled replica: it accepts the connection, then produces no bytes, which
+# must trip the read-silence budget and requeue the shard.
+"$cache" --listen slow.sock --delay-ms 2000 2>/dev/null &
+wait_for_socket slow.sock
+"$dse" $SWEEP --workers "unix:w1.sock,unix:slow.sock" --shard-timeout-ms 100 \
+    --json slow.json >slow.txt || fail "slow-worker sweep failed"
+check_identical "slow worker (timeout retry)" slow.json
+retried=$(cluster_field slow.txt retried)
+[ "${retried:-0}" -gt 0 ] || fail "slow worker recorded no shard retries"
+
+exit "$failures"

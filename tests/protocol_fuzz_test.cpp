@@ -26,7 +26,7 @@ void expect_structured(const std::string& line, const SweepRequest& req,
     (void)req;
     if (parsed) return;
     EXPECT_TRUE(err.code == "too_large" || err.code == "parse_error" ||
-                err.code == "invalid_request")
+                err.code == "invalid_request" || err.code == "invalid_shard")
         << "unclassified rejection code \"" << err.code << "\" for: " << line.substr(0, 120);
     EXPECT_FALSE(err.message.empty()) << line.substr(0, 120);
 }
@@ -68,6 +68,7 @@ TEST(ProtocolFuzz, RandomJsonLikeTokensNeverCrash) {
         "1e999", "0.5",      "null",    "true",       "false",    "\"\\u0000\"",
         "\"\\ud800\"", " ",  "\\",      "\"widths\"", "[4,5]",    "\"deadline_ms\"",
         "\"chunk_bytes\"",   "\"eval\"", "\"seed\"",  "\"cancel\"", "\"target\"",
+        "\"shard\"", "\"lo\"", "\"hi\"", "\"point_bits\"",
     };
     Xoshiro256 rng(0xf022ed02u);
     for (int round = 0; round < 2000; ++round) {
@@ -87,7 +88,8 @@ TEST(ProtocolFuzz, MutatedValidRequestsNeverCrash) {
         " \"variants\": [\"sdlc\"], \"schemes\": [\"wallace\"]},"
         " \"eval\": {\"seed\": 42, \"samples\": 1000, \"hardware\": false},"
         " \"objectives\": [\"error\", \"area\"], \"deadline_ms\": 250,"
-        " \"chunk_bytes\": 4096, \"export\": true}";
+        " \"chunk_bytes\": 4096, \"export\": true,"
+        " \"shard\": {\"lo\": 1, \"hi\": 3}, \"point_bits\": true}";
     Xoshiro256 rng(0xf022ed03u);
     for (int round = 0; round < 3000; ++round) {
         std::string line = seedline;
@@ -110,6 +112,80 @@ TEST(ProtocolFuzz, MutatedValidRequestsNeverCrash) {
             if (line.empty()) line = "{";
         }
         fuzz_one(line);
+    }
+}
+
+TEST(ProtocolFuzz, ShardRangesParseStrictly) {
+    // A valid range is accepted with both bounds; every contradictory or
+    // malformed one is rejected with the structured "invalid_shard" code
+    // (ranges) or "invalid_request" (shape).
+    const std::string head = "{\"id\": \"s\", \"spec\": {\"width\": 4}, \"shard\": ";
+    SweepRequest req;
+    RequestError err;
+    ASSERT_TRUE(parse_request(head + "{\"lo\": 1, \"hi\": 3}}", kDefaultMaxRequestBytes, req,
+                              err))
+        << err.message;
+    EXPECT_EQ(req.shard_lo, 1u);
+    EXPECT_EQ(req.shard_hi, 3u);
+
+    const struct {
+        const char* shard;
+        const char* code;
+    } bad[] = {
+        {"{\"lo\": 3, \"hi\": 3}}", "invalid_shard"},    // empty range
+        {"{\"lo\": 4, \"hi\": 2}}", "invalid_shard"},    // inverted
+        {"{\"lo\": 0, \"hi\": 9999}}", "invalid_shard"}, // past the space
+        {"{\"lo\": 1}}", "invalid_request"},             // missing hi
+        {"{\"hi\": 2}}", "invalid_request"},             // missing lo
+        {"{\"lo\": -1, \"hi\": 2}}", "invalid_request"}, // negative
+        {"{\"lo\": 0.5, \"hi\": 2}}", "invalid_request"},
+        {"[1, 2]}", "invalid_request"},                  // not an object
+        {"{\"lo\": 0, \"hi\": 1, \"x\": 1}}", "invalid_request"},  // unknown key
+    };
+    for (const auto& c : bad) {
+        SweepRequest r;
+        RequestError e;
+        EXPECT_FALSE(parse_request(head + c.shard, kDefaultMaxRequestBytes, r, e)) << c.shard;
+        EXPECT_EQ(e.code, c.code) << c.shard << " — " << e.message;
+    }
+}
+
+TEST(ProtocolFuzz, SweepRequestJsonRoundTrips) {
+    // The coordinator's shard sub-requests go through the same strict
+    // parser as any client line; fuzz the serializer against it across
+    // the knob space.
+    Xoshiro256 rng(0xf022ed05u);
+    for (int round = 0; round < 200; ++round) {
+        SweepRequest req;
+        req.id = "s" + std::to_string(round);
+        req.spec.widths = {static_cast<int>(4 + rng.below(4))};
+        req.eval.seed = rng.next();
+        req.eval.samples = 1 + rng.below(1 << 20);
+        req.eval.use_hw_cache = rng.below(2) == 0;
+        req.eval.evaluate_hardware = rng.below(2) == 0;
+        req.stream_points = true;
+        req.export_json = false;
+        req.point_bits = rng.below(2) == 0;
+        req.deadline_ms = rng.below(2) == 0 ? 0 : 1 + rng.below(100000);
+        const size_t count = req.spec.count();
+        req.shard_lo = rng.below(count);
+        req.shard_hi = req.shard_lo + 1 + rng.below(count - req.shard_lo);
+
+        SweepRequest back;
+        RequestError err;
+        ASSERT_TRUE(
+            parse_request(sweep_request_json(req), kDefaultMaxRequestBytes, back, err))
+            << err.message << " — " << sweep_request_json(req);
+        EXPECT_EQ(back.id, req.id);
+        EXPECT_EQ(back.spec.widths, req.spec.widths);
+        EXPECT_EQ(back.eval.seed, req.eval.seed);
+        EXPECT_EQ(back.eval.samples, req.eval.samples);
+        EXPECT_EQ(back.eval.use_hw_cache, req.eval.use_hw_cache);
+        EXPECT_EQ(back.eval.evaluate_hardware, req.eval.evaluate_hardware);
+        EXPECT_EQ(back.shard_lo, req.shard_lo);
+        EXPECT_EQ(back.shard_hi, req.shard_hi);
+        EXPECT_EQ(back.point_bits, req.point_bits);
+        EXPECT_EQ(back.deadline_ms, req.deadline_ms);
     }
 }
 

@@ -5,11 +5,12 @@
 #   1  the server answered an error event / a request failed
 #   2  usage error
 #   3  transport failure (cannot connect, stream dropped early)
-# Usage: serve_client_exit.sh /path/to/serve_tool /path/to/cache_tool
+# Usage: serve_client_exit.sh /path/to/serve_tool /path/to/cache_tool /path/to/dse_tool
 set -u
 
-tool="${1:?usage: serve_client_exit.sh /path/to/serve_tool /path/to/cache_tool}"
-cache="${2:?usage: serve_client_exit.sh /path/to/serve_tool /path/to/cache_tool}"
+tool="${1:?usage: serve_client_exit.sh serve_tool cache_tool dse_tool}"
+cache="${2:?usage: serve_client_exit.sh serve_tool cache_tool dse_tool}"
+dse="${3:?usage: serve_client_exit.sh serve_tool cache_tool dse_tool}"
 workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
 cd "$workdir"
@@ -94,7 +95,7 @@ check_exit "server exit" 0 $?
 check_exit "connect to dead socket" 3 $?
 
 # Usage errors are exit 2, even for malformed numeric option values.
-"$tool" --workers abc </dev/null 2>/dev/null
+"$tool" --request-workers abc </dev/null 2>/dev/null
 check_exit "non-numeric option value" 2 $?
 "$tool" --client good.ndjson 2>/dev/null
 check_exit "client without destination" 2 $?
@@ -115,6 +116,62 @@ check_exit "cache peers in client mode" 2 $?
 check_exit "cache timeout in scrape mode" 2 $?
 "$tool" --cache-timeout-ms abc </dev/null 2>/dev/null
 check_exit "non-numeric cache timeout" 2 $?
+
+# Cluster flag usage contract, serve_tool: malformed worker specs, shard
+# knobs without a worker list, and cluster flags in client/scrape mode are
+# usage errors (2) before anything binds or runs.
+"$tool" --workers "no-port-here" </dev/null 2>/dev/null
+check_exit "malformed worker spec" 2 $?
+"$tool" --workers "," </dev/null 2>/dev/null
+check_exit "empty worker list" 2 $?
+"$tool" --shards 8 </dev/null 2>/dev/null
+check_exit "shards without workers" 2 $?
+"$tool" --shard-timeout-ms 100 </dev/null 2>/dev/null
+check_exit "shard timeout without workers" 2 $?
+"$tool" --shard-retries 1 </dev/null 2>/dev/null
+check_exit "shard retries without workers" 2 $?
+"$tool" --workers unix:w.sock --shards 0 </dev/null 2>/dev/null
+check_exit "zero shards" 2 $?
+"$tool" --workers unix:w.sock --shards abc </dev/null 2>/dev/null
+check_exit "non-numeric shards" 2 $?
+"$tool" --client good.ndjson --socket "$sock" --workers unix:w.sock 2>/dev/null
+check_exit "workers in client mode" 2 $?
+"$tool" --scrape --socket "$sock" --shards 4 2>/dev/null
+check_exit "shards in scrape mode" 2 $?
+
+# Cluster flag usage contract, dse_tool (exit 2 = usage, before any sweep).
+"$dse" --workers "no-port-here" 2>/dev/null
+check_exit "dse_tool malformed worker spec" 2 $?
+"$dse" --workers "," 2>/dev/null
+check_exit "dse_tool empty worker list" 2 $?
+"$dse" --shards 8 2>/dev/null
+check_exit "dse_tool shards without workers" 2 $?
+"$dse" --shard-timeout-ms 100 2>/dev/null
+check_exit "dse_tool shard timeout without workers" 2 $?
+"$dse" --shard-retries 1 2>/dev/null
+check_exit "dse_tool shard retries without workers" 2 $?
+"$dse" --workers unix:w.sock --shards 0 2>/dev/null
+check_exit "dse_tool zero shards" 2 $?
+
+# End to end: a coordinator serving a client sweep through one worker
+# replica exits 0 all the way down.
+wsock="$workdir/worker.sock"
+"$tool" --listen "$wsock" --threads 1 2>/dev/null &
+worker=$!
+for _ in $(seq 600); do [ -S "$wsock" ] && break; sleep 0.1; done
+coord="$workdir/coord.sock"
+"$tool" --listen "$coord" --threads 1 --workers "unix:$wsock" --shards 2 2>/dev/null &
+coordinator=$!
+for _ in $(seq 600); do [ -S "$coord" ] && break; sleep 0.1; done
+"$tool" --client good.ndjson --socket "$coord" --quiet
+check_exit "sweep through coordinator" 0 $?
+echo '{"id":"q","type":"shutdown"}' >quitc.ndjson
+"$tool" --client quitc.ndjson --socket "$coord" --quiet
+wait "$coordinator"
+check_exit "coordinator exit" 0 $?
+"$tool" --client quitc.ndjson --socket "$wsock" --quiet
+wait "$worker"
+check_exit "worker exit" 0 $?
 
 # A server pointed at unreachable cache peers still serves correctly (the
 # tier degrades; it never becomes a dependency).

@@ -35,8 +35,10 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
+#include "cluster/coordinator.h"
 #include "dse/evaluator.h"
 #include "dse/export.h"
 #include "dse/pareto.h"
@@ -74,6 +76,15 @@ using namespace sdlc;
         "                         (default 250)\n"
         "    --repeat K           evaluate the sweep K times (warm-cache runs);\n"
         "                         exits 1 unless all runs are bit-identical\n"
+        "  cluster (shard the sweep across serve_tool replicas; the merged\n"
+        "  output is byte-identical to a local run):\n"
+        "    --workers LIST       comma list of serve_tool replicas (unix:PATH or\n"
+        "                         HOST:PORT each)\n"
+        "    --shards N           fixed shards per sweep (default 32)\n"
+        "    --shard-timeout-ms N per-shard read-silence budget before a worker\n"
+        "                         is declared dead (default 60000; 0 = none)\n"
+        "    --shard-retries N    remote re-dispatches per shard after its first\n"
+        "                         failure before it runs locally (default 2)\n"
         "  selection:\n"
         "    --objectives LIST    frontier axes: comma list of error,area,power,\n"
         "                         delay,energy,maxred (default error,area,power,delay)\n"
@@ -97,7 +108,8 @@ public:
             "--exhaustive-max-width",  "--top",       "--by",        "--max-nmed",
             "--max-mred", "--max-area", "--max-power", "--max-delay", "--csv",
             "--json",     "--repeat",   "--objectives", "--cache-peers",
-            "--cache-timeout-ms"};
+            "--cache-timeout-ms",       "--workers",    "--shards",
+            "--shard-timeout-ms",       "--shard-retries"};
         for (int i = 1; i < argc; ++i) {
             std::string key = argv[i];
             if (key == "--help" || key == "-h") usage();
@@ -230,6 +242,32 @@ RemoteCacheOptions remote_options_from(const Args& args) {
     return remote;
 }
 
+/// Validated cluster fan-out options from --workers and friends; empty
+/// workers means local evaluation. Shard knobs without --workers are a
+/// usage error — they would silently do nothing.
+cluster::ClusterOptions cluster_options_from(const Args& args) {
+    cluster::ClusterOptions cluster;
+    if (!args.has("--workers")) {
+        for (const char* flag : {"--shards", "--shard-timeout-ms", "--shard-retries"}) {
+            if (args.has(flag)) usage(std::string(flag) + " requires --workers LIST");
+        }
+        return cluster;
+    }
+    std::string error;
+    if (!parse_cache_peer_list(args.get("--workers"), cluster.workers, &error)) {
+        usage("--workers: " + error);
+    }
+    if (cluster.workers.empty()) usage("--workers: empty worker list");
+    const int shards = args.get_int("--shards", 32);
+    if (shards < 1) usage("--shards must be >= 1");
+    cluster.shards = static_cast<size_t>(shards);
+    cluster.shard_timeout_ms = args.get_int("--shard-timeout-ms", 60000);
+    if (cluster.shard_timeout_ms < 0) usage("--shard-timeout-ms must be >= 0");
+    cluster.shard_retries = args.get_int("--shard-retries", 2);
+    if (cluster.shard_retries < 0) usage("--shard-retries must be >= 0");
+    return cluster;
+}
+
 Objective objective_from(const Args& args) {
     const std::string by = args.get("--by", "error");
     Objective o;
@@ -290,12 +328,27 @@ int main(int argc, char** argv) {
                                               : &cache;
         }
 
+        const cluster::ClusterOptions cluster = cluster_options_from(args);
+        const bool clustered = !cluster.workers.empty();
+        // Persist across --repeat runs so run 2's deterministic cache stats
+        // see run 1's keys as warm — exactly like the shared local cache.
+        std::unordered_set<uint64_t> warm_keys;
+        serve::ClusterCounters cluster_totals;
+        auto run_sweep = [&](SweepStats& out) {
+            if (!clustered) return evaluate_sweep(spec, opts, &out);
+            serve::ClusterCounters delta;
+            std::vector<DesignPoint> result =
+                cluster::distributed_sweep(spec, opts, cluster, &out, &delta, &warm_keys);
+            cluster_totals.add(delta);
+            return result;
+        };
+
         SweepStats stats;  // of run 1 (cold) — what the summary and JSON report
-        std::vector<DesignPoint> points = evaluate_sweep(spec, opts, &stats);
+        std::vector<DesignPoint> points = run_sweep(stats);
         std::vector<SweepStats> run_stats = {stats};
         for (int r = 2; r <= repeat; ++r) {
             SweepStats warm;
-            const std::vector<DesignPoint> again = evaluate_sweep(spec, opts, &warm);
+            const std::vector<DesignPoint> again = run_sweep(warm);
             run_stats.push_back(warm);
             if (!sweeps_identical(points, again)) {
                 std::cerr << "error: repeat run " << r << " diverged from run 1 — the "
@@ -371,6 +424,23 @@ int main(int argc, char** argv) {
                       << (remote->peer_count() == 1 ? "" : "s") << " — " << rc.hits
                       << " hits, " << rc.misses << " misses, " << rc.errors << " errors, "
                       << rc.timeouts << " timeouts, " << rc.puts << " puts\n";
+        }
+        if (clustered) {
+            // Totals across every run; like the remote-cache line this is
+            // observability only and never part of byte-compared output.
+            uint64_t dispatched = 0;
+            uint64_t completed = 0;
+            uint64_t retried = 0;
+            for (const serve::ClusterWorkerCounters& w : cluster_totals.workers) {
+                dispatched += w.dispatched;
+                completed += w.completed;
+                retried += w.retried;
+            }
+            std::cout << "cluster: " << cluster.workers.size() << " worker"
+                      << (cluster.workers.size() == 1 ? "" : "s") << ", " << cluster.shards
+                      << " shards — " << dispatched << " dispatched, " << completed
+                      << " completed, " << retried << " retried, "
+                      << cluster_totals.local_shards << " local\n";
         }
         std::cout << "sweep time:";
         for (size_t r = 0; r < run_stats.size(); ++r) {

@@ -45,6 +45,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "cluster/coordinator.h"
 #include "dse/remote_cache.h"
 #include "serve/protocol.h"
 #include "serve/service.h"
@@ -65,7 +66,7 @@ using namespace sdlc::serve;
         "    --listen PATH        serve on a Unix-domain socket instead\n"
         "    --listen-tcp HOST:PORT  serve on a TCP socket (port 0 = ephemeral)\n"
         "    --threads N          evaluation ThreadPool size (default: hardware)\n"
-        "    --workers N          concurrent in-flight requests (default 2)\n"
+        "    --request-workers N  concurrent in-flight requests (default 2)\n"
         "    --queue-capacity N   bounded request queue size (default 64)\n"
         "    --max-request-bytes N  reject longer request lines (default 1 MiB)\n"
         "    --reject-overload    answer a full queue with an `overloaded` error\n"
@@ -74,6 +75,17 @@ using namespace sdlc::serve;
         "                         synthesis cache (unix:PATH or HOST:PORT each)\n"
         "    --cache-timeout-ms N per-operation budget against a cache peer\n"
         "                         before degrading to local synthesis (default 250)\n"
+        "  cluster (server options; sweeps are sharded across the workers and\n"
+        "  merged back byte-identically to a single-node run):\n"
+        "    --workers LIST       comma list of serve_tool replicas to fan sweep\n"
+        "                         shards out to (unix:PATH or HOST:PORT each)\n"
+        "    --shards N           fixed shards per sweep (default 32); the cut is\n"
+        "                         independent of worker count, so retries rerun\n"
+        "                         exactly the same indices\n"
+        "    --shard-timeout-ms N per-shard read-silence budget before a worker\n"
+        "                         is declared dead (default 60000; 0 = none)\n"
+        "    --shard-retries N    remote re-dispatches per shard after its first\n"
+        "                         failure before it runs locally (default 2)\n"
         "  client:\n"
         "    --client FILE        send FILE's request lines ('-' = stdin)\n"
         "    --socket PATH        server Unix socket to connect to\n"
@@ -94,10 +106,13 @@ struct Args {
     Args(int argc, char** argv) {
         const std::set<std::string> value_keys = {"--listen",         "--listen-tcp",
                                                   "--threads",        "--workers",
+                                                  "--request-workers",
                                                   "--queue-capacity", "--max-request-bytes",
                                                   "--client",         "--socket",
                                                   "--tcp",            "--output",
-                                                  "--cache-peers",    "--cache-timeout-ms"};
+                                                  "--cache-peers",    "--cache-timeout-ms",
+                                                  "--shards",         "--shard-timeout-ms",
+                                                  "--shard-retries"};
         const std::set<std::string> flag_keys = {"--quiet", "--scrape", "--reject-overload"};
         for (int i = 1; i < argc; ++i) {
             const std::string key = argv[i];
@@ -137,7 +152,7 @@ struct Args {
 ServiceOptions service_options(const Args& args) {
     ServiceOptions opts;
     opts.eval_threads = static_cast<unsigned>(args.get_long("--threads", 0));
-    opts.request_workers = static_cast<unsigned>(args.get_long("--workers", 2));
+    opts.request_workers = static_cast<unsigned>(args.get_long("--request-workers", 2));
     opts.queue_capacity = static_cast<size_t>(args.get_long("--queue-capacity", 64));
     opts.max_request_bytes = static_cast<size_t>(
         args.get_long("--max-request-bytes", static_cast<long>(kDefaultMaxRequestBytes)));
@@ -158,6 +173,33 @@ ServiceOptions service_options(const Args& args) {
     // block a sweep worker forever; dse_tool rejects it the same way.
     if (opts.cache_timeout_ms < 1) usage("--cache-timeout-ms must be >= 1");
     return opts;
+}
+
+/// Builds the service for a server mode: a plain SweepService, or a
+/// CoordinatorService fanning sweep shards out to --workers replicas. The
+/// worker list reuses the cache-peer spec grammar so the two fleets are
+/// described identically.
+std::unique_ptr<SweepService> make_service(const Args& args, const ServiceOptions& opts) {
+    const bool clustered = args.values.count("--workers") != 0;
+    if (!clustered) {
+        for (const char* flag : {"--shards", "--shard-timeout-ms", "--shard-retries"}) {
+            if (args.values.count(flag) != 0) {
+                usage(std::string(flag) + " requires --workers LIST");
+            }
+        }
+        return std::make_unique<SweepService>(opts);
+    }
+    cluster::ClusterOptions cluster;
+    std::string error;
+    if (!parse_cache_peer_list(args.get("--workers"), cluster.workers, &error)) {
+        usage("--workers: " + error);
+    }
+    if (cluster.workers.empty()) usage("--workers: empty worker list");
+    cluster.shards = static_cast<size_t>(args.get_long("--shards", 32));
+    if (cluster.shards == 0) usage("--shards must be >= 1");
+    cluster.shard_timeout_ms = static_cast<int>(args.get_long("--shard-timeout-ms", 60000));
+    cluster.shard_retries = static_cast<int>(args.get_long("--shard-retries", 2));
+    return std::make_unique<cluster::CoordinatorService>(opts, std::move(cluster));
 }
 
 /// Client/scrape destination: --socket PATH or --tcp HOST:PORT. Returns a
@@ -181,7 +223,8 @@ int connect_destination(const Args& args) {
 
 int run_stdio_server(const Args& args) {
     const ServiceOptions opts = service_options(args);
-    SweepService service(opts);
+    const std::unique_ptr<SweepService> service_ptr = make_service(args, opts);
+    SweepService& service = *service_ptr;
     const auto sink = std::make_shared<OstreamSink>(std::cout);
 
     // stdin is read on its own thread so a shutdown request can end the
@@ -248,9 +291,9 @@ int run_socket_server(const Args& args) {
         listener = std::make_unique<TcpSocketServer>(host, port);
     }
     const ServiceOptions opts = service_options(args);
-    SweepService service(opts);
+    const std::unique_ptr<SweepService> service = make_service(args, opts);
     std::cerr << "serve_tool: listening on " << listener->endpoint() << "\n";
-    serve_listener(*listener, service, opts.max_request_bytes);
+    serve_listener(*listener, *service, opts.max_request_bytes);
     return 0;
 }
 
@@ -453,6 +496,12 @@ int main(int argc, char** argv) {
         if ((client || scrape) && (args.values.count("--cache-peers") != 0 ||
                                    args.values.count("--cache-timeout-ms") != 0)) {
             usage("--cache-peers/--cache-timeout-ms are server options");
+        }
+        if ((client || scrape) &&
+            (args.values.count("--workers") != 0 || args.values.count("--shards") != 0 ||
+             args.values.count("--shard-timeout-ms") != 0 ||
+             args.values.count("--shard-retries") != 0)) {
+            usage("--workers/--shards/--shard-timeout-ms/--shard-retries are server options");
         }
         if (scrape) return run_scrape(args);
         if (client) return run_client(args);
