@@ -2,7 +2,7 @@
 //
 // Spins an in-process cache daemon (CacheTierService behind a real Unix
 // socket, the same serve_listener lifecycle `cache_tool` uses) and times
-// a synthesis-bound width-12 sweep in four cache configurations:
+// a synthesis-bound width-12 sweep in five cache configurations:
 //
 //   cold (local only)   fresh CostCache, no peers — the baseline cost of
 //                       synthesizing every unique design
@@ -11,6 +11,9 @@
 //   cold (warm peer)    fresh local tier + the now-warm daemon: what a new
 //                       fleet replica pays when a sibling already swept —
 //                       synthesis becomes one socket round trip per design
+//   warm (via restart)  the daemon is stopped and recreated from its
+//                       --data-dir; a fresh replica sweeps against the
+//                       recovered store — the crash-recovery price
 //   warm (local)        second sweep on a warm local cache (lower bound)
 //
 //   --quick       fewer repetitions
@@ -20,8 +23,10 @@
 // the cold baseline; the bench fails loudly if the tier went unused.
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -67,13 +72,34 @@ int main(int argc, char** argv) {
         return opts;
     };
 
-    // In-process daemon on a real Unix socket.
+    // In-process daemon on a real Unix socket, persisting to a data dir so
+    // the warm-via-restart scenario can tear it down and recover it the
+    // same way a restarted `cache_tool --data-dir` would.
     const std::string sock_path = "bench_cache_tier.sock";
-    serve::UnixSocketServer listener(sock_path);
-    serve::CacheTierService daemon;
-    std::thread daemon_thread([&] {
-        serve::serve_listener(listener, daemon, kCacheMaxRequestBytes);
-    });
+    const std::string data_dir = "bench_cache_tier_data";
+    std::filesystem::remove_all(data_dir);
+    serve::CacheTierOptions dopts;
+    dopts.data_dir = data_dir;
+
+    std::unique_ptr<serve::UnixSocketServer> listener;
+    std::unique_ptr<serve::CacheTierService> daemon;
+    std::thread daemon_thread;
+    auto start_daemon = [&] {
+        listener = std::make_unique<serve::UnixSocketServer>(sock_path);
+        daemon = std::make_unique<serve::CacheTierService>(dopts);
+        daemon_thread = std::thread([&] {
+            serve::serve_listener(*listener, *daemon, kCacheMaxRequestBytes);
+        });
+    };
+    auto stop_daemon = [&] {
+        listener->close();
+        daemon_thread.join();
+        // Destroy before the next start: the listener's destructor unlinks
+        // the socket path, which must not race a freshly bound successor.
+        listener.reset();
+        daemon.reset();
+    };
+    start_daemon();
 
     RemoteCacheOptions ropts;
     ropts.peers = {"unix:" + sock_path};
@@ -138,9 +164,25 @@ int main(int argc, char** argv) {
         (void)evaluate_sweep(spec, opts, &warm_peer_stats);
     });
 
-    const CacheDaemonStats daemon_stats = daemon.stats();
-    listener.close();
-    daemon_thread.join();
+    const CacheDaemonStats daemon_stats = daemon->stats();
+
+    // warm (via restart): kill the warm daemon and recreate it from the
+    // same data dir — exactly the `kill -9` + restart path. A fresh
+    // replica then sweeps against nothing but the recovered entries.
+    stop_daemon();
+    start_daemon();
+    const CacheRecoveryStats recovery = daemon->recovery();
+    SweepStats warm_restart_stats;
+    const double warm_via_restart = timed_median([&] {
+        CostCache local;
+        RemoteCostCache remote(local, ropts);
+        EvalOptions opts = base_opts();
+        opts.hw_cache = &remote;
+        (void)evaluate_sweep(spec, opts, &warm_restart_stats);
+    });
+    const CacheDaemonStats restart_stats = daemon->stats();
+    stop_daemon();
+    std::filesystem::remove_all(data_dir);
 
     TextTable table({"scenario", "seconds", "speedup vs cold", "remote traffic"});
     auto row = [&](const char* name, double secs, const std::string& remote) {
@@ -152,11 +194,17 @@ int main(int argc, char** argv) {
         std::to_string(populate_stats.remote.puts) + " puts");
     row("cold (warm peer)", warm_via_peer,
         std::to_string(warm_peer_stats.remote.hits) + " hits");
+    row("warm (via restart)", warm_via_restart,
+        std::to_string(warm_restart_stats.remote.hits) + " hits");
     row("warm (local)", warm_local, "none");
     table.print(std::cout);
     std::cout << "\ndaemon: " << daemon_stats.entries << " entries, " << daemon_stats.gets
               << " gets (" << daemon_stats.hits << " hits), " << daemon_stats.puts
               << " puts\n";
+    std::cout << "restarted daemon: recovered "
+              << (recovery.snapshot_entries + recovery.log_records)
+              << " records from " << data_dir << ", served " << restart_stats.warm_hits
+              << " warm hits\n";
 
     bool ok = true;
     if (warm_peer_stats.remote.hits == 0) {
@@ -171,6 +219,16 @@ int main(int argc, char** argv) {
                   << " s) is not faster than cold local (" << cold_local << " s)\n";
         ok = false;
     }
+    if (warm_restart_stats.remote.hits == 0 || restart_stats.warm_hits == 0) {
+        std::cerr << "error: warm-via-restart run recorded no recovered-entry hits — the "
+                     "restarted daemon came back cold\n";
+        ok = false;
+    }
+    if (warm_via_restart >= cold_local) {
+        std::cerr << "error: warm-via-restart sweep (" << warm_via_restart
+                  << " s) is not faster than cold local (" << cold_local << " s)\n";
+        ok = false;
+    }
 
     if (args.json_path) {
         std::string json = "{\"bench\": \"cache_tier\",\n";
@@ -181,14 +239,22 @@ int main(int argc, char** argv) {
         json += " \"cold_local_seconds\": " + json_number(cold_local) + ",\n";
         json += " \"cold_populate_seconds\": " + json_number(cold_populate) + ",\n";
         json += " \"warm_via_peer_seconds\": " + json_number(warm_via_peer) + ",\n";
+        json += " \"warm_via_restart_seconds\": " + json_number(warm_via_restart) + ",\n";
         json += " \"warm_local_seconds\": " + json_number(warm_local) + ",\n";
         json += " \"warm_via_peer_speedup\": " + json_number(cold_local / warm_via_peer) +
                 ",\n";
+        json += " \"warm_via_restart_speedup\": " +
+                json_number(cold_local / warm_via_restart) + ",\n";
         json += " \"warm_peer_remote\": {\"hits\": " +
                 std::to_string(warm_peer_stats.remote.hits) + ", \"misses\": " +
                 std::to_string(warm_peer_stats.remote.misses) + ", \"errors\": " +
                 std::to_string(warm_peer_stats.remote.errors) + ", \"timeouts\": " +
                 std::to_string(warm_peer_stats.remote.timeouts) + "},\n";
+        json += " \"restart\": {\"recovered\": " +
+                std::to_string(recovery.snapshot_entries + recovery.log_records) +
+                ", \"remote_hits\": " + std::to_string(warm_restart_stats.remote.hits) +
+                ", \"daemon_warm_hits\": " + std::to_string(restart_stats.warm_hits) +
+                "},\n";
         json += " \"daemon\": {\"entries\": " + std::to_string(daemon_stats.entries) +
                 ", \"gets\": " + std::to_string(daemon_stats.gets) + ", \"hits\": " +
                 std::to_string(daemon_stats.hits) + ", \"puts\": " +

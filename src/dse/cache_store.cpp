@@ -1,0 +1,306 @@
+#include "dse/cache_store.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <vector>
+
+#include "dse/cache_wire.h"
+#include "util/crc32.h"
+#include "util/json_parse.h"
+
+namespace sdlc {
+
+namespace {
+
+constexpr const char* kSnapshotName = "cache.snapshot";
+constexpr const char* kLogName = "cache.log";
+// Header frames version the on-disk format; a future v2 can migrate or
+// refuse cleanly instead of misparsing.
+constexpr const char* kSnapshotHeader = "sdlc-cache-snapshot v1";
+constexpr const char* kLogHeader = "sdlc-cache-log v1";
+
+constexpr size_t kFrameHeadBytes = 8;  // u32 length + u32 crc
+// A record is one key + one report (a few hundred bytes). Anything bigger
+// claims the length field itself is corrupt.
+constexpr uint32_t kMaxPayloadBytes = uint32_t{1} << 20;
+
+void put_u32_le(std::string& out, uint32_t v) {
+    out.push_back(static_cast<char>(v & 0xFF));
+    out.push_back(static_cast<char>((v >> 8) & 0xFF));
+    out.push_back(static_cast<char>((v >> 16) & 0xFF));
+    out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+uint32_t get_u32_le(const std::string& data, size_t off) {
+    return static_cast<uint32_t>(static_cast<unsigned char>(data[off])) |
+           static_cast<uint32_t>(static_cast<unsigned char>(data[off + 1])) << 8 |
+           static_cast<uint32_t>(static_cast<unsigned char>(data[off + 2])) << 16 |
+           static_cast<uint32_t>(static_cast<unsigned char>(data[off + 3])) << 24;
+}
+
+std::string frame(const std::string& payload) {
+    std::string out;
+    out.reserve(kFrameHeadBytes + payload.size());
+    put_u32_le(out, static_cast<uint32_t>(payload.size()));
+    put_u32_le(out, crc32(payload));
+    out += payload;
+    return out;
+}
+
+bool write_all_fd(int fd, const char* data, size_t size) {
+    while (size > 0) {
+        const ssize_t n = ::write(fd, data, size);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return false;
+        }
+        data += static_cast<size_t>(n);
+        size -= static_cast<size_t>(n);
+    }
+    return true;
+}
+
+/// Reads a whole file. Missing file -> success with existed=false.
+bool read_file(const std::string& path, std::string& out, bool& existed, std::string& error) {
+    out.clear();
+    existed = false;
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+        if (errno == ENOENT) return true;
+        error = path + ": " + std::strerror(errno);
+        return false;
+    }
+    existed = true;
+    char buf[1 << 16];
+    for (;;) {
+        const ssize_t n = ::read(fd, buf, sizeof buf);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            error = path + ": " + std::strerror(errno);
+            ::close(fd);
+            return false;
+        }
+        if (n == 0) break;
+        out.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return true;
+}
+
+std::string encode_record(uint64_t key, const SynthesisReport& report) {
+    return hex64(key) + ' ' + synthesis_report_json(report);
+}
+
+bool decode_record(const std::string& payload, uint64_t& key, SynthesisReport& report) {
+    const size_t space = payload.find(' ');
+    if (space == std::string::npos) return false;
+    if (!parse_hex64(payload.substr(0, space), key)) return false;
+    JsonValue root;
+    if (!json_parse(payload.substr(space + 1), root, nullptr)) return false;
+    return synthesis_report_from_json(root, report);
+}
+
+/// Walks `data` frame by frame: the first frame must carry `header`, every
+/// later one a record handed to `apply`. Returns the offset just past the
+/// last well-formed frame — everything from there on is a torn or corrupt
+/// tail. `apply` returning false also ends the scan (payload with a valid
+/// CRC that doesn't decode: framing can no longer be trusted).
+template <typename Apply>
+size_t scan_frames(const std::string& data, const char* header, Apply&& apply) {
+    size_t off = 0;
+    bool saw_header = false;
+    while (data.size() - off >= kFrameHeadBytes) {
+        const uint32_t len = get_u32_le(data, off);
+        const uint32_t crc = get_u32_le(data, off + 4);
+        if (len > kMaxPayloadBytes) break;
+        if (data.size() - off - kFrameHeadBytes < len) break;  // torn payload
+        const std::string payload = data.substr(off + kFrameHeadBytes, len);
+        if (crc32(payload) != crc) break;
+        if (!saw_header) {
+            if (payload != header) break;
+            saw_header = true;
+        } else if (!apply(payload)) {
+            break;
+        }
+        off += kFrameHeadBytes + len;
+    }
+    return off;
+}
+
+}  // namespace
+
+DurableCacheStore::~DurableCacheStore() { close(); }
+
+void DurableCacheStore::close() noexcept {
+    if (log_fd_ >= 0) {
+        ::close(log_fd_);
+        log_fd_ = -1;
+    }
+}
+
+bool DurableCacheStore::open(const DurableStoreOptions& opts, std::string& error) {
+    close();
+    opts_ = opts;
+    entries_.clear();
+    recovery_ = CacheRecoveryStats{};
+
+    std::error_code ec;
+    std::filesystem::create_directories(opts_.dir, ec);
+    if (ec) {
+        error = opts_.dir + ": " + ec.message();
+        return false;
+    }
+    const std::string snapshot_path = opts_.dir + "/" + kSnapshotName;
+    const std::string log_path = opts_.dir + "/" + kLogName;
+
+    // Snapshot first, then the log on top: the log holds everything put
+    // since the snapshot was cut, so log records win (values are identical
+    // for a shared key anyway — synthesis is deterministic).
+    std::string data;
+    bool existed = false;
+    if (!read_file(snapshot_path, data, existed, error)) return false;
+    if (existed) {
+        const size_t good = scan_frames(data, kSnapshotHeader, [&](const std::string& payload) {
+            uint64_t key = 0;
+            SynthesisReport report;
+            if (!decode_record(payload, key, report)) return false;
+            entries_.emplace(key, report);
+            ++recovery_.snapshot_entries;
+            return true;
+        });
+        recovery_.truncated_bytes += data.size() - good;
+    }
+
+    if (!read_file(log_path, data, existed, error)) return false;
+    size_t log_good = 0;
+    if (existed) {
+        log_good = scan_frames(data, kLogHeader, [&](const std::string& payload) {
+            uint64_t key = 0;
+            SynthesisReport report;
+            if (!decode_record(payload, key, report)) return false;
+            entries_.emplace(key, report);
+            ++recovery_.log_records;
+            return true;
+        });
+        recovery_.truncated_bytes += data.size() - log_good;
+    }
+
+    log_fd_ = ::open(log_path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (log_fd_ < 0) {
+        error = log_path + ": " + std::strerror(errno);
+        return false;
+    }
+    if (existed && log_good < data.size()) {
+        // Torn tail: drop the partial frame so the next append starts on a
+        // clean frame boundary.
+        if (::ftruncate(log_fd_, static_cast<off_t>(log_good)) != 0) {
+            error = log_path + ": ftruncate: " + std::strerror(errno);
+            close();
+            return false;
+        }
+    }
+    if (::lseek(log_fd_, 0, SEEK_END) < 0) {
+        error = log_path + ": lseek: " + std::strerror(errno);
+        close();
+        return false;
+    }
+    log_bytes_ = log_good;
+    if (log_good == 0) {
+        // New (or headerless-garbage) log: start it with the version frame.
+        const std::string head = frame(kLogHeader);
+        if (!write_all_fd(log_fd_, head.data(), head.size())) {
+            error = log_path + ": " + std::strerror(errno);
+            close();
+            return false;
+        }
+        log_bytes_ = head.size();
+    }
+    return true;
+}
+
+bool DurableCacheStore::append(uint64_t key, const SynthesisReport& report, std::string& error) {
+    if (!entries_.emplace(key, report).second) return true;  // first write wins
+    if (log_fd_ < 0) {
+        error = "durable store is not open";
+        return false;
+    }
+    const std::string record = frame(encode_record(key, report));
+    if (!write_all_fd(log_fd_, record.data(), record.size())) {
+        error = std::string("cache.log append: ") + std::strerror(errno);
+        return false;
+    }
+    log_bytes_ += record.size();
+    if (opts_.fsync_puts) ::fsync(log_fd_);
+    if (opts_.compact_log_bytes > 0 && log_bytes_ > opts_.compact_log_bytes) {
+        return compact(error);
+    }
+    return true;
+}
+
+bool DurableCacheStore::compact(std::string& error) {
+    if (log_fd_ < 0) {
+        error = "durable store is not open";
+        return false;
+    }
+    const std::string snapshot_path = opts_.dir + "/" + kSnapshotName;
+    const std::string tmp_path = snapshot_path + ".tmp";
+
+    // Deterministic snapshot bytes: entries in key order, so two daemons
+    // holding the same entries compact to identical files.
+    std::vector<const std::pair<const uint64_t, SynthesisReport>*> sorted;
+    sorted.reserve(entries_.size());
+    for (const auto& entry : entries_) sorted.push_back(&entry);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto* a, const auto* b) { return a->first < b->first; });
+
+    std::string blob = frame(kSnapshotHeader);
+    for (const auto* entry : sorted) {
+        blob += frame(encode_record(entry->first, entry->second));
+    }
+
+    const int tmp_fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (tmp_fd < 0) {
+        error = tmp_path + ": " + std::strerror(errno);
+        return false;
+    }
+    if (!write_all_fd(tmp_fd, blob.data(), blob.size()) || ::fsync(tmp_fd) != 0) {
+        error = tmp_path + ": " + std::strerror(errno);
+        ::close(tmp_fd);
+        ::unlink(tmp_path.c_str());
+        return false;
+    }
+    ::close(tmp_fd);
+    if (::rename(tmp_path.c_str(), snapshot_path.c_str()) != 0) {
+        error = snapshot_path + ": rename: " + std::strerror(errno);
+        ::unlink(tmp_path.c_str());
+        return false;
+    }
+    // Crash window here is safe: the old log replays over the new snapshot
+    // idempotently. Only after the rename is the log disposable.
+    if (::ftruncate(log_fd_, 0) != 0 || ::lseek(log_fd_, 0, SEEK_SET) < 0) {
+        error = std::string("cache.log reset: ") + std::strerror(errno);
+        return false;
+    }
+    const std::string head = frame(kLogHeader);
+    if (!write_all_fd(log_fd_, head.data(), head.size())) {
+        error = std::string("cache.log header: ") + std::strerror(errno);
+        return false;
+    }
+    log_bytes_ = head.size();
+    // Persist the rename itself (the directory entry), so an OS crash
+    // cannot resurrect the old snapshot under a truncated log.
+    const int dir_fd = ::open(opts_.dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (dir_fd >= 0) {
+        ::fsync(dir_fd);
+        ::close(dir_fd);
+    }
+    return true;
+}
+
+}  // namespace sdlc

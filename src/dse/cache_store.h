@@ -1,0 +1,109 @@
+// Durable backing store for the synthesis-cache daemon.
+//
+// A cache daemon's value is its warmth, and warmth used to die with the
+// process: a kill -9 forfeited the shard until a full re-sweep repopulated
+// it. DurableCacheStore gives `cache_tool --data-dir` a crash-safe on-disk
+// form: an append-only log of puts plus periodic compacting snapshots, so a
+// restarted daemon replays itself back to exactly the entries it held.
+//
+// On-disk layout (inside the data dir):
+//
+//   cache.snapshot   last compaction: header frame + one frame per entry
+//   cache.log        puts since that compaction: header frame + one per put
+//
+// Every frame is [u32 LE payload bytes][u32 LE CRC-32 of payload][payload].
+// A record payload is `hex64(key) + ' ' + synthesis_report_json(report)` —
+// the same bit-pattern hex encoding the wire protocol uses (dse/cache_wire),
+// so a recovered report is bit-identical to the one that was put.
+//
+// Crash safety:
+//   - A torn log tail (partial frame, CRC mismatch — the daemon died
+//     mid-append) is detected on recovery and truncated away; every record
+//     before the tear survives.
+//   - Compaction writes snapshot.tmp, fsyncs, then rename()s over the old
+//     snapshot before truncating the log. A crash between the rename and
+//     the truncate merely replays log records whose values the snapshot
+//     already holds — puts are idempotent (synthesis is deterministic).
+//
+// Thread safety: none. The owner (CacheTierService) already serializes all
+// store access under its own mutex.
+#ifndef SDLC_DSE_CACHE_STORE_H
+#define SDLC_DSE_CACHE_STORE_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "tech/synthesis.h"
+
+namespace sdlc {
+
+struct DurableStoreOptions {
+    /// Directory holding cache.snapshot + cache.log (created if absent).
+    std::string dir;
+    /// Compact (fold the log into a fresh snapshot) once the log exceeds
+    /// this many bytes. 0 disables auto-compaction.
+    size_t compact_log_bytes = size_t{4} << 20;
+    /// fsync() the log after every append. Survives OS crashes, not just
+    /// process kills; costs one disk flush per put.
+    bool fsync_puts = false;
+};
+
+/// What recovery found when the store was opened.
+struct CacheRecoveryStats {
+    size_t snapshot_entries = 0;  ///< records loaded from cache.snapshot
+    size_t log_records = 0;       ///< records replayed from cache.log
+    uint64_t truncated_bytes = 0; ///< torn/corrupt tail bytes dropped
+};
+
+class DurableCacheStore {
+public:
+    DurableCacheStore() = default;
+    ~DurableCacheStore();
+    DurableCacheStore(const DurableCacheStore&) = delete;
+    DurableCacheStore& operator=(const DurableCacheStore&) = delete;
+
+    /// Opens (creating if needed) the data dir, recovers snapshot + log,
+    /// truncates any torn log tail, and leaves the log open for appends.
+    /// Returns false with a message in `error` on unrecoverable I/O
+    /// failures (corrupt tails are recovered from, not errors).
+    [[nodiscard]] bool open(const DurableStoreOptions& opts, std::string& error);
+
+    /// True between a successful open() and close().
+    [[nodiscard]] bool is_open() const noexcept { return log_fd_ >= 0; }
+
+    /// Everything the store currently holds (recovered + appended).
+    [[nodiscard]] const std::unordered_map<uint64_t, SynthesisReport>& entries() const noexcept {
+        return entries_;
+    }
+
+    /// What open() recovered.
+    [[nodiscard]] const CacheRecoveryStats& recovery() const noexcept { return recovery_; }
+
+    /// Appends one put record to the log (first write wins — a key already
+    /// held is a cheap no-op) and auto-compacts past the threshold.
+    /// Returns false with `error` set when the disk write fails; the
+    /// in-memory entry is kept either way so serving never regresses.
+    bool append(uint64_t key, const SynthesisReport& report, std::string& error);
+
+    /// Folds the log into a fresh snapshot (atomic tmp+rename) and resets
+    /// the log to just its header.
+    [[nodiscard]] bool compact(std::string& error);
+
+    /// Current byte size of the append log (header included).
+    [[nodiscard]] uint64_t log_bytes() const noexcept { return log_bytes_; }
+
+    /// Closes the log fd. Safe to call repeatedly.
+    void close() noexcept;
+
+private:
+    DurableStoreOptions opts_;
+    std::unordered_map<uint64_t, SynthesisReport> entries_;
+    CacheRecoveryStats recovery_;
+    int log_fd_ = -1;
+    uint64_t log_bytes_ = 0;
+};
+
+}  // namespace sdlc
+
+#endif  // SDLC_DSE_CACHE_STORE_H

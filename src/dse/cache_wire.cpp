@@ -13,33 +13,6 @@ namespace {
 /// Mirrors the serve protocol's id cap: ids are echoed into every response.
 constexpr size_t kMaxIdLength = 128;
 
-/// "0x" + 16 hex digits: the exact-bits encoding shared by content keys and
-/// report doubles.
-std::string hex64(uint64_t v) {
-    char buf[19];
-    std::snprintf(buf, sizeof buf, "0x%016llx", static_cast<unsigned long long>(v));
-    return buf;
-}
-
-bool parse_hex64(const std::string& s, uint64_t& out) {
-    // Exactly the form hex64() emits: "0x" + 1..16 hex digits. Accepting
-    // decimal or (worse) leading-zero octal here would let two clients
-    // disagree about which key a string names.
-    if (s.size() < 3 || s.size() > 18 || s[0] != '0' || s[1] != 'x') return false;
-    uint64_t value = 0;
-    for (size_t i = 2; i < s.size(); ++i) {
-        const char c = s[i];
-        int digit;
-        if (c >= '0' && c <= '9') digit = c - '0';
-        else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
-        else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
-        else return false;
-        value = (value << 4) | static_cast<uint64_t>(digit);
-    }
-    out = value;
-    return true;
-}
-
 std::string bits_of(double v) { return hex64(std::bit_cast<uint64_t>(v)); }
 
 /// The report's double-valued fields, in wire order. Walking one table from
@@ -74,6 +47,31 @@ bool is_safe_count(const JsonValue& v) noexcept {
 }
 
 }  // namespace
+
+std::string hex64(uint64_t v) {
+    char buf[19];
+    std::snprintf(buf, sizeof buf, "0x%016llx", static_cast<unsigned long long>(v));
+    return buf;
+}
+
+bool parse_hex64(const std::string& s, uint64_t& out) {
+    // Exactly the form hex64() emits: "0x" + 1..16 hex digits. Accepting
+    // decimal or (worse) leading-zero octal here would let two clients
+    // disagree about which key a string names.
+    if (s.size() < 3 || s.size() > 18 || s[0] != '0' || s[1] != 'x') return false;
+    uint64_t value = 0;
+    for (size_t i = 2; i < s.size(); ++i) {
+        const char c = s[i];
+        int digit;
+        if (c >= '0' && c <= '9') digit = c - '0';
+        else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+        else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+        else return false;
+        value = (value << 4) | static_cast<uint64_t>(digit);
+    }
+    out = value;
+    return true;
+}
 
 const char* cache_op_name(CacheOp op) noexcept {
     switch (op) {
@@ -244,6 +242,8 @@ std::string cache_stats_response(const std::string& id, const CacheDaemonStats& 
     out += ", \"hits\": " + std::to_string(stats.hits);
     out += ", \"puts\": " + std::to_string(stats.puts);
     out += ", \"rejected\": " + std::to_string(stats.rejected);
+    out += ", \"recovered\": " + std::to_string(stats.recovered);
+    out += ", \"warm_hits\": " + std::to_string(stats.warm_hits);
     out += "}}";
     return out;
 }
@@ -314,6 +314,10 @@ bool parse_cache_response(const std::string& line, CacheResponse& out, std::stri
         count("hits", out.stats.hits);
         count("puts", out.stats.puts);
         count("rejected", out.stats.rejected);
+        // Durability counters are additive: absent when talking to an older
+        // daemon, in which case they stay 0.
+        count("recovered", out.stats.recovered);
+        count("warm_hits", out.stats.warm_hits);
         uint64_t entries = 0;
         count("entries", entries);
         out.stats.entries = static_cast<size_t>(entries);

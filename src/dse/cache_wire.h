@@ -69,12 +69,27 @@ inline constexpr size_t kCacheMaxRequestBytes = size_t{1} << 16;
 
 /// Daemon-side aggregate counters (the `stats` response payload).
 struct CacheDaemonStats {
-    uint64_t gets = 0;      ///< get requests served
-    uint64_t hits = 0;      ///< gets that found the key
-    uint64_t puts = 0;      ///< put requests served
-    uint64_t rejected = 0;  ///< lines answered with ok=false
-    size_t entries = 0;     ///< distinct memoized reports
+    uint64_t gets = 0;       ///< get requests served
+    uint64_t hits = 0;       ///< gets that found the key
+    uint64_t puts = 0;       ///< put requests served
+    uint64_t rejected = 0;   ///< lines answered with ok=false
+    size_t entries = 0;      ///< distinct memoized reports
+    uint64_t recovered = 0;  ///< entries loaded from --data-dir at startup
+    uint64_t warm_hits = 0;  ///< hits answered from a recovered entry
 };
+
+// ---- exact-bits hex encoding ----
+//
+// "0x" + up-to-16 hex digits is the one encoding shared by wire content
+// keys, wire report doubles, and the durable on-disk log (dse/cache_store),
+// so recovered reports round-trip bit-exactly.
+
+/// "0x" + exactly 16 lowercase hex digits.
+[[nodiscard]] std::string hex64(uint64_t v);
+
+/// Parses hex64() output (strictly "0x" + 1..16 hex digits). Returns false
+/// on anything else.
+[[nodiscard]] bool parse_hex64(const std::string& s, uint64_t& out);
 
 /// Parses one request line (strict; see file comment). Returns false and
 /// fills `err` on rejection.

@@ -35,12 +35,16 @@ namespace sdlc {
 /// peer), so these are observability only: they appear in tool summaries
 /// and service stats, never in exports or deterministic event streams.
 struct RemoteCacheCounters {
-    bool enabled = false;    ///< a remote tier was configured
-    uint64_t hits = 0;       ///< keys served by a peer
-    uint64_t misses = 0;     ///< peer answered "not cached"
-    uint64_t errors = 0;     ///< connect/protocol failures (degraded to local)
-    uint64_t timeouts = 0;   ///< peer slower than the budget (degraded to local)
-    uint64_t puts = 0;       ///< reports written back to a peer
+    bool enabled = false;        ///< a remote tier was configured
+    uint64_t hits = 0;           ///< keys served by the primary peer
+    uint64_t misses = 0;         ///< primary answered "not cached"
+    uint64_t errors = 0;         ///< connect/protocol failures (degraded to local)
+    uint64_t timeouts = 0;       ///< peer slower than the budget (degraded to local)
+    uint64_t puts = 0;           ///< reports written back to a peer
+    uint64_t replica_hits = 0;   ///< keys served by a replica after the primary
+                                 ///< missed or failed (replication factor > 1)
+    uint64_t read_repairs = 0;   ///< replica hits written back to a peer that
+                                 ///< had answered miss
 };
 
 /// What the evaluator needs from a synthesis cache: the memo itself plus a

@@ -29,6 +29,12 @@ void set_socket_timeouts(int fd, int timeout_ms) {
 
 bool is_timeout_errno(int err) { return err == EAGAIN || err == EWOULDBLOCK; }
 
+int64_t steady_now_ms() {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
 }  // namespace
 
 bool parse_cache_peer(const std::string& spec, CachePeerAddress& out, std::string* error) {
@@ -110,10 +116,47 @@ size_t CacheHashRing::pick(uint64_t key) const noexcept {
     return it == ring_.end() ? ring_.front().second : it->second;
 }
 
+std::vector<size_t> CacheHashRing::successors(uint64_t key, size_t count) const {
+    std::vector<size_t> out;
+    if (ring_.empty() || count == 0) return out;
+    const uint64_t point = hash_avalanche(key);
+    const auto it = std::lower_bound(ring_.begin(), ring_.end(),
+                                     std::make_pair(point, size_t{0}));
+    const size_t start = static_cast<size_t>(it - ring_.begin()) % ring_.size();
+    // Walk clockwise collecting distinct peers: the owner's vnodes and its
+    // neighbors' interleave, so consecutive *distinct* owners are exactly
+    // the replication successors every identically-configured process
+    // agrees on.
+    for (size_t step = 0; step < ring_.size() && out.size() < count; ++step) {
+        const size_t owner = ring_[(start + step) % ring_.size()].second;
+        bool seen = false;
+        for (const size_t chosen : out) seen = seen || chosen == owner;
+        if (!seen) out.push_back(owner);
+    }
+    return out;
+}
+
 // ------------------------------------------------------- RemoteCostCache ----
 
+namespace {
+
+RetryPolicy cooldown_policy_from(const RemoteCacheOptions& opts) {
+    RetryPolicy policy;
+    policy.base_delay_ms = opts.cooldown_ms;
+    policy.max_delay_ms = opts.max_cooldown_ms > opts.cooldown_ms ? opts.max_cooldown_ms
+                                                                  : opts.cooldown_ms;
+    policy.multiplier = 2.0;
+    policy.jitter = 0.25;
+    return policy;
+}
+
+}  // namespace
+
 RemoteCostCache::RemoteCostCache(CostCache& local, const RemoteCacheOptions& opts)
-    : local_(local), opts_(opts), ring_(opts.peers, opts.vnodes) {
+    : local_(local),
+      opts_(opts),
+      cooldown_policy_(cooldown_policy_from(opts)),
+      ring_(opts.peers, opts.vnodes) {
     peers_.reserve(opts_.peers.size());
     for (const std::string& spec : opts_.peers) {
         auto peer = std::make_unique<Peer>();
@@ -122,6 +165,9 @@ RemoteCostCache::RemoteCostCache(CostCache& local, const RemoteCacheOptions& opt
             throw std::invalid_argument(error);
         }
         peer->spec = spec;
+        // Per-peer jitter stream: peers desynchronize their re-probes but
+        // a given peer reproduces the same schedule run over run.
+        peer->retry_seed = RetryPolicy::seed_from(spec);
         peers_.push_back(std::move(peer));
     }
     counters_.enabled = !peers_.empty();
@@ -144,12 +190,35 @@ RemoteCacheCounters RemoteCostCache::remote_counters() const {
 
 size_t RemoteCostCache::peer_count() const noexcept { return peers_.size(); }
 
+bool RemoteCostCache::admit(Peer& peer) const {
+    const uint32_t state = peer.state.load(std::memory_order_acquire);
+    if (state == kUp) return true;
+    if (state == kProbing) return false;  // someone's canary is in flight
+    if (steady_now_ms() < peer.down_until_ms.load(std::memory_order_acquire)) {
+        return false;  // cooling down: silent local fallback
+    }
+    // Cooldown over: exactly one caller wins the canary slot and sends the
+    // single probe request; the rest keep synthesizing locally until the
+    // probe's verdict is in.
+    uint32_t expected = kDown;
+    return peer.state.compare_exchange_strong(expected, kProbing, std::memory_order_acq_rel);
+}
+
 void RemoteCostCache::mark_down(Peer& peer) const {
     if (peer.fd >= 0) ::close(peer.fd);
     peer.fd = -1;
     peer.buffer.clear();
-    peer.down_until =
-        std::chrono::steady_clock::now() + std::chrono::milliseconds(opts_.cooldown_ms);
+    ++peer.failures;
+    RetryPolicy policy = cooldown_policy_;
+    policy.seed = peer.retry_seed;
+    peer.down_until_ms.store(steady_now_ms() + policy.delay_ms(peer.failures),
+                             std::memory_order_release);
+    peer.state.store(kDown, std::memory_order_release);
+}
+
+void RemoteCostCache::mark_up(Peer& peer) const {
+    peer.failures = 0;
+    peer.state.store(kUp, std::memory_order_release);
 }
 
 bool RemoteCostCache::transact(Peer& peer, const std::string& line,
@@ -228,10 +297,13 @@ void RemoteCostCache::count_failure(bool timeout) {
 
 RemoteCostCache::FetchResult RemoteCostCache::remote_get(Peer& peer, uint64_t key,
                                                          SynthesisReport& out) {
+    if (!admit(peer)) return FetchResult::kFailed;  // lock-free fast path
     std::lock_guard<std::mutex> lock(peer.mutex);
-    if (std::chrono::steady_clock::now() < peer.down_until) {
-        return FetchResult::kFailed;  // cooling down: silent local fallback
-    }
+    // Re-check under the mutex: a request we queued behind may have just
+    // marked the peer down, and probing it again would both double-count
+    // the failure and defeat the single-canary promise. (kProbing here
+    // means *we* are the canary — only one CAS winner exists.)
+    if (peer.state.load(std::memory_order_acquire) == kDown) return FetchResult::kFailed;
     const std::string id = "g" + std::to_string(peer.next_id++);
     std::string response_line;
     bool timed_out = false;
@@ -251,30 +323,34 @@ RemoteCostCache::FetchResult RemoteCostCache::remote_get(Peer& peer, uint64_t ke
         count_failure(false);
         return FetchResult::kFailed;
     }
+    mark_up(peer);
     if (!response.hit) return FetchResult::kMiss;
     out = response.report;
     return FetchResult::kHit;
 }
 
-void RemoteCostCache::remote_put(Peer& peer, uint64_t key, const SynthesisReport& report) {
+bool RemoteCostCache::remote_put(Peer& peer, uint64_t key, const SynthesisReport& report) {
+    if (!admit(peer)) return false;
     std::lock_guard<std::mutex> lock(peer.mutex);
-    if (std::chrono::steady_clock::now() < peer.down_until) return;
+    if (peer.state.load(std::memory_order_acquire) == kDown) return false;
     const std::string id = "p" + std::to_string(peer.next_id++);
     std::string response_line;
     bool timed_out = false;
     if (!transact(peer, cache_put_line(id, key, report), response_line, timed_out)) {
         count_failure(timed_out);
-        return;
+        return false;
     }
     CacheResponse response;
     if (!parse_cache_response(response_line, response) || !response.ok ||
         response.id != id) {
         mark_down(peer);
         count_failure(false);
-        return;
+        return false;
     }
+    mark_up(peer);
     std::lock_guard<std::mutex> counter_lock(counter_mutex_);
     ++counters_.puts;
+    return true;
 }
 
 SynthesisReport RemoteCostCache::get_or_synthesize(const Netlist& net, const CellLibrary& lib,
@@ -283,33 +359,54 @@ SynthesisReport RemoteCostCache::get_or_synthesize(const Netlist& net, const Cel
     SynthesisReport report;
     if (local_.lookup(key, report)) return report;
 
-    const size_t index = ring_.pick(key);
-    Peer* peer = index == CacheHashRing::npos ? nullptr : peers_[index].get();
-    bool peer_answered_miss = false;
-    if (peer != nullptr) {
-        switch (remote_get(*peer, key, report)) {
+    // Primary first, then its replication successors: with replicas=1 this
+    // is classic sharding; with more, a dead primary degrades to one extra
+    // round trip instead of a synthesis.
+    const std::vector<size_t> targets =
+        ring_.successors(key, opts_.replicas == 0 ? 1 : opts_.replicas);
+    std::vector<Peer*> missed;  // answered "not cached", in fall-through order
+    for (size_t i = 0; i < targets.size(); ++i) {
+        Peer& peer = *peers_[targets[i]];
+        switch (remote_get(peer, key, report)) {
             case FetchResult::kHit: {
                 local_.insert(key, report);
-                std::lock_guard<std::mutex> lock(counter_mutex_);
-                ++counters_.hits;
+                {
+                    std::lock_guard<std::mutex> lock(counter_mutex_);
+                    if (i == 0) {
+                        ++counters_.hits;
+                    } else {
+                        ++counters_.replica_hits;
+                    }
+                }
+                // Read repair: a peer earlier in the chain answered miss
+                // for a key a replica holds — write it back so the next
+                // reader finds it at the primary.
+                for (Peer* repair : missed) {
+                    if (remote_put(*repair, key, report)) {
+                        std::lock_guard<std::mutex> lock(counter_mutex_);
+                        ++counters_.read_repairs;
+                    }
+                }
                 return report;
             }
             case FetchResult::kMiss: {
-                peer_answered_miss = true;
-                std::lock_guard<std::mutex> lock(counter_mutex_);
-                ++counters_.misses;
+                if (i == 0) {
+                    std::lock_guard<std::mutex> lock(counter_mutex_);
+                    ++counters_.misses;
+                }
+                missed.push_back(&peer);
                 break;
             }
             case FetchResult::kFailed:
-                break;  // counted inside remote_get; degrade to local
+                break;  // counted inside remote_get; fall through
         }
     }
 
     report = synthesize(net, lib, opts);
     local_.insert(key, report);
-    // Write back only when the peer just answered: a down peer's cooldown
-    // must not be probed on every synthesized point.
-    if (peer_answered_miss) remote_put(*peer, key, report);
+    // Fan the write out to every successor that just answered; a down
+    // peer's cooldown must not be probed on every synthesized point.
+    for (Peer* target : missed) remote_put(*target, key, report);
     return report;
 }
 

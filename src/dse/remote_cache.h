@@ -28,6 +28,7 @@
 #ifndef SDLC_DSE_REMOTE_CACHE_H
 #define SDLC_DSE_REMOTE_CACHE_H
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -36,6 +37,7 @@
 #include <vector>
 
 #include "dse/cost_cache.h"
+#include "util/retry.h"
 
 namespace sdlc {
 
@@ -68,10 +70,19 @@ struct RemoteCacheOptions {
     /// Per-operation budget (connect / send / receive). A peer slower than
     /// this is treated as down: synthesis is cheaper than waiting forever.
     int timeout_ms = 250;
-    /// How long a failed peer stays skipped before the next attempt.
+    /// Cooldown after a peer's *first* failure; consecutive failures back
+    /// off exponentially (deterministic jitter) up to max_cooldown_ms —
+    /// see util/retry.h, the policy shared with the cluster coordinator.
     int cooldown_ms = 1000;
+    /// Cap on the escalating cooldown.
+    int max_cooldown_ms = 8000;
     /// Virtual nodes per peer on the hash ring (evens out the key split).
     unsigned vnodes = 64;
+    /// Replication factor: each key is stored on this many distinct ring
+    /// successors. Gets fall through primary -> replicas -> local
+    /// synthesis; a replica hit is written back to a primary that answered
+    /// miss (read repair). 1 = classic sharding (no replication).
+    unsigned replicas = 1;
 };
 
 /// Consistent-hash ring mapping content keys to peer indices. Ring points
@@ -86,6 +97,12 @@ public:
     /// Index (into the constructor's peer list) owning `key`; npos when the
     /// ring is empty.
     [[nodiscard]] size_t pick(uint64_t key) const noexcept;
+
+    /// The first `count` *distinct* peers walking the ring clockwise from
+    /// `key`'s point: the primary first, then its replication successors.
+    /// Shorter than `count` when there are fewer distinct peers; empty on
+    /// an empty ring. successors(key, 1) == {pick(key)}.
+    [[nodiscard]] std::vector<size_t> successors(uint64_t key, size_t count) const;
 
 private:
     std::vector<std::pair<uint64_t, size_t>> ring_;  ///< sorted by point
@@ -116,19 +133,43 @@ public:
 private:
     enum class FetchResult { kHit, kMiss, kFailed };
 
+    /// Peer availability for the canary re-probe state machine. A peer
+    /// leaves kDown through exactly one thread winning the kDown->kProbing
+    /// transition once the cooldown expires; everyone else keeps falling
+    /// back to local synthesis until that canary request proves the peer
+    /// is really back (kUp) or re-arms the cooldown (kDown again, with a
+    /// longer, capped backoff). A recovered peer therefore sees one
+    /// request, not the entire backlog at once.
+    enum PeerState : uint32_t { kUp = 0, kDown = 1, kProbing = 2 };
+
     struct Peer {
         CachePeerAddress address;
         std::string spec;
+        uint64_t retry_seed = 0;  ///< jitter stream (derived from spec)
         std::mutex mutex;
         int fd = -1;
         std::string buffer;  ///< partial-line carry between responses
-        std::chrono::steady_clock::time_point down_until{};
         uint64_t next_id = 0;
+        int failures = 0;  ///< consecutive failures (mutex-guarded)
+        /// Lock-free gate state: checked before the mutex so threads never
+        /// queue up behind a peer that is cooling down or being canaried.
+        std::atomic<uint32_t> state{kUp};
+        std::atomic<int64_t> down_until_ms{0};  ///< steady-clock ms
     };
 
-    /// Closes the peer's connection and starts its cooldown (the one place
-    /// the mark-down ritual lives). Caller holds the peer's mutex.
+    /// Lock-free admission: true when the caller may talk to the peer —
+    /// either it is up, or its cooldown expired and the caller just won
+    /// the single canary slot. False = skip straight to local synthesis.
+    [[nodiscard]] bool admit(Peer& peer) const;
+
+    /// Closes the peer's connection and (re-)arms its cooldown with the
+    /// escalating retry policy (the one place the mark-down ritual lives).
+    /// Caller holds the peer's mutex.
     void mark_down(Peer& peer) const;
+
+    /// Clears the failure streak after a successful round trip. Caller
+    /// holds the peer's mutex.
+    void mark_up(Peer& peer) const;
 
     /// Records one failed remote operation as a timeout or an error.
     void count_failure(bool timeout);
@@ -140,10 +181,12 @@ private:
                   bool& timed_out);
 
     FetchResult remote_get(Peer& peer, uint64_t key, SynthesisReport& out);
-    void remote_put(Peer& peer, uint64_t key, const SynthesisReport& report);
+    /// Returns true when the peer acknowledged the put.
+    bool remote_put(Peer& peer, uint64_t key, const SynthesisReport& report);
 
     CostCache& local_;
     const RemoteCacheOptions opts_;
+    const RetryPolicy cooldown_policy_;
     CacheHashRing ring_;
     std::vector<std::unique_ptr<Peer>> peers_;
 

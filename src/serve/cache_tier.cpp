@@ -4,7 +4,19 @@
 
 namespace sdlc::serve {
 
-CacheTierService::CacheTierService(const CacheTierOptions& opts) : opts_(opts) {}
+CacheTierService::CacheTierService(const CacheTierOptions& opts) : opts_(opts) {
+    if (opts_.data_dir.empty()) return;
+    DurableStoreOptions store_opts;
+    store_opts.dir = opts_.data_dir;
+    store_opts.compact_log_bytes = opts_.compact_log_bytes;
+    store_opts.fsync_puts = opts_.fsync_puts;
+    if (!durable_.open(store_opts, durable_error_)) return;
+    for (const auto& [key, report] : durable_.entries()) {
+        store_.insert(key, report);
+        recovered_keys_.insert(key);
+    }
+    counters_.recovered = recovered_keys_.size();
+}
 
 bool CacheTierService::submit_line(const std::string& line,
                                    std::shared_ptr<ResponseSink> sink) {
@@ -29,7 +41,10 @@ bool CacheTierService::submit_line(const std::string& line,
                 std::lock_guard<std::mutex> lock(mutex_);
                 ++counters_.gets;
                 hit = store_.lookup(request.key, report);
-                if (hit) ++counters_.hits;
+                if (hit) {
+                    ++counters_.hits;
+                    if (recovered_keys_.count(request.key) != 0) ++counters_.warm_hits;
+                }
             }
             sink->write_line(hit ? cache_hit_response(request.id, report)
                                  : cache_miss_response(request.id));
@@ -44,7 +59,18 @@ bool CacheTierService::submit_line(const std::string& line,
                 // the identical report (determinism), so dropping them is
                 // both safe and the cheaper answer.
                 stored = !store_.contains(request.key);
-                if (stored) store_.insert(request.key, request.report);
+                if (stored) {
+                    store_.insert(request.key, request.report);
+                    if (durable_.is_open()) {
+                        // Disk trouble must not cost availability: keep
+                        // serving from memory, surface the failure once.
+                        std::string disk_error;
+                        if (!durable_.append(request.key, request.report, disk_error) &&
+                            durable_error_.empty()) {
+                            durable_error_ = disk_error;
+                        }
+                    }
+                }
             }
             sink->write_line(cache_put_response(request.id, stored));
             break;

@@ -25,7 +25,9 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_set>
 
+#include "dse/cache_store.h"
 #include "dse/cache_wire.h"
 #include "dse/cost_cache.h"
 #include "serve/line_service.h"
@@ -39,6 +41,14 @@ struct CacheTierOptions {
     /// request, so a "slow peer" is one flag away (clients must degrade to
     /// local synthesis via their timeout, without changing results).
     int delay_ms = 0;
+    /// When non-empty, persist puts to this directory (append-only log +
+    /// compacting snapshots; see dse/cache_store.h) and recover from it at
+    /// startup, so a killed daemon rejoins warm.
+    std::string data_dir;
+    /// Log size that triggers compaction (0 = never auto-compact).
+    size_t compact_log_bytes = size_t{4} << 20;
+    /// fsync every put (survive OS crashes, not just process kills).
+    bool fsync_puts = false;
 };
 
 /// The cache daemon service (see file comment).
@@ -57,6 +67,15 @@ public:
     /// Momentary counters (what the `stats` op reports).
     [[nodiscard]] CacheDaemonStats stats() const;
 
+    /// Non-empty when a configured data_dir could not be opened; the daemon
+    /// must refuse to start rather than silently run volatile.
+    [[nodiscard]] const std::string& durable_error() const noexcept { return durable_error_; }
+
+    /// What startup recovery found (all-zero without a data_dir).
+    [[nodiscard]] const CacheRecoveryStats& recovery() const noexcept {
+        return durable_.recovery();
+    }
+
 private:
     const CacheTierOptions opts_;
 
@@ -65,6 +84,12 @@ private:
     /// daemon only ever lookup()s and insert()s what clients send.
     CostCache store_;
     CacheDaemonStats counters_;
+    /// On-disk form of store_ when data_dir is set (append under mutex_).
+    DurableCacheStore durable_;
+    std::string durable_error_;
+    /// Keys loaded from disk at startup: a get hit on one is a warm hit —
+    /// warmth that survived a crash — which the restart smoke test asserts.
+    std::unordered_set<uint64_t> recovered_keys_;
     std::function<void()> on_shutdown_;
     bool shutdown_requested_ = false;
 };

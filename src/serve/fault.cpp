@@ -1,0 +1,102 @@
+#include "serve/fault.h"
+
+#include <algorithm>
+
+namespace sdlc::serve {
+
+namespace {
+
+bool parse_positive(const std::string& text, int64_t& out) {
+    if (text.empty() || text.size() > 12 ||
+        text.find_first_not_of("0123456789") != std::string::npos) {
+        return false;
+    }
+    int64_t value = 0;
+    for (const char c : text) value = value * 10 + (c - '0');
+    if (value <= 0) return false;
+    out = value;
+    return true;
+}
+
+}  // namespace
+
+bool parse_fault_specs(const std::string& text, std::vector<FaultSpec>& out,
+                       std::string& error) {
+    out.clear();
+    size_t start = 0;
+    while (start <= text.size()) {
+        const size_t comma = text.find(',', start);
+        const std::string item =
+            text.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+        start = comma == std::string::npos ? text.size() + 1 : comma + 1;
+        if (item.empty()) {
+            error = "empty fault spec";
+            return false;
+        }
+        const size_t colon = item.find(':');
+        const std::string kind = item.substr(0, colon);
+        const std::string arg_text =
+            colon == std::string::npos ? std::string() : item.substr(colon + 1);
+        FaultSpec spec;
+        if (kind == "disconnect-after") spec.kind = FaultKind::kDisconnectAfter;
+        else if (kind == "short-write") spec.kind = FaultKind::kShortWrite;
+        else if (kind == "corrupt-frame") spec.kind = FaultKind::kCorruptFrame;
+        else if (kind == "stall") spec.kind = FaultKind::kStall;
+        else {
+            error = "unknown fault kind \"" + kind + "\"";
+            return false;
+        }
+        if (!parse_positive(arg_text, spec.arg)) {
+            error = "fault \"" + kind + "\" needs a positive integer argument (got \"" +
+                    arg_text + "\")";
+            return false;
+        }
+        out.push_back(spec);
+    }
+    if (out.empty()) {
+        error = "empty fault spec";
+        return false;
+    }
+    return true;
+}
+
+FaultAction FaultInjector::next_action() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const uint64_t serial = ++writes_;  // 1-based: "after N" fires on write N+1
+    FaultAction action;
+    for (const FaultSpec& spec : specs_) {
+        const auto arg = static_cast<uint64_t>(spec.arg);
+        switch (spec.kind) {
+            case FaultKind::kDisconnectAfter:
+                if (serial > arg) action.disconnect = true;
+                break;
+            case FaultKind::kShortWrite:
+                if (serial == arg) {
+                    action.short_write = true;
+                    action.disconnect = true;
+                }
+                break;
+            case FaultKind::kCorruptFrame:
+                if (serial % arg == 0) action.corrupt = true;
+                break;
+            case FaultKind::kStall:
+                action.stall_ms = std::max(action.stall_ms, static_cast<int>(spec.arg));
+                break;
+        }
+    }
+    return action;
+}
+
+uint64_t FaultInjector::writes() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return writes_;
+}
+
+std::string FaultInjector::corrupt_line(const std::string& line) {
+    std::string out = line;
+    const size_t stamp = std::min<size_t>(out.size(), 8);
+    for (size_t i = 0; i < stamp; ++i) out[i] = '#';
+    return out;
+}
+
+}  // namespace sdlc::serve

@@ -1,0 +1,83 @@
+// Deterministic fault injection for the socket serving stack.
+//
+// The cache/cluster batteries prove "faults never change sweep bytes" by
+// killing real processes from shell scripts — effective, but slow and only
+// as reproducible as the kill's timing. FaultInjector moves the chaos into
+// the daemon itself: `cache_tool --fault disconnect-after:40` serves 40
+// response lines and then severs the connection, every run, at exactly the
+// same request. Faults act at the FdSink write layer (serve/socket.h), the
+// last point before bytes hit the kernel, so a fault looks to the client
+// exactly like the network misbehaving.
+//
+// Spec grammar (comma-separated, each `kind` or `kind:arg`):
+//
+//   disconnect-after:N   sever the connection after N response lines total
+//   short-write:N        Nth response: emit only its first few bytes, sever
+//   corrupt-frame:N      every Nth response line is deterministically
+//                        mangled (stays one line; clients must reject it)
+//   stall:MS             sleep MS milliseconds before every response write
+//
+// Counters are shared across connections (one injector per daemon), so "the
+// 40th response" means the 40th the daemon writes, no matter how clients
+// distribute their requests over connections.
+#ifndef SDLC_SERVE_FAULT_H
+#define SDLC_SERVE_FAULT_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sdlc::serve {
+
+enum class FaultKind {
+    kDisconnectAfter,  ///< sever after N responses
+    kShortWrite,       ///< truncate the Nth response mid-line, then sever
+    kCorruptFrame,     ///< mangle every Nth response line
+    kStall,            ///< sleep before every response
+};
+
+struct FaultSpec {
+    FaultKind kind = FaultKind::kStall;
+    int64_t arg = 0;
+};
+
+/// Parses the --fault grammar above. Returns false with a message in
+/// `error` on unknown kinds or missing/invalid arguments.
+[[nodiscard]] bool parse_fault_specs(const std::string& text, std::vector<FaultSpec>& out,
+                                     std::string& error);
+
+/// What FdSink should do with one response line (see apply site in
+/// socket.cpp). Default-constructed = write it through untouched.
+struct FaultAction {
+    int stall_ms = 0;           ///< sleep first
+    bool corrupt = false;       ///< mangle the line before writing
+    bool short_write = false;   ///< write only the first few bytes...
+    bool disconnect = false;    ///< ...and/or sever the connection after
+};
+
+/// Thread-safe decision maker shared by every connection of one daemon.
+class FaultInjector {
+public:
+    explicit FaultInjector(std::vector<FaultSpec> specs) : specs_(std::move(specs)) {}
+
+    /// Accounts one response write and returns the fault(s) it suffers.
+    [[nodiscard]] FaultAction next_action();
+
+    /// Response lines accounted so far.
+    [[nodiscard]] uint64_t writes() const;
+
+    /// Deterministic one-line mangling for kCorruptFrame: stamps '#' over
+    /// the line's head so it stays a single line but can never parse as a
+    /// protocol response.
+    [[nodiscard]] static std::string corrupt_line(const std::string& line);
+
+private:
+    const std::vector<FaultSpec> specs_;
+    mutable std::mutex mutex_;
+    uint64_t writes_ = 0;
+};
+
+}  // namespace sdlc::serve
+
+#endif  // SDLC_SERVE_FAULT_H

@@ -82,6 +82,7 @@ std::string prometheus_metrics(const ServiceStats& stats) {
         {"miss", stats.remote_cache.misses},
         {"error", stats.remote_cache.errors},
         {"timeout", stats.remote_cache.timeouts},
+        {"replica_hit", stats.remote_cache.replica_hits},
     };
     for (const auto& r : remote) {
         out += p + "remote_cache_requests_total{result=\"" + r.result + "\"} " +
@@ -91,6 +92,11 @@ std::string prometheus_metrics(const ServiceStats& stats) {
     counter(out, p + "remote_cache_puts_total",
             "Synthesis reports written back to a cache peer.");
     out += p + "remote_cache_puts_total " + std::to_string(stats.remote_cache.puts) + "\n";
+
+    counter(out, p + "remote_cache_read_repairs_total",
+            "Replica hits written back to a peer that had answered miss.");
+    out += p + "remote_cache_read_repairs_total " +
+           std::to_string(stats.remote_cache.read_repairs) + "\n";
 
     gauge(out, p + "remote_cache_enabled", "1 when a remote cache tier is configured.");
     out += p + "remote_cache_enabled " + std::string(stats.remote_cache.enabled ? "1" : "0") +

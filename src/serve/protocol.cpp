@@ -413,6 +413,8 @@ std::string stats_event(const std::string& id, const ServiceStats& stats) {
     out += ", \"errors\": " + std::to_string(stats.remote_cache.errors);
     out += ", \"timeouts\": " + std::to_string(stats.remote_cache.timeouts);
     out += ", \"puts\": " + std::to_string(stats.remote_cache.puts);
+    out += ", \"replica_hits\": " + std::to_string(stats.remote_cache.replica_hits);
+    out += ", \"read_repairs\": " + std::to_string(stats.remote_cache.read_repairs);
     out += "}, \"queue_depth\": " + std::to_string(stats.queue_depth);
     out += ", \"in_flight\": " + std::to_string(stats.in_flight);
     out += ", \"busy_seconds\": " + json_number(stats.busy_seconds);

@@ -14,6 +14,7 @@ SweepService::SweepService(const ServiceOptions& opts)
         RemoteCacheOptions remote;
         remote.peers = opts_.cache_peers;
         remote.timeout_ms = opts_.cache_timeout_ms;
+        remote.replicas = opts_.cache_replicas == 0 ? 1 : opts_.cache_replicas;
         remote_cache_ = std::make_unique<RemoteCostCache>(cache_, remote);
     }
     const unsigned workers = opts_.request_workers == 0 ? 1 : opts_.request_workers;

@@ -66,6 +66,10 @@ struct ServiceOptions {
     /// without changing any sweep result.
     std::vector<std::string> cache_peers;
     int cache_timeout_ms = 250;  ///< per-operation budget against a peer
+    /// Replication factor over the peer ring (RemoteCacheOptions::replicas):
+    /// each key lives on this many distinct peers, so one dead daemon
+    /// degrades to an extra round trip instead of a cold shard.
+    unsigned cache_replicas = 1;
 };
 
 /// The long-lived sweep service (see file comment). Derivable: a subclass

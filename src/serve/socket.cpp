@@ -1,5 +1,7 @@
 #include "serve/socket.h"
 
+#include "serve/fault.h"
+
 #include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
@@ -11,9 +13,11 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <ctime>
 #include <stdexcept>
+#include <thread>
 
 namespace sdlc::serve {
 
@@ -181,28 +185,55 @@ namespace {
 /// promises a per-operation budget (the remote cache tier) must not hang
 /// for the kernel's multi-minute connect timeout on a blackholed peer.
 /// Returns false with errno set on failure.
+/// Waits (up to timeout_ms; -1 forever) for an in-progress connect to
+/// resolve, then reports its outcome via SO_ERROR. Shared by the bounded
+/// path (EINPROGRESS) and the blocking path (EINTR — the connection keeps
+/// establishing asynchronously after the signal; re-calling connect()
+/// would yield EALREADY, not the real outcome).
+bool await_connect(int fd, int timeout_ms) {
+    pollfd pfd{fd, POLLOUT, 0};
+    int polled;
+    while ((polled = ::poll(&pfd, 1, timeout_ms)) < 0 && errno == EINTR) {
+    }
+    if (polled == 0) {
+        errno = ETIMEDOUT;
+        return false;
+    }
+    if (polled < 0) return false;
+    int so_error = 0;
+    socklen_t so_len = sizeof so_error;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &so_len) == 0 && so_error == 0) {
+        return true;
+    }
+    if (so_error != 0) errno = so_error;
+    return false;
+}
+
+/// Suppress SIGPIPE at the socket itself where the platform supports it
+/// (BSD/macOS SO_NOSIGPIPE). Linux spells the same promise MSG_NOSIGNAL on
+/// each send; having both means a peer dying mid-write can never raise a
+/// process-killing signal regardless of which write path runs.
+void set_nosigpipe(int fd) {
+#ifdef SO_NOSIGPIPE
+    const int on = 1;
+    (void)::setsockopt(fd, SOL_SOCKET, SO_NOSIGPIPE, &on, sizeof(on));
+#else
+    (void)fd;
+#endif
+}
+
 bool connect_bounded(int fd, const sockaddr* addr, socklen_t len, int timeout_ms) {
-    if (timeout_ms < 0) return ::connect(fd, addr, len) == 0;
+    if (timeout_ms < 0) {
+        if (::connect(fd, addr, len) == 0) return true;
+        // EINTR: the handshake continues in the background; wait it out.
+        if (errno == EINTR) return await_connect(fd, -1);
+        return false;
+    }
     const int flags = ::fcntl(fd, F_GETFL, 0);
     if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) return false;
     bool ok = ::connect(fd, addr, len) == 0;
-    if (!ok && errno == EINPROGRESS) {
-        pollfd pfd{fd, POLLOUT, 0};
-        int polled;
-        while ((polled = ::poll(&pfd, 1, timeout_ms)) < 0 && errno == EINTR) {
-        }
-        if (polled == 0) {
-            errno = ETIMEDOUT;
-        } else if (polled > 0) {
-            int so_error = 0;
-            socklen_t so_len = sizeof so_error;
-            if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &so_len) == 0 &&
-                so_error == 0) {
-                ok = true;
-            } else {
-                errno = so_error != 0 ? so_error : errno;
-            }
-        }
+    if (!ok && (errno == EINPROGRESS || errno == EINTR)) {
+        ok = await_connect(fd, timeout_ms);
     }
     const int saved = errno;
     (void)::fcntl(fd, F_SETFL, flags);  // restore blocking mode either way
@@ -216,6 +247,7 @@ int unix_socket_connect(const std::string& path, int timeout_ms) {
     const sockaddr_un addr = make_address(path);
     const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd < 0) throw_errno("socket");
+    set_nosigpipe(fd);
     if (!connect_bounded(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr),
                          timeout_ms)) {
         const int saved = errno;
@@ -236,6 +268,7 @@ int tcp_connect(const std::string& host, uint16_t port, int timeout_ms) {
             last_errno = errno;
             continue;
         }
+        set_nosigpipe(fd);
         if (connect_bounded(fd, ai->ai_addr, ai->ai_addrlen, timeout_ms)) return fd;
         last_errno = errno;
         ::close(fd);
@@ -324,6 +357,7 @@ bool LineReader::next(std::string& line) {
 }
 
 FdSink::FdSink(int fd, bool owns_fd) : fd_(fd), owns_fd_(owns_fd) {
+    set_nosigpipe(fd_);
     if (owns_fd_ && kSendTimeoutSeconds > 0) {
         // Best-effort: a non-socket fd rejects the option, and write_all's
         // error handling covers the unbounded-blocking case no worse than
@@ -342,9 +376,37 @@ FdSink::~FdSink() {
     if (owns_fd_) ::close(fd_);
 }
 
+void FdSink::set_fault_injector(std::shared_ptr<FaultInjector> injector) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    injector_ = std::move(injector);
+}
+
 void FdSink::write_line(const std::string& line) {
     std::lock_guard<std::mutex> lock(mutex_);
     if (dropped_) return;
+    if (injector_ != nullptr) {
+        const FaultAction fault = injector_->next_action();
+        if (fault.stall_ms > 0) {
+            // Sleeping under the sink lock is the point: a stalled peer
+            // blocks exactly the writers a real stalled peer would block.
+            std::this_thread::sleep_for(std::chrono::milliseconds(fault.stall_ms));
+        }
+        if (fault.short_write) {
+            (void)write_all(fd_, std::string_view(line).substr(0, line.size() / 2));
+        }
+        if (fault.disconnect || fault.short_write) {
+            // Sever instead of just dropping: the peer must observe the
+            // failure (EOF mid-stream), not merely silence.
+            ::shutdown(fd_, SHUT_RDWR);
+            dropped_ = true;
+            return;
+        }
+        if (fault.corrupt) {
+            const std::string mangled = FaultInjector::corrupt_line(line);
+            if (!write_all(fd_, mangled) || !write_all(fd_, "\n")) dropped_ = true;
+            return;
+        }
+    }
     if (!write_all(fd_, line) || !write_all(fd_, "\n")) dropped_ = true;
 }
 

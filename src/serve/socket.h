@@ -16,6 +16,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -23,6 +24,8 @@
 #include "serve/sink.h"
 
 namespace sdlc::serve {
+
+class FaultInjector;  // serve/fault.h
 
 /// Accept/close machinery shared by every listening stream socket. The
 /// derived class binds + listens and hands the fd over; accept_client and
@@ -170,6 +173,11 @@ public:
 
     void write_line(const std::string& line) override;
 
+    /// Routes every write_line through `injector` (serve/fault.h): stalls,
+    /// corrupts, truncates, or severs per its specs. Deterministic chaos
+    /// for tests; null (the default) means no interference.
+    void set_fault_injector(std::shared_ptr<FaultInjector> injector);
+
     /// True once a write failed and the sink started dropping lines.
     [[nodiscard]] bool dropped() const;
 
@@ -178,6 +186,7 @@ private:
     int fd_;
     bool owns_fd_;
     bool dropped_ = false;
+    std::shared_ptr<FaultInjector> injector_;
 };
 
 }  // namespace sdlc::serve

@@ -10,7 +10,8 @@
 
 namespace sdlc::serve {
 
-void serve_listener(SocketListener& listener, LineService& service, size_t max_request_bytes) {
+void serve_listener(SocketListener& listener, LineService& service, size_t max_request_bytes,
+                    std::shared_ptr<FaultInjector> fault_injector) {
     // A processed shutdown request must unblock the accept loop below.
     service.set_on_shutdown([&listener] { listener.close(); });
 
@@ -42,6 +43,7 @@ void serve_listener(SocketListener& listener, LineService& service, size_t max_r
         Connection conn;
         conn.fd = client;
         conn.sink = std::make_shared<FdSink>(client, /*owns_fd=*/true);
+        if (fault_injector != nullptr) conn.sink->set_fault_injector(fault_injector);
         conn.finished = std::make_shared<std::atomic<bool>>(false);
         conn.reader = std::thread(
             [fd = client, sink = conn.sink, finished = conn.finished, &service,

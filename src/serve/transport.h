@@ -16,10 +16,14 @@
 #ifndef SDLC_SERVE_TRANSPORT_H
 #define SDLC_SERVE_TRANSPORT_H
 
+#include <memory>
+
 #include "serve/line_service.h"
 #include "serve/socket.h"
 
 namespace sdlc::serve {
+
+class FaultInjector;  // serve/fault.h
 
 /// Serves `listener` until the service shuts down (a `shutdown` request,
 /// or the service's shutdown hook firing from another thread). Installs
@@ -27,8 +31,11 @@ namespace sdlc::serve {
 /// every accepted connection is drained and joined. `max_request_bytes`
 /// must mirror the service's request-size cap (it bounds the
 /// per-connection LineReader so a peer streaming bytes without a newline
-/// cannot grow the buffer without limit).
-void serve_listener(SocketListener& listener, LineService& service, size_t max_request_bytes);
+/// cannot grow the buffer without limit). A non-null `fault_injector` is
+/// installed on every connection's sink (deterministic chaos for tests;
+/// see serve/fault.h).
+void serve_listener(SocketListener& listener, LineService& service, size_t max_request_bytes,
+                    std::shared_ptr<FaultInjector> fault_injector = nullptr);
 
 }  // namespace sdlc::serve
 

@@ -1,0 +1,35 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace sdlc {
+namespace {
+
+constexpr uint32_t kPolynomial = 0xEDB88320u;
+
+constexpr std::array<uint32_t, 256> make_table() {
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t value = i;
+        for (int bit = 0; bit < 8; ++bit) {
+            value = (value & 1u) ? (value >> 1) ^ kPolynomial : value >> 1;
+        }
+        table[i] = value;
+    }
+    return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+uint32_t crc32(const void* data, size_t size, uint32_t seed) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    uint32_t crc = ~seed;
+    for (size_t i = 0; i < size; ++i) {
+        crc = (crc >> 8) ^ kTable[(crc ^ bytes[i]) & 0xFFu];
+    }
+    return ~crc;
+}
+
+}  // namespace sdlc

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace sdlc {
+
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the same checksum
+// gzip and PNG use. The durable cache log frames every record with it so a
+// torn or bit-flipped tail is detected on recovery instead of deserialised
+// into garbage.
+uint32_t crc32(const void* data, size_t size, uint32_t seed = 0);
+
+inline uint32_t crc32(std::string_view text, uint32_t seed = 0) {
+    return crc32(text.data(), text.size(), seed);
+}
+
+}  // namespace sdlc

@@ -1,0 +1,46 @@
+#include "util/retry.h"
+
+#include "util/hash.h"
+
+namespace sdlc {
+
+int64_t RetryPolicy::delay_ms(int failures) const noexcept {
+    if (base_delay_ms <= 0) return 0;
+    const int steps = failures > 1 ? failures - 1 : 0;
+
+    // Capped exponential: base * multiplier^steps, saturating at max_delay_ms
+    // without ever overflowing (stop multiplying once past the cap).
+    double nominal = static_cast<double>(base_delay_ms);
+    const double cap =
+        max_delay_ms > 0 ? static_cast<double>(max_delay_ms) : nominal;
+    for (int i = 0; i < steps && nominal < cap; ++i) {
+        nominal *= multiplier > 1.0 ? multiplier : 1.0;
+    }
+    if (nominal > cap) nominal = cap;
+
+    if (jitter > 0.0) {
+        uint64_t h = kFnvOffsetBasis;
+        hash_mix(h, seed);
+        hash_mix(h, static_cast<uint64_t>(failures));
+        const uint64_t bits = hash_avalanche(h);
+        // Uniform in [0, 1) from the top 53 bits.
+        const double unit =
+            static_cast<double>(bits >> 11) * (1.0 / 9007199254740992.0);
+        const double f = jitter < 1.0 ? jitter : 1.0;
+        nominal *= 1.0 - f / 2.0 + f * unit;
+    }
+
+    if (nominal < 1.0) return 1;
+    if (max_delay_ms > 0 && nominal > static_cast<double>(max_delay_ms)) {
+        return max_delay_ms;
+    }
+    return static_cast<int64_t>(nominal);
+}
+
+uint64_t RetryPolicy::seed_from(const std::string& identity) noexcept {
+    uint64_t h = kFnvOffsetBasis;
+    hash_mix_string(h, identity);
+    return hash_avalanche(h);
+}
+
+}  // namespace sdlc

@@ -9,8 +9,11 @@
 #include <gtest/gtest.h>
 
 #include <bit>
+#include <chrono>
 #include <cmath>
+#include <filesystem>
 #include <limits>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -273,6 +276,49 @@ TEST(CacheHashRing, RemovingAPeerOnlyRemapsItsKeys) {
     }
 }
 
+TEST(CacheHashRing, SuccessorsAreDistinctAndPrimaryFirst) {
+    const std::vector<std::string> specs = {"unix:/tmp/a.sock", "unix:/tmp/b.sock",
+                                            "host1:9001"};
+    const CacheHashRing ring(specs, 64);
+    for (uint64_t key = 1; key <= 512; ++key) {
+        const uint64_t spread = key * 0x9e3779b97f4a7c15ull;
+        // successors(key, 1) is exactly the classic pick().
+        const std::vector<size_t> one = ring.successors(spread, 1);
+        ASSERT_EQ(one.size(), 1u);
+        EXPECT_EQ(one[0], ring.pick(spread));
+        // Replication walk: distinct peers, primary first, capped at the
+        // peer count no matter how much replication is requested.
+        const std::vector<size_t> two = ring.successors(spread, 2);
+        ASSERT_EQ(two.size(), 2u);
+        EXPECT_EQ(two[0], one[0]);
+        EXPECT_NE(two[0], two[1]);
+        const std::vector<size_t> all = ring.successors(spread, 99);
+        ASSERT_EQ(all.size(), specs.size());
+        EXPECT_EQ(all[0], two[0]);
+        EXPECT_EQ(all[1], two[1]);
+    }
+    const CacheHashRing empty({}, 64);
+    EXPECT_TRUE(empty.successors(42, 2).empty());
+}
+
+TEST(CacheHashRing, SuccessorsAreOrderIndependent) {
+    // Two processes configured with the same peers in different order must
+    // agree on the whole replication chain, not just the primary.
+    const std::vector<std::string> fwd = {"unix:/a", "unix:/b", "unix:/c"};
+    const std::vector<std::string> rev = {"unix:/c", "unix:/b", "unix:/a"};
+    const CacheHashRing ring_fwd(fwd, 64);
+    const CacheHashRing ring_rev(rev, 64);
+    for (uint64_t key = 1; key <= 256; ++key) {
+        const uint64_t spread = key * 0x2545f4914f6cdd1dull;
+        const std::vector<size_t> a = ring_fwd.successors(spread, 2);
+        const std::vector<size_t> b = ring_rev.successors(spread, 2);
+        ASSERT_EQ(a.size(), b.size());
+        for (size_t i = 0; i < a.size(); ++i) {
+            EXPECT_EQ(fwd[a[i]], rev[b[i]]) << "key " << key << " slot " << i;
+        }
+    }
+}
+
 TEST(CacheHashRing, EmptyRingPicksNothing) {
     const CacheHashRing ring({}, 64);
     EXPECT_EQ(ring.pick(123), CacheHashRing::npos);
@@ -512,6 +558,302 @@ TEST(RemoteCostCacheIntegration, SweepIsByteIdenticalWithAndWithoutTier) {
     EXPECT_GE(warm_stats.remote.hits, local_stats.hw_cache_misses);
     EXPECT_EQ(warm_stats.remote.puts, 0u);
     EXPECT_EQ(daemon.stats().entries, local_stats.hw_cache_misses);
+}
+
+// ------------------------------------------------- cooldown + canary probe ----
+
+TEST(RemoteCostCacheIntegration, CooldownRecoveryReprobesAndResumesRemoteHits) {
+    const std::string sock = testing::TempDir() + "/sdlc_cache_cooldown.sock";
+    auto daemon = std::make_unique<DaemonHarness>(sock);
+
+    // Distinct designs so each step forces fresh remote traffic.
+    const std::vector<MultiplierConfig> configs = SweepSpec::for_width(4).enumerate();
+    ASSERT_GE(configs.size(), 4u);
+    const CellLibrary lib = CellLibrary::generic_90nm();
+    const SynthesisOptions sopts;
+    const auto net_of = [&](size_t i) { return ApproxMultiplier(configs[i]).build_netlist().net; };
+
+    RemoteCacheOptions ropts;
+    ropts.peers = {"unix:" + sock};
+    ropts.cooldown_ms = 50;  // recover fast enough to test
+    CostCache local;
+    RemoteCostCache remote(local, ropts);
+
+    // Healthy: miss + write-back.
+    EXPECT_TRUE(remote.get_or_synthesize(net_of(0), lib, sopts) ==
+                synthesize(net_of(0), lib, sopts));
+    EXPECT_EQ(remote.remote_counters().misses, 1u);
+    EXPECT_EQ(daemon->stats().entries, 1u);
+
+    // Peer dies: the next lookup fails once, marks the peer down, and the
+    // result still equals direct synthesis.
+    daemon.reset();
+    EXPECT_TRUE(remote.get_or_synthesize(net_of(1), lib, sopts) ==
+                synthesize(net_of(1), lib, sopts));
+    EXPECT_EQ(remote.remote_counters().errors, 1u);
+
+    // While the cooldown runs, lookups skip the peer entirely: local
+    // synthesis, no new error counted, nothing queued behind the corpse.
+    EXPECT_TRUE(remote.get_or_synthesize(net_of(2), lib, sopts) ==
+                synthesize(net_of(2), lib, sopts));
+    EXPECT_EQ(remote.remote_counters().errors, 1u);
+
+    // Peer returns on the same address; once the cooldown expires a single
+    // canary request re-proves it and remote traffic resumes.
+    daemon = std::make_unique<DaemonHarness>(sock);
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    EXPECT_TRUE(remote.get_or_synthesize(net_of(3), lib, sopts) ==
+                synthesize(net_of(3), lib, sopts));
+    const RemoteCacheCounters after = remote.remote_counters();
+    EXPECT_EQ(after.errors, 1u) << "recovery must not count new failures";
+    EXPECT_EQ(after.misses, 2u) << "the canary get reached the daemon";
+    EXPECT_GE(daemon->stats().puts, 1u) << "write-back resumed";
+
+    // A fresh fleet member now gets a remote hit for the recovered key.
+    CostCache local2;
+    RemoteCostCache remote2(local2, ropts);
+    EXPECT_TRUE(remote2.get_or_synthesize(net_of(3), lib, sopts) ==
+                synthesize(net_of(3), lib, sopts));
+    EXPECT_EQ(remote2.remote_counters().hits, 1u);
+}
+
+// ---------------------------------------------------------- replication ----
+
+TEST(RemoteCostCacheIntegration, ReplicatedPutFansOutToAllSuccessors) {
+    const std::string sock_a = testing::TempDir() + "/sdlc_cache_repl_a.sock";
+    const std::string sock_b = testing::TempDir() + "/sdlc_cache_repl_b.sock";
+    DaemonHarness daemon_a(sock_a);
+    DaemonHarness daemon_b(sock_b);
+    SynthesisSetup setup;
+    const SynthesisReport direct = synthesize(setup.net, setup.lib, setup.opts);
+
+    RemoteCacheOptions ropts;
+    ropts.peers = {"unix:" + sock_a, "unix:" + sock_b};
+    ropts.replicas = 2;
+    CostCache local;
+    RemoteCostCache remote(local, ropts);
+    EXPECT_TRUE(remote.get_or_synthesize(setup.net, setup.lib, setup.opts) == direct);
+
+    const RemoteCacheCounters c = remote.remote_counters();
+    EXPECT_EQ(c.misses, 1u) << "only the primary miss is counted";
+    EXPECT_EQ(c.puts, 2u) << "write-back fans out to every successor";
+    EXPECT_EQ(daemon_a.stats().entries, 1u);
+    EXPECT_EQ(daemon_b.stats().entries, 1u);
+}
+
+TEST(RemoteCostCacheIntegration, DeadPrimaryLiveReplicaStillHitsBitExactly) {
+    const std::string sock_a = testing::TempDir() + "/sdlc_cache_dp_a.sock";
+    const std::string sock_b = testing::TempDir() + "/sdlc_cache_dp_b.sock";
+    auto daemon_a = std::make_unique<DaemonHarness>(sock_a);
+    auto daemon_b = std::make_unique<DaemonHarness>(sock_b);
+    SynthesisSetup setup;
+    const SynthesisReport direct = synthesize(setup.net, setup.lib, setup.opts);
+
+    RemoteCacheOptions ropts;
+    ropts.peers = {"unix:" + sock_a, "unix:" + sock_b};
+    ropts.replicas = 2;
+
+    {
+        CostCache seed_local;
+        RemoteCostCache seeder(seed_local, ropts);
+        EXPECT_TRUE(seeder.get_or_synthesize(setup.net, setup.lib, setup.opts) == direct);
+    }
+
+    // Kill the key's primary (the ring is public and deterministic, so the
+    // test can know which daemon that is).
+    const uint64_t key = CostCache::content_key(setup.net, setup.lib, setup.opts);
+    const CacheHashRing ring(ropts.peers, ropts.vnodes);
+    const std::vector<size_t> order = ring.successors(key, 2);
+    ASSERT_EQ(order.size(), 2u);
+    if (order[0] == 0) daemon_a.reset(); else daemon_b.reset();
+
+    // A fresh fleet member still gets the report from the live replica,
+    // bit-exactly, with the failure visible only in the counters.
+    CostCache local;
+    RemoteCostCache remote(local, ropts);
+    EXPECT_TRUE(remote.get_or_synthesize(setup.net, setup.lib, setup.opts) == direct);
+    const RemoteCacheCounters c = remote.remote_counters();
+    EXPECT_GE(c.errors, 1u) << "dead primary noticed";
+    EXPECT_EQ(c.hits, 0u) << "no primary hit";
+    EXPECT_EQ(c.replica_hits, 1u) << "served by the replica";
+    EXPECT_EQ(c.read_repairs, 0u) << "a failed primary is not repairable";
+
+    // The second lookup is a pure local hit: no churn against the corpse.
+    EXPECT_TRUE(remote.get_or_synthesize(setup.net, setup.lib, setup.opts) == direct);
+    EXPECT_EQ(remote.remote_counters().replica_hits, 1u);
+}
+
+TEST(RemoteCostCacheIntegration, ReadRepairBackfillsAPrimaryThatMissed) {
+    const std::string sock_a = testing::TempDir() + "/sdlc_cache_rr_a.sock";
+    const std::string sock_b = testing::TempDir() + "/sdlc_cache_rr_b.sock";
+    DaemonHarness daemon_a(sock_a);
+    DaemonHarness daemon_b(sock_b);
+    SynthesisSetup setup;
+    const SynthesisReport direct = synthesize(setup.net, setup.lib, setup.opts);
+
+    RemoteCacheOptions ropts;
+    ropts.peers = {"unix:" + sock_a, "unix:" + sock_b};
+    ropts.replicas = 2;
+
+    // Seed only the *replica* (simulating a primary that lost its disk):
+    // a single-peer client writes the key to the second-in-line daemon.
+    const uint64_t key = CostCache::content_key(setup.net, setup.lib, setup.opts);
+    const CacheHashRing ring(ropts.peers, ropts.vnodes);
+    const std::vector<size_t> order = ring.successors(key, 2);
+    ASSERT_EQ(order.size(), 2u);
+    DaemonHarness& primary = order[0] == 0 ? daemon_a : daemon_b;
+    {
+        RemoteCacheOptions replica_only;
+        replica_only.peers = {ropts.peers[order[1]]};
+        CostCache seed_local;
+        RemoteCostCache seeder(seed_local, replica_only);
+        EXPECT_TRUE(seeder.get_or_synthesize(setup.net, setup.lib, setup.opts) == direct);
+    }
+    EXPECT_EQ(primary.stats().entries, 0u);
+
+    // Replicated lookup: primary misses, replica hits, and read repair
+    // writes the report back to the primary so the next primary get hits.
+    CostCache local;
+    RemoteCostCache remote(local, ropts);
+    EXPECT_TRUE(remote.get_or_synthesize(setup.net, setup.lib, setup.opts) == direct);
+    const RemoteCacheCounters c = remote.remote_counters();
+    EXPECT_EQ(c.misses, 1u);
+    EXPECT_EQ(c.replica_hits, 1u);
+    EXPECT_EQ(c.read_repairs, 1u);
+    EXPECT_EQ(c.puts, 1u) << "the repair write-back is itself a put";
+    EXPECT_EQ(primary.stats().entries, 1u) << "primary was backfilled";
+
+    CostCache local2;
+    RemoteCostCache remote2(local2, ropts);
+    EXPECT_TRUE(remote2.get_or_synthesize(setup.net, setup.lib, setup.opts) == direct);
+    const RemoteCacheCounters c2 = remote2.remote_counters();
+    EXPECT_EQ(c2.hits, 1u) << "repaired primary now serves the hit";
+    EXPECT_EQ(c2.replica_hits, 0u);
+}
+
+TEST(RemoteCostCacheIntegration, ReplicatedSweepIsByteIdentical) {
+    const std::string sock_a = testing::TempDir() + "/sdlc_cache_rsweep_a.sock";
+    const std::string sock_b = testing::TempDir() + "/sdlc_cache_rsweep_b.sock";
+    auto daemon_a = std::make_unique<DaemonHarness>(sock_a);
+    auto daemon_b = std::make_unique<DaemonHarness>(sock_b);
+    const SweepSpec spec = SweepSpec::for_width(4);
+
+    EvalOptions base;
+    base.threads = 2;
+    SweepStats ref_stats;
+    const std::vector<DesignPoint> reference = evaluate_sweep(spec, base, &ref_stats);
+
+    RemoteCacheOptions ropts;
+    ropts.peers = {"unix:" + sock_a, "unix:" + sock_b};
+    ropts.replicas = 2;
+
+    const auto export_of = [&](const std::vector<DesignPoint>& points,
+                               const SweepStats& stats) {
+        const ParetoResult pareto = pareto_analysis(objective_matrix(points));
+        return dse_to_json(points, pareto.rank, stats, default_objectives());
+    };
+
+    // Cold replicated run populates both daemons identically.
+    {
+        CostCache local;
+        RemoteCostCache remote(local, ropts);
+        EvalOptions eval = base;
+        eval.hw_cache = &remote;
+        SweepStats stats;
+        const std::vector<DesignPoint> points = evaluate_sweep(spec, eval, &stats);
+        EXPECT_EQ(export_of(reference, ref_stats), export_of(points, stats));
+        EXPECT_EQ(daemon_a->stats().entries, daemon_b->stats().entries);
+        EXPECT_EQ(daemon_a->stats().entries, ref_stats.hw_cache_misses);
+    }
+
+    // Dead-primary sweep: kill one daemon outright; every key it owned is
+    // served by its replica or synthesized locally — same bytes regardless.
+    daemon_a.reset();
+    {
+        CostCache local;
+        RemoteCostCache remote(local, ropts);
+        EvalOptions eval = base;
+        eval.hw_cache = &remote;
+        SweepStats stats;
+        const std::vector<DesignPoint> points = evaluate_sweep(spec, eval, &stats);
+        EXPECT_EQ(export_of(reference, ref_stats), export_of(points, stats));
+        const RemoteCacheCounters c = remote.remote_counters();
+        EXPECT_GE(c.hits + c.replica_hits, 1u) << "the surviving daemon served warm keys";
+    }
+}
+
+// ------------------------------------------------------- durable recovery ----
+
+TEST(CacheTierService, DurableDaemonRecoversWarmAcrossRestart) {
+    const std::string dir = testing::TempDir() + "/sdlc_cache_durable_svc";
+    std::filesystem::remove_all(dir);
+    CacheTierOptions opts;
+    opts.data_dir = dir;
+    const SynthesisReport report = sample_report(77);
+    const uint64_t key = 0xfeedfacecafebeefull;
+
+    {
+        CacheTierService service(opts);
+        ASSERT_TRUE(service.durable_error().empty()) << service.durable_error();
+        const auto sink = std::make_shared<BufferSink>();
+        EXPECT_TRUE(service.submit_line(cache_put_line("p0", key, report), sink));
+        const CacheDaemonStats stats = service.stats();
+        EXPECT_EQ(stats.entries, 1u);
+        EXPECT_EQ(stats.recovered, 0u);
+        EXPECT_EQ(stats.warm_hits, 0u);
+    }  // destroyed without any orderly flush beyond the append itself
+
+    CacheTierService restarted(opts);
+    ASSERT_TRUE(restarted.durable_error().empty()) << restarted.durable_error();
+    EXPECT_EQ(restarted.recovery().log_records, 1u);
+    const auto sink = std::make_shared<BufferSink>();
+    EXPECT_TRUE(restarted.submit_line(cache_get_line("g0", key), sink));
+    CacheResponse response;
+    ASSERT_TRUE(parse_cache_response(sink->lines().back(), response));
+    ASSERT_TRUE(response.ok && response.has_hit && response.hit);
+    EXPECT_TRUE(response.report == report) << "recovered report must be bit-exact";
+
+    const CacheDaemonStats stats = restarted.stats();
+    EXPECT_EQ(stats.entries, 1u);
+    EXPECT_EQ(stats.recovered, 1u);
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.warm_hits, 1u) << "a hit on a recovered key is warmth that survived";
+}
+
+TEST(RemoteCostCacheIntegration, RestartedDurableDaemonServesWarmRemoteHits) {
+    const std::string sock = testing::TempDir() + "/sdlc_cache_durable_remote.sock";
+    const std::string dir = testing::TempDir() + "/sdlc_cache_durable_remote_data";
+    std::filesystem::remove_all(dir);
+    CacheTierOptions dopts;
+    dopts.data_dir = dir;
+    SynthesisSetup setup;
+    const SynthesisReport direct = synthesize(setup.net, setup.lib, setup.opts);
+
+    RemoteCacheOptions ropts;
+    ropts.peers = {"unix:" + sock};
+
+    auto daemon = std::make_unique<DaemonHarness>(sock, dopts);
+    {
+        CostCache local;
+        RemoteCostCache remote(local, ropts);
+        EXPECT_TRUE(remote.get_or_synthesize(setup.net, setup.lib, setup.opts) == direct);
+        EXPECT_EQ(daemon->stats().entries, 1u);
+    }
+
+    // Hard stop (no shutdown request — the listener is just torn down) and
+    // a restart from the same data dir.
+    daemon.reset();
+    daemon = std::make_unique<DaemonHarness>(sock, dopts);
+    EXPECT_EQ(daemon->stats().recovered, 1u);
+
+    // A cold fleet member now remote-hits a report that survived the kill.
+    CostCache local;
+    RemoteCostCache remote(local, ropts);
+    EXPECT_TRUE(remote.get_or_synthesize(setup.net, setup.lib, setup.opts) == direct);
+    EXPECT_EQ(remote.remote_counters().hits, 1u);
+    const CacheDaemonStats stats = daemon->stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.warm_hits, 1u);
 }
 
 }  // namespace

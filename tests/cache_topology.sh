@@ -7,6 +7,9 @@
 #   - a peer killed mid-sweep
 #   - a dead peer in the list
 #   - a slow peer forcing client timeouts
+#   - a durable daemon kill -9'd, restarted from --data-dir, rejoining warm
+#   - a torn log tail (crash mid-append) truncated on recovery
+#   - replicas=2 with the primary daemon dead (live replica serves)
 # Every topology must reproduce `dse_tool --json` exactly and exit 0; the
 # remote tier is an accelerator, never a result-changing dependency.
 # Usage: cache_topology.sh /path/to/dse_tool /path/to/cache_tool
@@ -148,5 +151,96 @@ wait_for_socket slow.sock
 check_identical "slow peer (timeouts)" slow.json
 timeouts=$(remote_field slow.txt timeouts)
 [ "${timeouts:-0}" -gt 0 ] || fail "slow peer recorded no timeouts"
+"$cache" --shutdown --socket slow.sock >/dev/null 2>&1
+
+# Prometheus counter value from a `cache_tool --scrape` dump.
+scrape_field() { # file metric-name
+    sed -n "s/^$2 \([0-9][0-9]*\)\$/\1/p" "$1"
+}
+
+# ---- durable daemon: kill -9, restart from --data-dir, rejoin warm ---------
+"$cache" --listen durable.sock --data-dir durable_data 2>/dev/null &
+victim=$!
+wait_for_socket durable.sock
+
+"$dse" $SWEEP --cache-peers unix:durable.sock --json durable_cold.json >durable_cold.txt \
+    || fail "durable cold sweep failed"
+check_identical "durable cold" durable_cold.json
+puts=$(remote_field durable_cold.txt puts)
+[ "${puts:-0}" -gt 0 ] || fail "durable cold run recorded no puts"
+
+kill -9 "$victim" 2>/dev/null
+wait "$victim" 2>/dev/null
+
+"$cache" --listen durable.sock --data-dir durable_data 2>durable_restart.log &
+wait_for_socket durable.sock
+
+"$dse" $SWEEP --cache-peers unix:durable.sock --json durable_warm.json >durable_warm.txt \
+    || fail "durable warm sweep failed"
+check_identical "durable warm after kill -9" durable_warm.json
+grep -q "recovered" durable_restart.log || fail "restarted daemon logged no recovery"
+hits=$(remote_field durable_warm.txt hits)
+[ "${hits:-0}" -gt 0 ] || fail "restarted daemon served no remote hits"
+
+# The daemon's own counters prove the warmth survived the kill: recovered
+# entries resident and warm hits (hits on recovered keys) both nonzero.
+"$cache" --scrape --socket durable.sock >durable_scrape.txt || fail "scrape failed"
+recovered=$(scrape_field durable_scrape.txt sdlc_cache_recovered_entries)
+[ "${recovered:-0}" -gt 0 ] || fail "scrape shows no recovered entries"
+warm_hits=$(scrape_field durable_scrape.txt sdlc_cache_warm_hits_total)
+[ "${warm_hits:-0}" -gt 0 ] || fail "scrape shows no warm hits after restart"
+daemon_hits=$(scrape_field durable_scrape.txt sdlc_cache_hits_total)
+[ "${daemon_hits:-0}" -gt 0 ] || fail "scrape shows no hits after restart"
+
+# ---- torn log tail: crash mid-append is truncated, prefix survives ---------
+"$cache" --shutdown --socket durable.sock >/dev/null || fail "durable shutdown failed"
+# Simulate a crash mid-append: garbage where the next frame would have gone.
+printf '\x40\x00\x00\x00TORN-FRAME-GARBAGE' >> durable_data/cache.log
+
+"$cache" --listen durable.sock --data-dir durable_data 2>torn_restart.log &
+wait_for_socket durable.sock
+
+"$dse" $SWEEP --cache-peers unix:durable.sock --json torn_warm.json >torn_warm.txt \
+    || fail "post-torn-tail sweep failed"
+check_identical "torn log tail" torn_warm.json
+grep -q "truncated" torn_restart.log || fail "torn tail was not reported truncated"
+hits=$(remote_field torn_warm.txt hits)
+[ "${hits:-0}" -gt 0 ] || fail "torn-tail recovery lost the warm entries"
+"$cache" --scrape --socket durable.sock >torn_scrape.txt || fail "torn scrape failed"
+recovered=$(scrape_field torn_scrape.txt sdlc_cache_recovered_entries)
+[ "${recovered:-0}" -gt 0 ] || fail "torn-tail recovery recovered nothing"
+"$cache" --shutdown --socket durable.sock >/dev/null
+
+# ---- replicas=2: dead primary, live replica --------------------------------
+"$cache" --listen repl1.sock 2>/dev/null &
+repl1=$!
+wait_for_socket repl1.sock
+"$cache" --listen repl2.sock 2>/dev/null &
+wait_for_socket repl2.sock
+RPEERS="unix:repl1.sock,unix:repl2.sock"
+
+"$dse" $SWEEP --cache-peers "$RPEERS" --cache-replicas 2 \
+    --json repl_cold.json >repl_cold.txt || fail "replicated cold sweep failed"
+check_identical "replicated cold" repl_cold.json
+
+# Full replication: both daemons hold every key, so their entry counts match.
+e1=$("$cache" --stats --socket repl1.sock | sed -n 's/.*"entries": \([0-9]*\).*/\1/p')
+e2=$("$cache" --stats --socket repl2.sock | sed -n 's/.*"entries": \([0-9]*\).*/\1/p')
+[ "${e1:-0}" -gt 0 ] || fail "replica daemon 1 holds no entries"
+[ "${e1:-0}" -eq "${e2:-1}" ] || fail "replicas diverge ($e1 vs $e2 entries)"
+
+kill -9 "$repl1" 2>/dev/null
+wait "$repl1" 2>/dev/null
+
+"$dse" $SWEEP --cache-peers "$RPEERS" --cache-replicas 2 \
+    --json repl_dead.json >repl_dead.txt || fail "dead-primary sweep failed"
+check_identical "dead primary, live replica" repl_dead.json
+replica_hits=$(remote_field repl_dead.txt "replica hits")
+direct_hits=$(remote_field repl_dead.txt hits)
+[ $(( ${replica_hits:-0} + ${direct_hits:-0} )) -gt 0 ] \
+    || fail "surviving replica served no hits"
+errors=$(remote_field repl_dead.txt errors)
+[ "${errors:-0}" -gt 0 ] || fail "dead replica daemon recorded no errors"
+"$cache" --shutdown --socket repl2.sock >/dev/null
 
 exit "$failures"

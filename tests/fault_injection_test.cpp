@@ -1,0 +1,248 @@
+// Deterministic fault injection: the --fault spec grammar, the injector's
+// firing rules, and — the part that matters — end-to-end proof that every
+// injected failure mode (severed connection, short write, corrupted
+// response, stalled peer) degrades the remote cache tier to local
+// synthesis with a byte-identical sweep export.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dse/cost_cache.h"
+#include "dse/evaluator.h"
+#include "dse/export.h"
+#include "dse/pareto.h"
+#include "dse/remote_cache.h"
+#include "dse/sweep.h"
+#include "serve/cache_tier.h"
+#include "serve/fault.h"
+#include "serve/socket.h"
+#include "serve/transport.h"
+
+namespace sdlc {
+namespace {
+
+using serve::CacheTierOptions;
+using serve::CacheTierService;
+using serve::FaultAction;
+using serve::FaultInjector;
+using serve::FaultKind;
+using serve::FaultSpec;
+using serve::parse_fault_specs;
+using serve::serve_listener;
+using serve::UnixSocketServer;
+
+// ------------------------------------------------------------ spec grammar ----
+
+TEST(FaultSpecs, ParsesSingleAndCombinedSpecs) {
+    std::vector<FaultSpec> specs;
+    std::string error;
+    ASSERT_TRUE(parse_fault_specs("disconnect-after:40", specs, error)) << error;
+    ASSERT_EQ(specs.size(), 1u);
+    EXPECT_EQ(specs[0].kind, FaultKind::kDisconnectAfter);
+    EXPECT_EQ(specs[0].arg, 40);
+
+    ASSERT_TRUE(parse_fault_specs("stall:5,corrupt-frame:3,short-write:7", specs, error))
+        << error;
+    ASSERT_EQ(specs.size(), 3u);
+    EXPECT_EQ(specs[0].kind, FaultKind::kStall);
+    EXPECT_EQ(specs[1].kind, FaultKind::kCorruptFrame);
+    EXPECT_EQ(specs[2].kind, FaultKind::kShortWrite);
+    EXPECT_EQ(specs[2].arg, 7);
+}
+
+TEST(FaultSpecs, RejectsMalformedSpecs) {
+    std::vector<FaultSpec> specs;
+    std::string error;
+    for (const char* bad : {"", "bogus:1", "stall", "stall:", "stall:0", "stall:-5",
+                            "stall:abc", "disconnect-after:1,", ",stall:1",
+                            "disconnect-after:999999999999999"}) {
+        error.clear();
+        EXPECT_FALSE(parse_fault_specs(bad, specs, error)) << "accepted: " << bad;
+        EXPECT_FALSE(error.empty()) << bad;
+    }
+}
+
+// -------------------------------------------------------------- firing rules ----
+
+TEST(FaultInjectorRules, DisconnectAfterFiresOnEveryLaterWrite) {
+    std::vector<FaultSpec> specs;
+    std::string error;
+    ASSERT_TRUE(parse_fault_specs("disconnect-after:2", specs, error));
+    FaultInjector injector(specs);
+    EXPECT_FALSE(injector.next_action().disconnect);  // write 1
+    EXPECT_FALSE(injector.next_action().disconnect);  // write 2
+    EXPECT_TRUE(injector.next_action().disconnect);   // write 3
+    EXPECT_TRUE(injector.next_action().disconnect);   // and every one after
+    EXPECT_EQ(injector.writes(), 4u);
+}
+
+TEST(FaultInjectorRules, ShortWriteFiresExactlyOnce) {
+    std::vector<FaultSpec> specs;
+    std::string error;
+    ASSERT_TRUE(parse_fault_specs("short-write:3", specs, error));
+    FaultInjector injector(specs);
+    for (int i = 1; i <= 2; ++i) {
+        const FaultAction a = injector.next_action();
+        EXPECT_FALSE(a.short_write);
+        EXPECT_FALSE(a.disconnect);
+    }
+    const FaultAction hit = injector.next_action();
+    EXPECT_TRUE(hit.short_write);
+    EXPECT_TRUE(hit.disconnect);  // a torn line must also tear the stream
+    const FaultAction after = injector.next_action();
+    EXPECT_FALSE(after.short_write);
+}
+
+TEST(FaultInjectorRules, CorruptFrameFiresEveryNth) {
+    std::vector<FaultSpec> specs;
+    std::string error;
+    ASSERT_TRUE(parse_fault_specs("corrupt-frame:2", specs, error));
+    FaultInjector injector(specs);
+    for (int serial = 1; serial <= 6; ++serial) {
+        EXPECT_EQ(injector.next_action().corrupt, serial % 2 == 0) << serial;
+    }
+}
+
+TEST(FaultInjectorRules, StallAppliesToEveryWriteAndCombines) {
+    std::vector<FaultSpec> specs;
+    std::string error;
+    ASSERT_TRUE(parse_fault_specs("stall:15,corrupt-frame:2", specs, error));
+    FaultInjector injector(specs);
+    const FaultAction first = injector.next_action();
+    EXPECT_EQ(first.stall_ms, 15);
+    EXPECT_FALSE(first.corrupt);
+    const FaultAction second = injector.next_action();
+    EXPECT_EQ(second.stall_ms, 15);
+    EXPECT_TRUE(second.corrupt);
+}
+
+TEST(FaultInjectorRules, CorruptLineNeverParsesButStaysOneLine) {
+    const std::string line = R"({"ok": true, "hit": false})";
+    const std::string mangled = FaultInjector::corrupt_line(line);
+    EXPECT_EQ(mangled.size(), line.size());
+    EXPECT_EQ(mangled.find('\n'), std::string::npos);
+    EXPECT_EQ(mangled.substr(0, 8), "########");
+}
+
+// ------------------------------------------------- daemon-level degradation ----
+
+/// In-process cache daemon with an injector wired into its serving stack —
+/// exactly what `cache_tool --fault` constructs.
+class FaultyDaemon {
+public:
+    FaultyDaemon(const std::string& path, const std::string& fault_spec,
+                 const CacheTierOptions& opts = {})
+        : listener_(path), service_(opts) {
+        if (!fault_spec.empty()) {
+            std::vector<FaultSpec> specs;
+            std::string error;
+            if (!parse_fault_specs(fault_spec, specs, error)) {
+                throw std::invalid_argument("bad fault spec: " + error);
+            }
+            injector_ = std::make_shared<FaultInjector>(std::move(specs));
+        }
+        thread_ = std::thread([this, opts] {
+            serve_listener(listener_, service_, opts.max_request_bytes, injector_);
+        });
+    }
+
+    ~FaultyDaemon() { stop(); }
+
+    void stop() {
+        if (thread_.joinable()) {
+            listener_.close();
+            thread_.join();
+        }
+    }
+
+    [[nodiscard]] CacheDaemonStats stats() const { return service_.stats(); }
+
+private:
+    UnixSocketServer listener_;
+    CacheTierService service_;
+    std::shared_ptr<FaultInjector> injector_;
+    std::thread thread_;
+};
+
+std::string export_of(const std::vector<DesignPoint>& points, const SweepStats& stats) {
+    const ParetoResult pareto = pareto_analysis(objective_matrix(points));
+    return dse_to_json(points, pareto.rank, stats, default_objectives());
+}
+
+/// Runs the reference sweep (no cache tier) and the same sweep through a
+/// remote tier against `daemon_sock`, and asserts byte-identical exports.
+/// Returns the faulted run's remote counters.
+RemoteCacheCounters assert_byte_identical_under_fault(const std::string& daemon_sock,
+                                                      int timeout_ms = 250) {
+    const SweepSpec spec = SweepSpec::for_width(4);
+    EvalOptions base;
+    base.threads = 2;
+    SweepStats ref_stats;
+    const std::vector<DesignPoint> reference = evaluate_sweep(spec, base, &ref_stats);
+
+    RemoteCacheOptions ropts;
+    ropts.peers = {"unix:" + daemon_sock};
+    ropts.timeout_ms = timeout_ms;
+    CostCache local;
+    RemoteCostCache remote(local, ropts);
+    EvalOptions faulted = base;
+    faulted.hw_cache = &remote;
+    SweepStats faulted_stats;
+    const std::vector<DesignPoint> points = evaluate_sweep(spec, faulted, &faulted_stats);
+
+    EXPECT_EQ(export_of(reference, ref_stats), export_of(points, faulted_stats));
+    // The deterministic cache replay is topology-independent too.
+    EXPECT_EQ(faulted_stats.hw_cache_hits, ref_stats.hw_cache_hits);
+    EXPECT_EQ(faulted_stats.hw_cache_misses, ref_stats.hw_cache_misses);
+    return remote.remote_counters();
+}
+
+TEST(FaultInjectionIntegration, DisconnectAfterDegradesByteIdentically) {
+    const std::string sock = testing::TempDir() + "/sdlc_fault_disc.sock";
+    FaultyDaemon daemon(sock, "disconnect-after:3");
+    const RemoteCacheCounters c = assert_byte_identical_under_fault(sock);
+    EXPECT_GE(c.errors, 1u);  // the severed connection was noticed...
+    EXPECT_LE(c.hits, 3u);    // ...and at most the pre-fault responses landed
+}
+
+TEST(FaultInjectionIntegration, ShortWriteDegradesByteIdentically) {
+    const std::string sock = testing::TempDir() + "/sdlc_fault_short.sock";
+    FaultyDaemon daemon(sock, "short-write:2");
+    const RemoteCacheCounters c = assert_byte_identical_under_fault(sock);
+    EXPECT_GE(c.errors, 1u);
+}
+
+TEST(FaultInjectionIntegration, CorruptFrameDegradesByteIdentically) {
+    const std::string sock = testing::TempDir() + "/sdlc_fault_corrupt.sock";
+    // Every single response is mangled: the client must reject each one as
+    // a protocol error without ever trusting a byte of it.
+    FaultyDaemon daemon(sock, "corrupt-frame:1");
+    const RemoteCacheCounters c = assert_byte_identical_under_fault(sock);
+    EXPECT_GE(c.errors, 1u);
+    EXPECT_EQ(c.hits, 0u);
+}
+
+TEST(FaultInjectionIntegration, StallDegradesViaTimeoutByteIdentically) {
+    const std::string sock = testing::TempDir() + "/sdlc_fault_stall.sock";
+    FaultyDaemon daemon(sock, "stall:400");
+    const RemoteCacheCounters c = assert_byte_identical_under_fault(sock, /*timeout_ms=*/30);
+    EXPECT_GE(c.timeouts, 1u);
+    EXPECT_EQ(c.hits, 0u);
+}
+
+TEST(FaultInjectionIntegration, FaultFreeInjectorChangesNothing) {
+    // A daemon with no fault spec behaves exactly like DaemonHarness: the
+    // tier works, and the export still matches the reference.
+    const std::string sock = testing::TempDir() + "/sdlc_fault_none.sock";
+    FaultyDaemon daemon(sock, "");
+    const RemoteCacheCounters c = assert_byte_identical_under_fault(sock);
+    EXPECT_EQ(c.errors, 0u);
+    EXPECT_EQ(c.timeouts, 0u);
+    EXPECT_GE(c.puts, 1u);
+}
+
+}  // namespace
+}  // namespace sdlc

@@ -138,6 +138,21 @@ check_exit "non-numeric shards" 2 $?
 check_exit "workers in client mode" 2 $?
 "$tool" --scrape --socket "$sock" --shards 4 2>/dev/null
 check_exit "shards in scrape mode" 2 $?
+"$tool" --shard-backoff-ms 50 </dev/null 2>/dev/null
+check_exit "shard backoff without workers" 2 $?
+"$tool" --client good.ndjson --socket "$sock" --shard-backoff-ms 50 2>/dev/null
+check_exit "shard backoff in client mode" 2 $?
+
+# Replication flag usage contract: --cache-replicas needs a peer list and a
+# sane value, and is a server-side option.
+"$tool" --cache-replicas 2 </dev/null 2>/dev/null
+check_exit "cache replicas without peers" 2 $?
+"$tool" --cache-peers unix:x.sock --cache-replicas 0 </dev/null 2>/dev/null
+check_exit "zero cache replicas" 2 $?
+"$tool" --cache-peers unix:x.sock --cache-replicas abc </dev/null 2>/dev/null
+check_exit "non-numeric cache replicas" 2 $?
+"$tool" --client good.ndjson --socket "$sock" --cache-replicas 2 2>/dev/null
+check_exit "cache replicas in client mode" 2 $?
 
 # Cluster flag usage contract, dse_tool (exit 2 = usage, before any sweep).
 "$dse" --workers "no-port-here" 2>/dev/null
@@ -152,6 +167,12 @@ check_exit "dse_tool shard timeout without workers" 2 $?
 check_exit "dse_tool shard retries without workers" 2 $?
 "$dse" --workers unix:w.sock --shards 0 2>/dev/null
 check_exit "dse_tool zero shards" 2 $?
+"$dse" --shard-backoff-ms 50 2>/dev/null
+check_exit "dse_tool shard backoff without workers" 2 $?
+"$dse" --cache-replicas 2 2>/dev/null
+check_exit "dse_tool cache replicas without peers" 2 $?
+"$dse" --cache-peers unix:x.sock --cache-replicas 0 2>/dev/null
+check_exit "dse_tool zero cache replicas" 2 $?
 
 # End to end: a coordinator serving a client sweep through one worker
 # replica exits 0 all the way down.
@@ -201,6 +222,24 @@ check_exit "cache_tool stats plus shutdown" 2 $?
 check_exit "cache_tool daemon plus client mode" 2 $?
 "$cache" --delay-ms abc --listen a.sock 2>/dev/null
 check_exit "cache_tool non-numeric delay" 2 $?
+"$cache" --listen a.sock --fault bogus:1 2>/dev/null
+check_exit "cache_tool unknown fault kind" 2 $?
+"$cache" --listen a.sock --fault "stall" 2>/dev/null
+check_exit "cache_tool fault missing argument" 2 $?
+"$cache" --listen a.sock --fault "disconnect-after:0" 2>/dev/null
+check_exit "cache_tool fault non-positive argument" 2 $?
+"$cache" --fault "stall:5" --stats --socket x.sock 2>/dev/null
+check_exit "cache_tool fault in client mode" 2 $?
+"$cache" --scrape 2>/dev/null
+check_exit "cache_tool scrape without destination" 2 $?
+"$cache" --listen a.sock --scrape 2>/dev/null
+check_exit "cache_tool scrape in daemon mode" 2 $?
+"$cache" --scrape --shutdown --socket x.sock 2>/dev/null
+check_exit "cache_tool scrape plus shutdown" 2 $?
+"$cache" --scrape --socket "$workdir/no-daemon-here.sock" 2>/dev/null
+check_exit "cache_tool scrape against dead socket" 3 $?
+"$cache" --data-dir d --stats --socket x.sock 2>/dev/null
+check_exit "cache_tool data dir in client mode" 2 $?
 "$cache" --stats --socket "$workdir/no-daemon-here.sock" 2>/dev/null
 check_exit "cache_tool stats against dead socket" 3 $?
 "$cache" --listen "$workdir/no/such/dir/c.sock" 2>/dev/null

@@ -33,6 +33,7 @@
 
 #include "dse/cache_wire.h"
 #include "serve/cache_tier.h"
+#include "serve/fault.h"
 #include "serve/socket.h"
 #include "serve/transport.h"
 
@@ -49,9 +50,19 @@ using namespace sdlc::serve;
         "    --listen PATH        serve on a Unix-domain socket at PATH\n"
         "    --listen-tcp HOST:PORT  serve on a TCP socket (port 0 = ephemeral)\n"
         "    --max-request-bytes N  reject longer request lines (default 64 KiB)\n"
+        "    --data-dir DIR       persist puts (append-only log + snapshots) and\n"
+        "                         recover them at startup, so a killed daemon\n"
+        "                         rejoins warm\n"
+        "    --compact-log-bytes N  fold the log into a snapshot past N bytes\n"
+        "                         (default 4 MiB; 0 = never)\n"
+        "    --fsync-puts         fsync the log after every put\n"
         "    --delay-ms N         test fault injection: delay every answer N ms\n"
+        "    --fault SPECS        structured fault injection, comma-separated:\n"
+        "                         disconnect-after:N, short-write:N,\n"
+        "                         corrupt-frame:N, stall:MS\n"
         "  client (with --socket PATH or --tcp HOST:PORT):\n"
         "    --stats              print the daemon's stats JSON line\n"
+        "    --scrape             print the daemon's stats as Prometheus text\n"
         "    --shutdown           ask the daemon to drain and exit\n";
     std::exit(msg.empty() ? 0 : 2);
 }
@@ -61,10 +72,13 @@ struct Args {
     std::set<std::string> flags;
 
     Args(int argc, char** argv) {
-        const std::set<std::string> value_keys = {"--listen", "--listen-tcp",
+        const std::set<std::string> value_keys = {"--listen",        "--listen-tcp",
                                                   "--max-request-bytes", "--delay-ms",
-                                                  "--socket", "--tcp"};
-        const std::set<std::string> flag_keys = {"--stats", "--shutdown"};
+                                                  "--data-dir",      "--compact-log-bytes",
+                                                  "--fault",         "--socket",
+                                                  "--tcp"};
+        const std::set<std::string> flag_keys = {"--stats", "--scrape", "--shutdown",
+                                                 "--fsync-puts"};
         for (int i = 1; i < argc; ++i) {
             const std::string key = argv[i];
             if (key == "--help" || key == "-h") usage();
@@ -115,9 +129,37 @@ int run_daemon(const Args& args) {
     opts.max_request_bytes = static_cast<size_t>(
         args.get_long("--max-request-bytes", static_cast<long>(kCacheMaxRequestBytes)));
     opts.delay_ms = static_cast<int>(args.get_long("--delay-ms", 0));
+    opts.data_dir = args.get("--data-dir");
+    opts.compact_log_bytes = static_cast<size_t>(
+        args.get_long("--compact-log-bytes", static_cast<long>(opts.compact_log_bytes)));
+    opts.fsync_puts = args.flags.count("fsync-puts") != 0;
+
+    std::shared_ptr<FaultInjector> injector;
+    if (const std::string fault_text = args.get("--fault"); !fault_text.empty()) {
+        std::vector<FaultSpec> specs;
+        std::string error;
+        if (!parse_fault_specs(fault_text, specs, error)) usage("--fault: " + error);
+        injector = std::make_shared<FaultInjector>(std::move(specs));
+    }
+
     CacheTierService service(opts);
+    if (!service.durable_error().empty()) {
+        // Refuse to run volatile when persistence was asked for.
+        std::cerr << "error: --data-dir: " << service.durable_error() << "\n";
+        return 3;
+    }
+    if (!opts.data_dir.empty()) {
+        const CacheRecoveryStats& recovery = service.recovery();
+        std::cerr << "cache_tool: recovered " << recovery.snapshot_entries
+                  << " snapshot entries + " << recovery.log_records << " log records from "
+                  << opts.data_dir;
+        if (recovery.truncated_bytes > 0) {
+            std::cerr << " (truncated " << recovery.truncated_bytes << " torn tail bytes)";
+        }
+        std::cerr << "\n";
+    }
     std::cerr << "cache_tool: listening on " << listener->endpoint() << "\n";
-    serve_listener(*listener, service, opts.max_request_bytes);
+    serve_listener(*listener, service, opts.max_request_bytes, injector);
     const CacheDaemonStats stats = service.stats();
     std::cerr << "cache_tool: exiting with " << stats.entries << " entries, " << stats.gets
               << " gets (" << stats.hits << " hits), " << stats.puts << " puts\n";
@@ -125,7 +167,11 @@ int run_daemon(const Args& args) {
 }
 
 /// Sends one request line and prints/validates the single response line.
-int run_client(const Args& args, const std::string& request) {
+/// With `scrape`, the stats response is rendered as Prometheus text
+/// instead of echoed as JSON (so CI and dashboards can assert counters —
+/// notably sdlc_cache_warm_hits_total after a crash restart — with the
+/// same scrape tooling serve_tool uses).
+int run_client(const Args& args, const std::string& request, bool scrape = false) {
     const std::string socket_path = args.get("--socket");
     const std::string tcp_spec = args.get("--tcp");
     if (socket_path.empty() == tcp_spec.empty()) {
@@ -154,14 +200,36 @@ int run_client(const Args& args, const std::string& request) {
         return 3;
     }
     ::close(fd);
-    std::cout << line << "\n";
     CacheResponse response;
     std::string error;
+    if (!scrape) std::cout << line << "\n";
     if (!parse_cache_response(line, response, &error)) {
         std::cerr << "error: unparseable response: " << error << "\n";
         return 1;
     }
-    return response.ok ? 0 : 1;
+    if (!response.ok) return 1;
+    if (scrape) {
+        if (!response.has_stats) {
+            std::cerr << "error: stats response carried no stats object\n";
+            return 1;
+        }
+        const CacheDaemonStats& s = response.stats;
+        std::cout << "# TYPE sdlc_cache_entries gauge\n"
+                  << "sdlc_cache_entries " << s.entries << "\n"
+                  << "# TYPE sdlc_cache_gets_total counter\n"
+                  << "sdlc_cache_gets_total " << s.gets << "\n"
+                  << "# TYPE sdlc_cache_hits_total counter\n"
+                  << "sdlc_cache_hits_total " << s.hits << "\n"
+                  << "# TYPE sdlc_cache_puts_total counter\n"
+                  << "sdlc_cache_puts_total " << s.puts << "\n"
+                  << "# TYPE sdlc_cache_rejected_total counter\n"
+                  << "sdlc_cache_rejected_total " << s.rejected << "\n"
+                  << "# TYPE sdlc_cache_recovered_entries gauge\n"
+                  << "sdlc_cache_recovered_entries " << s.recovered << "\n"
+                  << "# TYPE sdlc_cache_warm_hits_total counter\n"
+                  << "sdlc_cache_warm_hits_total " << s.warm_hits << "\n";
+    }
+    return 0;
 }
 
 }  // namespace
@@ -174,16 +242,31 @@ int main(int argc, char** argv) {
         const bool daemon = args.values.count("--listen") != 0 ||
                             args.values.count("--listen-tcp") != 0;
         const bool stats = args.flags.count("stats") != 0;
+        const bool scrape = args.flags.count("scrape") != 0;
         const bool shutdown = args.flags.count("shutdown") != 0;
         if (args.values.count("--listen") != 0 && args.values.count("--listen-tcp") != 0) {
             usage("give --listen or --listen-tcp, not both");
         }
-        if (stats && shutdown) usage("--stats and --shutdown are mutually exclusive");
-        if (daemon && (stats || shutdown)) {
-            usage("daemon (--listen/--listen-tcp) and client (--stats/--shutdown) are "
-                  "mutually exclusive modes");
+        if (static_cast<int>(stats) + static_cast<int>(scrape) + static_cast<int>(shutdown) >
+            1) {
+            usage("--stats, --scrape and --shutdown are mutually exclusive");
+        }
+        if (daemon && (stats || scrape || shutdown)) {
+            usage("daemon (--listen/--listen-tcp) and client (--stats/--scrape/--shutdown) "
+                  "are mutually exclusive modes");
+        }
+        if (stats || scrape || shutdown) {
+            // Daemon knobs in client mode would silently do nothing — the
+            // usage contract turns that into an error instead.
+            for (const char* flag : {"--data-dir", "--compact-log-bytes", "--fault"}) {
+                if (args.values.count(flag) != 0) {
+                    usage(std::string(flag) + " is a daemon option");
+                }
+            }
+            if (args.flags.count("fsync-puts") != 0) usage("--fsync-puts is a daemon option");
         }
         if (stats) return run_client(args, cache_stats_line("stats"));
+        if (scrape) return run_client(args, cache_stats_line("scrape"), /*scrape=*/true);
         if (shutdown) return run_client(args, cache_shutdown_line("shutdown"));
         if (!daemon) usage("give --listen PATH or --listen-tcp HOST:PORT");
         return run_daemon(args);

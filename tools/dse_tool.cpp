@@ -74,6 +74,9 @@ using namespace sdlc;
         "                         never change results\n"
         "    --cache-timeout-ms N per-operation budget against a cache peer\n"
         "                         (default 250)\n"
+        "    --cache-replicas N   store each key on N distinct peers; gets fall\n"
+        "                         through primary -> replicas -> local synthesis\n"
+        "                         (default 1 = no replication)\n"
         "    --repeat K           evaluate the sweep K times (warm-cache runs);\n"
         "                         exits 1 unless all runs are bit-identical\n"
         "  cluster (shard the sweep across serve_tool replicas; the merged\n"
@@ -85,6 +88,9 @@ using namespace sdlc;
         "                         is declared dead (default 60000; 0 = none)\n"
         "    --shard-retries N    remote re-dispatches per shard after its first\n"
         "                         failure before it runs locally (default 2)\n"
+        "    --shard-backoff-ms N first-failure backoff before a shard is\n"
+        "                         re-dispatched; grows exponentially with\n"
+        "                         deterministic jitter (default 0 = immediate)\n"
         "  selection:\n"
         "    --objectives LIST    frontier axes: comma list of error,area,power,\n"
         "                         delay,energy,maxred (default error,area,power,delay)\n"
@@ -108,8 +114,9 @@ public:
             "--exhaustive-max-width",  "--top",       "--by",        "--max-nmed",
             "--max-mred", "--max-area", "--max-power", "--max-delay", "--csv",
             "--json",     "--repeat",   "--objectives", "--cache-peers",
-            "--cache-timeout-ms",       "--workers",    "--shards",
-            "--shard-timeout-ms",       "--shard-retries"};
+            "--cache-timeout-ms",       "--cache-replicas", "--workers",
+            "--shards",   "--shard-timeout-ms",           "--shard-retries",
+            "--shard-backoff-ms"};
         for (int i = 1; i < argc; ++i) {
             std::string key = argv[i];
             if (key == "--help" || key == "-h") usage();
@@ -239,6 +246,12 @@ RemoteCacheOptions remote_options_from(const Args& args) {
     const int timeout = args.get_int("--cache-timeout-ms", 250);
     if (timeout < 1) usage("--cache-timeout-ms must be >= 1");
     remote.timeout_ms = timeout;
+    const int replicas = args.get_int("--cache-replicas", 1);
+    if (replicas < 1) usage("--cache-replicas must be >= 1");
+    if (!args.has("--cache-peers") && args.has("--cache-replicas")) {
+        usage("--cache-replicas requires --cache-peers");
+    }
+    remote.replicas = static_cast<unsigned>(replicas);
     return remote;
 }
 
@@ -248,7 +261,8 @@ RemoteCacheOptions remote_options_from(const Args& args) {
 cluster::ClusterOptions cluster_options_from(const Args& args) {
     cluster::ClusterOptions cluster;
     if (!args.has("--workers")) {
-        for (const char* flag : {"--shards", "--shard-timeout-ms", "--shard-retries"}) {
+        for (const char* flag :
+             {"--shards", "--shard-timeout-ms", "--shard-retries", "--shard-backoff-ms"}) {
             if (args.has(flag)) usage(std::string(flag) + " requires --workers LIST");
         }
         return cluster;
@@ -265,6 +279,8 @@ cluster::ClusterOptions cluster_options_from(const Args& args) {
     if (cluster.shard_timeout_ms < 0) usage("--shard-timeout-ms must be >= 0");
     cluster.shard_retries = args.get_int("--shard-retries", 2);
     if (cluster.shard_retries < 0) usage("--shard-retries must be >= 0");
+    cluster.shard_backoff_ms = args.get_int("--shard-backoff-ms", 0);
+    if (cluster.shard_backoff_ms < 0) usage("--shard-backoff-ms must be >= 0");
     return cluster;
 }
 
@@ -423,7 +439,9 @@ int main(int argc, char** argv) {
             std::cout << "remote cache: " << remote->peer_count() << " peer"
                       << (remote->peer_count() == 1 ? "" : "s") << " — " << rc.hits
                       << " hits, " << rc.misses << " misses, " << rc.errors << " errors, "
-                      << rc.timeouts << " timeouts, " << rc.puts << " puts\n";
+                      << rc.timeouts << " timeouts, " << rc.puts << " puts, "
+                      << rc.replica_hits << " replica hits, " << rc.read_repairs
+                      << " repairs\n";
         }
         if (clustered) {
             // Totals across every run; like the remote-cache line this is

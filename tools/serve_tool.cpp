@@ -75,6 +75,8 @@ using namespace sdlc::serve;
         "                         synthesis cache (unix:PATH or HOST:PORT each)\n"
         "    --cache-timeout-ms N per-operation budget against a cache peer\n"
         "                         before degrading to local synthesis (default 250)\n"
+        "    --cache-replicas N   store each key on N distinct peers; gets fall\n"
+        "                         through primary -> replicas -> local (default 1)\n"
         "  cluster (server options; sweeps are sharded across the workers and\n"
         "  merged back byte-identically to a single-node run):\n"
         "    --workers LIST       comma list of serve_tool replicas to fan sweep\n"
@@ -86,6 +88,9 @@ using namespace sdlc::serve;
         "                         is declared dead (default 60000; 0 = none)\n"
         "    --shard-retries N    remote re-dispatches per shard after its first\n"
         "                         failure before it runs locally (default 2)\n"
+        "    --shard-backoff-ms N first-failure backoff before a shard is\n"
+        "                         re-dispatched; grows exponentially with\n"
+        "                         deterministic jitter (default 0 = immediate)\n"
         "  client:\n"
         "    --client FILE        send FILE's request lines ('-' = stdin)\n"
         "    --socket PATH        server Unix socket to connect to\n"
@@ -111,8 +116,9 @@ struct Args {
                                                   "--client",         "--socket",
                                                   "--tcp",            "--output",
                                                   "--cache-peers",    "--cache-timeout-ms",
-                                                  "--shards",         "--shard-timeout-ms",
-                                                  "--shard-retries"};
+                                                  "--cache-replicas", "--shards",
+                                                  "--shard-timeout-ms", "--shard-retries",
+                                                  "--shard-backoff-ms"};
         const std::set<std::string> flag_keys = {"--quiet", "--scrape", "--reject-overload"};
         for (int i = 1; i < argc; ++i) {
             const std::string key = argv[i];
@@ -172,6 +178,13 @@ ServiceOptions service_options(const Args& args) {
     // 0 would disable the socket timeouts entirely and let a hung peer
     // block a sweep worker forever; dse_tool rejects it the same way.
     if (opts.cache_timeout_ms < 1) usage("--cache-timeout-ms must be >= 1");
+    const long replicas = args.get_long("--cache-replicas", 1);
+    if (replicas < 1) usage("--cache-replicas must be >= 1");
+    if (args.values.count("--cache-replicas") != 0 &&
+        args.values.count("--cache-peers") == 0) {
+        usage("--cache-replicas requires --cache-peers");
+    }
+    opts.cache_replicas = static_cast<unsigned>(replicas);
     return opts;
 }
 
@@ -182,7 +195,8 @@ ServiceOptions service_options(const Args& args) {
 std::unique_ptr<SweepService> make_service(const Args& args, const ServiceOptions& opts) {
     const bool clustered = args.values.count("--workers") != 0;
     if (!clustered) {
-        for (const char* flag : {"--shards", "--shard-timeout-ms", "--shard-retries"}) {
+        for (const char* flag :
+             {"--shards", "--shard-timeout-ms", "--shard-retries", "--shard-backoff-ms"}) {
             if (args.values.count(flag) != 0) {
                 usage(std::string(flag) + " requires --workers LIST");
             }
@@ -199,6 +213,7 @@ std::unique_ptr<SweepService> make_service(const Args& args, const ServiceOption
     if (cluster.shards == 0) usage("--shards must be >= 1");
     cluster.shard_timeout_ms = static_cast<int>(args.get_long("--shard-timeout-ms", 60000));
     cluster.shard_retries = static_cast<int>(args.get_long("--shard-retries", 2));
+    cluster.shard_backoff_ms = static_cast<int>(args.get_long("--shard-backoff-ms", 0));
     return std::make_unique<cluster::CoordinatorService>(opts, std::move(cluster));
 }
 
@@ -494,14 +509,17 @@ int main(int argc, char** argv) {
                   "are mutually exclusive modes");
         }
         if ((client || scrape) && (args.values.count("--cache-peers") != 0 ||
-                                   args.values.count("--cache-timeout-ms") != 0)) {
-            usage("--cache-peers/--cache-timeout-ms are server options");
+                                   args.values.count("--cache-timeout-ms") != 0 ||
+                                   args.values.count("--cache-replicas") != 0)) {
+            usage("--cache-peers/--cache-timeout-ms/--cache-replicas are server options");
         }
         if ((client || scrape) &&
             (args.values.count("--workers") != 0 || args.values.count("--shards") != 0 ||
              args.values.count("--shard-timeout-ms") != 0 ||
-             args.values.count("--shard-retries") != 0)) {
-            usage("--workers/--shards/--shard-timeout-ms/--shard-retries are server options");
+             args.values.count("--shard-retries") != 0 ||
+             args.values.count("--shard-backoff-ms") != 0)) {
+            usage("--workers/--shards/--shard-timeout-ms/--shard-retries/--shard-backoff-ms "
+                  "are server options");
         }
         if (scrape) return run_scrape(args);
         if (client) return run_client(args);
