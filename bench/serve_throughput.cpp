@@ -92,6 +92,20 @@ int main(int argc, char** argv) {
     const double p50 = percentile(warm_seconds, 0.50);
     const double p99 = percentile(warm_seconds, 0.99);
 
+    // Warm traced: the identical sweep with a trace context attached, so
+    // every stage records spans. Measures tracing overhead on the warm hot
+    // path (target: < 2% on p50).
+    const std::string traced_line =
+        "{\"id\": \"bench\", \"spec\": {\"width\": 8}, \"trace\":"
+        " {\"id\": \"00000000000000000000000000000001\","
+        " \"span\": \"0000000000000001\"}}";
+    std::vector<double> traced_seconds;
+    for (int i = 0; i < warm_requests; ++i) {
+        traced_seconds.push_back(timed_request(traced_line));
+    }
+    const double traced_p50 = percentile(traced_seconds, 0.50);
+    const double tracing_overhead_pct = (traced_p50 / p50 - 1.0) * 100.0;
+
     // Warm export paths: monolithic result event vs chunked streaming.
     const std::string export_line =
         "{\"id\": \"bench\", \"spec\": {\"width\": 8}, \"export\": true}";
@@ -130,6 +144,8 @@ int main(int argc, char** argv) {
     add("cold", 1, cold_seconds);
     add("warm (sequential)", warm_requests,
         std::accumulate(warm_seconds.begin(), warm_seconds.end(), 0.0));
+    add("warm (traced)", warm_requests,
+        std::accumulate(traced_seconds.begin(), traced_seconds.end(), 0.0));
     add("warm (burst)", warm_requests, burst_seconds);
     add("warm (export)", export_requests,
         std::accumulate(export_seconds.begin(), export_seconds.end(), 0.0));
@@ -139,6 +155,8 @@ int main(int argc, char** argv) {
     std::cout << "\nwarm latency: p50 " << fmt_fixed(p50 * 1e3, 2) << " ms, p99 "
               << fmt_fixed(p99 * 1e3, 2) << " ms, cold/warm speedup "
               << fmt_fixed(cold_seconds / p50, 1) << "x\n"
+              << "tracing: p50 " << fmt_fixed(traced_p50 * 1e3, 2) << " ms traced ("
+              << fmt_fixed(tracing_overhead_pct, 1) << "% overhead)\n"
               << "export latency: p50 " << fmt_fixed(export_p50 * 1e3, 2)
               << " ms monolithic, " << fmt_fixed(chunked_p50 * 1e3, 2)
               << " ms chunked (64 KiB)\n"
@@ -163,6 +181,8 @@ int main(int argc, char** argv) {
         json += " \"warm_p50_seconds\": " + json_number(p50) + ",\n";
         json += " \"warm_p99_seconds\": " + json_number(p99) + ",\n";
         json += " \"burst_requests_per_sec\": " + json_number(requests_per_sec) + ",\n";
+        json += " \"traced_p50_seconds\": " + json_number(traced_p50) + ",\n";
+        json += " \"tracing_overhead_pct\": " + json_number(tracing_overhead_pct) + ",\n";
         json += " \"export_p50_seconds\": " + json_number(export_p50) + ",\n";
         json += " \"export_chunked_p50_seconds\": " + json_number(chunked_p50) + ",\n";
         json += " \"cache\": {\"entries\": " + std::to_string(stats.cache_entries);

@@ -20,6 +20,7 @@
 #include "dse/point_wire.h"
 #include "dse/shard_merge.h"
 #include "dse/thread_pool.h"
+#include "obs/trace.h"
 #include "serve/socket.h"
 #include "util/json_parse.h"
 
@@ -215,6 +216,12 @@ std::vector<DesignPoint> distributed_sweep(const SweepSpec& spec, const EvalOpti
         return d.abort;
     };
 
+    // Traced sweeps record shard_dispatch/shard_retry_backoff/merge spans
+    // here and harvest worker-side spans off shard done events; untraced
+    // sweeps pay one null check per site. rec is thread-safe (sharded) and
+    // outlives the dispatch threads, which join before we return.
+    obs::SpanRecorder* const rec = eval.trace.valid ? eval.recorder : nullptr;
+
     // The sub-request every shard derives from: same sweep, same
     // serializable eval knobs, bit-exact streamed points, no export.
     serve::SweepRequest proto;
@@ -234,12 +241,14 @@ std::vector<DesignPoint> distributed_sweep(const SweepSpec& spec, const EvalOpti
     // parseable bits, done ok. Anything else fails the attempt (and the
     // worker): a half-streamed shard is harmless because the merger takes
     // the first write per index and a retry re-sends the same bytes.
-    const auto run_shard = [&](WorkerLink& link, size_t shard_index) -> WorkerLink::Read {
+    const auto run_shard = [&](WorkerLink& link, size_t shard_index,
+                               const obs::TraceContext& shard_trace) -> WorkerLink::Read {
         const IndexRange range = plan[shard_index];
         serve::SweepRequest req = proto;
         req.id = "s" + std::to_string(shard_index);
         req.shard_lo = range.lo;
         req.shard_hi = range.hi;
+        req.trace = shard_trace;
         if (has_deadline) {
             const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
                                        eval.deadline - Clock::now())
@@ -286,6 +295,20 @@ std::vector<DesignPoint> distributed_sweep(const SweepSpec& spec, const EvalOpti
                 const JsonValue* ok = event.find("ok");
                 const bool clean = ok != nullptr && ok->is_bool() && ok->boolean &&
                                    expected == range.hi;
+                if (clean && rec != nullptr) {
+                    // Harvest the worker's spans off its done event. A
+                    // worker runs the plain serve stack, so its own spans
+                    // say "serve"; relabel those as "worker" (cache-daemon
+                    // spans it forwarded keep their tier).
+                    const JsonValue* spans = event.find("spans");
+                    std::vector<obs::Span> harvested;
+                    if (spans != nullptr && obs::parse_spans_wire(*spans, harvested)) {
+                        for (obs::Span& span : harvested) {
+                            if (span.tier == "serve") span.tier = "worker";
+                            rec->record(std::move(span));
+                        }
+                    }
+                }
                 return clean ? WorkerLink::Read::kLine : WorkerLink::Read::kFailed;
             }
             // accepted / summary / error are part of a normal stream; error
@@ -327,7 +350,11 @@ std::vector<DesignPoint> distributed_sweep(const SweepSpec& spec, const EvalOpti
                             }
                             earliest = std::min(earliest, d.ready[candidate]);
                         }
-                        if (!claimed) d.cv.wait_until(lock, earliest);
+                        if (!claimed) {
+                            obs::ScopedSpan backoff_span(rec, eval.trace,
+                                                         "shard_retry_backoff");
+                            d.cv.wait_until(lock, earliest);
+                        }
                     }
                     if (!claimed) break;
                 }
@@ -337,7 +364,8 @@ std::vector<DesignPoint> distributed_sweep(const SweepSpec& spec, const EvalOpti
                 if (link.fd < 0) link.fd = connect_worker(addresses[wi], opts.connect_timeout_ms);
                 if (link.fd >= 0) {
                     dispatched = true;
-                    outcome = run_shard(link, shard_index);
+                    obs::ScopedSpan dispatch_span(rec, eval.trace, "shard_dispatch");
+                    outcome = run_shard(link, shard_index, dispatch_span.context());
                 }
                 const double busy =
                     std::chrono::duration<double>(Clock::now() - s0).count();
@@ -456,11 +484,15 @@ std::vector<DesignPoint> distributed_sweep(const SweepSpec& spec, const EvalOpti
     }
     publish_counters();
 
+    // The merger did its interleaving work while shards streamed; this span
+    // covers the final completeness check and hand-off.
+    obs::ScopedSpan merge_span(rec, eval.trace, "merge");
     if (!merger.complete()) {
         // Unreachable by construction (every shard completes remotely or
         // locally); a violation must fail loudly, not export short.
         throw std::runtime_error("cluster: merged sweep is missing points");
     }
+    merge_span.stop();
 
     if (stats != nullptr) {
         *stats = SweepStats{};

@@ -170,9 +170,33 @@ bool parse_cache_request(const std::string& line, size_t max_bytes, CacheRequest
         (void)member;
         const bool known =
             key == "id" || key == "op" ||
-            ((out.op == CacheOp::kGet || out.op == CacheOp::kPut) && key == "key") ||
+            ((out.op == CacheOp::kGet || out.op == CacheOp::kPut) &&
+             (key == "key" || key == "trace")) ||
             (out.op == CacheOp::kPut && key == "report");
         if (!known) return invalid("unknown request field \"" + key + "\"");
+    }
+
+    if (const JsonValue* trace = root.find("trace")) {
+        if (!trace->is_object()) return invalid("\"trace\" must be an object");
+        for (const auto& [key, member] : trace->object) {
+            (void)member;
+            if (key != "id" && key != "span") {
+                return invalid("unknown trace field \"" + key + "\"");
+            }
+        }
+        const JsonValue* trace_id = trace->find("id");
+        if (trace_id == nullptr || !trace_id->is_string() ||
+            !obs::parse_trace_id_hex(trace_id->string, out.trace.trace_hi,
+                                     out.trace.trace_lo)) {
+            return invalid("\"trace\" requires \"id\": 32 lowercase hex digits");
+        }
+        if (const JsonValue* span = trace->find("span")) {
+            if (!span->is_string() ||
+                !obs::parse_span_id_hex(span->string, out.trace.span_id)) {
+                return invalid("\"trace\" \"span\" must be 16 lowercase hex digits");
+            }
+        }
+        out.trace.valid = true;
     }
 
     if (out.op == CacheOp::kGet || out.op == CacheOp::kPut) {
@@ -204,15 +228,29 @@ std::string response_head(const std::string& id, bool ok) {
     return "{\"id\": " + json_string(id) + (ok ? ", \"ok\": true" : ", \"ok\": false");
 }
 
-}  // namespace
-
-std::string cache_get_line(const std::string& id, uint64_t key) {
-    return request_head(id, "get") + ", \"key\": \"" + hex64(key) + "\"}";
+std::string trace_field(const obs::TraceContext& trace) {
+    if (!trace.valid) return "";
+    return ", \"trace\": {\"id\": \"" + obs::trace_id_hex(trace.trace_hi, trace.trace_lo) +
+           "\", \"span\": \"" + obs::span_id_hex(trace.span_id) + "\"}";
 }
 
-std::string cache_put_line(const std::string& id, uint64_t key, const SynthesisReport& report) {
+std::string spans_field(const std::vector<obs::Span>& spans) {
+    if (spans.empty()) return "";
+    return ", \"spans\": " + obs::spans_wire_json(spans);
+}
+
+}  // namespace
+
+std::string cache_get_line(const std::string& id, uint64_t key,
+                           const obs::TraceContext& trace) {
+    return request_head(id, "get") + ", \"key\": \"" + hex64(key) + "\"" +
+           trace_field(trace) + "}";
+}
+
+std::string cache_put_line(const std::string& id, uint64_t key, const SynthesisReport& report,
+                           const obs::TraceContext& trace) {
     return request_head(id, "put") + ", \"key\": \"" + hex64(key) +
-           "\", \"report\": " + synthesis_report_json(report) + "}";
+           "\", \"report\": " + synthesis_report_json(report) + trace_field(trace) + "}";
 }
 
 std::string cache_stats_line(const std::string& id) { return request_head(id, "stats") + "}"; }
@@ -221,18 +259,20 @@ std::string cache_shutdown_line(const std::string& id) {
     return request_head(id, "shutdown") + "}";
 }
 
-std::string cache_hit_response(const std::string& id, const SynthesisReport& report) {
+std::string cache_hit_response(const std::string& id, const SynthesisReport& report,
+                               const std::vector<obs::Span>& spans) {
     return response_head(id, true) + ", \"hit\": true, \"report\": " +
-           synthesis_report_json(report) + "}";
+           synthesis_report_json(report) + spans_field(spans) + "}";
 }
 
-std::string cache_miss_response(const std::string& id) {
-    return response_head(id, true) + ", \"hit\": false}";
+std::string cache_miss_response(const std::string& id, const std::vector<obs::Span>& spans) {
+    return response_head(id, true) + ", \"hit\": false" + spans_field(spans) + "}";
 }
 
-std::string cache_put_response(const std::string& id, bool stored) {
+std::string cache_put_response(const std::string& id, bool stored,
+                               const std::vector<obs::Span>& spans) {
     return response_head(id, true) + std::string(", \"stored\": ") +
-           (stored ? "true" : "false") + "}";
+           (stored ? "true" : "false") + spans_field(spans) + "}";
 }
 
 std::string cache_stats_response(const std::string& id, const CacheDaemonStats& stats) {
@@ -244,6 +284,7 @@ std::string cache_stats_response(const std::string& id, const CacheDaemonStats& 
     out += ", \"rejected\": " + std::to_string(stats.rejected);
     out += ", \"recovered\": " + std::to_string(stats.recovered);
     out += ", \"warm_hits\": " + std::to_string(stats.warm_hits);
+    out += ", \"uptime_seconds\": " + json_number(stats.uptime_seconds);
     out += "}}";
     return out;
 }
@@ -321,8 +362,20 @@ bool parse_cache_response(const std::string& line, CacheResponse& out, std::stri
         uint64_t entries = 0;
         count("entries", entries);
         out.stats.entries = static_cast<size_t>(entries);
+        // Uptime is a plain double gauge, absent when talking to an older
+        // daemon.
+        if (const JsonValue* uptime = stats->find("uptime_seconds");
+            uptime != nullptr && uptime->is_number()) {
+            out.stats.uptime_seconds = uptime->number;
+        }
         if (!counters_ok) return fail(error, "stats counter is not a safe integer");
         out.has_stats = true;
+    }
+    if (const JsonValue* spans = root.find("spans")) {
+        std::string spans_error;
+        if (!obs::parse_spans_wire(*spans, out.spans, &spans_error)) {
+            return fail(error, spans_error);
+        }
     }
     return true;
 }

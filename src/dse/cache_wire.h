@@ -31,7 +31,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "obs/trace.h"
 #include "tech/synthesis.h"
 #include "util/json_parse.h"
 
@@ -54,6 +56,12 @@ struct CacheRequest {
     CacheOp op = CacheOp::kGet;
     uint64_t key = 0;        ///< get/put payload
     SynthesisReport report;  ///< put payload
+    /// Optional tracing identity on get/put lines ({"trace": {"id": ...,
+    /// "span": ...}}, same wire form as the serve protocol). Absent means
+    /// untraced (trace.valid == false) and the line is byte-identical to
+    /// the pre-tracing format; present means the daemon times the request
+    /// and returns its spans on the response line.
+    obs::TraceContext trace;
 };
 
 /// Why a cache request line was rejected (codes follow serve/protocol.h).
@@ -76,6 +84,7 @@ struct CacheDaemonStats {
     size_t entries = 0;      ///< distinct memoized reports
     uint64_t recovered = 0;  ///< entries loaded from --data-dir at startup
     uint64_t warm_hits = 0;  ///< hits answered from a recovered entry
+    double uptime_seconds = 0.0;  ///< seconds since the daemon started
 };
 
 // ---- exact-bits hex encoding ----
@@ -98,18 +107,28 @@ struct CacheDaemonStats {
 
 // ---- client-side request lines (no trailing newline) ----
 
-[[nodiscard]] std::string cache_get_line(const std::string& id, uint64_t key);
+/// A valid `trace` context appends the optional trace field; the default
+/// (invalid) context reproduces the historical line bytes exactly.
+[[nodiscard]] std::string cache_get_line(const std::string& id, uint64_t key,
+                                         const obs::TraceContext& trace = {});
 [[nodiscard]] std::string cache_put_line(const std::string& id, uint64_t key,
-                                         const SynthesisReport& report);
+                                         const SynthesisReport& report,
+                                         const obs::TraceContext& trace = {});
 [[nodiscard]] std::string cache_stats_line(const std::string& id);
 [[nodiscard]] std::string cache_shutdown_line(const std::string& id);
 
 // ---- daemon-side response lines (no trailing newline) ----
 
+/// A non-empty `spans` list (traced requests only) appends a "spans"
+/// field; old clients ignore unknown ok=true response fields, so the
+/// addition is backward-compatible.
 [[nodiscard]] std::string cache_hit_response(const std::string& id,
-                                             const SynthesisReport& report);
-[[nodiscard]] std::string cache_miss_response(const std::string& id);
-[[nodiscard]] std::string cache_put_response(const std::string& id, bool stored);
+                                             const SynthesisReport& report,
+                                             const std::vector<obs::Span>& spans = {});
+[[nodiscard]] std::string cache_miss_response(const std::string& id,
+                                              const std::vector<obs::Span>& spans = {});
+[[nodiscard]] std::string cache_put_response(const std::string& id, bool stored,
+                                             const std::vector<obs::Span>& spans = {});
 [[nodiscard]] std::string cache_stats_response(const std::string& id,
                                                const CacheDaemonStats& stats);
 [[nodiscard]] std::string cache_ok_response(const std::string& id);
@@ -128,6 +147,8 @@ struct CacheResponse {
     bool stored = false;
     bool has_stats = false;
     CacheDaemonStats stats;
+    /// Daemon-side spans returned on a traced request's response line.
+    std::vector<obs::Span> spans;
     std::string code;     ///< ok == false
     std::string message;  ///< ok == false
 };

@@ -1,5 +1,7 @@
 #include "dse/cost_cache.h"
 
+#include "obs/trace.h"
+
 namespace sdlc {
 
 uint64_t CostCache::content_key(const Netlist& net, const CellLibrary& lib,
@@ -13,8 +15,12 @@ uint64_t CostCache::content_key(const Netlist& net, const CellLibrary& lib,
 
 SynthesisReport CostCache::get_or_synthesize(const Netlist& net, const CellLibrary& lib,
                                              const SynthesisOptions& opts) {
+    // Spans ride the thread-local trace binding installed by the eval
+    // worker: the shared cache never needs a recorder in its interface.
+    const obs::TraceBinding& tb = obs::current_binding();
     const uint64_t key = content_key(net, lib, opts);
     {
+        obs::ScopedSpan lookup_span(tb.recorder, tb.ctx, "cache_lookup_local");
         std::lock_guard<std::mutex> lock(mutex_);
         const auto it = reports_.find(key);
         if (it != reports_.end()) {
@@ -25,7 +31,9 @@ SynthesisReport CostCache::get_or_synthesize(const Netlist& net, const CellLibra
     }
     // Synthesize outside the lock: concurrent misses on the same key do
     // redundant work but produce the identical (deterministic) report.
+    obs::ScopedSpan synth_span(tb.recorder, tb.ctx, "synthesize");
     const SynthesisReport report = synthesize(net, lib, opts);
+    synth_span.stop();
     {
         std::lock_guard<std::mutex> lock(mutex_);
         reports_.emplace(key, report);

@@ -104,6 +104,8 @@ DesignPoint evaluate_point_impl(const MultiplierConfig& config, const EvalOption
                 *hw_key = CostCache::content_key(net, opts.library, opts.synthesis);
             }
         } else {
+            const obs::TraceBinding& tb = obs::current_binding();
+            obs::ScopedSpan span(tb.recorder, tb.ctx, "synthesize");
             point.hw = synthesize(net, opts.library, opts.synthesis);
         }
     }
@@ -126,7 +128,9 @@ DesignPoint evaluate_point(const MultiplierConfig& config, const EvalOptions& op
 std::vector<DesignPoint> evaluate_sweep(const SweepSpec& spec, const EvalOptions& opts,
                                         SweepStats* stats) {
     const auto t0 = std::chrono::steady_clock::now();
+    obs::ScopedSpan enumerate_span(opts.recorder, opts.trace, "enumerate");
     std::vector<MultiplierConfig> configs = spec.enumerate();
+    enumerate_span.stop();
     // Shard restriction: keep only [shard_lo, shard_hi), remembering the
     // offset so on_point still reports global enumeration indices.
     size_t base = 0;
@@ -189,6 +193,8 @@ std::vector<DesignPoint> evaluate_sweep(const SweepSpec& spec, const EvalOptions
         if (has_deadline && std::chrono::steady_clock::now() >= opts.deadline) {
             throw SweepDeadlineExceeded();
         }
+        obs::ScopedSpan eval_span(opts.recorder, opts.trace, "kernel_eval");
+        obs::ScopedBinding binding(opts.recorder, eval_span.context());
         points[i] = evaluate_point_impl(configs[i], point_opts, &hw_keys[i]);
         if (opts.on_point) {
             std::lock_guard<std::mutex> lock(emit_mutex);

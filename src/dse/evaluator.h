@@ -29,6 +29,7 @@
 #include "dse/pareto.h"
 #include "dse/sweep.h"
 #include "error/metrics.h"
+#include "obs/trace.h"
 #include "tech/cell_library.h"
 #include "tech/synthesis.h"
 
@@ -101,6 +102,14 @@ struct EvalOptions {
     /// std::invalid_argument.
     size_t shard_lo = 0;
     size_t shard_hi = 0;
+    /// Optional tracing (see obs/trace.h): with a non-null recorder and a
+    /// valid trace context, evaluate_sweep records `enumerate` and
+    /// per-point `kernel_eval` spans under `trace`, and binds the context
+    /// on each eval worker so the synthesis cache records its
+    /// lookup/synthesize spans for the right request. Untraced sweeps pay
+    /// one branch per point; results are bit-identical either way.
+    obs::SpanRecorder* recorder = nullptr;
+    obs::TraceContext trace;
 };
 
 /// Thrown by evaluate_sweep when EvalOptions::cancel fires mid-sweep.

@@ -296,7 +296,8 @@ void RemoteCostCache::count_failure(bool timeout) {
 }
 
 RemoteCostCache::FetchResult RemoteCostCache::remote_get(Peer& peer, uint64_t key,
-                                                         SynthesisReport& out) {
+                                                         SynthesisReport& out,
+                                                         const obs::TraceContext& trace) {
     if (!admit(peer)) return FetchResult::kFailed;  // lock-free fast path
     std::lock_guard<std::mutex> lock(peer.mutex);
     // Re-check under the mutex: a request we queued behind may have just
@@ -307,7 +308,7 @@ RemoteCostCache::FetchResult RemoteCostCache::remote_get(Peer& peer, uint64_t ke
     const std::string id = "g" + std::to_string(peer.next_id++);
     std::string response_line;
     bool timed_out = false;
-    if (!transact(peer, cache_get_line(id, key), response_line, timed_out)) {
+    if (!transact(peer, cache_get_line(id, key, trace), response_line, timed_out)) {
         count_failure(timed_out);
         return FetchResult::kFailed;
     }
@@ -324,19 +325,28 @@ RemoteCostCache::FetchResult RemoteCostCache::remote_get(Peer& peer, uint64_t ke
         return FetchResult::kFailed;
     }
     mark_up(peer);
+    // Daemon-side spans for a traced request ride the response line; land
+    // them on the thread's bound recorder (tier already "cache").
+    if (!response.spans.empty()) {
+        const obs::TraceBinding& tb = obs::current_binding();
+        if (tb.recorder != nullptr) {
+            for (obs::Span& span : response.spans) tb.recorder->record(std::move(span));
+        }
+    }
     if (!response.hit) return FetchResult::kMiss;
     out = response.report;
     return FetchResult::kHit;
 }
 
-bool RemoteCostCache::remote_put(Peer& peer, uint64_t key, const SynthesisReport& report) {
+bool RemoteCostCache::remote_put(Peer& peer, uint64_t key, const SynthesisReport& report,
+                                 const obs::TraceContext& trace) {
     if (!admit(peer)) return false;
     std::lock_guard<std::mutex> lock(peer.mutex);
     if (peer.state.load(std::memory_order_acquire) == kDown) return false;
     const std::string id = "p" + std::to_string(peer.next_id++);
     std::string response_line;
     bool timed_out = false;
-    if (!transact(peer, cache_put_line(id, key, report), response_line, timed_out)) {
+    if (!transact(peer, cache_put_line(id, key, report, trace), response_line, timed_out)) {
         count_failure(timed_out);
         return false;
     }
@@ -348,6 +358,12 @@ bool RemoteCostCache::remote_put(Peer& peer, uint64_t key, const SynthesisReport
         return false;
     }
     mark_up(peer);
+    if (!response.spans.empty()) {
+        const obs::TraceBinding& tb = obs::current_binding();
+        if (tb.recorder != nullptr) {
+            for (obs::Span& span : response.spans) tb.recorder->record(std::move(span));
+        }
+    }
     std::lock_guard<std::mutex> counter_lock(counter_mutex_);
     ++counters_.puts;
     return true;
@@ -355,9 +371,14 @@ bool RemoteCostCache::remote_put(Peer& peer, uint64_t key, const SynthesisReport
 
 SynthesisReport RemoteCostCache::get_or_synthesize(const Netlist& net, const CellLibrary& lib,
                                                    const SynthesisOptions& opts) {
+    // Spans ride the thread-local binding installed by the eval worker.
+    const obs::TraceBinding& tb = obs::current_binding();
     const uint64_t key = CostCache::content_key(net, lib, opts);
     SynthesisReport report;
-    if (local_.lookup(key, report)) return report;
+    {
+        obs::ScopedSpan lookup_span(tb.recorder, tb.ctx, "cache_lookup_local");
+        if (local_.lookup(key, report)) return report;
+    }
 
     // Primary first, then its replication successors: with replicas=1 this
     // is classic sharding; with more, a dead primary degrades to one extra
@@ -367,7 +388,10 @@ SynthesisReport RemoteCostCache::get_or_synthesize(const Netlist& net, const Cel
     std::vector<Peer*> missed;  // answered "not cached", in fall-through order
     for (size_t i = 0; i < targets.size(); ++i) {
         Peer& peer = *peers_[targets[i]];
-        switch (remote_get(peer, key, report)) {
+        obs::ScopedSpan remote_span(tb.recorder, tb.ctx, "cache_lookup_remote");
+        const FetchResult fetched = remote_get(peer, key, report, remote_span.context());
+        remote_span.stop();
+        switch (fetched) {
             case FetchResult::kHit: {
                 local_.insert(key, report);
                 {
@@ -382,7 +406,8 @@ SynthesisReport RemoteCostCache::get_or_synthesize(const Netlist& net, const Cel
                 // for a key a replica holds — write it back so the next
                 // reader finds it at the primary.
                 for (Peer* repair : missed) {
-                    if (remote_put(*repair, key, report)) {
+                    obs::ScopedSpan put_span(tb.recorder, tb.ctx, "cache_put");
+                    if (remote_put(*repair, key, report, put_span.context())) {
                         std::lock_guard<std::mutex> lock(counter_mutex_);
                         ++counters_.read_repairs;
                     }
@@ -402,11 +427,17 @@ SynthesisReport RemoteCostCache::get_or_synthesize(const Netlist& net, const Cel
         }
     }
 
-    report = synthesize(net, lib, opts);
+    {
+        obs::ScopedSpan synth_span(tb.recorder, tb.ctx, "synthesize");
+        report = synthesize(net, lib, opts);
+    }
     local_.insert(key, report);
     // Fan the write out to every successor that just answered; a down
     // peer's cooldown must not be probed on every synthesized point.
-    for (Peer* target : missed) remote_put(*target, key, report);
+    for (Peer* target : missed) {
+        obs::ScopedSpan put_span(tb.recorder, tb.ctx, "cache_put");
+        remote_put(*target, key, report, put_span.context());
+    }
     return report;
 }
 

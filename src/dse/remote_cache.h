@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "dse/cost_cache.h"
+#include "obs/trace.h"
 #include "util/retry.h"
 
 namespace sdlc {
@@ -180,9 +181,14 @@ private:
     bool transact(Peer& peer, const std::string& line, std::string& response_line,
                   bool& timed_out);
 
-    FetchResult remote_get(Peer& peer, uint64_t key, SynthesisReport& out);
+    /// `trace` (valid only when the current request is traced) rides the
+    /// get/put line so the daemon returns its own spans, which land on the
+    /// thread's bound recorder.
+    FetchResult remote_get(Peer& peer, uint64_t key, SynthesisReport& out,
+                           const obs::TraceContext& trace);
     /// Returns true when the peer acknowledged the put.
-    bool remote_put(Peer& peer, uint64_t key, const SynthesisReport& report);
+    bool remote_put(Peer& peer, uint64_t key, const SynthesisReport& report,
+                    const obs::TraceContext& trace);
 
     CostCache& local_;
     const RemoteCacheOptions opts_;

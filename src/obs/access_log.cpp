@@ -1,0 +1,20 @@
+#include "obs/access_log.h"
+
+namespace sdlc::obs {
+
+std::shared_ptr<AccessLog> AccessLog::open(const std::string& path, std::string* error) {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    if (!out) {
+        if (error != nullptr) *error = "cannot open access log " + path;
+        return nullptr;
+    }
+    return std::shared_ptr<AccessLog>(new AccessLog(std::move(out)));
+}
+
+void AccessLog::write_line(const std::string& json_line) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out_ << json_line << "\n";
+    out_.flush();
+}
+
+}  // namespace sdlc::obs

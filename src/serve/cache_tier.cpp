@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "util/json.h"
+
 namespace sdlc::serve {
 
 CacheTierService::CacheTierService(const CacheTierOptions& opts) : opts_(opts) {
@@ -23,6 +25,11 @@ bool CacheTierService::submit_line(const std::string& line,
     if (opts_.delay_ms > 0) {
         std::this_thread::sleep_for(std::chrono::milliseconds(opts_.delay_ms));
     }
+    const auto wall_start = std::chrono::steady_clock::now();
+    const auto wall_seconds = [wall_start] {
+        return std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+            .count();
+    };
     CacheRequest request;
     CacheWireError error;
     if (!parse_cache_request(line, opts_.max_request_bytes, request, error)) {
@@ -30,14 +37,22 @@ bool CacheTierService::submit_line(const std::string& line,
             std::lock_guard<std::mutex> lock(mutex_);
             ++counters_.rejected;
         }
-        sink->write_line(cache_error_response(error.id, error.code, error.message));
+        const std::string response = cache_error_response(error.id, error.code, error.message);
+        sink->write_line(response);
+        access_log_line(error.id, "invalid", {}, false, wall_seconds(), response.size() + 1);
         return !shutdown_requested();
     }
+    // Traced requests get a private recorder: requests execute inline on
+    // their reader thread, and a per-request recorder keeps concurrent
+    // connections' spans apart without any shared state.
+    obs::SpanRecorder recorder("cache");
+    obs::SpanRecorder* rec = request.trace.valid ? &recorder : nullptr;
     switch (request.op) {
         case CacheOp::kGet: {
             SynthesisReport report;
             bool hit = false;
             {
+                obs::ScopedSpan span(rec, request.trace, "cache_lookup_local");
                 std::lock_guard<std::mutex> lock(mutex_);
                 ++counters_.gets;
                 hit = store_.lookup(request.key, report);
@@ -46,13 +61,18 @@ bool CacheTierService::submit_line(const std::string& line,
                     if (recovered_keys_.count(request.key) != 0) ++counters_.warm_hits;
                 }
             }
-            sink->write_line(hit ? cache_hit_response(request.id, report)
-                                 : cache_miss_response(request.id));
+            const std::string response = hit
+                ? cache_hit_response(request.id, report, recorder.take())
+                : cache_miss_response(request.id, recorder.take());
+            sink->write_line(response);
+            access_log_line(request.id, "get", request.trace, true, wall_seconds(),
+                            response.size() + 1);
             break;
         }
         case CacheOp::kPut: {
             bool stored = false;
             {
+                obs::ScopedSpan span(rec, request.trace, "cache_put");
                 std::lock_guard<std::mutex> lock(mutex_);
                 ++counters_.puts;
                 // First write wins; duplicate puts of a content key carry
@@ -72,12 +92,20 @@ bool CacheTierService::submit_line(const std::string& line,
                     }
                 }
             }
-            sink->write_line(cache_put_response(request.id, stored));
+            const std::string response =
+                cache_put_response(request.id, stored, recorder.take());
+            sink->write_line(response);
+            access_log_line(request.id, "put", request.trace, true, wall_seconds(),
+                            response.size() + 1);
             break;
         }
-        case CacheOp::kStats:
-            sink->write_line(cache_stats_response(request.id, stats()));
+        case CacheOp::kStats: {
+            const std::string response = cache_stats_response(request.id, stats());
+            sink->write_line(response);
+            access_log_line(request.id, "stats", request.trace, true, wall_seconds(),
+                            response.size() + 1);
             break;
+        }
         case CacheOp::kShutdown: {
             std::function<void()> hook;
             {
@@ -89,7 +117,10 @@ bool CacheTierService::submit_line(const std::string& line,
             }
             // Answer before unblocking the accept loop so the requester
             // always sees its acknowledgement.
-            sink->write_line(cache_ok_response(request.id));
+            const std::string response = cache_ok_response(request.id);
+            sink->write_line(response);
+            access_log_line(request.id, "shutdown", request.trace, true, wall_seconds(),
+                            response.size() + 1);
             if (hook) hook();
             break;
         }
@@ -102,8 +133,10 @@ void CacheTierService::reject_oversized_line(ResponseSink& sink) {
         std::lock_guard<std::mutex> lock(mutex_);
         ++counters_.rejected;  // counted like any other ok=false answer
     }
-    sink.write_line(cache_error_response(
-        "", "too_large", "unterminated request line exceeded the size cap"));
+    const std::string response = cache_error_response(
+        "", "too_large", "unterminated request line exceeded the size cap");
+    sink.write_line(response);
+    access_log_line("", "invalid", {}, false, 0.0, response.size() + 1);
 }
 
 void CacheTierService::set_on_shutdown(std::function<void()> hook) {
@@ -127,7 +160,27 @@ CacheDaemonStats CacheTierService::stats() const {
     std::lock_guard<std::mutex> lock(mutex_);
     CacheDaemonStats out = counters_;
     out.entries = store_.size();
+    out.uptime_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - started_).count();
     return out;
+}
+
+void CacheTierService::access_log_line(const std::string& id, const char* op,
+                                       const obs::TraceContext& trace, bool ok,
+                                       double wall_s, size_t bytes_out) {
+    if (!opts_.access_log) return;
+    std::string line = "{\"tier\": \"cache\", \"id\": " + json_string(id);
+    line += ", \"op\": " + json_string(op);
+    if (trace.valid) {
+        line += ", \"trace_id\": " +
+                json_string(obs::trace_id_hex(trace.trace_hi, trace.trace_lo));
+    }
+    line += ", \"ok\": ";
+    line += ok ? "true" : "false";
+    line += ", \"wall_s\": " + json_number(wall_s);
+    line += ", \"bytes_out\": " + json_number(static_cast<double>(bytes_out));
+    line += "}";
+    opts_.access_log->write_line(line);
 }
 
 }  // namespace sdlc::serve

@@ -30,6 +30,8 @@
 #include "dse/cache_store.h"
 #include "dse/cache_wire.h"
 #include "dse/cost_cache.h"
+#include "obs/access_log.h"
+#include "obs/trace.h"
 #include "serve/line_service.h"
 
 namespace sdlc::serve {
@@ -49,6 +51,9 @@ struct CacheTierOptions {
     size_t compact_log_bytes = size_t{4} << 20;
     /// fsync every put (survive OS crashes, not just process kills).
     bool fsync_puts = false;
+    /// When set, one structured JSON line per request lands here
+    /// (trace_id, op, outcome, wall_s, bytes_out).
+    std::shared_ptr<obs::AccessLog> access_log;
 };
 
 /// The cache daemon service (see file comment).
@@ -77,7 +82,15 @@ public:
     }
 
 private:
+    /// Writes the per-request access-log line (no-op without a log).
+    void access_log_line(const std::string& id, const char* op,
+                         const obs::TraceContext& trace, bool ok, double wall_s,
+                         size_t bytes_out);
+
     const CacheTierOptions opts_;
+    /// Uptime epoch for stats().uptime_seconds.
+    const std::chrono::steady_clock::time_point started_ =
+        std::chrono::steady_clock::now();
 
     mutable std::mutex mutex_;
     /// Keyed report store. CostCache's synthesize path is unused here; the

@@ -1,5 +1,9 @@
 #include "serve/metrics.h"
 
+#include <cerrno>
+#include <cstdlib>
+#include <string_view>
+
 #include "util/json.h"
 
 namespace sdlc::serve {
@@ -165,7 +169,112 @@ std::string prometheus_metrics(const ServiceStats& stats) {
     out += hist + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) + "\n";
     out += hist + "_sum " + num(stats.latency.sum) + "\n";
     out += hist + "_count " + std::to_string(stats.latency.count) + "\n";
+
+    const std::string stage = p + "stage_duration_seconds";
+    out += "# HELP " + stage + " Per-stage request latency (queue wait, evaluation, "
+           "serialization).\n";
+    out += "# TYPE " + stage + " histogram\n";
+    const struct {
+        const char* name;
+        const LatencyHistogram* hist;
+    } stages[] = {
+        {"queue_wait", &stats.queue_wait},
+        {"evaluate", &stats.stage_evaluate},
+        {"serialize", &stats.stage_serialize},
+    };
+    for (const auto& s : stages) {
+        const std::string labels = std::string("stage=\"") + s.name + "\"";
+        uint64_t c = 0;
+        for (size_t i = 0; i < LatencyHistogram::kBounds.size(); ++i) {
+            c += s.hist->counts[i];
+            out += stage + "_bucket{" + labels + ",le=\"" + num(LatencyHistogram::kBounds[i]) +
+                   "\"} " + std::to_string(c) + "\n";
+        }
+        c += s.hist->counts.back();
+        out += stage + "_bucket{" + labels + ",le=\"+Inf\"} " + std::to_string(c) + "\n";
+        out += stage + "_sum{" + labels + "} " + num(s.hist->sum) + "\n";
+        out += stage + "_count{" + labels + "} " + std::to_string(s.hist->count) + "\n";
+    }
+
+    gauge(out, p + "uptime_seconds", "Seconds since the service started.");
+    out += p + "uptime_seconds " + num(stats.uptime_seconds) + "\n";
+
+    gauge(out, p + "build_info", "Constant 1, labeled with the build version.");
+    out += p + "build_info{version=\"" + label_escape(kBuildVersion) + "\"} 1\n";
     return out;
+}
+
+bool validate_exposition(const std::string& text, std::string* error) {
+    const auto fail = [error](const std::string& message) {
+        if (error != nullptr) *error = message;
+        return false;
+    };
+    if (text.empty()) return fail("exposition text is empty");
+    size_t samples = 0;
+    size_t pos = 0;
+    size_t line_no = 0;
+    while (pos < text.size()) {
+        ++line_no;
+        size_t end = text.find('\n', pos);
+        if (end == std::string::npos) end = text.size();
+        const std::string_view line(text.data() + pos, end - pos);
+        pos = end + 1;
+        if (line.empty()) continue;
+        if (line[0] == '#') continue;  // HELP/TYPE/comment
+        const std::string where = "exposition line " + std::to_string(line_no);
+        // name
+        size_t i = 0;
+        const auto name_start = [](char c) {
+            return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
+        };
+        const auto name_char = [&name_start](char c) {
+            return name_start(c) || (c >= '0' && c <= '9');
+        };
+        if (!name_start(line[0])) return fail(where + ": bad metric name");
+        while (i < line.size() && name_char(line[i])) ++i;
+        // optional {labels}
+        if (i < line.size() && line[i] == '{') {
+            bool in_quote = false;
+            bool closed = false;
+            for (++i; i < line.size(); ++i) {
+                const char c = line[i];
+                if (in_quote) {
+                    if (c == '\\') {
+                        ++i;  // escaped char inside a label value
+                    } else if (c == '"') {
+                        in_quote = false;
+                    }
+                } else if (c == '"') {
+                    in_quote = true;
+                } else if (c == '}') {
+                    closed = true;
+                    ++i;
+                    break;
+                }
+            }
+            if (!closed) return fail(where + ": unterminated label set");
+        }
+        if (i >= line.size() || line[i] != ' ') return fail(where + ": missing sample value");
+        while (i < line.size() && line[i] == ' ') ++i;
+        const std::string value(line.substr(i));
+        if (value.empty()) return fail(where + ": missing sample value");
+        if (value != "+Inf" && value != "-Inf" && value != "NaN") {
+            char* parsed_end = nullptr;
+            errno = 0;
+            (void)strtod(value.c_str(), &parsed_end);
+            // A trailing integer token is a (legacy) timestamp; anything
+            // else after the float is garbage.
+            if (parsed_end == value.c_str()) return fail(where + ": bad sample value");
+            for (const char* q = parsed_end; *q != '\0'; ++q) {
+                if (*q != ' ' && !(*q >= '0' && *q <= '9') && *q != '-') {
+                    return fail(where + ": trailing garbage after sample value");
+                }
+            }
+        }
+        ++samples;
+    }
+    if (samples == 0) return fail("exposition text carries no samples");
+    return true;
 }
 
 }  // namespace sdlc::serve

@@ -20,8 +20,19 @@ namespace sdlc::serve {
 /// Metric name prefix ("sdlc_serve_").
 inline constexpr const char* kMetricsPrefix = "sdlc_serve_";
 
+/// Build version surfaced as sdlc_serve_build_info{version="..."} (and the
+/// cache daemon's sdlc_cache_build_info). Bumped with the protocol.
+inline constexpr const char* kBuildVersion = "0.8.0";
+
 /// Renders `stats` as Prometheus text format (trailing newline included).
 [[nodiscard]] std::string prometheus_metrics(const ServiceStats& stats);
+
+/// Structural validator for Prometheus exposition text (version 0.0.4):
+/// every line must be a comment or a `name[{labels}] value` sample with a
+/// parseable float value, and at least one sample must be present. The
+/// --scrape paths run scraped text through this so a daemon answering
+/// garbage fails the scrape (exit 3) instead of poisoning a collector.
+[[nodiscard]] bool validate_exposition(const std::string& text, std::string* error = nullptr);
 
 }  // namespace sdlc::serve
 

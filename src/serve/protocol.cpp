@@ -168,6 +168,7 @@ const char* request_type_name(RequestType t) noexcept {
         case RequestType::kSweep: return "sweep";
         case RequestType::kStats: return "stats";
         case RequestType::kMetrics: return "metrics";
+        case RequestType::kTrace: return "trace";
         case RequestType::kCancel: return "cancel";
         case RequestType::kShutdown: return "shutdown";
     }
@@ -210,6 +211,7 @@ bool parse_request(const std::string& line, size_t max_bytes, SweepRequest& out,
             if (name == "sweep") out.type = RequestType::kSweep;
             else if (name == "stats") out.type = RequestType::kStats;
             else if (name == "metrics") out.type = RequestType::kMetrics;
+            else if (name == "trace") out.type = RequestType::kTrace;
             else if (name == "cancel") out.type = RequestType::kCancel;
             else if (name == "shutdown") out.type = RequestType::kShutdown;
             else reject("unknown request type \"" + name + "\"");
@@ -219,7 +221,8 @@ bool parse_request(const std::string& line, size_t max_bytes, SweepRequest& out,
             case RequestType::kSweep:
                 check_known_keys(root, "request", {"id", "type", "spec", "eval", "objectives",
                                                    "stream_points", "export", "deadline_ms",
-                                                   "chunk_bytes", "shard", "point_bits"});
+                                                   "chunk_bytes", "shard", "point_bits",
+                                                   "trace"});
                 if (const JsonValue* spec = root.find("spec")) out.spec = read_spec(*spec);
                 if (const JsonValue* eval = root.find("eval")) out.eval = read_eval(*eval);
                 if (const JsonValue* objectives = root.find("objectives")) {
@@ -279,6 +282,23 @@ bool parse_request(const std::string& line, size_t max_bytes, SweepRequest& out,
                 if (const JsonValue* bits = root.find("point_bits")) {
                     out.point_bits = read_bool(*bits, "point_bits");
                 }
+                if (const JsonValue* trace = root.find("trace")) {
+                    if (!trace->is_object()) reject("\"trace\" must be an object");
+                    check_known_keys(*trace, "trace", {"id", "span"});
+                    const JsonValue* trace_id = trace->find("id");
+                    if (trace_id == nullptr || !trace_id->is_string() ||
+                        !obs::parse_trace_id_hex(trace_id->string, out.trace.trace_hi,
+                                                 out.trace.trace_lo)) {
+                        reject("\"trace\" requires \"id\": 32 lowercase hex digits");
+                    }
+                    if (const JsonValue* span = trace->find("span")) {
+                        if (!span->is_string() ||
+                            !obs::parse_span_id_hex(span->string, out.trace.span_id)) {
+                            reject("\"trace\" \"span\" must be 16 lowercase hex digits");
+                        }
+                    }
+                    out.trace.valid = true;
+                }
                 break;
             case RequestType::kCancel: {
                 check_known_keys(root, "request", {"id", "type", "target"});
@@ -290,6 +310,7 @@ bool parse_request(const std::string& line, size_t max_bytes, SweepRequest& out,
             }
             case RequestType::kStats:
             case RequestType::kMetrics:
+            case RequestType::kTrace:
             case RequestType::kShutdown:
                 check_known_keys(root, "request", {"id", "type"});
                 break;
@@ -451,11 +472,32 @@ std::string error_event(const std::string& id, const std::string& code,
     return out;
 }
 
-std::string done_event(const std::string& id, bool ok) {
+std::string done_event(const std::string& id, bool ok,
+                       const std::vector<obs::Span>& spans) {
     std::string out = event_head(id, "done");
     out += ", \"ok\": ";
     out += ok ? "true" : "false";
+    if (!spans.empty()) {
+        // Only traced requests carry spans, so untraced done events keep
+        // their exact historical bytes (same gating as the stats event's
+        // cluster section).
+        out += ", \"spans\": " + obs::spans_wire_json(spans);
+    }
     out += "}";
+    return out;
+}
+
+std::string trace_event(const std::string& id, const std::vector<obs::TraceTree>& trees) {
+    std::string out = event_head(id, "trace");
+    out += ", \"trees\": [";
+    for (size_t i = 0; i < trees.size(); ++i) {
+        const obs::TraceTree& tree = trees[i];
+        if (i != 0) out += ", ";
+        out += "{\"request\": " + json_string(tree.request_id);
+        out += ", \"trace_id\": \"" + obs::trace_id_hex(tree.trace_hi, tree.trace_lo) + "\"";
+        out += ", \"spans\": " + obs::spans_wire_json(tree.spans) + "}";
+    }
+    out += "]}";
     return out;
 }
 
@@ -510,13 +552,22 @@ std::string sweep_request_json(const SweepRequest& request) {
         out += ", \"hi\": " + std::to_string(request.shard_hi) + "}";
     }
     if (request.point_bits) out += ", \"point_bits\": true";
+    if (request.trace.valid) {
+        out += ", \"trace\": {\"id\": \"" +
+               obs::trace_id_hex(request.trace.trace_hi, request.trace.trace_lo) + "\"";
+        out += ", \"span\": \"" + obs::span_id_hex(request.trace.span_id) + "\"}";
+    }
     out += "}";
     return out;
 }
 
 void emit_sweep_results(ResponseSink& sink, const SweepRequest& request,
-                        const std::vector<DesignPoint>& points, const SweepStats& stats) {
+                        const std::vector<DesignPoint>& points, const SweepStats& stats,
+                        obs::SpanRecorder* recorder) {
+    obs::ScopedSpan rank_span(recorder, request.trace, "pareto_rank");
     const ParetoResult pareto = pareto_analysis(objective_matrix(points, request.objectives));
+    rank_span.stop();
+    obs::ScopedSpan serialize_span(recorder, request.trace, "serialize");
     sink.write_line(summary_event(request.id, stats, pareto.frontier.size(),
                                   request.objectives));
     if (request.export_json) {

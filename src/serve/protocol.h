@@ -42,6 +42,7 @@
 #include "dse/evaluator.h"
 #include "dse/pareto.h"
 #include "dse/sweep.h"
+#include "obs/trace.h"
 #include "serve/sink.h"
 
 namespace sdlc::serve {
@@ -51,11 +52,13 @@ enum class RequestType {
     kSweep,     ///< evaluate a SweepSpec, stream the results
     kStats,     ///< report service counters (cache, queue, timings)
     kMetrics,   ///< dump Prometheus text-format metrics
+    kTrace,     ///< return the last-N completed request trace trees
     kCancel,    ///< cancel a queued or running sweep by id
     kShutdown,  ///< stop intake, drain the queue, then exit
 };
 
-/// Short lowercase name ("sweep", "stats", "metrics", "cancel", "shutdown").
+/// Short lowercase name ("sweep", "stats", "metrics", "trace", "cancel",
+/// "shutdown").
 [[nodiscard]] const char* request_type_name(RequestType t) noexcept;
 
 /// One parsed request line.
@@ -92,6 +95,14 @@ struct SweepRequest {
     /// coordinator can reconstruct points bit-exactly instead of re-parsing
     /// the lossy "%.12g" rendering.
     bool point_bits = false;
+    /// Optional distributed-tracing identity ({"trace": {"id": "<32 hex>",
+    /// "span": "<16 hex>"}}). Absent means "not traced" (trace.valid ==
+    /// false): the request is handled on the exact pre-tracing byte path,
+    /// so tracing can never perturb sweep exports. When present, the
+    /// service records per-stage spans under this context and returns them
+    /// on the request's `done` event (`spans` field) — an observability
+    /// channel, like the stats event.
+    obs::TraceContext trace;
     // Cancel payload.
     std::string target;
 };
@@ -173,11 +184,19 @@ struct ServiceStats {
     uint64_t cache_hits = 0;        ///< CostCache raw hit counter
     uint64_t cache_misses = 0;      ///< CostCache raw miss counter
     size_t cache_entries = 0;       ///< distinct memoized designs
+    /// Per-stage latency histograms: where sweep requests spend their wall
+    /// time. queue_wait is arrival -> worker pickup; evaluate covers the
+    /// sweep evaluation (including cache/synthesis); serialize covers
+    /// Pareto ranking + export emission.
+    LatencyHistogram queue_wait;
+    LatencyHistogram stage_evaluate;
+    LatencyHistogram stage_serialize;
     /// Remote cache-tier traffic (all-zero/disabled without --cache-peers).
     RemoteCacheCounters remote_cache;
     size_t queue_depth = 0;         ///< requests waiting in the queue
     size_t in_flight = 0;           ///< requests being processed right now
     double busy_seconds = 0.0;      ///< summed sweep wall time
+    double uptime_seconds = 0.0;    ///< seconds since the service started
     LatencyHistogram latency;       ///< per-request wall latency (sweep requests)
     /// Cluster coordination counters (disabled without --workers).
     ClusterCounters cluster;
@@ -200,7 +219,15 @@ struct ServiceStats {
 [[nodiscard]] std::string stats_event(const std::string& id, const ServiceStats& stats);
 [[nodiscard]] std::string error_event(const std::string& id, const std::string& code,
                                       const std::string& message);
-[[nodiscard]] std::string done_event(const std::string& id, bool ok);
+/// With a non-empty `spans` list, the done event additionally carries a
+/// `spans` field (obs::spans_wire_json) — only traced requests ever pass
+/// one, so untraced done events keep their exact historical bytes.
+[[nodiscard]] std::string done_event(const std::string& id, bool ok,
+                                     const std::vector<obs::Span>& spans = {});
+/// `trace` verb response: the last-N completed request trees, one object
+/// per tree with its request id, 32-hex trace id and span list.
+[[nodiscard]] std::string trace_event(const std::string& id,
+                                      const std::vector<obs::TraceTree>& trees);
 
 /// Serializes a sweep request back into one parseable NDJSON line —
 /// parse_request(sweep_request_json(r)) reproduces `r` exactly for any
@@ -213,9 +240,12 @@ struct ServiceStats {
 /// — summary, then (when requested) the result event or result_chunk
 /// stream — exactly as SweepService does. Shared with the cluster
 /// coordinator so a coordinated sweep's bytes cannot drift from a
-/// single-node one's.
+/// single-node one's. A non-null `recorder` (traced requests only) records
+/// `pareto_rank` and `serialize` spans under the request's trace context;
+/// the emitted bytes are identical either way.
 void emit_sweep_results(ResponseSink& sink, const SweepRequest& request,
-                        const std::vector<DesignPoint>& points, const SweepStats& stats);
+                        const std::vector<DesignPoint>& points, const SweepStats& stats,
+                        obs::SpanRecorder* recorder = nullptr);
 
 /// Splits a streamed export payload into bounded `result_chunk` events:
 /// feed() pieces in order, then finish() exactly once. Every chunk except

@@ -5,11 +5,48 @@
 
 #include "dse/evaluator.h"
 #include "serve/metrics.h"
+#include "util/json.h"
 
 namespace sdlc::serve {
 
+namespace {
+
+/// Per-request byte meter over the connection sink: forwards every line and
+/// tallies what this request cost on the wire (for the access log).
+class CountingSink final : public ResponseSink {
+public:
+    explicit CountingSink(ResponseSink& inner) : inner_(inner) {}
+    void write_line(const std::string& line) override {
+        bytes_.fetch_add(line.size() + 1, std::memory_order_relaxed);
+        inner_.write_line(line);
+    }
+    [[nodiscard]] size_t bytes() const noexcept {
+        return bytes_.load(std::memory_order_relaxed);
+    }
+
+private:
+    ResponseSink& inner_;
+    std::atomic<size_t> bytes_{0};
+};
+
+/// Recorder seed for a tier handling a traced request: derived from the
+/// inbound context so every process in the request's path draws span ids
+/// from a distinct deterministic stream (no cross-tier id collisions).
+[[nodiscard]] uint64_t recorder_seed(const obs::TraceContext& ctx, uint64_t tier_salt) {
+    return ctx.trace_lo ^ ctx.span_id ^ tier_salt;
+}
+
+constexpr uint64_t kServeSalt = 0x7365727665ULL;  // "serve"
+
+[[nodiscard]] double seconds_since(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+}  // namespace
+
 SweepService::SweepService(const ServiceOptions& opts)
-    : opts_(opts), pool_(opts.eval_threads), queue_(opts.queue_capacity) {
+    : opts_(opts), traces_(opts.trace_capacity), pool_(opts.eval_threads),
+      queue_(opts.queue_capacity) {
     if (!opts_.cache_peers.empty()) {
         RemoteCacheOptions remote;
         remote.peers = opts_.cache_peers;
@@ -27,23 +64,39 @@ SweepService::SweepService(const ServiceOptions& opts)
 SweepService::~SweepService() { shutdown(); }
 
 bool SweepService::submit_line(const std::string& line, std::shared_ptr<ResponseSink> sink) {
+    const auto parse_start = std::chrono::steady_clock::now();
     SweepRequest request;
     RequestError error;
     if (!parse_request(line, opts_.max_request_bytes, request, error)) {
-        sink->write_line(error_event(error.id, error.code, error.message));
-        sink->write_line(done_event(error.id, false));
+        size_t bytes = 0;
+        const std::string err = error_event(error.id, error.code, error.message);
+        const std::string done = done_event(error.id, false);
+        bytes = err.size() + done.size() + 2;
+        sink->write_line(err);
+        sink->write_line(done);
+        access_log_line(error.id, "invalid", {}, error.code.c_str(), 0.0,
+                        seconds_since(parse_start), bytes, false, false);
         return !shutdown_requested();
     }
-    return submit(request, std::move(sink));
+    return submit_job(request, std::move(sink), seconds_since(parse_start));
 }
 
 void SweepService::reject_oversized_line(ResponseSink& sink) {
-    sink.write_line(
-        error_event("", "too_large", "unterminated request line exceeded the size cap"));
-    sink.write_line(done_event("", false));
+    const std::string err =
+        error_event("", "too_large", "unterminated request line exceeded the size cap");
+    const std::string done = done_event("", false);
+    sink.write_line(err);
+    sink.write_line(done);
+    access_log_line("", "invalid", {}, "too_large", 0.0, 0.0, err.size() + done.size() + 2,
+                    false, false);
 }
 
 bool SweepService::submit(const SweepRequest& request, std::shared_ptr<ResponseSink> sink) {
+    return submit_job(request, std::move(sink), 0.0);
+}
+
+bool SweepService::submit_job(const SweepRequest& request, std::shared_ptr<ResponseSink> sink,
+                              double parse_s) {
     // Cancels act on service state, not on the sweep pipeline: handle them
     // inline so a cancel is never stuck in the queue behind its target.
     if (request.type == RequestType::kCancel) {
@@ -55,6 +108,7 @@ bool SweepService::submit(const SweepRequest& request, std::shared_ptr<ResponseS
     job.request = request;
     job.sink = std::move(sink);
     job.arrival = std::chrono::steady_clock::now();
+    job.parse_s = parse_s;
     bool created_flag = false;
     if (request.type == RequestType::kSweep) {
         std::lock_guard<std::mutex> lock(state_mutex_);
@@ -88,9 +142,14 @@ bool SweepService::submit(const SweepRequest& request, std::shared_ptr<ResponseS
             if (it != cancel_flags_.end() && it->second == cancel_flag) cancel_flags_.erase(it);
         }
         if (queue_.closed()) {
-            failed_sink->write_line(
-                error_event(id, "shutting_down", "service is draining; request rejected"));
-            failed_sink->write_line(done_event(id, false));
+            const std::string err =
+                error_event(id, "shutting_down", "service is draining; request rejected");
+            const std::string done = done_event(id, false);
+            failed_sink->write_line(err);
+            failed_sink->write_line(done);
+            access_log_line(id, request_type_name(request.type), request.trace,
+                            "shutting_down", 0.0, 0.0, err.size() + done.size() + 2, false,
+                            false);
             return false;
         }
         if (!sweep) {
@@ -102,6 +161,9 @@ bool SweepService::submit(const SweepRequest& request, std::shared_ptr<ResponseS
                     break;
                 case RequestType::kMetrics:
                     failed_sink->write_line(metrics_event(id, prometheus_metrics(stats())));
+                    break;
+                case RequestType::kTrace:
+                    failed_sink->write_line(trace_event(id, trace_trees()));
                     break;
                 case RequestType::kShutdown:
                     request_shutdown();
@@ -119,10 +181,14 @@ bool SweepService::submit(const SweepRequest& request, std::shared_ptr<ResponseS
             std::lock_guard<std::mutex> lock(state_mutex_);
             ++counters_.overloaded;
         }
-        failed_sink->write_line(error_event(
+        const std::string err = error_event(
             id, "overloaded",
-            "request queue is full (capacity " + std::to_string(queue_.capacity()) + ")"));
-        failed_sink->write_line(done_event(id, false));
+            "request queue is full (capacity " + std::to_string(queue_.capacity()) + ")");
+        const std::string done = done_event(id, false);
+        failed_sink->write_line(err);
+        failed_sink->write_line(done);
+        access_log_line(id, "sweep", request.trace, "overloaded", 0.0, 0.0,
+                        err.size() + done.size() + 2, true, false);
         return true;
     }
     std::lock_guard<std::mutex> lock(state_mutex_);
@@ -137,15 +203,20 @@ void SweepService::handle_cancel(const SweepRequest& request, ResponseSink& sink
         const auto it = cancel_flags_.find(request.target);
         if (it != cancel_flags_.end()) flag = it->second;
     }
+    CountingSink counting(sink);
     if (flag == nullptr) {
-        sink.write_line(error_event(request.id, "unknown_target",
-                                    "no queued or running sweep with id \"" + request.target +
-                                        "\""));
-        sink.write_line(done_event(request.id, false));
+        counting.write_line(error_event(request.id, "unknown_target",
+                                        "no queued or running sweep with id \"" +
+                                            request.target + "\""));
+        counting.write_line(done_event(request.id, false));
+        access_log_line(request.id, "cancel", request.trace, "unknown_target", 0.0, 0.0,
+                        counting.bytes(), false, false);
         return;
     }
     flag->store(true, std::memory_order_relaxed);
-    sink.write_line(done_event(request.id, true));
+    counting.write_line(done_event(request.id, true));
+    access_log_line(request.id, "cancel", request.trace, "ok", 0.0, 0.0, counting.bytes(),
+                    false, false);
 }
 
 void SweepService::request_shutdown() {
@@ -188,6 +259,7 @@ ServiceStats SweepService::stats() const {
         out.in_flight = in_flight_;
     }
     out.queue_depth = queue_.size();
+    out.uptime_seconds = seconds_since(started_);
     const CostCache::Stats cache = cache_.stats();
     out.cache_hits = cache.hits;
     out.cache_misses = cache.misses;
@@ -213,22 +285,44 @@ void SweepService::worker_loop() {
 void SweepService::process(Job& job) {
     const SweepRequest& request = job.request;
     ResponseSink& sink = *job.sink;
+    const double queue_wait_s = seconds_since(job.arrival);
+    {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        counters_.queue_wait.observe(queue_wait_s);
+    }
     switch (request.type) {
         case RequestType::kSweep:
-            run_sweep(job);
+            run_sweep(job, queue_wait_s);
             break;
         case RequestType::kStats:
-            sink.write_line(stats_event(request.id, stats()));
-            sink.write_line(done_event(request.id, true));
-            break;
         case RequestType::kMetrics:
-            sink.write_line(metrics_event(request.id, prometheus_metrics(stats())));
-            sink.write_line(done_event(request.id, true));
+        case RequestType::kTrace: {
+            const char* verb = request_type_name(request.type);
+            CountingSink counting(sink);
+            switch (request.type) {
+                case RequestType::kStats:
+                    counting.write_line(stats_event(request.id, stats()));
+                    break;
+                case RequestType::kMetrics:
+                    counting.write_line(metrics_event(request.id, prometheus_metrics(stats())));
+                    break;
+                default:
+                    counting.write_line(trace_event(request.id, trace_trees()));
+                    break;
+            }
+            counting.write_line(done_event(request.id, true));
+            access_log_line(request.id, verb, request.trace, "ok", queue_wait_s,
+                            seconds_since(job.arrival), counting.bytes(), false, false);
             break;
-        case RequestType::kShutdown:
+        }
+        case RequestType::kShutdown: {
             request_shutdown();
-            sink.write_line(done_event(request.id, true));
+            const std::string done = done_event(request.id, true);
+            sink.write_line(done);
+            access_log_line(request.id, "shutdown", request.trace, "ok", queue_wait_s,
+                            seconds_since(job.arrival), done.size() + 1, false, false);
             break;
+        }
         case RequestType::kCancel:
             // Unreachable: cancels are handled inline in submit().
             break;
@@ -240,9 +334,40 @@ std::vector<DesignPoint> SweepService::evaluate(const SweepRequest& request, Eva
     return evaluate_sweep(request.spec, eval, &stats);
 }
 
-void SweepService::run_sweep(const Job& job) {
+void SweepService::run_sweep(const Job& job, double queue_wait_s) {
     const SweepRequest& request = job.request;
-    ResponseSink& sink = *job.sink;
+    CountingSink sink(*job.sink);
+    const bool traced = request.trace.valid;
+    // Per-request recorder: concurrent traced requests never share span
+    // streams, and the seed keeps ids deterministic yet distinct from the
+    // client's own stream.
+    obs::SpanRecorder recorder("serve", recorder_seed(request.trace, kServeSalt));
+    obs::SpanRecorder* rec = traced ? &recorder : nullptr;
+    if (rec != nullptr) {
+        // parse and queue_wait happened before the recorder existed;
+        // reconstruct them from the measured durations (recorder epoch =
+        // worker pickup, so they sit just left of time zero).
+        obs::Span queue_span;
+        queue_span.name = "queue_wait";
+        queue_span.span_id = recorder.new_span_id();
+        queue_span.parent_id = request.trace.span_id;
+        queue_span.start_s = -queue_wait_s;
+        queue_span.dur_s = queue_wait_s;
+        if (job.parse_s > 0.0) {
+            obs::Span parse_span;
+            parse_span.name = "parse";
+            parse_span.span_id = recorder.new_span_id();
+            parse_span.parent_id = request.trace.span_id;
+            parse_span.start_s = -queue_wait_s - job.parse_s;
+            parse_span.dur_s = job.parse_s;
+            recorder.record(parse_span);
+        }
+        recorder.record(queue_span);
+    }
+    const char* outcome = "error";
+    double evaluate_s = 0.0;
+    double serialize_s = 0.0;
+    bool deadline_hit = false;
     bool ok = false;
     try {
         // Validate the spec before announcing acceptance so an unbuildable
@@ -274,18 +399,26 @@ void SweepService::run_sweep(const Job& job) {
         }
         eval.shard_lo = request.shard_lo;
         eval.shard_hi = request.shard_hi;
+        eval.recorder = rec;
+        eval.trace = request.trace;
 
         SweepStats sweep_stats;
+        const auto eval_start = std::chrono::steady_clock::now();
         const std::vector<DesignPoint> points = evaluate(request, eval, sweep_stats);
-        emit_sweep_results(sink, request, points, sweep_stats);
+        evaluate_s = seconds_since(eval_start);
+        const auto serialize_start = std::chrono::steady_clock::now();
+        emit_sweep_results(sink, request, points, sweep_stats, rec);
+        serialize_s = seconds_since(serialize_start);
 
         std::lock_guard<std::mutex> lock(state_mutex_);
         ++counters_.completed;
         counters_.points_evaluated += sweep_stats.points;
         counters_.busy_seconds += sweep_stats.wall_seconds;
         ok = true;
+        outcome = "ok";
     } catch (const SweepCancelled&) {
         sink.write_line(error_event(request.id, "cancelled", "sweep cancelled by request"));
+        outcome = "cancelled";
         std::lock_guard<std::mutex> lock(state_mutex_);
         ++counters_.cancelled;
     } catch (const SweepDeadlineExceeded&) {
@@ -293,26 +426,66 @@ void SweepService::run_sweep(const Job& job) {
             request.id, "deadline_exceeded",
             "sweep exceeded its deadline_ms budget of " + std::to_string(request.deadline_ms) +
                 " ms; the points streamed so far are a prefix of the full sweep"));
+        outcome = "deadline_exceeded";
+        deadline_hit = true;
         std::lock_guard<std::mutex> lock(state_mutex_);
         ++counters_.deadline_exceeded;
     } catch (const std::invalid_argument& e) {
         sink.write_line(error_event(request.id, "invalid_request", e.what()));
+        outcome = "invalid_request";
         std::lock_guard<std::mutex> lock(state_mutex_);
         ++counters_.failed;
     } catch (const std::exception& e) {
         sink.write_line(error_event(request.id, "internal_error", e.what()));
+        outcome = "internal_error";
         std::lock_guard<std::mutex> lock(state_mutex_);
         ++counters_.failed;
     }
+    const double wall_s = seconds_since(job.arrival);
     {
         std::lock_guard<std::mutex> lock(state_mutex_);
         const auto it = cancel_flags_.find(request.id);
         if (it != cancel_flags_.end() && it->second == job.cancel) cancel_flags_.erase(it);
-        counters_.latency.observe(std::chrono::duration<double>(
-                                      std::chrono::steady_clock::now() - job.arrival)
-                                      .count());
+        counters_.latency.observe(wall_s);
+        counters_.stage_evaluate.observe(evaluate_s);
+        counters_.stage_serialize.observe(serialize_s);
     }
-    sink.write_line(done_event(request.id, ok));
+    std::vector<obs::Span> spans;
+    if (rec != nullptr) {
+        spans = recorder.take();
+        obs::TraceTree tree;
+        tree.request_id = request.id;
+        tree.trace_hi = request.trace.trace_hi;
+        tree.trace_lo = request.trace.trace_lo;
+        tree.spans = spans;
+        traces_.add(std::move(tree));
+    }
+    sink.write_line(done_event(request.id, ok, spans));
+    access_log_line(request.id, "sweep", request.trace, outcome, queue_wait_s, wall_s,
+                    sink.bytes(), false, deadline_hit);
+}
+
+void SweepService::access_log_line(const std::string& id, const char* verb,
+                                   const obs::TraceContext& trace, const char* outcome,
+                                   double queue_wait_s, double wall_s, size_t bytes_out,
+                                   bool shed, bool deadline) {
+    if (opts_.access_log == nullptr) return;
+    std::string line = "{\"tier\": \"serve\", \"id\": " + json_string(id);
+    line += ", \"verb\": " + json_string(verb);
+    if (trace.valid) {
+        line += ", \"trace_id\": " +
+                json_string(obs::trace_id_hex(trace.trace_hi, trace.trace_lo));
+    }
+    line += ", \"outcome\": " + json_string(outcome);
+    line += ", \"queue_wait_s\": " + json_number(queue_wait_s);
+    line += ", \"wall_s\": " + json_number(wall_s);
+    line += ", \"bytes_out\": " + json_number(static_cast<double>(bytes_out));
+    line += ", \"shed\": ";
+    line += shed ? "true" : "false";
+    line += ", \"deadline\": ";
+    line += deadline ? "true" : "false";
+    line += "}";
+    opts_.access_log->write_line(line);
 }
 
 }  // namespace sdlc::serve

@@ -38,6 +38,8 @@
 #include "dse/cost_cache.h"
 #include "dse/remote_cache.h"
 #include "dse/thread_pool.h"
+#include "obs/access_log.h"
+#include "obs/trace.h"
 #include "serve/line_service.h"
 #include "serve/protocol.h"
 #include "serve/request_queue.h"
@@ -70,6 +72,12 @@ struct ServiceOptions {
     /// each key lives on this many distinct peers, so one dead daemon
     /// degrades to an extra round trip instead of a cold shard.
     unsigned cache_replicas = 1;
+    /// When set, one structured JSON line per request lands here (trace_id,
+    /// verb, outcome, queue_wait_s, wall_s, bytes_out, shed/deadline flags).
+    std::shared_ptr<obs::AccessLog> access_log;
+    /// Completed traced-request trees retained for the `trace` verb and
+    /// --trace-out.
+    size_t trace_capacity = 64;
 };
 
 /// The long-lived sweep service (see file comment). Derivable: a subclass
@@ -121,6 +129,10 @@ public:
     /// Momentary aggregate counters (what the `stats` request reports).
     [[nodiscard]] virtual ServiceStats stats() const;
 
+    /// The last trace_capacity completed traced-request trees (what the
+    /// `trace` request verb returns; tools drain this into --trace-out).
+    [[nodiscard]] std::vector<obs::TraceTree> trace_trees() const { return traces_.snapshot(); }
+
 protected:
     /// Evaluates one accepted sweep request. `eval` arrives fully wired —
     /// shared pool, resident cache (with remote tier), cancel flag,
@@ -141,14 +153,28 @@ private:
         /// Submission time: the origin of the request's deadline_ms budget
         /// (queue wait counts against it) and of the latency histogram.
         std::chrono::steady_clock::time_point arrival;
+        /// Seconds parse_request spent on the line (0 for pre-parsed
+        /// submits); becomes a `parse` span on traced requests.
+        double parse_s = 0.0;
     };
 
     void worker_loop();
     void process(Job& job);
-    void run_sweep(const Job& job);
+    void run_sweep(const Job& job, double queue_wait_s);
     void handle_cancel(const SweepRequest& request, ResponseSink& sink);
+    bool submit_job(const SweepRequest& request, std::shared_ptr<ResponseSink> sink,
+                    double parse_s);
+    /// Writes the per-request access-log line (no-op without a log).
+    void access_log_line(const std::string& id, const char* verb,
+                         const obs::TraceContext& trace, const char* outcome,
+                         double queue_wait_s, double wall_s, size_t bytes_out, bool shed,
+                         bool deadline);
 
     const ServiceOptions opts_;
+    /// Uptime epoch for stats().uptime_seconds.
+    const std::chrono::steady_clock::time_point started_ = std::chrono::steady_clock::now();
+    /// Completed traced-request trees (ring buffer; thread-safe).
+    obs::TraceStore traces_;
     ThreadPool pool_;
     CostCache cache_;
     /// Sharded peer tier over cache_ (null without cache_peers). Sweeps

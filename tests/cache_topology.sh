@@ -211,6 +211,20 @@ recovered=$(scrape_field torn_scrape.txt sdlc_cache_recovered_entries)
 [ "${recovered:-0}" -gt 0 ] || fail "torn-tail recovery recovered nothing"
 "$cache" --shutdown --socket durable.sock >/dev/null
 
+# ---- tracing is invisible to the export ------------------------------------
+# A traced sweep through a cache peer must still byte-match the untraced
+# reference, and the Chrome trace must carry daemon-side (cache-tier) spans.
+"$cache" --listen traced.sock 2>/dev/null &
+wait_for_socket traced.sock
+"$dse" $SWEEP --cache-peers unix:traced.sock --trace-out cache_trace.json \
+    --json traced_export.json >traced.txt || fail "traced cache sweep failed"
+check_identical "traced (cache tier)" traced_export.json
+[ -s cache_trace.json ] || fail "traced run wrote no trace file"
+grep -q '"cache_lookup_remote"' cache_trace.json \
+    || fail "trace carries no remote-lookup spans"
+grep -q '"pid": 4' cache_trace.json || fail "trace carries no cache-tier spans"
+"$cache" --shutdown --socket traced.sock >/dev/null
+
 # ---- replicas=2: dead primary, live replica --------------------------------
 "$cache" --listen repl1.sock 2>/dev/null &
 repl1=$!

@@ -103,6 +103,18 @@ check_identical "3 workers reordered" reorder.json
 cmp -s ref_warm.json warm.json || fail "repeat-run cluster export differs"
 echo "ok: repeat run byte-identical"
 
+# ---- tracing is invisible to the export ------------------------------------
+# A traced distributed sweep must still byte-match the untraced single-node
+# reference, and the Chrome trace must stitch in worker-tier spans from the
+# shard done events.
+"$dse" $SWEEP --workers "$WORKERS" --trace-out cluster_trace.json \
+    --json traced_export.json >traced.txt || fail "traced cluster sweep failed"
+check_identical "traced (cluster)" traced_export.json
+[ -s cluster_trace.json ] || fail "traced run wrote no trace file"
+grep -q '"shard_dispatch"' cluster_trace.json \
+    || fail "trace carries no shard-dispatch spans"
+grep -q '"pid": 3' cluster_trace.json || fail "trace carries no worker-tier spans"
+
 # ---- worker killed mid-sweep -----------------------------------------------
 "$serve" --listen victim.sock --threads 1 2>/dev/null &
 victim=$!

@@ -84,6 +84,37 @@ if [ ! -s chunked.json ]; then
     failures=$((failures + 1))
 fi
 
+# --scrape robustness: a healthy server yields clean exposition text (0)
+# carrying the uptime/build_info gauges; pointing serve_tool's scraper at a
+# cache daemon (wrong dialect) is a transport-grade failure (3), and so is
+# pointing cache_tool's scraper at a serve endpoint.
+"$tool" --scrape --socket "$sock" >scrape.txt
+check_exit "scrape healthy server" 0 $?
+grep -q '^sdlc_serve_build_info{version=' scrape.txt || {
+    echo "FAIL: scrape output lacks sdlc_serve_build_info" >&2
+    failures=$((failures + 1))
+}
+grep -q '^sdlc_serve_uptime_seconds ' scrape.txt || {
+    echo "FAIL: scrape output lacks sdlc_serve_uptime_seconds" >&2
+    failures=$((failures + 1))
+}
+xsock="$workdir/xwire-cache.sock"
+"$cache" --listen "$xsock" 2>/dev/null &
+xwire_cache=$!
+for _ in $(seq 600); do [ -S "$xsock" ] && break; sleep 0.1; done
+"$tool" --scrape --socket "$xsock" 2>/dev/null
+check_exit "serve scrape against cache daemon" 3 $?
+"$cache" --scrape --socket "$sock" 2>/dev/null
+check_exit "cache scrape against serve server" 3 $?
+"$cache" --scrape --socket "$xsock" >cscrape.txt
+check_exit "cache scrape healthy daemon" 0 $?
+grep -q '^sdlc_cache_build_info{version=' cscrape.txt || {
+    echo "FAIL: cache scrape lacks sdlc_cache_build_info" >&2
+    failures=$((failures + 1))
+}
+"$cache" --shutdown --socket "$xsock" >/dev/null
+wait "$xwire_cache" 2>/dev/null
+
 echo '{"id":"q","type":"shutdown"}' >quit.ndjson
 "$tool" --client quit.ndjson --socket "$sock" --quiet
 check_exit "shutdown request" 0 $?
@@ -154,6 +185,19 @@ check_exit "non-numeric cache replicas" 2 $?
 "$tool" --client good.ndjson --socket "$sock" --cache-replicas 2 2>/dev/null
 check_exit "cache replicas in client mode" 2 $?
 
+# Observability flag usage contract: --access-log and --trace-out are
+# server-side options; dangling values are usage errors.
+"$tool" --client good.ndjson --socket "$sock" --access-log a.log 2>/dev/null
+check_exit "access log in client mode" 2 $?
+"$tool" --scrape --socket "$sock" --trace-out t.json 2>/dev/null
+check_exit "trace out in scrape mode" 2 $?
+"$tool" --access-log 2>/dev/null
+check_exit "access log without value" 2 $?
+"$cache" --access-log a.log --stats --socket x.sock 2>/dev/null
+check_exit "cache_tool access log in client mode" 2 $?
+"$dse" --trace-out 2>/dev/null
+check_exit "dse_tool trace-out without value" 2 $?
+
 # Cluster flag usage contract, dse_tool (exit 2 = usage, before any sweep).
 "$dse" --workers "no-port-here" 2>/dev/null
 check_exit "dse_tool malformed worker spec" 2 $?
@@ -181,7 +225,8 @@ wsock="$workdir/worker.sock"
 worker=$!
 for _ in $(seq 600); do [ -S "$wsock" ] && break; sleep 0.1; done
 coord="$workdir/coord.sock"
-"$tool" --listen "$coord" --threads 1 --workers "unix:$wsock" --shards 2 2>/dev/null &
+"$tool" --listen "$coord" --threads 1 --workers "unix:$wsock" --shards 2 \
+    --access-log coord_access.log 2>/dev/null &
 coordinator=$!
 for _ in $(seq 600); do [ -S "$coord" ] && break; sleep 0.1; done
 "$tool" --client good.ndjson --socket "$coord" --quiet
@@ -190,6 +235,18 @@ echo '{"id":"q","type":"shutdown"}' >quitc.ndjson
 "$tool" --client quitc.ndjson --socket "$coord" --quiet
 wait "$coordinator"
 check_exit "coordinator exit" 0 $?
+# One structured access-log line per request: the sweep and the shutdown.
+access_lines=$(wc -l <coord_access.log)
+if [ "${access_lines:-0}" -ne 2 ]; then
+    echo "FAIL: coordinator access log has $access_lines lines, want 2" >&2
+    failures=$((failures + 1))
+else
+    echo "ok: coordinator access log (2 lines)"
+fi
+grep -q '"verb": "sweep"' coord_access.log || {
+    echo "FAIL: access log lacks the sweep line" >&2
+    failures=$((failures + 1))
+}
 "$tool" --client quitc.ndjson --socket "$wsock" --quiet
 wait "$worker"
 check_exit "worker exit" 0 $?

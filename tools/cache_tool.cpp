@@ -27,15 +27,19 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <sstream>
 #include <string>
 
 #include <unistd.h>
 
 #include "dse/cache_wire.h"
+#include "obs/access_log.h"
 #include "serve/cache_tier.h"
 #include "serve/fault.h"
+#include "serve/metrics.h"
 #include "serve/socket.h"
 #include "serve/transport.h"
+#include "util/json.h"
 
 namespace {
 
@@ -56,6 +60,8 @@ using namespace sdlc::serve;
         "    --compact-log-bytes N  fold the log into a snapshot past N bytes\n"
         "                         (default 4 MiB; 0 = never)\n"
         "    --fsync-puts         fsync the log after every put\n"
+        "    --access-log FILE    append one JSON line per request (trace_id, op,\n"
+        "                         outcome, wall_s, bytes_out)\n"
         "    --delay-ms N         test fault injection: delay every answer N ms\n"
         "    --fault SPECS        structured fault injection, comma-separated:\n"
         "                         disconnect-after:N, short-write:N,\n"
@@ -76,7 +82,7 @@ struct Args {
                                                   "--max-request-bytes", "--delay-ms",
                                                   "--data-dir",      "--compact-log-bytes",
                                                   "--fault",         "--socket",
-                                                  "--tcp"};
+                                                  "--tcp",           "--access-log"};
         const std::set<std::string> flag_keys = {"--stats", "--scrape", "--shutdown",
                                                  "--fsync-puts"};
         for (int i = 1; i < argc; ++i) {
@@ -133,6 +139,11 @@ int run_daemon(const Args& args) {
     opts.compact_log_bytes = static_cast<size_t>(
         args.get_long("--compact-log-bytes", static_cast<long>(opts.compact_log_bytes)));
     opts.fsync_puts = args.flags.count("fsync-puts") != 0;
+    if (const std::string path = args.get("--access-log"); !path.empty()) {
+        std::string error;
+        opts.access_log = obs::AccessLog::open(path, &error);
+        if (opts.access_log == nullptr) usage("--access-log: " + error);
+    }
 
     std::shared_ptr<FaultInjector> injector;
     if (const std::string fault_text = args.get("--fault"); !fault_text.empty()) {
@@ -204,30 +215,44 @@ int run_client(const Args& args, const std::string& request, bool scrape = false
     std::string error;
     if (!scrape) std::cout << line << "\n";
     if (!parse_cache_response(line, response, &error)) {
+        // A line that is not even a cache response means we are talking to
+        // the wrong kind of endpoint — a transport-contract violation for
+        // the scrape pipeline, a request error otherwise.
         std::cerr << "error: unparseable response: " << error << "\n";
-        return 1;
+        return scrape ? 3 : 1;
     }
     if (!response.ok) return 1;
     if (scrape) {
         if (!response.has_stats) {
             std::cerr << "error: stats response carried no stats object\n";
-            return 1;
+            return 3;
         }
         const CacheDaemonStats& s = response.stats;
-        std::cout << "# TYPE sdlc_cache_entries gauge\n"
-                  << "sdlc_cache_entries " << s.entries << "\n"
-                  << "# TYPE sdlc_cache_gets_total counter\n"
-                  << "sdlc_cache_gets_total " << s.gets << "\n"
-                  << "# TYPE sdlc_cache_hits_total counter\n"
-                  << "sdlc_cache_hits_total " << s.hits << "\n"
-                  << "# TYPE sdlc_cache_puts_total counter\n"
-                  << "sdlc_cache_puts_total " << s.puts << "\n"
-                  << "# TYPE sdlc_cache_rejected_total counter\n"
-                  << "sdlc_cache_rejected_total " << s.rejected << "\n"
-                  << "# TYPE sdlc_cache_recovered_entries gauge\n"
-                  << "sdlc_cache_recovered_entries " << s.recovered << "\n"
-                  << "# TYPE sdlc_cache_warm_hits_total counter\n"
-                  << "sdlc_cache_warm_hits_total " << s.warm_hits << "\n";
+        std::ostringstream text;
+        text << "# TYPE sdlc_cache_entries gauge\n"
+             << "sdlc_cache_entries " << s.entries << "\n"
+             << "# TYPE sdlc_cache_gets_total counter\n"
+             << "sdlc_cache_gets_total " << s.gets << "\n"
+             << "# TYPE sdlc_cache_hits_total counter\n"
+             << "sdlc_cache_hits_total " << s.hits << "\n"
+             << "# TYPE sdlc_cache_puts_total counter\n"
+             << "sdlc_cache_puts_total " << s.puts << "\n"
+             << "# TYPE sdlc_cache_rejected_total counter\n"
+             << "sdlc_cache_rejected_total " << s.rejected << "\n"
+             << "# TYPE sdlc_cache_recovered_entries gauge\n"
+             << "sdlc_cache_recovered_entries " << s.recovered << "\n"
+             << "# TYPE sdlc_cache_warm_hits_total counter\n"
+             << "sdlc_cache_warm_hits_total " << s.warm_hits << "\n"
+             << "# TYPE sdlc_cache_uptime_seconds gauge\n"
+             << "sdlc_cache_uptime_seconds " << json_number(s.uptime_seconds) << "\n"
+             << "# TYPE sdlc_cache_build_info gauge\n"
+             << "sdlc_cache_build_info{version=\"" << kBuildVersion << "\"} 1\n";
+        std::string exposition_error;
+        if (!validate_exposition(text.str(), &exposition_error)) {
+            std::cerr << "error: malformed exposition text: " << exposition_error << "\n";
+            return 3;
+        }
+        std::cout << text.str();
     }
     return 0;
 }
@@ -258,7 +283,8 @@ int main(int argc, char** argv) {
         if (stats || scrape || shutdown) {
             // Daemon knobs in client mode would silently do nothing — the
             // usage contract turns that into an error instead.
-            for (const char* flag : {"--data-dir", "--compact-log-bytes", "--fault"}) {
+            for (const char* flag :
+                 {"--data-dir", "--compact-log-bytes", "--fault", "--access-log"}) {
                 if (args.values.count(flag) != 0) {
                     usage(std::string(flag) + " is a daemon option");
                 }

@@ -7,7 +7,7 @@
 //            [--objectives o,o,...] [--frontier] [--top K] [--by OBJ]
 //            [--max-nmed X] [--max-mred X] [--max-area X] [--max-power X]
 //            [--max-delay X]
-//            [--csv file.csv] [--json file.json]
+//            [--csv file.csv] [--json file.json] [--trace-out file.json]
 //
 // Modes:
 //   default      print every evaluated point with its dominance rank
@@ -38,12 +38,15 @@
 #include <unordered_set>
 #include <vector>
 
+#include <fstream>
+
 #include "cluster/coordinator.h"
 #include "dse/evaluator.h"
 #include "dse/export.h"
 #include "dse/pareto.h"
 #include "dse/remote_cache.h"
 #include "dse/sweep.h"
+#include "obs/trace.h"
 #include "util/table.h"
 
 namespace {
@@ -99,7 +102,12 @@ using namespace sdlc;
         "    --by OBJ             error|area|power|delay|energy|maxred (default error)\n"
         "    --max-nmed/--max-mred/--max-area/--max-power/--max-delay X\n"
         "  export:\n"
-        "    --csv FILE  --json FILE\n";
+        "    --csv FILE  --json FILE\n"
+        "  observability:\n"
+        "    --trace-out FILE     record per-stage spans (client tier plus any\n"
+        "                         cluster workers and cache peers) and write a\n"
+        "                         Chrome trace-event JSON loadable in Perfetto;\n"
+        "                         never changes sweep results or exports\n";
     std::exit(msg.empty() ? 0 : 2);
 }
 
@@ -116,7 +124,7 @@ public:
             "--json",     "--repeat",   "--objectives", "--cache-peers",
             "--cache-timeout-ms",       "--cache-replicas", "--workers",
             "--shards",   "--shard-timeout-ms",           "--shard-retries",
-            "--shard-backoff-ms"};
+            "--shard-backoff-ms",       "--trace-out"};
         for (int i = 1; i < argc; ++i) {
             std::string key = argv[i];
             if (key == "--help" || key == "-h") usage();
@@ -346,6 +354,23 @@ int main(int argc, char** argv) {
 
         const cluster::ClusterOptions cluster = cluster_options_from(args);
         const bool clustered = !cluster.workers.empty();
+
+        // --trace-out: record spans on a client-tier recorder seeded from the
+        // sweep seed (deterministic ids). The root context carries span_id 0
+        // so top-level spans are roots of the assembled tree. Tracing rides
+        // EvalOptions only — sweep results and exports are unaffected.
+        const std::string trace_out = args.get("--trace-out");
+        std::unique_ptr<obs::SpanRecorder> trace_recorder;
+        obs::TraceContext trace_root;
+        if (!trace_out.empty()) {
+            trace_recorder = std::make_unique<obs::SpanRecorder>("client", opts.seed);
+            trace_root.trace_hi = trace_recorder->new_span_id();
+            trace_root.trace_lo = trace_recorder->new_span_id();
+            trace_root.span_id = 0;
+            trace_root.valid = true;
+            opts.recorder = trace_recorder.get();
+            opts.trace = trace_root;
+        }
         // Persist across --repeat runs so run 2's deterministic cache stats
         // see run 1's keys as warm — exactly like the shared local cache.
         std::unordered_set<uint64_t> warm_keys;
@@ -494,6 +519,21 @@ int main(int argc, char** argv) {
         if (const std::string json = args.get("--json"); !json.empty()) {
             write_dse_json(json, points, pareto.rank, stats, objectives);
             std::cout << "json -> " << json << "\n";
+        }
+        if (trace_recorder != nullptr) {
+            obs::TraceTree tree;
+            tree.request_id = "dse";
+            tree.trace_hi = trace_root.trace_hi;
+            tree.trace_lo = trace_root.trace_lo;
+            tree.spans = trace_recorder->take();
+            std::ofstream trace_file(trace_out, std::ios::binary | std::ios::trunc);
+            trace_file << obs::chrome_trace_json({tree});
+            if (!trace_file.flush()) {
+                std::cerr << "error: cannot write trace to " << trace_out << "\n";
+                return 1;
+            }
+            std::cout << "trace -> " << trace_out << " (" << tree.spans.size()
+                      << " spans)\n";
         }
         return 0;
     } catch (const std::exception& e) {

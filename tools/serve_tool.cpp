@@ -47,6 +47,9 @@
 
 #include "cluster/coordinator.h"
 #include "dse/remote_cache.h"
+#include "obs/access_log.h"
+#include "obs/trace.h"
+#include "serve/metrics.h"
 #include "serve/protocol.h"
 #include "serve/service.h"
 #include "serve/socket.h"
@@ -77,6 +80,11 @@ using namespace sdlc::serve;
         "                         before degrading to local synthesis (default 250)\n"
         "    --cache-replicas N   store each key on N distinct peers; gets fall\n"
         "                         through primary -> replicas -> local (default 1)\n"
+        "  observability (server modes):\n"
+        "    --access-log FILE    append one JSON line per request (trace_id, verb,\n"
+        "                         outcome, queue_wait_s, wall_s, bytes_out, flags)\n"
+        "    --trace-out FILE     at exit, write the retained traced-request trees\n"
+        "                         as Chrome trace-event JSON (Perfetto-loadable)\n"
         "  cluster (server options; sweeps are sharded across the workers and\n"
         "  merged back byte-identically to a single-node run):\n"
         "    --workers LIST       comma list of serve_tool replicas to fan sweep\n"
@@ -118,7 +126,8 @@ struct Args {
                                                   "--cache-peers",    "--cache-timeout-ms",
                                                   "--cache-replicas", "--shards",
                                                   "--shard-timeout-ms", "--shard-retries",
-                                                  "--shard-backoff-ms"};
+                                                  "--shard-backoff-ms", "--access-log",
+                                                  "--trace-out"};
         const std::set<std::string> flag_keys = {"--quiet", "--scrape", "--reject-overload"};
         for (int i = 1; i < argc; ++i) {
             const std::string key = argv[i];
@@ -185,7 +194,23 @@ ServiceOptions service_options(const Args& args) {
         usage("--cache-replicas requires --cache-peers");
     }
     opts.cache_replicas = static_cast<unsigned>(replicas);
+    if (const std::string path = args.get("--access-log"); !path.empty()) {
+        std::string error;
+        opts.access_log = obs::AccessLog::open(path, &error);
+        if (opts.access_log == nullptr) usage("--access-log: " + error);
+    }
     return opts;
+}
+
+/// Writes the service's retained trace trees as Chrome trace-event JSON.
+/// Best-effort at exit: a write failure is reported but never changes the
+/// server's exit status (observability must not fail the workload).
+void write_trace_out(const Args& args, const SweepService& service) {
+    const std::string path = args.get("--trace-out");
+    if (path.empty()) return;
+    std::ofstream out(path, std::ios::binary);
+    out << obs::chrome_trace_json(service.trace_trees());
+    if (!out.flush()) std::cerr << "serve_tool: cannot write " << path << "\n";
 }
 
 /// Builds the service for a server mode: a plain SweepService, or a
@@ -276,6 +301,7 @@ int run_stdio_server(const Args& args) {
         cv.wait(lock, [&] { return reader_done || service.shutdown_requested(); });
     }
     service.shutdown();  // drain queued requests, join workers
+    write_trace_out(args, service);
     if (reader_done) {
         reader.join();
         return 0;
@@ -309,6 +335,7 @@ int run_socket_server(const Args& args) {
     const std::unique_ptr<SweepService> service = make_service(args, opts);
     std::cerr << "serve_tool: listening on " << listener->endpoint() << "\n";
     serve_listener(*listener, *service, opts.max_request_bytes);
+    write_trace_out(args, *service);
     return 0;
 }
 
@@ -466,23 +493,51 @@ int run_scrape(const Args& args) {
     std::string metrics;
     bool got_metrics = false;
     bool done = false;
+    // A scraper talks to exactly one kind of endpoint; anything that is not
+    // a clean metrics/done exchange with valid exposition text is a
+    // transport-contract violation (exit 3), so a misdirected scrape (a
+    // cache daemon, a rogue process) can never feed garbage to a collector.
     while (!done && reader.next(line)) {
         JsonValue event;
-        if (!json_parse(line, event)) continue;
-        const JsonValue* kind = event.find("event");
-        if (kind == nullptr || !kind->is_string()) continue;
-        if (kind->string == "metrics") {
-            if (const JsonValue* data = event.find("data"); data != nullptr && data->is_string()) {
-                metrics = data->string;
-                got_metrics = true;
-            }
+        if (!json_parse(line, event) || !event.is_object()) {
+            std::cerr << "error: malformed response line during scrape\n";
+            ::close(fd);
+            return 3;
         }
-        if (kind->string == "done") done = true;
+        const JsonValue* kind = event.find("event");
+        if (kind == nullptr || !kind->is_string()) {
+            std::cerr << "error: response carries no event field "
+                         "(not a serve_tool metrics endpoint?)\n";
+            ::close(fd);
+            return 3;
+        }
+        if (kind->string == "metrics") {
+            const JsonValue* data = event.find("data");
+            if (data == nullptr || !data->is_string()) {
+                std::cerr << "error: metrics event carries no data text\n";
+                ::close(fd);
+                return 3;
+            }
+            metrics = data->string;
+            got_metrics = true;
+        } else if (kind->string == "done") {
+            done = true;
+        } else {
+            std::cerr << "error: unexpected \"" << kind->string
+                      << "\" event during scrape\n";
+            ::close(fd);
+            return 3;
+        }
     }
     ::close(fd);
     if (!got_metrics) {
         std::cerr << "error: no metrics event received\n";
-        return 1;
+        return 3;
+    }
+    std::string exposition_error;
+    if (!validate_exposition(metrics, &exposition_error)) {
+        std::cerr << "error: malformed exposition text: " << exposition_error << "\n";
+        return 3;
     }
     std::cout << metrics;  // raw Prometheus exposition text
     return 0;
@@ -512,6 +567,10 @@ int main(int argc, char** argv) {
                                    args.values.count("--cache-timeout-ms") != 0 ||
                                    args.values.count("--cache-replicas") != 0)) {
             usage("--cache-peers/--cache-timeout-ms/--cache-replicas are server options");
+        }
+        if ((client || scrape) && (args.values.count("--access-log") != 0 ||
+                                   args.values.count("--trace-out") != 0)) {
+            usage("--access-log/--trace-out are server options");
         }
         if ((client || scrape) &&
             (args.values.count("--workers") != 0 || args.values.count("--shards") != 0 ||
