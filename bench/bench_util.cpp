@@ -19,11 +19,13 @@ BenchArgs BenchArgs::parse(int argc, char** argv) {
             args.csv_path = argv[++i];
         } else if (a == "--json" && i + 1 < argc) {
             args.json_path = argv[++i];
+        } else if (a == "--check" && i + 1 < argc) {
+            args.check_path = argv[++i];
         } else if (a == "--seed" && i + 1 < argc) {
             args.seed = std::strtoull(argv[++i], nullptr, 0);
         } else if (a == "--help" || a == "-h") {
             std::cout << "options: [--exhaustive] [--quick] [--csv <path>] [--json <path>] "
-                         "[--seed <n>]\n";
+                         "[--check <path>] [--seed <n>]\n";
             std::exit(0);
         }
     }

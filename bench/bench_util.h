@@ -15,12 +15,16 @@
 namespace sdlc::bench {
 
 /// Minimal CLI: recognizes --exhaustive, --quick, --csv <path>,
-/// --json <path>, --seed <n>.
+/// --json <path>, --seed <n>, --check <path>.
 struct BenchArgs {
     bool exhaustive = false;
     bool quick = false;
     std::optional<std::string> csv_path;
     std::optional<std::string> json_path;
+    /// Regression-guard mode: a previously committed JSON record of the
+    /// same bench to compare against (the bench defines the tolerance and
+    /// exits nonzero on regression).
+    std::optional<std::string> check_path;
     uint64_t seed = 0x5d1cbe9c;
 
     static BenchArgs parse(int argc, char** argv);

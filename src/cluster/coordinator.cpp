@@ -232,6 +232,13 @@ std::vector<DesignPoint> distributed_sweep(const SweepSpec& spec, const EvalOpti
     proto.eval.distribution = eval.distribution;
     proto.eval.evaluate_hardware = eval.evaluate_hardware;
     proto.eval.use_hw_cache = eval.use_hw_cache;
+    proto.eval.use_sliced = eval.use_sliced;
+    // Cutoffs arrive resolved (the service edge resolves before evaluate());
+    // shipping the integers pins every replica to the same engine per point.
+    proto.eval.exhaustive_width_accurate = eval.exhaustive_width_accurate;
+    proto.eval.exhaustive_width_fast2 = eval.exhaustive_width_fast2;
+    proto.eval.exhaustive_width_planned = eval.exhaustive_width_planned;
+    proto.eval.exhaustive_width_sliced = eval.exhaustive_width_sliced;
     proto.stream_points = true;
     proto.export_json = false;
     proto.point_bits = true;
@@ -498,6 +505,15 @@ std::vector<DesignPoint> distributed_sweep(const SweepSpec& spec, const EvalOpti
         *stats = SweepStats{};
         stats->points = hi - lo;
         stats->hw_cache_enabled = eval.use_hw_cache;
+        // Engine tallies are a pure replay of select_error_engine over the
+        // shard range with the wire-level options, so the coordinator's
+        // summary matches what a single node evaluating the same range
+        // would report — byte-identical exports either way.
+        stats->engines = tally_error_engines(
+            std::vector<MultiplierConfig>(configs.begin() + static_cast<ptrdiff_t>(lo),
+                                          configs.begin() + static_cast<ptrdiff_t>(hi)),
+            eval);
+        stats->cutoff_desc = describe_exhaustive_cutoffs(eval);
         if (want_cache_stats) {
             // Deterministic cache counters, fleet edition: replay the
             // shard range's content keys in enumeration order against the

@@ -5,10 +5,16 @@
 #include <optional>
 #include <unordered_set>
 
+#include <algorithm>
+#include <cstring>
+
 #include "api/approx_multiplier.h"
 #include "core/kernels.h"
+#include "core/kernels_sliced.h"
 #include "dse/thread_pool.h"
+#include "error/calibrate.h"
 #include "error/evaluate.h"
+#include "error/evaluate_sliced.h"
 #include "util/rng.h"
 
 namespace sdlc {
@@ -57,6 +63,78 @@ ErrorMetrics sampled_distribution_metrics(int width, uint64_t samples, uint64_t 
 
 }  // namespace
 
+const char* error_engine_name(ErrorEngine e) noexcept {
+    switch (e) {
+        case ErrorEngine::kExhaustiveSliced: return "sliced";
+        case ErrorEngine::kExhaustiveScalar: return "scalar";
+        case ErrorEngine::kSampled: return "sampled";
+    }
+    return "?";
+}
+
+ErrorEngine select_error_engine(const MultiplierConfig& config,
+                                const EvalOptions& opts) noexcept {
+    const auto cutoff = [&](int per_path) {
+        return per_path > 0 ? per_path : opts.exhaustive_max_width;
+    };
+    const char* path = multiply_kernel_name(config);
+    int scalar_cut = cutoff(opts.exhaustive_width_planned);
+    if (std::strcmp(path, "accurate") == 0) {
+        scalar_cut = cutoff(opts.exhaustive_width_accurate);
+    } else if (std::strcmp(path, "sdlc-fast2") == 0) {
+        scalar_cut = cutoff(opts.exhaustive_width_fast2);
+    }
+    if (opts.use_sliced && SlicedMultiplyKernel::eligible(config) &&
+        config.width <= std::max(cutoff(opts.exhaustive_width_sliced), scalar_cut)) {
+        return ErrorEngine::kExhaustiveSliced;
+    }
+    if (config.width <= scalar_cut) return ErrorEngine::kExhaustiveScalar;
+    return ErrorEngine::kSampled;
+}
+
+std::string describe_exhaustive_cutoffs(const EvalOptions& opts) {
+    if (opts.exhaustive_width_accurate == 0 && opts.exhaustive_width_fast2 == 0 &&
+        opts.exhaustive_width_planned == 0 && opts.exhaustive_width_sliced == 0) {
+        return "fixed(" + std::to_string(opts.exhaustive_max_width) + ")";
+    }
+    const auto cutoff = [&](int per_path) {
+        return per_path > 0 ? per_path : opts.exhaustive_max_width;
+    };
+    return "auto(accurate=" + std::to_string(cutoff(opts.exhaustive_width_accurate)) +
+           ",fast2=" + std::to_string(cutoff(opts.exhaustive_width_fast2)) +
+           ",planned=" + std::to_string(cutoff(opts.exhaustive_width_planned)) +
+           ",sliced=" + std::to_string(cutoff(opts.exhaustive_width_sliced)) + ")";
+}
+
+void apply_auto_exhaustive(EvalOptions& opts, const SweepSpec& spec, double budget_ms) {
+    if (opts.exhaustive_width_accurate != 0 || opts.exhaustive_width_fast2 != 0 ||
+        opts.exhaustive_width_planned != 0 || opts.exhaustive_width_sliced != 0) {
+        return;  // pinned: the submitter already resolved or fixed the cutoffs
+    }
+    int max_width = 0;
+    for (const int w : spec.widths) max_width = std::max(max_width, w);
+    if (max_width <= opts.exhaustive_max_width) return;  // promotion can't matter
+    const ExhaustiveCutoffs cut =
+        resolve_exhaustive_cutoffs(engine_calibration(), opts.exhaustive_max_width, budget_ms);
+    opts.exhaustive_width_accurate = cut.accurate;
+    opts.exhaustive_width_fast2 = cut.fast2;
+    opts.exhaustive_width_planned = cut.planned;
+    opts.exhaustive_width_sliced = cut.sliced;
+}
+
+ErrorEngineTally tally_error_engines(const std::vector<MultiplierConfig>& configs,
+                                     const EvalOptions& opts) noexcept {
+    ErrorEngineTally t;
+    for (const MultiplierConfig& c : configs) {
+        switch (select_error_engine(c, opts)) {
+            case ErrorEngine::kExhaustiveSliced: ++t.sliced; break;
+            case ErrorEngine::kExhaustiveScalar: ++t.scalar; break;
+            case ErrorEngine::kSampled: ++t.sampled; break;
+        }
+    }
+    return t;
+}
+
 const char* operand_distribution_name(OperandDistribution d) noexcept {
     switch (d) {
         case OperandDistribution::kUniform: return "uniform";
@@ -74,26 +152,41 @@ namespace {
 
 /// Shared implementation: evaluates one point, optionally reporting the
 /// hardware content key (0 when no hardware was evaluated) so the sweep
-/// can derive deterministic cache statistics.
+/// can derive deterministic cache statistics. `shard_pool` (may be null)
+/// spreads the exhaustive shard grid over existing workers — evaluate_sweep
+/// passes its pool only for single-point sweeps, where the point runs
+/// inline on the caller and the pool would otherwise sit idle.
 DesignPoint evaluate_point_impl(const MultiplierConfig& config, const EvalOptions& opts,
-                                uint64_t* hw_key) {
-    // The kernel replaces the ApproxMultiplier software model on the error
-    // path: bit-identical results (enforced by exhaustive tests), but the
-    // inner loop is a bit-trick or a precomputed strength-reduced plan
-    // instead of the ClusterPlan interpreter.
-    const MultiplyKernel kernel(config);
-    auto f = [&kernel](uint64_t a, uint64_t b) { return kernel(a, b); };
-
+                                uint64_t* hw_key, ThreadPool* shard_pool) {
     DesignPoint point;
     point.config = config;
-    if (config.width <= opts.exhaustive_max_width) {
-        // Single-threaded on purpose: the sweep parallelizes across points,
-        // and a fixed shard count keeps the result thread-count independent.
-        point.error = exhaustive_metrics(config.width, f, /*max_threads=*/1);
-    } else {
-        point.error = sampled_distribution_metrics(config.width, opts.samples,
-                                                   point_seed(opts.seed, config),
-                                                   opts.distribution, f);
+    switch (select_error_engine(config, opts)) {
+        case ErrorEngine::kExhaustiveSliced: {
+            // 64 products per bitwise op; bit-identical to the scalar
+            // engine below (enforced by exhaustive tests).
+            const SlicedMultiplyKernel kernel(config);
+            point.error = exhaustive_metrics_sliced(kernel, /*max_threads=*/0, shard_pool);
+            break;
+        }
+        case ErrorEngine::kExhaustiveScalar: {
+            // The kernel replaces the ApproxMultiplier software model on
+            // the error path: bit-identical results, but the inner loop is
+            // a bit-trick or a precomputed strength-reduced plan instead of
+            // the ClusterPlan interpreter. The shard grid is fixed, so the
+            // result is identical for every shard_pool size.
+            const MultiplyKernel kernel(config);
+            point.error = exhaustive_metrics(
+                config.width, [&kernel](uint64_t a, uint64_t b) { return kernel(a, b); },
+                /*max_threads=*/0, shard_pool);
+            break;
+        }
+        case ErrorEngine::kSampled: {
+            const MultiplyKernel kernel(config);
+            point.error = sampled_distribution_metrics(
+                config.width, opts.samples, point_seed(opts.seed, config), opts.distribution,
+                [&kernel](uint64_t a, uint64_t b) { return kernel(a, b); });
+            break;
+        }
     }
     if (hw_key != nullptr) *hw_key = 0;
     if (opts.evaluate_hardware) {
@@ -120,9 +213,9 @@ DesignPoint evaluate_point(const MultiplierConfig& config, const EvalOptions& op
         // evaluate_sweep (the documented --no-hw-cache escape hatch).
         EvalOptions uncached = opts;
         uncached.hw_cache = nullptr;
-        return evaluate_point_impl(config, uncached, nullptr);
+        return evaluate_point_impl(config, uncached, nullptr, nullptr);
     }
-    return evaluate_point_impl(config, opts, nullptr);
+    return evaluate_point_impl(config, opts, nullptr, nullptr);
 }
 
 std::vector<DesignPoint> evaluate_sweep(const SweepSpec& spec, const EvalOptions& opts,
@@ -169,6 +262,12 @@ std::vector<DesignPoint> evaluate_sweep(const SweepSpec& spec, const EvalOptions
         local_pool.emplace(opts.threads);
         pool = &*local_pool;
     }
+    // A one-point sweep runs inline on the caller (parallel_for's n == 1
+    // fast path), leaving the pool idle — hand it to the exhaustive engine
+    // so the shard grid parallelizes instead. With more points the pool is
+    // busy with points; an inner parallel_for from a pool worker would
+    // deadlock, so the engine then runs its shards inline.
+    ThreadPool* shard_pool = configs.size() == 1 ? pool : nullptr;
 
     // Ordered streaming: a worker finishing point i marks it ready, then
     // drains the contiguous ready prefix. Exactly one worker holds the
@@ -195,7 +294,7 @@ std::vector<DesignPoint> evaluate_sweep(const SweepSpec& spec, const EvalOptions
         }
         obs::ScopedSpan eval_span(opts.recorder, opts.trace, "kernel_eval");
         obs::ScopedBinding binding(opts.recorder, eval_span.context());
-        points[i] = evaluate_point_impl(configs[i], point_opts, &hw_keys[i]);
+        points[i] = evaluate_point_impl(configs[i], point_opts, &hw_keys[i], shard_pool);
         if (opts.on_point) {
             std::lock_guard<std::mutex> lock(emit_mutex);
             ready[i] = 1;
@@ -210,6 +309,8 @@ std::vector<DesignPoint> evaluate_sweep(const SweepSpec& spec, const EvalOptions
         *stats = SweepStats{};
         stats->points = points.size();
         stats->hw_cache_enabled = point_opts.hw_cache != nullptr;
+        stats->engines = tally_error_engines(configs, point_opts);
+        stats->cutoff_desc = describe_exhaustive_cutoffs(point_opts);
         // Replay the keys in enumeration order: the first sight of a key not
         // already warm is the miss, every later sight a hit. This is what a
         // sequential run would count, independent of scheduling.

@@ -54,6 +54,21 @@ struct EvalOptions {
     unsigned threads = 0;           ///< worker threads; 0 = hardware concurrency
     int exhaustive_max_width = 10;  ///< exhaustive error sweep at or below this width
     uint64_t samples = uint64_t{1} << 18;  ///< Monte-Carlo samples above it
+    /// Evaluate exhaustive sweeps with the bit-sliced engine whenever the
+    /// configuration is planned-path eligible (non-accurate, depth >= 2,
+    /// width <= 16). Bit-identical to the scalar engine — this knob changes
+    /// speed only (the `--no-sliced` escape hatch).
+    bool use_sliced = true;
+    /// Per-kernel-path exhaustive cutoff widths, 0 = use
+    /// exhaustive_max_width. Set by the auto time-budget resolution
+    /// (error/calibrate.h) at the tool/service edge; resolved integers —
+    /// never the machine-dependent calibration — travel on the serve wire
+    /// so replicas agree. Auto resolution only promotes above the fixed
+    /// cutoff, never demotes below it.
+    int exhaustive_width_accurate = 0;
+    int exhaustive_width_fast2 = 0;
+    int exhaustive_width_planned = 0;
+    int exhaustive_width_sliced = 0;
     uint64_t seed = 0x5d1c5eed;     ///< base seed; per-point seeds derive from it
     OperandDistribution distribution = OperandDistribution::kUniform;
     bool evaluate_hardware = true;  ///< synthesize netlists for cost metrics
@@ -122,6 +137,52 @@ struct SweepDeadlineExceeded : std::runtime_error {
     SweepDeadlineExceeded() : std::runtime_error("sweep deadline exceeded") {}
 };
 
+/// Which error engine evaluate_point runs for one configuration.
+enum class ErrorEngine {
+    kExhaustiveSliced,  ///< bit-sliced exhaustive (core/kernels_sliced.h)
+    kExhaustiveScalar,  ///< scalar-kernel exhaustive (error/evaluate.h)
+    kSampled,           ///< seeded Monte-Carlo (width above every cutoff)
+};
+
+/// "sliced", "scalar", or "sampled".
+[[nodiscard]] const char* error_engine_name(ErrorEngine e) noexcept;
+
+/// Pure engine choice for one configuration: the bit-sliced engine when
+/// enabled, eligible, and the width fits the sliced (or scalar-path)
+/// cutoff; otherwise scalar exhaustive under the config's own kernel-path
+/// cutoff; otherwise sampling. Deterministic given (config, opts) — the
+/// coordinator replays it to reproduce replica engine tallies.
+[[nodiscard]] ErrorEngine select_error_engine(const MultiplierConfig& config,
+                                              const EvalOptions& opts) noexcept;
+
+/// Human-readable cutoff summary for logs and the export summary:
+/// "fixed(10)" when no per-path widths are set, otherwise
+/// "auto(accurate=14,fast2=13,planned=12,sliced=14)".
+[[nodiscard]] std::string describe_exhaustive_cutoffs(const EvalOptions& opts);
+
+/// Auto cutoff resolution (the time-budget heuristic): when the sweep
+/// reaches widths above the fixed exhaustive_max_width cutoff, fill the
+/// per-path cutoff widths from the process's measured engine calibration
+/// (error/calibrate.h) so each path runs exhaustive up to the largest
+/// width whose full sweep fits `budget_ms`. No-op — and no calibration
+/// cost — when every swept width already sits at or below the fixed
+/// cutoff, or when per-path widths are already set (a pinned request).
+/// Resolution never demotes below the fixed cutoff. Call once at the
+/// tool/service edge; the resolved integers, not the machine-dependent
+/// calibration, then travel with the options.
+void apply_auto_exhaustive(EvalOptions& opts, const SweepSpec& spec, double budget_ms);
+
+/// Per-engine point counts for a config list — a pure replay of
+/// select_error_engine, so every replica and the coordinator derive the
+/// same tallies from the same wire-level options.
+struct ErrorEngineTally {
+    size_t sliced = 0;
+    size_t scalar = 0;
+    size_t sampled = 0;
+};
+[[nodiscard]] ErrorEngineTally tally_error_engines(const std::vector<MultiplierConfig>& configs,
+                                                   const EvalOptions& opts) noexcept;
+
 /// Per-sweep bookkeeping reported by evaluate_sweep. The cache counts are
 /// derived in enumeration order against a pre-sweep snapshot, so they are
 /// identical for every thread count (unlike CostCache's raw counters,
@@ -137,6 +198,11 @@ struct SweepStats {
     /// so they feed tool summaries and service stats only — never the JSON
     /// export or the deterministic sweep event stream.
     RemoteCacheCounters remote;
+    /// Which error engine evaluated how many points, and the cutoff policy
+    /// that decided it. Pure replay of select_error_engine over the sweep's
+    /// configs (deterministic; safe for the JSON export summary).
+    ErrorEngineTally engines;
+    std::string cutoff_desc;
 };
 
 /// One fully evaluated configuration.

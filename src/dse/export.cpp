@@ -103,6 +103,10 @@ void dse_json_stream(const std::vector<DesignPoint>& points, const std::vector<i
     head += stats.hw_cache_enabled ? "true" : "false";
     head += ", \"hits\": " + std::to_string(stats.hw_cache_hits);
     head += ", \"misses\": " + std::to_string(stats.hw_cache_misses);
+    head += "}, \"error_engines\": {\"sliced\": " + std::to_string(stats.engines.sliced);
+    head += ", \"scalar\": " + std::to_string(stats.engines.scalar);
+    head += ", \"sampled\": " + std::to_string(stats.engines.sampled);
+    head += ", \"cutoff\": \"" + stats.cutoff_desc + "\"";
     head += "}},\n\"points\": [\n";
     emit(head);
     for (size_t i = 0; i < points.size(); ++i) {

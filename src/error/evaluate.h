@@ -6,9 +6,16 @@
 // core/kernels.h MultiplyKernel (or a stateless kernel from the registry)
 // rather than a virtual ApproxMultiplier wrapper. The exhaustive engine
 // splits the operand space into a fixed grid of shards and distributes the
-// shards across threads; because each shard accumulates the same pairs in
+// shards across workers; because each shard accumulates the same pairs in
 // the same order and shards merge in index order, the result is
-// bit-identical for every thread count (and every machine's core count).
+// bit-identical for every worker count (and every machine's core count).
+//
+// Threading contract: by default (max_threads == 0, no pool) the shards run
+// inline on the calling thread. A caller that owns a ThreadPool passes it
+// to spread shards over existing workers; only an explicit max_threads > 1
+// spawns dedicated threads. (The engine used to default to
+// hardware_concurrency() raw std::threads on every call, which
+// oversubscribed N*M threads when invoked from resident pool workers.)
 //
 // The inner loop is strength-reduced: the exact product a*b advances by
 // adding `a` as `b` steps through a tile, so no hardware multiply is spent
@@ -28,26 +35,62 @@
 
 #include "error/metrics.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace sdlc {
+namespace detail {
+
+/// Runs `run_shard(s)` for every shard in [0, shards). Inline when no
+/// parallelism was requested, over `pool` when one is provided, and on
+/// dedicated threads only for an explicit max_threads > 1. Shard results
+/// must be accumulated into per-shard state so the caller's merge order —
+/// not the scheduling — decides the result.
+template <typename RunShard>
+void run_sharded(unsigned shards, unsigned max_threads, ThreadPool* pool,
+                 RunShard&& run_shard) {
+    if (pool != nullptr) {
+        parallel_for(*pool, shards, [&](size_t s) { run_shard(static_cast<unsigned>(s)); });
+        return;
+    }
+    const unsigned threads = std::min(max_threads, shards);
+    if (threads <= 1) {
+        for (unsigned s = 0; s < shards; ++s) run_shard(s);
+        return;
+    }
+    std::atomic<unsigned> next{0};
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+        workers.emplace_back([&] {
+            for (unsigned s = next.fetch_add(1); s < shards; s = next.fetch_add(1)) {
+                run_shard(s);
+            }
+        });
+    }
+    for (auto& th : workers) th.join();
+}
+
+}  // namespace detail
+
+/// Fixed shard-grid size of the exhaustive engines. The shard count (not
+/// the worker count) decides the floating-point accumulation order, so the
+/// result never depends on how many workers ran.
+inline constexpr unsigned kExhaustiveShards = 64;
 
 /// Evaluates `approx(a,b)` for every operand pair of the given width
 /// (width <= 16 recommended: 2^(2*width) pairs) and returns the metrics.
+/// Runs inline by default; pass a pool to shard over existing workers, or
+/// an explicit max_threads > 1 to spawn dedicated threads.
 template <typename ApproxFn>
 [[nodiscard]] ErrorMetrics exhaustive_metrics(int width, ApproxFn approx,
-                                              unsigned max_threads = 0) {
+                                              unsigned max_threads = 0,
+                                              ThreadPool* pool = nullptr) {
     const uint64_t side = uint64_t{1} << width;
-    // Shard by operand stripes a ≡ s (mod kShards). The shard count is fixed
-    // (not the thread count) so the floating-point accumulation order never
-    // depends on how many workers ran.
-    constexpr unsigned kShards = 64;
-    const unsigned shards = static_cast<unsigned>(std::min<uint64_t>(kShards, side));
-    unsigned threads = max_threads ? max_threads : std::thread::hardware_concurrency();
-    if (threads == 0) threads = 1;
-    threads = std::min(threads, shards);
-
+    // Shard by operand stripes a ≡ s (mod shards).
+    const unsigned shards =
+        static_cast<unsigned>(std::min<uint64_t>(kExhaustiveShards, side));
     std::vector<ErrorAccumulator> accs(shards, ErrorAccumulator(width));
-    auto run_shard = [&](unsigned s) {
+    detail::run_sharded(shards, max_threads, pool, [&](unsigned s) {
         // B-axis tile: big enough to amortize the per-tile multiply, small
         // enough that the unrolled inner loop's state stays in registers.
         constexpr uint64_t kTile = 1024;
@@ -61,22 +104,7 @@ template <typename ApproxFn>
                 }
             }
         }
-    };
-    if (threads <= 1) {
-        for (unsigned s = 0; s < shards; ++s) run_shard(s);
-    } else {
-        std::atomic<unsigned> next{0};
-        std::vector<std::thread> pool;
-        pool.reserve(threads);
-        for (unsigned t = 0; t < threads; ++t) {
-            pool.emplace_back([&] {
-                for (unsigned s = next.fetch_add(1); s < shards; s = next.fetch_add(1)) {
-                    run_shard(s);
-                }
-            });
-        }
-        for (auto& th : pool) th.join();
-    }
+    });
     for (unsigned s = 1; s < shards; ++s) accs[0].merge(accs[s]);
     return accs[0].finalize();
 }

@@ -1,4 +1,4 @@
-#include "dse/thread_pool.h"
+#include "util/thread_pool.h"
 
 namespace sdlc {
 

@@ -1,0 +1,105 @@
+// Work-queue thread pool powering parallel design-space exploration.
+//
+// A fixed set of workers drains a shared FIFO of jobs. parallel_for() layers
+// a self-scheduling index loop on top (each worker atomically claims the next
+// unprocessed index), which balances uneven per-point costs — synthesizing a
+// 16-bit Wallace multiplier takes far longer than a 4-bit ripple one — the
+// same way a work-stealing deque would for this single-producer workload.
+// Callers write results into index-addressed slots, so the outcome is
+// independent of the thread count and of scheduling order.
+#ifndef SDLC_UTIL_THREAD_POOL_H
+#define SDLC_UTIL_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sdlc {
+
+/// Fixed-size pool of worker threads consuming a shared job queue.
+class ThreadPool {
+public:
+    /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency()
+    /// (at least one worker either way).
+    explicit ThreadPool(unsigned threads = 0);
+
+    /// Waits for queued jobs to finish, then joins the workers.
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Enqueues one job. Jobs must not submit to the pool they run on while
+    /// wait_idle() is in progress.
+    void submit(std::function<void()> job);
+
+    /// Blocks until the queue is empty and every worker is idle.
+    void wait_idle();
+
+    [[nodiscard]] unsigned thread_count() const noexcept {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+private:
+    void worker_loop();
+
+    std::mutex mutex_;
+    std::condition_variable work_ready_;
+    std::condition_variable all_idle_;
+    std::deque<std::function<void()>> queue_;
+    size_t in_flight_ = 0;  ///< queued + currently executing jobs
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+/// Runs fn(i) for every i in [0, n), distributing indices across the pool's
+/// workers via an atomic claim counter. Blocks until all indices are done.
+/// The first exception thrown by any fn(i) is rethrown on the calling thread
+/// (remaining indices may be skipped). With a single worker (or n == 1) the
+/// loop runs inline on the caller.
+template <typename Fn>
+void parallel_for(ThreadPool& pool, size_t n, Fn&& fn) {
+    if (n == 0) return;
+    const size_t workers = std::min<size_t>(pool.thread_count(), n);
+    if (workers <= 1) {
+        for (size_t i = 0; i < n; ++i) fn(i);
+        return;
+    }
+
+    std::atomic<size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    size_t done = 0;
+
+    for (size_t w = 0; w < workers; ++w) {
+        pool.submit([&] {
+            for (size_t i = next.fetch_add(1); i < n && !failed.load(std::memory_order_relaxed);
+                 i = next.fetch_add(1)) {
+                try {
+                    fn(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(done_mutex);
+                    if (!error) error = std::current_exception();
+                    failed.store(true, std::memory_order_relaxed);
+                }
+            }
+            std::lock_guard<std::mutex> lock(done_mutex);
+            if (++done == workers) done_cv.notify_one();
+        });
+    }
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&] { return done == workers; });
+    if (error) std::rethrow_exception(error);
+}
+
+}  // namespace sdlc
+
+#endif  // SDLC_UTIL_THREAD_POOL_H

@@ -12,6 +12,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <thread>
 #include <map>
 #include <string>
 
@@ -141,7 +142,9 @@ int cmd_eval(const Args& args) {
     ErrorMetrics m;
     std::string mode;
     if (args.flag("exhaustive") || cfg.width <= 12) {
-        m = exhaustive_metrics(cfg.width, f);
+        // Explicit thread count: a standalone CLI run wants the machine's
+        // cores (the inline default targets embedded/pool-worker callers).
+        m = exhaustive_metrics(cfg.width, f, std::thread::hardware_concurrency());
         mode = "exhaustive";
     } else {
         const uint64_t samples = static_cast<uint64_t>(args.get_int("--samples", 1 << 22));
