@@ -55,7 +55,10 @@ bool parse_cache_peer(const std::string& spec, CachePeerAddress& out, std::strin
     std::string host;
     uint16_t port = 0;
     std::string parse_error;
-    if (!serve::parse_host_port(host_port, host, port, &parse_error)) {
+    // Peers are connect targets: port 0 would only fail later at connect
+    // with a bare errno, so reject it here where the flag name is known.
+    if (!serve::parse_host_port(host_port, host, port, &parse_error,
+                                /*allow_port_zero=*/false)) {
         return fail("peer \"" + spec + "\": " + parse_error +
                     " (expected unix:PATH or HOST:PORT)");
     }

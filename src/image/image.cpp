@@ -57,18 +57,49 @@ Image load_pgm(const std::string& path) {
         throw std::runtime_error("load_pgm: truncated header in " + path);
     };
 
+    // Header fields must be parsed checked: std::stoi on a junk token
+    // ("abc", "12abc", "") or an overflowing one would escape as a bare
+    // std::invalid_argument/std::out_of_range with no file context,
+    // breaking the "load_pgm: ... <path>" error contract every other
+    // failure here honors.
+    auto next_header_int = [&next_token, &path](const char* field) -> long {
+        const std::string tok = next_token();
+        if (tok.empty() || tok.find_first_not_of("0123456789") != std::string::npos) {
+            throw std::runtime_error("load_pgm: invalid " + std::string(field) + " \"" +
+                                     tok + "\" in " + path);
+        }
+        long value = 0;
+        for (const char c : tok) {
+            value = value * 10 + (c - '0');
+            if (value > std::numeric_limits<int>::max()) {
+                throw std::runtime_error("load_pgm: " + std::string(field) + " " + tok +
+                                         " is out of range in " + path);
+            }
+        }
+        return value;
+    };
+
     const std::string magic = next_token();
     if (magic != "P5" && magic != "P2") {
         throw std::runtime_error("load_pgm: unsupported format " + magic);
     }
-    const int w = std::stoi(next_token());
-    const int h = std::stoi(next_token());
-    const int maxval = std::stoi(next_token());
+    const long w = next_header_int("width");
+    const long h = next_header_int("height");
+    const long maxval = next_header_int("maxval");
     if (w <= 0 || h <= 0 || maxval <= 0 || maxval > 255) {
         throw std::runtime_error("load_pgm: bad dimensions/maxval in " + path);
     }
+    // A header claiming absurd dimensions must not reach the pixel
+    // allocation: a forged "65535 65535" header would try to grab 4 GiB
+    // before the (inevitable) truncated-data error fires.
+    constexpr long kMaxDimension = 1 << 16;
+    constexpr long kMaxPixels = 1L << 26;  // 64 Mpixel ceiling
+    if (w > kMaxDimension || h > kMaxDimension || w * h > kMaxPixels) {
+        throw std::runtime_error("load_pgm: dimensions " + std::to_string(w) + "x" +
+                                 std::to_string(h) + " exceed supported size in " + path);
+    }
 
-    Image img(w, h);
+    Image img(static_cast<int>(w), static_cast<int>(h));
     if (magic == "P2") {
         for (auto& px : img.pixels()) {
             int v;

@@ -277,4 +277,31 @@ bool validate_exposition(const std::string& text, std::string* error) {
     return true;
 }
 
+std::string cache_prometheus_metrics(const CacheDaemonStats& stats) {
+    std::string text;
+    auto sample = [&text](const char* name, const char* type, const std::string& value) {
+        text += "# TYPE ";
+        text += name;
+        text += ' ';
+        text += type;
+        text += '\n';
+        text += name;
+        text += ' ';
+        text += value;
+        text += '\n';
+    };
+    sample("sdlc_cache_entries", "gauge", std::to_string(stats.entries));
+    sample("sdlc_cache_gets_total", "counter", std::to_string(stats.gets));
+    sample("sdlc_cache_hits_total", "counter", std::to_string(stats.hits));
+    sample("sdlc_cache_puts_total", "counter", std::to_string(stats.puts));
+    sample("sdlc_cache_rejected_total", "counter", std::to_string(stats.rejected));
+    sample("sdlc_cache_recovered_entries", "gauge", std::to_string(stats.recovered));
+    sample("sdlc_cache_warm_hits_total", "counter", std::to_string(stats.warm_hits));
+    sample("sdlc_cache_uptime_seconds", "gauge", json_number(stats.uptime_seconds));
+    text += "# TYPE sdlc_cache_build_info gauge\nsdlc_cache_build_info{version=\"";
+    text += kBuildVersion;
+    text += "\"} 1\n";
+    return text;
+}
+
 }  // namespace sdlc::serve

@@ -278,7 +278,17 @@ int tcp_connect(const std::string& host, uint16_t port, int timeout_ms) {
 }
 
 bool parse_host_port(const std::string& spec, std::string& host, uint16_t& port,
-                     std::string* error) {
+                     std::string* error, bool allow_port_zero) {
+    // A bracketed IPv6 literal with no port ("[::1]") would otherwise split
+    // at a colon *inside* the address and report a baffling `invalid port
+    // "1]"`; catch the shape explicitly and say what is actually missing.
+    if (!spec.empty() && spec.front() == '[' && spec.back() == ']') {
+        if (error != nullptr) {
+            *error = "missing port after bracketed IPv6 address \"" + spec + "\"" +
+                     " (expected \"" + spec + ":PORT\")";
+        }
+        return false;
+    }
     const size_t colon = spec.rfind(':');
     if (colon == std::string::npos) {
         if (error != nullptr) *error = "expected HOST:PORT, got \"" + spec + "\"";
@@ -298,6 +308,12 @@ bool parse_host_port(const std::string& spec, std::string& host, uint16_t& port,
             if (error != nullptr) *error = "port " + port_text + " is out of range";
             return false;
         }
+    }
+    if (parsed == 0 && !allow_port_zero) {
+        if (error != nullptr) {
+            *error = "port 0 is not a connectable port in \"" + spec + "\"";
+        }
+        return false;
     }
     host = std::move(h);
     port = static_cast<uint16_t>(parsed);
@@ -408,6 +424,16 @@ void FdSink::write_line(const std::string& line) {
         }
     }
     if (!write_all(fd_, line) || !write_all(fd_, "\n")) dropped_ = true;
+}
+
+void FdSink::write_raw(std::string_view data) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (dropped_) return;
+    // Raw frames carry their own framing (HTTP heads, chunk envelopes), so
+    // no newline is appended; they bypass fault injection, which speaks the
+    // line protocol (corrupt_line etc.) and would break HTTP framing in
+    // ways no real network fault produces.
+    if (!write_all(fd_, data)) dropped_ = true;
 }
 
 bool FdSink::dropped() const {

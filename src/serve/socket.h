@@ -110,9 +110,13 @@ private:
 /// Splits "HOST:PORT" at the last colon ("[::1]:70" style brackets are
 /// stripped from the host; an empty host — ":8331" — is allowed and means
 /// all interfaces when listening). Returns false with a message in *error
-/// (when non-null) on a missing or invalid port.
+/// (when non-null) on a missing or invalid port. Listener specs keep the
+/// default `allow_port_zero` (port 0 = bind an ephemeral port); specs that
+/// name a peer to *connect to* (--cache-peers, --workers, client --tcp)
+/// pass false, because connecting to port 0 can only fail later with a
+/// bare errno — rejecting it at flag parse is the useful error.
 [[nodiscard]] bool parse_host_port(const std::string& spec, std::string& host, uint16_t& port,
-                                   std::string* error = nullptr);
+                                   std::string* error = nullptr, bool allow_port_zero = true);
 
 /// Writes all of `data`, retrying short writes. Returns false on error
 /// (e.g. the peer closed the connection).
@@ -172,6 +176,13 @@ public:
     ~FdSink() override;
 
     void write_line(const std::string& line) override;
+
+    /// Writes `data` exactly as given — no newline framing, no fault
+    /// injection — under the same mutex and dropped-state rules as
+    /// write_line. The HTTP front door uses this for response heads and
+    /// chunk frames interleaved (atomically, via the mutex) with the
+    /// NDJSON event lines streamed by in-flight requests.
+    void write_raw(std::string_view data);
 
     /// Routes every write_line through `injector` (serve/fault.h): stalls,
     /// corrupts, truncates, or severs per its specs. Deterministic chaos

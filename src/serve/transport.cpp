@@ -10,14 +10,15 @@
 
 namespace sdlc::serve {
 
-void serve_listener(SocketListener& listener, LineService& service, size_t max_request_bytes,
-                    std::shared_ptr<FaultInjector> fault_injector) {
+void serve_connection_loop(SocketListener& listener, LineService& service,
+                           const ConnectionHandler& handler, bool install_shutdown_hook) {
     // A processed shutdown request must unblock the accept loop below.
-    service.set_on_shutdown([&listener] { listener.close(); });
+    if (install_shutdown_hook) {
+        service.set_on_shutdown([&listener] { listener.close(); });
+    }
 
     struct Connection {
         int fd;
-        std::shared_ptr<FdSink> sink;
         std::shared_ptr<std::atomic<bool>> finished;
         std::thread reader;
     };
@@ -26,7 +27,7 @@ void serve_listener(SocketListener& listener, LineService& service, size_t max_r
         for (auto it = connections.begin(); it != connections.end();) {
             if (it->finished->load(std::memory_order_acquire)) {
                 it->reader.join();
-                it = connections.erase(it);  // drops the sink ref; fd closes with it
+                it = connections.erase(it);
             } else {
                 ++it;
             }
@@ -42,30 +43,21 @@ void serve_listener(SocketListener& listener, LineService& service, size_t max_r
         if (client == SocketListener::kTimeout) continue;
         Connection conn;
         conn.fd = client;
-        conn.sink = std::make_shared<FdSink>(client, /*owns_fd=*/true);
-        if (fault_injector != nullptr) conn.sink->set_fault_injector(fault_injector);
         conn.finished = std::make_shared<std::atomic<bool>>(false);
-        conn.reader = std::thread(
-            [fd = client, sink = conn.sink, finished = conn.finished, &service,
-             max_line = max_request_bytes + 1] {
-                LineReader reader(fd, max_line);
-                std::string line;
-                while (reader.next(line)) {
-                    if (line.empty()) continue;
-                    if (!service.submit_line(line, sink)) break;
-                }
-                if (reader.overflowed()) {
-                    // The protocol promises a machine-readable rejection for
-                    // oversized lines even when no newline ever arrives.
-                    service.reject_oversized_line(*sink);
-                }
+        conn.reader =
+            std::thread([fd = client, finished = conn.finished, &handler] {
+                // The sink lives on the handler thread, not in the accept
+                // loop: when the handler returns and no in-flight request
+                // holds a reference, the fd closes right here.
+                const auto sink = std::make_shared<FdSink>(fd, /*owns_fd=*/true);
+                handler(fd, sink);
                 finished->store(true, std::memory_order_release);
             });
         connections.push_back(std::move(conn));
     }
 
     // Accept loop ended (shutdown request): finish every accepted request,
-    // then release the connections. Readers may still be blocked on idle
+    // then release the connections. Handlers may still be blocked on idle
     // peers; shutting the read side down unblocks them.
     service.shutdown();
     for (Connection& conn : connections) {
@@ -73,6 +65,29 @@ void serve_listener(SocketListener& listener, LineService& service, size_t max_r
         conn.reader.join();
     }
     connections.clear();
+}
+
+void serve_listener(SocketListener& listener, LineService& service, size_t max_request_bytes,
+                    std::shared_ptr<FaultInjector> fault_injector,
+                    bool install_shutdown_hook) {
+    serve_connection_loop(
+        listener, service,
+        [&service, fault_injector = std::move(fault_injector),
+         max_line = max_request_bytes + 1](int fd, const std::shared_ptr<FdSink>& sink) {
+            if (fault_injector != nullptr) sink->set_fault_injector(fault_injector);
+            LineReader reader(fd, max_line);
+            std::string line;
+            while (reader.next(line)) {
+                if (line.empty()) continue;
+                if (!service.submit_line(line, sink)) break;
+            }
+            if (reader.overflowed()) {
+                // The protocol promises a machine-readable rejection for
+                // oversized lines even when no newline ever arrives.
+                service.reject_oversized_line(*sink);
+            }
+        },
+        install_shutdown_hook);
 }
 
 }  // namespace sdlc::serve

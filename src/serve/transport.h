@@ -16,6 +16,7 @@
 #ifndef SDLC_SERVE_TRANSPORT_H
 #define SDLC_SERVE_TRANSPORT_H
 
+#include <functional>
 #include <memory>
 
 #include "serve/line_service.h"
@@ -25,17 +26,36 @@ namespace sdlc::serve {
 
 class FaultInjector;  // serve/fault.h
 
-/// Serves `listener` until the service shuts down (a `shutdown` request,
-/// or the service's shutdown hook firing from another thread). Installs
-/// the service's on_shutdown hook to unblock the accept loop; blocks until
-/// every accepted connection is drained and joined. `max_request_bytes`
-/// must mirror the service's request-size cap (it bounds the
-/// per-connection LineReader so a peer streaming bytes without a newline
-/// cannot grow the buffer without limit). A non-null `fault_injector` is
-/// installed on every connection's sink (deterministic chaos for tests;
-/// see serve/fault.h).
+/// Per-connection protocol driver run on the connection's reader thread.
+/// The sink shares ownership of `fd` (it closes when the last reference —
+/// the handler's or an in-flight request's — drops); the handler must
+/// return once the peer disconnects or the service starts draining.
+using ConnectionHandler = std::function<void(int fd, const std::shared_ptr<FdSink>& sink)>;
+
+/// The accept/drain lifecycle shared by every stream protocol (NDJSON
+/// lines, HTTP): accepts until the service shuts down, runs `handler` on a
+/// dedicated thread per connection, reaps finished connections on the 1 s
+/// accept tick, and on shutdown unblocks idle handlers with
+/// shutdown(SHUT_RD) and joins everything before returning.
+/// `install_shutdown_hook` wires service.on_shutdown to close the
+/// listener; a tool serving one service on several listeners passes false
+/// and installs one combined hook itself (LineService holds a single
+/// hook — a second install would silently drop the first listener's).
+void serve_connection_loop(SocketListener& listener, LineService& service,
+                           const ConnectionHandler& handler, bool install_shutdown_hook);
+
+/// Serves the NDJSON line protocol on `listener` until the service shuts
+/// down (a `shutdown` request, or the service's shutdown hook firing from
+/// another thread). Blocks until every accepted connection is drained and
+/// joined. `max_request_bytes` must mirror the service's request-size cap
+/// (it bounds the per-connection LineReader so a peer streaming bytes
+/// without a newline cannot grow the buffer without limit). A non-null
+/// `fault_injector` is installed on every connection's sink (deterministic
+/// chaos for tests; see serve/fault.h). See serve_connection_loop for
+/// `install_shutdown_hook`.
 void serve_listener(SocketListener& listener, LineService& service, size_t max_request_bytes,
-                    std::shared_ptr<FaultInjector> fault_injector = nullptr);
+                    std::shared_ptr<FaultInjector> fault_injector = nullptr,
+                    bool install_shutdown_hook = true);
 
 }  // namespace sdlc::serve
 

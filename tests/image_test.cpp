@@ -4,6 +4,8 @@
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "core/functional.h"
@@ -50,6 +52,73 @@ TEST(Image, PgmRoundTrip) {
 
 TEST(Image, LoadRejectsMissingFile) {
     EXPECT_THROW(load_pgm("/no/such/file.pgm"), std::runtime_error);
+}
+
+/// Writes `content` as a PGM file and returns what load_pgm throws for it.
+/// Every rejection must be a std::runtime_error carrying the "load_pgm:"
+/// prefix and the path — never a bare std::invalid_argument/out_of_range
+/// escaping from the header parse.
+std::string load_pgm_error(const std::string& name, const std::string& content) {
+    const std::string path = testing::TempDir() + "/" + name;
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << content;
+    }
+    std::string message;
+    try {
+        (void)load_pgm(path);
+    } catch (const std::runtime_error& e) {
+        message = e.what();
+    } catch (const std::exception& e) {
+        ADD_FAILURE() << "wrong exception type for " << name << ": " << e.what();
+    }
+    std::remove(path.c_str());
+    EXPECT_NE(message.find("load_pgm:"), std::string::npos) << name << ": " << message;
+    EXPECT_NE(message.find(path), std::string::npos)
+        << name << " must carry the file path: " << message;
+    return message;
+}
+
+TEST(Image, LoadRejectsMalformedHeadersWithPathCarryingErrors) {
+    // Junk tokens where integers belong.
+    EXPECT_NE(load_pgm_error("junk_width.pgm", "P5\nabc 3\n255\n").find("width"),
+              std::string::npos);
+    EXPECT_NE(load_pgm_error("junk_height.pgm", "P5\n3 3x\n255\n").find("height"),
+              std::string::npos);
+    EXPECT_NE(load_pgm_error("junk_maxval.pgm", "P5\n3 3\n2.55\n").find("maxval"),
+              std::string::npos);
+    // Negative dimensions are junk to the digits-only parse, not a crash.
+    EXPECT_NE(load_pgm_error("neg_width.pgm", "P5\n-3 3\n255\n").find("width"),
+              std::string::npos);
+    // A value that overflows int must not escape as std::out_of_range.
+    EXPECT_NE(
+        load_pgm_error("huge_width.pgm", "P5\n99999999999999999999 3\n255\n").find("width"),
+        std::string::npos);
+    // Absurd-but-parseable dimensions are refused before the allocation.
+    EXPECT_NE(load_pgm_error("huge_dims.pgm", "P5\n65535 65535\n255\n")
+                  .find("exceed supported size"),
+              std::string::npos);
+    // Truncated headers keep their dedicated message.
+    EXPECT_NE(load_pgm_error("truncated.pgm", "P5\n3").find("truncated header"),
+              std::string::npos);
+    EXPECT_NE(load_pgm_error("empty.pgm", "").find("truncated header"), std::string::npos);
+    // Zero dimensions and out-of-range maxval stay rejected.
+    load_pgm_error("zero_width.pgm", "P5\n0 3\n255\n\0\0\0");
+    load_pgm_error("maxval_range.pgm", "P5\n2 2\n999\n....");
+}
+
+TEST(Image, LoadStillAcceptsCommentsAndP2) {
+    const std::string path = testing::TempDir() + "/sdlc_img_ok.pgm";
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "P2\n# a comment\n2 2\n# another\n255\n1 2\n3 4\n";
+    }
+    const Image img = load_pgm(path);
+    EXPECT_EQ(img.width(), 2);
+    EXPECT_EQ(img.height(), 2);
+    EXPECT_EQ(img.at(0, 0), 1);
+    EXPECT_EQ(img.at(1, 1), 4);
+    std::remove(path.c_str());
 }
 
 TEST(Image, MseAndPsnr) {

@@ -264,6 +264,127 @@ echo '{"id":"q","type":"shutdown"}' >quit2.ndjson
 wait "$degraded"
 check_exit "degraded server exit" 0 $?
 
+# ---- HTTP front door: negatives over raw sockets + usage contract ----
+
+# Raw HTTP/1.1 exchange over /dev/tcp; requests carry Connection: close so
+# the server ends the response with EOF and `cat` terminates. Connects are
+# retried briefly: under `ctest -j` load the accept loop can lag a moment.
+http_exchange() { # port payload
+    for _ in $(seq 50); do
+        if exec 3<>"/dev/tcp/127.0.0.1/$1"; then
+            printf '%s' "$2" >&3
+            cat <&3
+            exec 3<&- 3>&-
+            return 0
+        fi
+        sleep 0.1
+    done 2>/dev/null
+    return 1
+}
+check_http() { # name expected_status response
+    status=$(printf '%s' "$3" | head -n1 | tr -d '\r' | cut -d' ' -f2)
+    if [ "${status:-none}" != "$2" ]; then
+        echo "FAIL: $1: expected HTTP $2, got ${status:-<none>}" >&2
+        failures=$((failures + 1))
+    else
+        echo "ok: $1 (HTTP $status)"
+    fi
+}
+CRLF=$'\r\n'
+
+printf 'contract-secret\n' >token.txt
+hsock="$workdir/http.sock"
+"$tool" --listen "$hsock" --threads 1 --listen-http 127.0.0.1:0 \
+    --auth-token-file token.txt --quota-rps 0.001 --quota-burst 1 \
+    2>http_server.log &
+http_server=$!
+hport=""
+for _ in $(seq 600); do
+    hport=$(sed -n 's/^serve_tool: http listening on tcp:127\.0\.0\.1:\([0-9]*\)$/\1/p' http_server.log)
+    [ -n "$hport" ] && break
+    sleep 0.1
+done
+if [ -z "$hport" ]; then
+    echo "FAIL: HTTP listener never reported its port" >&2
+    cat http_server.log >&2
+    failures=$((failures + 1))
+else
+    # /healthz needs no token; everything else without one is 401.
+    resp=$(http_exchange "$hport" "GET /healthz HTTP/1.1${CRLF}Host: x${CRLF}Connection: close${CRLF}${CRLF}")
+    check_http "healthz without token" 200 "$resp"
+    resp=$(http_exchange "$hport" "GET /metrics HTTP/1.1${CRLF}Host: x${CRLF}Connection: close${CRLF}${CRLF}")
+    check_http "metrics without token" 401 "$resp"
+    printf '%s' "$resp" | grep -qi '^www-authenticate: Bearer' || {
+        echo "FAIL: 401 lacks a WWW-Authenticate challenge" >&2
+        failures=$((failures + 1))
+    }
+    body='{"id":"h1","spec":{"width":4,"variants":["sdlc"],"schemes":["ripple"]}}'
+    post="POST /v1/sweep HTTP/1.1${CRLF}Host: x${CRLF}Connection: close${CRLF}Content-Length: ${#body}${CRLF}"
+    resp=$(http_exchange "$hport" "${post}${CRLF}${body}")
+    check_http "sweep without token" 401 "$resp"
+    # Wrong method / unknown path, authenticated.
+    auth="Authorization: Bearer contract-secret${CRLF}"
+    resp=$(http_exchange "$hport" "GET /v1/sweep HTTP/1.1${CRLF}Host: x${CRLF}${auth}Connection: close${CRLF}${CRLF}")
+    check_http "sweep with wrong method" 405 "$resp"
+    resp=$(http_exchange "$hport" "GET /no/such HTTP/1.1${CRLF}Host: x${CRLF}${auth}Connection: close${CRLF}${CRLF}")
+    check_http "unknown path" 404 "$resp"
+    # First authenticated sweep is admitted and completes...
+    resp=$(http_exchange "$hport" "${post}${auth}${CRLF}${body}")
+    check_http "authenticated sweep" 200 "$resp"
+    printf '%s' "$resp" | grep -q '"ok": true' || {
+        echo "FAIL: admitted sweep did not stream a done event" >&2
+        failures=$((failures + 1))
+    }
+    # ...and the drained token bucket sheds the next one with Retry-After,
+    # leaking no sweep events.
+    resp=$(http_exchange "$hport" "${post}${auth}${CRLF}${body}")
+    check_http "quota-shed sweep" 429 "$resp"
+    printf '%s' "$resp" | grep -qi '^retry-after: [0-9]' || {
+        echo "FAIL: 429 lacks a Retry-After hint" >&2
+        failures=$((failures + 1))
+    }
+    printf '%s' "$resp" | grep -q '"event"' && {
+        echo "FAIL: quota-shed response leaked sweep events" >&2
+        failures=$((failures + 1))
+    }
+    # The stock scraper path: exit 0 with the token, 3 without.
+    "$tool" --scrape --http "127.0.0.1:$hport" --auth-token-file token.txt >/dev/null
+    check_exit "HTTP scrape with token" 0 $?
+    "$tool" --scrape --http "127.0.0.1:$hport" 2>/dev/null
+    check_exit "HTTP scrape without token" 3 $?
+fi
+echo '{"id":"q","type":"shutdown"}' >quith.ndjson
+"$tool" --client quith.ndjson --socket "$hsock" --quiet
+wait "$http_server"
+check_exit "HTTP server exit" 0 $?
+
+# Usage contract for the HTTP flags: every misuse is exit 2 before
+# anything binds.
+"$tool" --http 127.0.0.1:1 </dev/null 2>/dev/null
+check_exit "--http without --scrape" 2 $?
+"$tool" --quota-rps 5 </dev/null 2>/dev/null
+check_exit "quota-rps without --listen-http" 2 $?
+"$tool" --listen-http 127.0.0.1:0 --quota-burst 5 </dev/null 2>/dev/null
+check_exit "quota-burst without quota-rps" 2 $?
+"$tool" --auth-token-file token.txt </dev/null 2>/dev/null
+check_exit "auth token file without HTTP endpoint" 2 $?
+"$tool" --listen-http 127.0.0.1:0 --quota-rps abc </dev/null 2>/dev/null
+check_exit "non-numeric quota-rps" 2 $?
+"$tool" --listen-http 127.0.0.1:0 --quota-rps 0 </dev/null 2>/dev/null
+check_exit "zero quota-rps" 2 $?
+"$tool" --listen-http nonsense </dev/null 2>/dev/null
+check_exit "malformed --listen-http endpoint" 2 $?
+"$tool" --listen-http 127.0.0.1:0 --auth-token-file "$workdir/no-such-token" </dev/null 2>/dev/null
+check_exit "unreadable auth token file" 2 $?
+"$tool" --scrape --http 127.0.0.1:0 2>/dev/null
+check_exit "HTTP scrape of port 0" 2 $?
+"$tool" --client good.ndjson --tcp 127.0.0.1:0 2>/dev/null
+check_exit "client connect to port 0" 2 $?
+"$cache" --listen-http 127.0.0.1:0 2>/dev/null
+check_exit "cache_tool --listen-http without line listener" 2 $?
+"$cache" --auth-token-file token.txt --stats --socket x.sock 2>/dev/null
+check_exit "cache_tool auth token file in client mode" 2 $?
+
 # cache_tool shares the same exit contract.
 "$cache" 2>/dev/null
 check_exit "cache_tool without mode" 2 $?

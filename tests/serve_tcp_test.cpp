@@ -50,6 +50,38 @@ TEST(ParseHostPort, AcceptsAndRejects) {
     EXPECT_FALSE(parse_host_port("h:-1", host, port, &error));
 }
 
+TEST(ParseHostPort, PortZeroIsListenOnlyAndBracketedV6NeedsAPort) {
+    std::string host;
+    uint16_t port = 0;
+    std::string error;
+
+    // Listener specs keep port 0 (ephemeral bind)...
+    EXPECT_TRUE(parse_host_port("localhost:0", host, port, &error,
+                                /*allow_port_zero=*/true));
+    // ...but a spec naming a peer to connect to must reject it at parse
+    // time: connecting to port 0 can only fail later with a bare errno.
+    EXPECT_FALSE(parse_host_port("localhost:0", host, port, &error,
+                                 /*allow_port_zero=*/false));
+    EXPECT_NE(error.find("port 0"), std::string::npos) << error;
+    EXPECT_TRUE(parse_host_port("localhost:1", host, port, &error,
+                                /*allow_port_zero=*/false));
+
+    // "[::1]" used to split at a colon inside the address and report
+    // `invalid port "1]"`; the error must name the actual problem.
+    EXPECT_FALSE(parse_host_port("[::1]", host, port, &error));
+    EXPECT_NE(error.find("missing port"), std::string::npos) << error;
+    EXPECT_EQ(error.find("invalid port"), std::string::npos)
+        << "must not misread the address tail as a port: " << error;
+    EXPECT_FALSE(parse_host_port("[2001:db8::7]", host, port, &error));
+    EXPECT_NE(error.find("missing port"), std::string::npos) << error;
+
+    // Bracketed-with-port still parses on both paths.
+    EXPECT_TRUE(parse_host_port("[::1]:70", host, port, &error,
+                                /*allow_port_zero=*/false));
+    EXPECT_EQ(host, "::1");
+    EXPECT_EQ(port, 70);
+}
+
 TEST(TcpSocketServerTest, EphemeralPortIsReportedAndConnectable) {
     TcpSocketServer server("127.0.0.1", 0);
     EXPECT_GT(server.port(), 0) << "port 0 must resolve to the kernel-chosen port";

@@ -29,6 +29,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include <unistd.h>
 
@@ -36,6 +37,7 @@
 #include "obs/access_log.h"
 #include "serve/cache_tier.h"
 #include "serve/fault.h"
+#include "serve/http.h"
 #include "serve/metrics.h"
 #include "serve/socket.h"
 #include "serve/transport.h"
@@ -53,6 +55,12 @@ using namespace sdlc::serve;
         "  daemon:\n"
         "    --listen PATH        serve on a Unix-domain socket at PATH\n"
         "    --listen-tcp HOST:PORT  serve on a TCP socket (port 0 = ephemeral)\n"
+        "    --listen-http HOST:PORT  HTTP front door beside the line socket:\n"
+        "                         GET /metrics (Prometheus exposition) and\n"
+        "                         GET /healthz (port 0 = ephemeral)\n"
+        "    --auth-token-file FILE  require `Authorization: Bearer <token>` on\n"
+        "                         HTTP /metrics (constant-time compare, 401 on\n"
+        "                         mismatch; /healthz stays open)\n"
         "    --max-request-bytes N  reject longer request lines (default 64 KiB)\n"
         "    --data-dir DIR       persist puts (append-only log + snapshots) and\n"
         "                         recover them at startup, so a killed daemon\n"
@@ -82,7 +90,8 @@ struct Args {
                                                   "--max-request-bytes", "--delay-ms",
                                                   "--data-dir",      "--compact-log-bytes",
                                                   "--fault",         "--socket",
-                                                  "--tcp",           "--access-log"};
+                                                  "--tcp",           "--access-log",
+                                                  "--listen-http",   "--auth-token-file"};
         const std::set<std::string> flag_keys = {"--stats", "--scrape", "--shutdown",
                                                  "--fsync-puts"};
         for (int i = 1; i < argc; ++i) {
@@ -131,6 +140,16 @@ int run_daemon(const Args& args) {
         }
         listener = std::make_unique<TcpSocketServer>(host, port);
     }
+    std::unique_ptr<TcpSocketServer> http_listener;
+    if (args.values.count("--listen-http") != 0) {
+        std::string host;
+        uint16_t port = 0;
+        std::string error;
+        if (!parse_host_port(args.get("--listen-http"), host, port, &error)) {
+            usage("--listen-http: " + error);
+        }
+        http_listener = std::make_unique<TcpSocketServer>(host, port);
+    }
     CacheTierOptions opts;
     opts.max_request_bytes = static_cast<size_t>(
         args.get_long("--max-request-bytes", static_cast<long>(kCacheMaxRequestBytes)));
@@ -170,7 +189,33 @@ int run_daemon(const Args& args) {
         std::cerr << "\n";
     }
     std::cerr << "cache_tool: listening on " << listener->endpoint() << "\n";
-    serve_listener(*listener, service, opts.max_request_bytes, injector);
+    if (http_listener != nullptr) {
+        // Metrics/health only: the cache wire protocol stays on the line
+        // socket, so enable_sweep is off and POST /v1/sweep answers 404.
+        HttpOptions http;
+        http.enable_sweep = false;
+        if (const std::string path = args.get("--auth-token-file"); !path.empty()) {
+            std::string error;
+            if (!read_auth_token_file(path, http.auth_token, &error)) {
+                usage("--auth-token-file: " + error);
+            }
+        }
+        http.metrics_fn = [&service] { return cache_prometheus_metrics(service.stats()); };
+        http.access_log = opts.access_log;
+        http.install_shutdown_hook = false;
+        service.set_on_shutdown([&line = *listener, &web = *http_listener] {
+            line.close();
+            web.close();
+        });
+        std::cerr << "cache_tool: http listening on " << http_listener->endpoint() << "\n";
+        std::thread http_thread(
+            [&] { serve_http_listener(*http_listener, service, http); });
+        serve_listener(*listener, service, opts.max_request_bytes, injector,
+                       /*install_shutdown_hook=*/false);
+        http_thread.join();
+    } else {
+        serve_listener(*listener, service, opts.max_request_bytes, injector);
+    }
     const CacheDaemonStats stats = service.stats();
     std::cerr << "cache_tool: exiting with " << stats.entries << " entries, " << stats.gets
               << " gets (" << stats.hits << " hits), " << stats.puts << " puts\n";
@@ -195,7 +240,9 @@ int run_client(const Args& args, const std::string& request, bool scrape = false
         std::string host;
         uint16_t port = 0;
         std::string error;
-        if (!parse_host_port(tcp_spec, host, port, &error)) usage("--tcp: " + error);
+        if (!parse_host_port(tcp_spec, host, port, &error, /*allow_port_zero=*/false)) {
+            usage("--tcp: " + error);
+        }
         fd = tcp_connect(host.empty() ? "127.0.0.1" : host, port);
     }
     if (!write_all(fd, request) || !write_all(fd, "\n")) {
@@ -227,32 +274,13 @@ int run_client(const Args& args, const std::string& request, bool scrape = false
             std::cerr << "error: stats response carried no stats object\n";
             return 3;
         }
-        const CacheDaemonStats& s = response.stats;
-        std::ostringstream text;
-        text << "# TYPE sdlc_cache_entries gauge\n"
-             << "sdlc_cache_entries " << s.entries << "\n"
-             << "# TYPE sdlc_cache_gets_total counter\n"
-             << "sdlc_cache_gets_total " << s.gets << "\n"
-             << "# TYPE sdlc_cache_hits_total counter\n"
-             << "sdlc_cache_hits_total " << s.hits << "\n"
-             << "# TYPE sdlc_cache_puts_total counter\n"
-             << "sdlc_cache_puts_total " << s.puts << "\n"
-             << "# TYPE sdlc_cache_rejected_total counter\n"
-             << "sdlc_cache_rejected_total " << s.rejected << "\n"
-             << "# TYPE sdlc_cache_recovered_entries gauge\n"
-             << "sdlc_cache_recovered_entries " << s.recovered << "\n"
-             << "# TYPE sdlc_cache_warm_hits_total counter\n"
-             << "sdlc_cache_warm_hits_total " << s.warm_hits << "\n"
-             << "# TYPE sdlc_cache_uptime_seconds gauge\n"
-             << "sdlc_cache_uptime_seconds " << json_number(s.uptime_seconds) << "\n"
-             << "# TYPE sdlc_cache_build_info gauge\n"
-             << "sdlc_cache_build_info{version=\"" << kBuildVersion << "\"} 1\n";
+        const std::string text = cache_prometheus_metrics(response.stats);
         std::string exposition_error;
-        if (!validate_exposition(text.str(), &exposition_error)) {
+        if (!validate_exposition(text, &exposition_error)) {
             std::cerr << "error: malformed exposition text: " << exposition_error << "\n";
             return 3;
         }
-        std::cout << text.str();
+        std::cout << text;
     }
     return 0;
 }
@@ -283,8 +311,8 @@ int main(int argc, char** argv) {
         if (stats || scrape || shutdown) {
             // Daemon knobs in client mode would silently do nothing — the
             // usage contract turns that into an error instead.
-            for (const char* flag :
-                 {"--data-dir", "--compact-log-bytes", "--fault", "--access-log"}) {
+            for (const char* flag : {"--data-dir", "--compact-log-bytes", "--fault",
+                                     "--access-log", "--listen-http", "--auth-token-file"}) {
                 if (args.values.count(flag) != 0) {
                     usage(std::string(flag) + " is a daemon option");
                 }
@@ -294,6 +322,11 @@ int main(int argc, char** argv) {
         if (stats) return run_client(args, cache_stats_line("stats"));
         if (scrape) return run_client(args, cache_stats_line("scrape"), /*scrape=*/true);
         if (shutdown) return run_client(args, cache_shutdown_line("shutdown"));
+        if (!daemon && args.values.count("--listen-http") != 0) {
+            // The cache wire protocol (gets/puts) only speaks the line
+            // socket; an HTTP-only daemon could never serve a fleet.
+            usage("--listen-http requires --listen or --listen-tcp");
+        }
         if (!daemon) usage("give --listen PATH or --listen-tcp HOST:PORT");
         return run_daemon(args);
     } catch (const std::exception& e) {

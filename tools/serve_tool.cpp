@@ -49,6 +49,7 @@
 #include "dse/remote_cache.h"
 #include "obs/access_log.h"
 #include "obs/trace.h"
+#include "serve/http.h"
 #include "serve/metrics.h"
 #include "serve/protocol.h"
 #include "serve/service.h"
@@ -68,6 +69,19 @@ using namespace sdlc::serve;
         "  server (default: NDJSON requests on stdin, events on stdout):\n"
         "    --listen PATH        serve on a Unix-domain socket instead\n"
         "    --listen-tcp HOST:PORT  serve on a TCP socket (port 0 = ephemeral)\n"
+        "    --listen-http HOST:PORT  HTTP/1.1 front door (port 0 = ephemeral):\n"
+        "                         POST /v1/sweep (NDJSON body, chunked x-ndjson\n"
+        "                         response, byte-identical event lines),\n"
+        "                         GET /metrics, GET /healthz; combinable with\n"
+        "                         --listen or --listen-tcp\n"
+        "    --auth-token-file FILE  require `Authorization: Bearer <token>` on\n"
+        "                         HTTP /v1/sweep and /metrics (constant-time\n"
+        "                         compare; 401 on mismatch; /healthz stays open)\n"
+        "    --quota-rps N        per-client HTTP sweep admissions per second\n"
+        "                         (keyed by bearer token, else peer address;\n"
+        "                         exhausted clients get 429 + Retry-After)\n"
+        "    --quota-burst N      token-bucket depth above the steady rate\n"
+        "                         (default: same as --quota-rps)\n"
         "    --threads N          evaluation ThreadPool size (default: hardware)\n"
         "    --request-workers N  concurrent in-flight requests (default 2)\n"
         "    --queue-capacity N   bounded request queue size (default 64)\n"
@@ -114,7 +128,11 @@ using namespace sdlc::serve;
         "    --quiet              do not echo the event stream to stdout\n"
         "  scrape:\n"
         "    --scrape             fetch Prometheus metrics (with --socket/--tcp)\n"
-        "                         and print the raw exposition text to stdout\n";
+        "                         and print the raw exposition text to stdout\n"
+        "    --http HOST:PORT     scrape GET /metrics from an HTTP front door\n"
+        "                         instead (works against serve_tool and\n"
+        "                         cache_tool; --auth-token-file adds the bearer\n"
+        "                         token); the text is validated the same way\n";
     std::exit(msg.empty() ? 0 : 2);
 }
 
@@ -133,7 +151,10 @@ struct Args {
                                                   "--cache-replicas", "--shards",
                                                   "--shard-timeout-ms", "--shard-retries",
                                                   "--shard-backoff-ms", "--access-log",
-                                                  "--trace-out",      "--exhaustive-budget-ms"};
+                                                  "--trace-out",      "--exhaustive-budget-ms",
+                                                  "--listen-http",    "--auth-token-file",
+                                                  "--quota-rps",      "--quota-burst",
+                                                  "--http"};
         const std::set<std::string> flag_keys = {"--quiet", "--scrape", "--reject-overload",
                                                  "--no-sliced", "--no-auto-exhaustive"};
         for (int i = 1; i < argc; ++i) {
@@ -167,6 +188,20 @@ struct Args {
             usage(key + " expects an integer, got \"" + v + "\"");
         }
         if (parsed < 0) usage(key + " must be >= 0");
+        return parsed;
+    }
+    [[nodiscard]] double get_double(const std::string& key, double dflt) const {
+        const std::string v = get(key);
+        if (v.empty()) return dflt;
+        double parsed = 0.0;
+        try {
+            size_t consumed = 0;
+            parsed = std::stod(v, &consumed);
+            if (consumed != v.size()) usage(key + " expects a number, got \"" + v + "\"");
+        } catch (const std::logic_error&) {
+            usage(key + " expects a number, got \"" + v + "\"");
+        }
+        if (!(parsed >= 0.0)) usage(key + " must be >= 0");
         return parsed;
     }
 };
@@ -266,7 +301,9 @@ int connect_destination(const Args& args) {
     std::string host;
     uint16_t port = 0;
     std::string error;
-    if (!parse_host_port(tcp_spec, host, port, &error)) usage("--tcp: " + error);
+    if (!parse_host_port(tcp_spec, host, port, &error, /*allow_port_zero=*/false)) {
+        usage("--tcp: " + error);
+    }
     if (host.empty()) host = "127.0.0.1";
     return tcp_connect(host, port);
 }
@@ -329,24 +366,80 @@ int run_stdio_server(const Args& args) {
 // ----------------------------------------------------------- socket mode ----
 
 int run_socket_server(const Args& args) {
-    // Bind the listener before spinning up the service so a bad endpoint
+    // Bind every listener before spinning up the service so a bad endpoint
     // fails fast without spawning any worker.
-    std::unique_ptr<SocketListener> listener;
+    std::unique_ptr<SocketListener> line_listener;
     if (const std::string path = args.get("--listen"); !path.empty()) {
-        listener = std::make_unique<UnixSocketServer>(path);
-    } else {
+        line_listener = std::make_unique<UnixSocketServer>(path);
+    } else if (args.values.count("--listen-tcp") != 0) {
         std::string host;
         uint16_t port = 0;
         std::string error;
         if (!parse_host_port(args.get("--listen-tcp"), host, port, &error)) {
             usage("--listen-tcp: " + error);
         }
-        listener = std::make_unique<TcpSocketServer>(host, port);
+        line_listener = std::make_unique<TcpSocketServer>(host, port);
+    }
+    std::unique_ptr<TcpSocketServer> http_listener;
+    if (args.values.count("--listen-http") != 0) {
+        std::string host;
+        uint16_t port = 0;
+        std::string error;
+        if (!parse_host_port(args.get("--listen-http"), host, port, &error)) {
+            usage("--listen-http: " + error);
+        }
+        http_listener = std::make_unique<TcpSocketServer>(host, port);
     }
     const ServiceOptions opts = service_options(args);
     const std::unique_ptr<SweepService> service = make_service(args, opts);
-    std::cerr << "serve_tool: listening on " << listener->endpoint() << "\n";
-    serve_listener(*listener, *service, opts.max_request_bytes);
+
+    HttpOptions http;
+    if (http_listener != nullptr) {
+        // The HTTP and line front ends share one request-size cap, so a
+        // request body is judged by the same limit on either transport.
+        http.max_body_bytes = opts.max_request_bytes;
+        if (const std::string path = args.get("--auth-token-file"); !path.empty()) {
+            std::string error;
+            if (!read_auth_token_file(path, http.auth_token, &error)) {
+                usage("--auth-token-file: " + error);
+            }
+        }
+        http.quota_rps = args.get_double("--quota-rps", 0.0);
+        if (args.values.count("--quota-rps") != 0 && http.quota_rps <= 0.0) {
+            usage("--quota-rps must be > 0");
+        }
+        http.quota_burst = args.get_double("--quota-burst", 0.0);
+        http.metrics_fn = [&service_ref = *service] {
+            return prometheus_metrics(service_ref.stats());
+        };
+        http.access_log = opts.access_log;
+    }
+
+    if (line_listener != nullptr) {
+        std::cerr << "serve_tool: listening on " << line_listener->endpoint() << "\n";
+    }
+    if (http_listener != nullptr) {
+        std::cerr << "serve_tool: http listening on " << http_listener->endpoint() << "\n";
+    }
+    if (line_listener != nullptr && http_listener != nullptr) {
+        // LineService holds a single on_shutdown hook; with two listeners
+        // the tool composes one closing both (each serve loop installing
+        // its own would silently drop the other's).
+        service->set_on_shutdown([&line = *line_listener, &web = *http_listener] {
+            line.close();
+            web.close();
+        });
+        http.install_shutdown_hook = false;
+        std::thread http_thread(
+            [&] { serve_http_listener(*http_listener, *service, http); });
+        serve_listener(*line_listener, *service, opts.max_request_bytes, nullptr,
+                       /*install_shutdown_hook=*/false);
+        http_thread.join();
+    } else if (http_listener != nullptr) {
+        serve_http_listener(*http_listener, *service, http);
+    } else {
+        serve_listener(*line_listener, *service, opts.max_request_bytes);
+    }
     write_trace_out(args, *service);
     return 0;
 }
@@ -493,6 +586,44 @@ int run_client(const Args& args) {
 // ----------------------------------------------------------- scrape mode ----
 
 int run_scrape(const Args& args) {
+    if (args.values.count("--http") != 0) {
+        if (args.values.count("--socket") != 0 || args.values.count("--tcp") != 0) {
+            usage("give exactly one of --socket, --tcp or --http");
+        }
+        std::string host;
+        uint16_t port = 0;
+        std::string error;
+        if (!parse_host_port(args.get("--http"), host, port, &error,
+                             /*allow_port_zero=*/false)) {
+            usage("--http: " + error);
+        }
+        std::string token;
+        if (const std::string path = args.get("--auth-token-file"); !path.empty()) {
+            if (!read_auth_token_file(path, token, &error)) {
+                usage("--auth-token-file: " + error);
+            }
+        }
+        HttpClientResponse response;
+        if (!http_request(host.empty() ? "127.0.0.1" : host, port, "GET", "/metrics", "",
+                          token, response, &error)) {
+            std::cerr << "error: " << error << "\n";
+            return 3;
+        }
+        if (response.status != 200) {
+            std::cerr << "error: GET /metrics answered " << response.status << " "
+                      << response.reason << "\n";
+            return 3;
+        }
+        // The same dialect gate as the line-protocol scrape: garbage from a
+        // misdirected endpoint must never reach a collector.
+        std::string exposition_error;
+        if (!validate_exposition(response.body, &exposition_error)) {
+            std::cerr << "error: malformed exposition text: " << exposition_error << "\n";
+            return 3;
+        }
+        std::cout << response.body;
+        return 0;
+    }
     const int fd = connect_destination(args);
     const std::string request = "{\"id\": \"scrape\", \"type\": \"metrics\"}\n";
     if (!write_all(fd, request)) {
@@ -568,9 +699,27 @@ int main(int argc, char** argv) {
             usage("give --listen or --listen-tcp, not both");
         }
         const bool server = args.values.count("--listen") != 0 ||
-                            args.values.count("--listen-tcp") != 0;
+                            args.values.count("--listen-tcp") != 0 ||
+                            args.values.count("--listen-http") != 0;
         const bool client = args.values.count("--client") != 0;
         const bool scrape = args.flags.count("scrape") != 0;
+        if (args.values.count("--http") != 0 && !scrape) {
+            usage("--http is a --scrape option (servers use --listen-http)");
+        }
+        for (const char* flag : {"--quota-rps", "--quota-burst"}) {
+            if (args.values.count(flag) != 0 && args.values.count("--listen-http") == 0) {
+                usage(std::string(flag) + " requires --listen-http");
+            }
+        }
+        if (args.values.count("--quota-burst") != 0 &&
+            args.values.count("--quota-rps") == 0) {
+            usage("--quota-burst requires --quota-rps");
+        }
+        if (args.values.count("--auth-token-file") != 0 &&
+            args.values.count("--listen-http") == 0 && args.values.count("--http") == 0) {
+            usage("--auth-token-file requires --listen-http (server) or "
+                  "--scrape --http (client)");
+        }
         if ((server && (client || scrape)) || (client && scrape)) {
             usage("server (--listen/--listen-tcp), client (--client) and --scrape "
                   "are mutually exclusive modes");
